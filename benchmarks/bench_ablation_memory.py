@@ -1,0 +1,100 @@
+"""Ablation: the memory ladder — predicted vs. simulated cost curves.
+
+The sky mesh deploys every memory rung (§3.3); choosing one is a real
+decision because Lambda couples CPU allocation to memory.  This ablation
+compares the :class:`MemoryAdvisor`'s *predicted* cost curve against the
+cost *realized* by actually running bursts on memory-aware mesh rungs,
+validating the advisor end-to-end and exhibiting the classic
+power-tuning shape: costly at starved settings, cheapest at small-but-
+sufficient rungs, linearly more expensive past CPU saturation.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro import (
+    CharacterizationStore,
+    SamplingCampaign,
+    SkyMesh,
+    UniversalDynamicFunctionHandler,
+    WorkloadRunner,
+    build_sky,
+    workload_by_name,
+)
+from repro.core.memory_advisor import MemoryAdvisor
+from repro.workloads.registry import memory_aware_resolver
+
+SEED = 89
+ZONE = "us-east-2a"  # single-CPU zone isolates the memory effect
+LADDER = (256, 512, 1024, 2048, 4096, 8192)
+BURST = 300
+
+
+def run_ladder():
+    cloud = build_sky(seed=SEED, aws_only=True)
+    account = cloud.create_account("abl", "aws")
+    mesh = SkyMesh(cloud)
+    workload = workload_by_name("zipper")
+
+    endpoints = mesh.deploy_sampling_endpoints(account, ZONE, count=4)
+    store = CharacterizationStore()
+    store.put(SamplingCampaign(cloud, endpoints,
+                               max_polls=4).run().ground_truth())
+    cloud.clock.advance(600.0)
+
+    predicted = MemoryAdvisor(cloud, store).recommend(workload, ZONE,
+                                                      ladder=LADDER)
+    runner = WorkloadRunner(cloud)
+    realized = {}
+    for memory_mb in LADDER:
+        deployment = cloud.deploy(
+            account, ZONE, "dynamic", memory_mb,
+            handler=UniversalDynamicFunctionHandler(
+                memory_aware_resolver(memory_mb)))
+        mesh.register(deployment)
+        burst = runner.run_batched_burst(deployment, workload, BURST)
+        realized[memory_mb] = {
+            "cost_usd": float(burst.cost_per_invocation),
+            "runtime_s": burst.total_billed_runtime / burst.executed,
+        }
+        cloud.clock.advance(3600.0)
+    return predicted, realized
+
+
+def test_ablation_memory_ladder(benchmark, report):
+    predicted, realized = once(benchmark, run_ladder)
+
+    table = report("Ablation: memory ladder — predicted vs. realized")
+    table.row("memory", "pred runtime", "real runtime", "pred $/inv",
+              "real $/inv", widths=(8, 13, 13, 12, 12))
+    for memory_mb in LADDER:
+        table.row("{}MB".format(memory_mb),
+                  "{:.2f}s".format(predicted.runtime_at(memory_mb)),
+                  "{:.2f}s".format(realized[memory_mb]["runtime_s"]),
+                  "{:.6f}".format(predicted.cost_at(memory_mb)),
+                  "{:.6f}".format(realized[memory_mb]["cost_usd"]),
+                  widths=(8, 13, 13, 12, 12))
+    table.line()
+    table.row("advisor picks: cheapest={}MB fastest={}MB "
+              "balanced={}MB".format(predicted.cheapest,
+                                     predicted.fastest,
+                                     predicted.balanced))
+
+    # Predictions track the simulation within 10 % everywhere.
+    for memory_mb in LADDER:
+        assert realized[memory_mb]["runtime_s"] == pytest.approx(
+            predicted.runtime_at(memory_mb), rel=0.10)
+        assert realized[memory_mb]["cost_usd"] == pytest.approx(
+            predicted.cost_at(memory_mb), rel=0.10)
+
+    # The power-tuning shape: runtime falls monotonically down the ladder
+    # until saturation, cost rises past it.
+    assert (realized[256]["runtime_s"] > realized[1024]["runtime_s"]
+            > realized[4096]["runtime_s"])
+    assert realized[8192]["cost_usd"] > realized[4096]["cost_usd"]
+
+    # The advisor's cheapest pick really is the realized minimum.
+    realized_cheapest = min(LADDER,
+                            key=lambda m: realized[m]["cost_usd"])
+    assert predicted.cheapest == realized_cheapest
+

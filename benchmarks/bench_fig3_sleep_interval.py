@@ -1,0 +1,71 @@
+"""Figure 3 (EX-1): sleep interval vs. unique FIs observed vs. poll cost.
+
+Sweeps the sampling function's sleep interval across memory settings and
+reports the unique FIs observed by a 1,000-request poll plus the poll's
+cost, reproducing the trade-off that made 0.25 s the paper's optimum for
+the 2 GB and 4 GB settings.
+"""
+
+from benchmarks.conftest import once
+from repro import SkyMesh, build_sky
+from repro.sampling import Poller
+
+SLEEPS = (0.05, 0.10, 0.25, 0.50, 1.00)
+MEMORIES = (1024, 2048, 4096, 10240)
+SEED = 7
+
+
+def sweep():
+    results = {}
+    for memory_mb in MEMORIES:
+        for sleep_s in SLEEPS:
+            # A fresh sky per cell keeps polls independent.
+            cloud = build_sky(seed=SEED, aws_only=True)
+            account = cloud.create_account("sweep", "aws")
+            mesh = SkyMesh(cloud)
+            endpoints = mesh.deploy_sampling_endpoints(
+                account, "us-west-1a", count=1, sleep_s=sleep_s,
+                memory_base_mb=memory_mb)
+            observation = Poller(cloud, endpoints).poll()
+            results[(memory_mb, sleep_s)] = (
+                observation.unique_fis, float(observation.cost))
+    return results
+
+
+def test_fig3_sleep_interval(benchmark, report):
+    results = once(benchmark, sweep)
+
+    table = report("Figure 3: unique FIs and cost vs. sleep interval")
+    table.row("memory", *["{:>14}".format("{}s".format(s)) for s in SLEEPS])
+    for memory_mb in MEMORIES:
+        cells = []
+        for sleep_s in SLEEPS:
+            fis, cost = results[(memory_mb, sleep_s)]
+            cells.append("{:>6} ${:.4f}".format(fis, cost))
+        table.row("{:>5}MB".format(memory_mb), *cells)
+
+    # Longer sleeps observe at least as many unique FIs.
+    for memory_mb in MEMORIES:
+        fis_series = [results[(memory_mb, s)][0] for s in SLEEPS]
+        assert fis_series == sorted(fis_series)
+
+    # The paper's optimum: 0.25 s gives (near-)full coverage at 2 GB and
+    # 4 GB for under two cents per poll.
+    for memory_mb in (2048, 4096):
+        fis, cost = results[(memory_mb, 0.25)]
+        assert fis >= 950
+        assert cost < 0.02
+
+    # Shorter sleeps cut cost but lose coverage at low memory.
+    fis_short, cost_short = results[(1024, 0.05)]
+    fis_optimal, cost_optimal = results[(1024, 0.25)]
+    assert cost_short < cost_optimal
+    assert fis_short < fis_optimal
+
+    # Longer sleeps only add cost once coverage has saturated.
+    fis_long, cost_long = results[(2048, 1.00)]
+    assert fis_long >= 950
+    assert cost_long > results[(2048, 0.25)][1]
+
+    # Lower memory needs longer sleeps for full coverage.
+    assert results[(1024, 0.25)][0] <= results[(2048, 0.25)][0]

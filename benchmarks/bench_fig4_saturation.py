@@ -1,0 +1,90 @@
+"""Figure 4 (EX-1): observed FIs and failures across sequential polls.
+
+Runs polls back-to-back against us-west-1a until far past the failure
+point, from a primary account; once the primary saturates the zone, a
+fully independent secondary account issues its own polls and fails
+immediately — the paper's evidence that saturation is zone-pool
+exhaustion, not per-account rate limiting.
+"""
+
+from benchmarks.conftest import once
+from repro import SkyMesh, build_sky
+from repro.sampling import Poller
+
+SEED = 13
+ZONE = "us-west-1a"
+EXTRA_POLLS_PAST_FAILURE = 5
+
+
+def run_saturation():
+    cloud = build_sky(seed=SEED, aws_only=True)
+    primary = cloud.create_account("primary", "aws")
+    secondary = cloud.create_account("secondary", "aws")
+    mesh = SkyMesh(cloud)
+
+    endpoints = mesh.deploy_sampling_endpoints(primary, ZONE, count=60)
+    poller = Poller(cloud, endpoints)
+    trace = []
+    failures_seen = 0
+    while failures_seen < EXTRA_POLLS_PAST_FAILURE and trace is not None:
+        observation = poller.poll()
+        trace.append((observation.unique_fis, observation.failure_rate))
+        if observation.failure_rate > 0.5:
+            failures_seen += 1
+        cloud.clock.advance(2.5)
+        if len(trace) >= 60:
+            break
+
+    # The independent second account polls right after exhaustion.
+    endpoints_b = mesh.deploy_sampling_endpoints(secondary, ZONE, count=3,
+                                                 memory_base_mb=4096)
+    poller_b = Poller(cloud, endpoints_b)
+    second_account_trace = []
+    for _ in range(3):
+        observation = poller_b.poll()
+        second_account_trace.append((observation.unique_fis,
+                                     observation.failure_rate))
+        cloud.clock.advance(2.5)
+
+    capacity = cloud.zone(ZONE).capacity
+    return trace, second_account_trace, capacity
+
+
+def test_fig4_saturation(benchmark, report):
+    trace, second_trace, capacity = once(benchmark, run_saturation)
+
+    table = report("Figure 4: FIs observed and failure rate per poll")
+    table.row("poll", "new FIs", "failure", widths=(5, 8, 8))
+    for index, (fis, failure_rate) in enumerate(trace, start=1):
+        table.row(index, fis, "{:.0%}".format(failure_rate),
+                  widths=(5, 8, 8))
+    table.line()
+    table.row("2nd account polls (after exhaustion):")
+    for index, (fis, failure_rate) in enumerate(second_trace, start=1):
+        table.row(index, fis, "{:.0%}".format(failure_rate),
+                  widths=(5, 8, 8))
+
+    # Early polls create ~a full burst of new FIs each.
+    early = trace[:5]
+    assert all(fis >= 900 for fis, _ in early)
+    assert all(failure < 0.1 for _, failure in early)
+
+    # Saturation: cumulative FIs approach the provisioned pool, a clear
+    # threshold appears, and failures escalate dramatically (80-98 %).
+    total_fis = sum(fis for fis, _ in trace)
+    assert total_fis >= capacity * 0.85
+    saturated_polls = [failure for _, failure in trace if failure > 0.5]
+    assert saturated_polls
+    assert max(saturated_polls) > 0.8
+
+    # The paper's threshold: ~20,000-30,000 FIs before degradation in this
+    # zone class.
+    fis_before_failure = 0
+    for fis, failure in trace:
+        if failure > 0.5:
+            break
+        fis_before_failure += fis
+    assert 14000 <= fis_before_failure <= 32000
+
+    # The second account fails overwhelmingly on its very first poll.
+    assert second_trace[0][1] > 0.9

@@ -1,0 +1,95 @@
+"""Figure 5 (EX-3): characterization error vs. FIs sampled, 11 AWS AZs.
+
+Runs saturation campaigns in the paper's eleven zones and reports the
+progressive-sampling APE curve for each, plus the poll counts needed for a
+95 %-accurate characterization and the headline costs.
+"""
+
+from benchmarks.conftest import once
+from repro import (
+    EX3_ZONES,
+    ProgressiveAnalysis,
+    SamplingCampaign,
+    SkyMesh,
+    build_sky,
+)
+from repro.sampling.cost import campaign_cost_summary
+
+SEED = 3
+
+
+def run_progressive():
+    cloud = build_sky(seed=SEED, aws_only=True)
+    account = cloud.create_account("primary", "aws")
+    mesh = SkyMesh(cloud)
+    analyses = {}
+    for zone_id in EX3_ZONES:
+        endpoints = mesh.deploy_sampling_endpoints(account, zone_id,
+                                                   count=60)
+        result = SamplingCampaign(cloud, endpoints).run()
+        analyses[zone_id] = ProgressiveAnalysis(result)
+        cloud.clock.advance(120.0)
+    return analyses
+
+
+def test_fig5_progressive_sampling(benchmark, report):
+    analyses = once(benchmark, run_progressive)
+
+    table = report("Figure 5: APE vs. observed FIs (11 AWS AZs)")
+    table.row("zone", "polls", "FIs", "APE@1", "APE@3", "APE@6",
+              "polls->95%", "cost->95%", widths=(17, 6, 7, 7, 7, 7, 11, 9))
+    polls_needed = {}
+    for zone_id in EX3_ZONES:
+        analysis = analyses[zone_id]
+        campaign = analysis.campaign
+        polls95 = analysis.polls_to_accuracy(95.0)
+        polls_needed[zone_id] = polls95
+        cost95 = analysis.cost_to_accuracy(95.0)
+
+        def ape_at(k):
+            if k > campaign.polls_run:
+                return "-"
+            return "{:.1f}".format(analysis.ape_after(k))
+
+        table.row(zone_id, campaign.polls_run, campaign.total_fis,
+                  ape_at(1), ape_at(3), ape_at(6),
+                  polls95 if polls95 is not None else "-",
+                  "${:.3f}".format(float(cost95)) if cost95 else "-",
+                  widths=(17, 6, 7, 7, 7, 7, 11, 9))
+
+    # Every campaign saturated its zone (the >50 % failure stop rule).
+    for analysis in analyses.values():
+        assert analysis.campaign.saturated
+
+    # Zone-size spread: eu-north-1a fails after ~5k calls; eu-central-1a
+    # sustains roughly ten times that.
+    ratio = (analyses["eu-central-1a"].campaign.total_fis
+             / analyses["eu-north-1a"].campaign.total_fis)
+    assert 6 <= ratio <= 14
+
+    # A single poll reaches low APE in most zones (paper: <=10 % for most,
+    # 25 % worst case).
+    first_poll_apes = [analysis.ape_after(1)
+                       for analysis in analyses.values()]
+    assert sorted(first_poll_apes)[len(first_poll_apes) // 2] < 15.0
+    assert max(first_poll_apes) < 45.0
+
+    # us-east-2a: 0 % error, always.
+    assert analyses["us-east-2a"].ape_after(1) == 0.0
+
+    # ~6 polls on average for 95 % accuracy (excluding the anomalous
+    # hidden-hardware zone, ap-northeast-1a).
+    regular = [polls for zone, polls in polls_needed.items()
+               if polls is not None and zone != "ap-northeast-1a"]
+    mean_polls = sum(regular) / len(regular)
+    assert 2.0 <= mean_polls <= 10.0
+
+    # The anomaly zone reveals unseen hardware late: it takes far longer.
+    anomaly = polls_needed["ap-northeast-1a"]
+    assert anomaly is None or anomaly > mean_polls
+
+    # Saturating a zone costs ~$0.20 for a ~20k-slot zone.
+    summary = campaign_cost_summary(analyses["us-west-1a"].campaign)
+    assert 0.08 < summary["total_cost_usd"] < 0.40
+    # Characterizing to 95 % costs a few cents (paper: ~$0.04).
+    assert summary["cost_to_95pct_usd"] < 0.15

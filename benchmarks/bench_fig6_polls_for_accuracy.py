@@ -1,0 +1,64 @@
+"""Figure 6 (EX-4): polls needed for 95 % characterization accuracy,
+per zone, per day, over two weeks.
+
+Also reproduces the paper's accuracy-ladder averages: 1.41 / 2.62 / 5.65 /
+10.5 polls for 85 / 90 / 95 / 99 % accuracy.
+"""
+
+from benchmarks.conftest import once
+from repro import DailyCampaignSeries, EX4_ZONES, SkyMesh, build_sky
+
+SEED = 17
+DAYS = 14
+
+
+def run_series():
+    cloud = build_sky(seed=SEED, aws_only=True)
+    account = cloud.create_account("primary", "aws")
+    mesh = SkyMesh(cloud)
+    series = {}
+    for zone_id in EX4_ZONES:
+        endpoints = mesh.deploy_sampling_endpoints(account, zone_id,
+                                                   count=60)
+        daily = DailyCampaignSeries(cloud, endpoints, days=DAYS)
+        daily.run()
+        series[zone_id] = daily
+        cloud.clock.advance(600.0)
+    return series
+
+
+def test_fig6_polls_for_accuracy(benchmark, report):
+    series = once(benchmark, run_series)
+
+    table = report(
+        "Figure 6: polls to reach 95% accuracy, per zone per day")
+    table.row("zone", *["d{}".format(d + 1) for d in range(DAYS)],
+              widths=(15,) + (4,) * DAYS)
+    for zone_id in EX4_ZONES:
+        polls = series[zone_id].polls_for_accuracy(95.0)
+        table.row(zone_id, *[p if p is not None else "-" for p in polls],
+                  widths=(15,) + (4,) * DAYS)
+
+    # The accuracy ladder: higher accuracy costs more polls, and the
+    # all-zone averages land near the paper's 1.41 / 2.62 / 5.65 / 10.5.
+    ladder = {}
+    for accuracy in (85.0, 90.0, 95.0, 99.0):
+        means = [s.mean_polls_for_accuracy(accuracy)
+                 for s in series.values()]
+        means = [m for m in means if m is not None]
+        ladder[accuracy] = sum(means) / len(means)
+    table.line()
+    table.row("accuracy ladder (mean polls):",
+              "  ".join("{:.0f}%={:.2f}".format(a, ladder[a])
+                        for a in sorted(ladder)))
+
+    assert ladder[85.0] <= ladder[90.0] <= ladder[95.0] <= ladder[99.0]
+    assert 1.0 <= ladder[85.0] <= 4.0
+    assert 2.0 <= ladder[95.0] <= 10.0
+    assert ladder[99.0] <= 25.0
+
+    # Every zone reached 95 % accuracy on most days.
+    for zone_id, daily in series.items():
+        reached = [p for p in daily.polls_for_accuracy(95.0)
+                   if p is not None]
+        assert len(reached) >= DAYS * 0.7, zone_id

@@ -1,0 +1,61 @@
+"""Figure 7 (EX-4): characterization accuracy degradation over time.
+
+Uses each zone's day-1 ground truth as the reference and tracks the APE of
+the next thirteen days' characterizations against it: volatile zones
+(ca-central-1a, us-west-1a, us-west-1b) blow past 20 % quickly while the
+stable pair (sa-east-1a, eu-north-1a) stays low.
+"""
+
+from benchmarks.conftest import once
+from repro import DailyCampaignSeries, EX4_ZONES, SkyMesh, build_sky
+
+SEED = 29
+DAYS = 14
+VOLATILE = ("ca-central-1a", "us-west-1a", "us-west-1b")
+STABLE = ("sa-east-1a", "eu-north-1a")
+
+
+def run_decay():
+    cloud = build_sky(seed=SEED, aws_only=True)
+    account = cloud.create_account("primary", "aws")
+    mesh = SkyMesh(cloud)
+    curves = {}
+    for zone_id in EX4_ZONES:
+        endpoints = mesh.deploy_sampling_endpoints(account, zone_id,
+                                                   count=60)
+        series = DailyCampaignSeries(cloud, endpoints, days=DAYS)
+        series.run()
+        curves[zone_id] = dict(series.decay_curve())
+        cloud.clock.advance(600.0)
+    return curves
+
+
+def test_fig7_temporal_decay(benchmark, report):
+    curves = once(benchmark, run_decay)
+
+    table = report("Figure 7: APE vs. day-1 profile (two weeks)")
+    days = list(range(2, DAYS + 1))
+    table.row("zone", *["d{}".format(d) for d in days],
+              widths=(15,) + (6,) * len(days))
+    for zone_id in EX4_ZONES:
+        table.row(zone_id,
+                  *["{:.0f}".format(curves[zone_id][d]) for d in days],
+                  widths=(15,) + (6,) * len(days))
+
+    # Volatile zones: substantial drift — every one leaves the stable
+    # band, and at least one shows the paper's 20-50 % excursions early.
+    for zone_id in VOLATILE:
+        curve = curves[zone_id]
+        assert max(curve.values()) > 15.0, zone_id
+        assert max(curve[2], curve[3]) > 5.0, zone_id
+    assert max(max(curves[z].values()) for z in VOLATILE) > 30.0
+
+    # Stable zones: hold near the day-1 profile for the full two weeks
+    # (paper: at or below ~10 %).
+    for zone_id in STABLE:
+        assert max(curves[zone_id].values()) < 15.0, zone_id
+
+    # The volatile class drifts strictly more than the stable class.
+    worst_stable = max(max(curves[z].values()) for z in STABLE)
+    best_volatile = max(max(curves[z].values()) for z in VOLATILE)
+    assert best_volatile > worst_stable

@@ -1,0 +1,54 @@
+"""Figure 8 (EX-4): hourly CPU-distribution variation in us-west-1b.
+
+High-frequency sampling: a short campaign every hour for 24 hours, each
+compared against the hour-0 baseline.  The paper found 22 of 24 hours
+within 10 % of the baseline, with occasional excursions.
+"""
+
+from benchmarks.conftest import once
+from repro import HourlySeries, SkyMesh, build_sky
+
+ZONE = "us-west-1b"
+SEEDS = (41, 43, 47)
+
+
+def run_hourly(seed):
+    cloud = build_sky(seed=seed, aws_only=True)
+    account = cloud.create_account("primary", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = mesh.deploy_sampling_endpoints(account, ZONE, count=30)
+    series = HourlySeries(cloud, endpoints, hours=24, polls_per_hour=6)
+    series.run()
+    return series
+
+
+def run_all():
+    return [run_hourly(seed) for seed in SEEDS]
+
+
+def test_fig8_hourly_variation(benchmark, report):
+    runs = once(benchmark, run_all)
+
+    table = report("Figure 8: hourly APE vs. hour-0 baseline, us-west-1b")
+    table.row("hour", *["run{}".format(i) for i in range(len(runs))],
+              widths=(5,) + (7,) * len(runs))
+    curves = [dict(series.variation_curve()) for series in runs]
+    for hour in range(1, 24):
+        table.row(hour, *["{:.1f}".format(curve[hour]) for curve in curves],
+                  widths=(5,) + (7,) * len(runs))
+    within = [series.hours_within(10.0) for series in runs]
+    table.line()
+    table.row("hours within 10% of baseline:",
+              ", ".join("{}/23".format(w) for w in within))
+
+    # Most hours stay within 10 % of the baseline (paper: 22 of 24).
+    for count in within:
+        assert count >= 16
+
+    # But the zone is not frozen: some variation exists in every run.
+    for curve in curves:
+        assert max(curve.values()) > 2.0
+
+    # Occasional excursions are visible across the day in at least one run
+    # (the paper saw two excursion hours).
+    assert any(max(curve.values()) > 8.0 for curve in curves)

@@ -1,0 +1,28 @@
+"""Table 1: real execution of the twelve workloads.
+
+Unlike the figure benches (which exercise the simulator), this bench runs
+each workload's *actual Python implementation* through the dynamic-
+function runtime under pytest-benchmark timing — the measurement a user
+would make before trusting the runtime models.
+"""
+
+import pytest
+
+from repro.dynfunc import DynamicFunctionRuntime
+from repro.workloads import WORKLOAD_NAMES, workload_by_name
+
+SCALE = 0.15
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_NAMES))
+def test_table1_workload_execution(benchmark, name):
+    workload = workload_by_name(name)
+    runtime = DynamicFunctionRuntime()
+    payload = workload.payload(args={"seed": 3, "scale": SCALE})
+    # Warm the payload cache once so we time execution, not decode.
+    runtime.handle(payload)
+
+    result = benchmark(lambda: runtime.handle(payload))
+    assert result.cached
+    assert result.value["workload"] == name
+    assert result.value["summary"]

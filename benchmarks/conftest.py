@@ -1,0 +1,59 @@
+"""Benchmark fixtures and the table reporter.
+
+Every benchmark regenerates one of the paper's figures/tables and prints
+the corresponding rows so that ``pytest benchmarks/ --benchmark-only``
+produces a readable report (captured output is bypassed on purpose —
+the tables are the point of the harness).
+"""
+
+import sys
+
+import pytest
+
+
+class TableReporter(object):
+    """Prints experiment tables straight to the terminal."""
+
+    def __init__(self, title):
+        self.title = title
+        self._lines = []
+
+    def line(self, text=""):
+        self._lines.append(text)
+        return self
+
+    def row(self, *columns, **kwargs):
+        widths = kwargs.get("widths")
+        if widths:
+            cells = [str(c).ljust(w) for c, w in zip(columns, widths)]
+        else:
+            cells = [str(c) for c in columns]
+        return self.line("  ".join(cells))
+
+    def flush(self):
+        out = sys.__stdout__
+        out.write("\n=== {} ===\n".format(self.title))
+        for line in self._lines:
+            out.write(line + "\n")
+        out.flush()
+        self._lines = []
+
+
+@pytest.fixture
+def report(capsys):
+    reporters = []
+
+    def make(title):
+        reporter = TableReporter(title)
+        reporters.append(reporter)
+        return reporter
+
+    yield make
+    with capsys.disabled():
+        for reporter in reporters:
+            reporter.flush()
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

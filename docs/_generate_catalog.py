@@ -1,0 +1,68 @@
+"""Regenerate docs/catalog.md from the live catalog specs.
+
+Run from the repository root:  python docs/_generate_catalog.py
+"""
+
+from pathlib import Path
+
+from repro.cloudsim.carbon import _REGION_BASELINES
+from repro.cloudsim.catalog import (
+    AWS_REGION_SPECS,
+    DO_REGION_SPECS,
+    EX3_ZONES,
+    EX4_ZONES,
+    IBM_REGION_SPECS,
+)
+
+
+def generate():
+    lines = []
+    lines.append("# Region catalog reference")
+    lines.append("")
+    lines.append("Generated from `repro.cloudsim.catalog` (the code is the source of")
+    lines.append("truth; regenerate with `python docs/_generate_catalog.py` if specs")
+    lines.append("change).  Capacity is in FI slots; drift classes are described in")
+    lines.append("docs/simulator.md.")
+    lines.append("")
+    lines.append("## AWS Lambda (33 regions)")
+    lines.append("")
+    lines.append("| zone | capacity | drift | CPU mix | gCO2e/kWh |")
+    lines.append("|---|---|---|---|---|")
+    for name in sorted(AWS_REGION_SPECS):
+        _, _, zones = AWS_REGION_SPECS[name]
+        for suffix in sorted(zones):
+            spec = zones[suffix]
+            mix = ", ".join("{} {:.0%}".format(c, s)
+                            for c, s in sorted(spec.mix.items()))
+            lines.append("| {}{} | {:,} | {} | {} | {} |".format(
+                name, suffix, spec.slots, spec.drift, mix,
+                _REGION_BASELINES.get(name, "-")))
+    for title, specs in (("IBM Code Engine (4 regions)", IBM_REGION_SPECS),
+                         ("Digital Ocean Functions (4 regions)",
+                          DO_REGION_SPECS)):
+        lines.append("")
+        lines.append("## " + title)
+        lines.append("")
+        lines.append("| zone | capacity | CPU mix | gCO2e/kWh |")
+        lines.append("|---|---|---|---|")
+        for name in sorted(specs):
+            _, _, spec = specs[name]
+            mix = ", ".join("{} {:.0%}".format(c, s)
+                            for c, s in sorted(spec.mix.items()))
+            lines.append("| {} | {:,} | {} | {} |".format(
+                name, spec.slots, mix, _REGION_BASELINES.get(name, "-")))
+    lines.append("")
+    lines.append("## Experiment zone sets")
+    lines.append("")
+    lines.append("* **EX-3 (progressive sampling, 11 AZs):** "
+                 + ", ".join(EX3_ZONES))
+    lines.append("* **EX-4/EX-5 (temporal + routing, 5 AZs):** "
+                 + ", ".join(EX4_ZONES))
+    lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    target = Path(__file__).parent / "catalog.md"
+    target.write_text(generate())
+    print("wrote", target)

@@ -1,0 +1,77 @@
+"""Batch workload cost optimization across the sky (EX-5 flavour).
+
+The paper motivates the retry method with cost-sensitive batch workloads
+(e.g. RNA-sequencing pipelines) that tolerate extra latency.  This example
+runs a week of daily 1,000-invocation logistic-regression batches under
+four routing strategies — fixed-zone baseline, retry-slow, focus-fastest,
+and the hybrid region hopper — and prints the daily and cumulative bills.
+
+Run:  python examples/batch_cost_optimizer.py
+"""
+
+from repro import (
+    BaselinePolicy,
+    CharacterizationStore,
+    HybridPolicy,
+    RetryRoutingPolicy,
+    RoutingStudy,
+    SkyMesh,
+    UniversalDynamicFunctionHandler,
+    build_sky,
+    workload_by_name,
+)
+from repro.workloads import resolve_runtime_model
+
+ZONES = ("us-west-1a", "us-west-1b", "sa-east-1a")
+BASELINE_ZONE = "us-west-1b"
+DAYS = 7
+
+
+def main():
+    cloud = build_sky(seed=11, aws_only=True)
+    account = cloud.create_account("batch", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = {}
+    for zone in ZONES:
+        endpoints[zone] = mesh.deploy_sampling_endpoints(account, zone,
+                                                         count=10)
+        mesh.register(cloud.deploy(
+            account, zone, "dynamic", 2048,
+            handler=UniversalDynamicFunctionHandler(resolve_runtime_model)))
+
+    study = RoutingStudy(cloud, mesh, CharacterizationStore(),
+                         workload_by_name("logistic_regression"),
+                         list(ZONES), endpoints, days=DAYS,
+                         burst_size=1000, polls_per_day=6)
+    result = study.run([
+        BaselinePolicy(BASELINE_ZONE),
+        RetryRoutingPolicy(BASELINE_ZONE, "retry_slow"),
+        RetryRoutingPolicy(BASELINE_ZONE, "focus_fastest"),
+        HybridPolicy("focus_fastest"),
+    ])
+
+    names = result.policy_names
+    print("Daily cost (USD) of 1,000 logistic-regression invocations:")
+    print("{:<5}".format("day")
+          + "".join("{:>22}".format(n) for n in names))
+    for day in range(DAYS):
+        print("{:<5}".format(day + 1)
+              + "".join("{:>22.4f}".format(result.daily_costs[n][day])
+                        for n in names))
+    print("{:<5}".format("sum")
+          + "".join("{:>22.4f}".format(result.cumulative_cost(n))
+                    for n in names))
+
+    print("\nSavings vs. baseline:")
+    for name, summary in sorted(result.savings_summary().items()):
+        print("  {:<22} cumulative {:5.1f}%   best day {:5.1f}%".format(
+            name, summary["cumulative_pct"], summary["max_daily_pct"]))
+    print("\nHybrid zone choices per day: {}".format(
+        result.zones_chosen["hybrid_focus_fastest"]))
+    print("Sampling spend for the week: {}".format(result.sampling_cost))
+    print("(Retry holds add ~150 ms latency per round — worth it for "
+          "batch pipelines, not for interactive paths.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Dynamic functions end-to-end: ship code in the payload, run anywhere.
+
+Demonstrates the paper's §3.2 machinery with *real code execution*:
+
+1. package a workload's source into a compressed+encoded payload;
+2. execute it in the in-FI runtime (actual ``exec``), hitting the
+   hash-keyed payload cache on the second call;
+3. invoke the same payload through the simulated sky mesh, where one
+   generic pre-deployed endpoint serves every workload;
+4. use the payload's banned-CPU list — the in-function check behind the
+   retry method.
+
+Run:  python examples/dynamic_functions_demo.py
+"""
+
+from repro import (
+    RetryEngine,
+    RetryPolicy,
+    SkyMesh,
+    UniversalDynamicFunctionHandler,
+    build_sky,
+    workload_by_name,
+)
+from repro.dynfunc import DynamicFunctionRuntime
+from repro.workloads import resolve_runtime_model
+
+
+def main():
+    workload = workload_by_name("thumbnailer")
+    payload = workload.payload(args={"seed": 1, "scale": 0.3})
+    print("payload: {} encoded bytes, sha256={}...".format(
+        payload.encoded_bytes, payload.sha256[:12]))
+
+    # -- 1+2: real execution inside one FI's runtime --------------------------
+    runtime = DynamicFunctionRuntime()
+    first = runtime.handle(payload)
+    second = runtime.handle(payload)
+    print("first call : cached={}  result={}".format(first.cached,
+                                                     first.value["summary"]))
+    print("second call: cached={}  (decode skipped via payload hash)"
+          .format(second.cached))
+
+    # -- 3: the same payload through the simulated sky mesh ---------------------
+    cloud = build_sky(seed=9, aws_only=True)
+    account = cloud.create_account("demo", "aws")
+    mesh = SkyMesh(cloud)
+    handler = UniversalDynamicFunctionHandler(resolve_runtime_model)
+    deployment = cloud.deploy(account, "us-west-1b", "dynamic", 2048,
+                              handler=handler)
+    mesh.register(deployment)
+
+    for name in ("sha1_hash", "thumbnailer", "logistic_regression"):
+        invocation = cloud.invoke(deployment,
+                                  payload=workload_by_name(name).payload())
+        print("mesh ran {:<20} on {:<9} in {:6.2f}s (billed {})".format(
+            name, invocation.cpu_key, invocation.runtime_s,
+            invocation.bill.total))
+        cloud.clock.advance(400.0)
+
+    # -- 4: the banned-CPU check that powers the retry method --------------------
+    engine = RetryEngine(cloud)
+    policy = RetryPolicy.focus_fastest(
+        cloud.zone("us-west-1b").cpu_keys(),
+        workload_by_name("logistic_regression").cpu_factors())
+    outcome = engine.invoke(deployment, policy,
+                            payload=workload_by_name(
+                                "logistic_regression").payload())
+    print("retry engine: landed on {} after {} retries "
+          "(holds billed {})".format(outcome.cpu_key, outcome.retries,
+                                     outcome.hold_cost))
+
+
+if __name__ == "__main__":
+    main()

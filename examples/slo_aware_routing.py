@@ -1,0 +1,73 @@
+"""SLO-aware strategy selection: batch vs. interactive, mechanically.
+
+The paper notes (§4.6) that retry-based savings suit asynchronous batch
+workloads, not latency-critical paths.  The :class:`SLOSelector` turns
+that into a decision procedure: forecast every strategy's cost and p95
+latency from the zone characterizations, then pick the cheapest strategy
+that fits the caller's latency budget.
+
+Run:  python examples/slo_aware_routing.py
+"""
+
+from repro import (
+    CharacterizationStore,
+    SamplingCampaign,
+    SkyMesh,
+    build_sky,
+    workload_by_name,
+)
+from repro.common.errors import ConfigurationError
+from repro.core import SLOSelector
+from repro.sampling import CharacterizationEstimator
+
+ZONES = ("us-west-1a", "us-west-1b", "sa-east-1a")
+
+
+def main():
+    cloud = build_sky(seed=37, aws_only=True)
+    account = cloud.create_account("slo", "aws")
+    mesh = SkyMesh(cloud)
+    store = CharacterizationStore()
+
+    print("Characterizing {} zones (with confidence intervals)...".format(
+        len(ZONES)))
+    for zone_id in ZONES:
+        endpoints = mesh.deploy_sampling_endpoints(account, zone_id,
+                                                   count=6)
+        campaign = SamplingCampaign(cloud, endpoints, max_polls=6,
+                                    inter_poll_gap=1.0)
+        profile = campaign.run().ground_truth()
+        store.put(profile)
+        estimator = CharacterizationEstimator(profile)
+        intervals = "  ".join(
+            "{} {:.0%}±{:.0%}".format(cpu, profile.share(cpu),
+                                      estimator.share_halfwidth(cpu))
+            for cpu in profile.cpu_keys())
+        print("  {:<12} {}".format(zone_id, intervals))
+        cloud.clock.advance(120.0)
+
+    workload = workload_by_name("zipper")
+    selector = SLOSelector(cloud, store)
+
+    print("\nStrategy menu for {} (cost vs. p95 latency):".format(
+        workload.name))
+    menu = selector.candidate_forecasts(workload, list(ZONES))
+    for forecast in sorted(menu, key=lambda f: f.expected_cost_usd):
+        print("  {:<28} ${:.6f}/inv  p95 {:5.2f}s  ~{:.1f} retries".format(
+            forecast.name, forecast.expected_cost_usd,
+            forecast.latency_p95_s, forecast.expected_retries))
+
+    print("\nPicking per latency budget:")
+    for slo_s in (60.0, 9.5, 8.0):
+        try:
+            chosen = selector.select(workload, list(ZONES),
+                                     latency_slo_s=slo_s)
+            print("  SLO {:>5.1f}s -> {:<28} (${:.6f}, p95 {:.2f}s)".format(
+                slo_s, chosen.name, chosen.expected_cost_usd,
+                chosen.latency_p95_s))
+        except ConfigurationError as error:
+            print("  SLO {:>5.1f}s -> infeasible: {}".format(slo_s, error))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Temporal monitoring and adaptive sampling cadence (EX-4 flavour).
+
+Watches five availability zones for a week, classifies each as *stable* or
+*volatile* from the drift of its CPU characterization, and shows how an
+operator can cut profiling spend by sampling stable zones less often —
+the optimization the paper sketches in §4.4.
+
+Run:  python examples/temporal_monitoring.py
+"""
+
+from repro import DailyCampaignSeries, EX4_ZONES, SkyMesh, build_sky
+from repro.sampling.cost import series_cost
+
+DAYS = 7
+STABILITY_THRESHOLD_APE = 12.0
+
+
+def classify(series):
+    """Stable = every later day stays near the day-1 profile."""
+    worst = max(ape for _, ape in series.decay_curve())
+    return ("stable" if worst <= STABILITY_THRESHOLD_APE else "volatile",
+            worst)
+
+
+def main():
+    cloud = build_sky(seed=23, aws_only=True)
+    account = cloud.create_account("monitor", "aws")
+    mesh = SkyMesh(cloud)
+
+    print("Monitoring {} zones for {} days...".format(len(EX4_ZONES),
+                                                      DAYS))
+    classes = {}
+    total_cost = 0.0
+    for zone_id in EX4_ZONES:
+        endpoints = mesh.deploy_sampling_endpoints(account, zone_id,
+                                                   count=60)
+        series = DailyCampaignSeries(cloud, endpoints, days=DAYS)
+        results = series.run()
+        label, worst = classify(series)
+        classes[zone_id] = label
+        cost = float(series_cost(results))
+        total_cost += cost
+        curve = "  ".join("{:.0f}".format(ape)
+                          for _, ape in series.decay_curve())
+        print("  {:<15} {:<9} worst APE {:5.1f}%  week cost ${:.2f}  "
+              "daily APE: {}".format(zone_id, label, worst, cost, curve))
+        cloud.clock.advance(3600.0)
+
+    # Adaptive cadence: stable zones re-profiled weekly instead of daily.
+    stable = [z for z, label in classes.items() if label == "stable"]
+    volatile = [z for z, label in classes.items() if label == "volatile"]
+    naive_campaigns = len(EX4_ZONES) * DAYS
+    adaptive_campaigns = len(volatile) * DAYS + len(stable) * 1
+    print("\nClassification: stable={}, volatile={}".format(stable,
+                                                            volatile))
+    print("Naive daily profiling:   {} campaigns/week".format(
+        naive_campaigns))
+    print("Adaptive cadence:        {} campaigns/week "
+          "({:.0f}% fewer polls on profiling)".format(
+              adaptive_campaigns,
+              100 * (1 - adaptive_campaigns / naive_campaigns)))
+    print("Total profiling spend this week: ${:.2f}".format(total_cost))
+
+
+if __name__ == "__main__":
+    main()

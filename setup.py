@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on toolchains without the
+`wheel` package (modern editable installs need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

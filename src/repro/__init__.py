@@ -1,0 +1,101 @@
+"""repro — serverless sky computing: infrastructure assessment and
+performance-aware routing.
+
+A full reproduction of *"Sky Computing for Serverless: Infrastructure
+Assessment to Support Performance Enhancement"* (Cordingly, Chen, Hung,
+Lloyd) on a simulated multi-provider FaaS substrate.  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import build_sky, SamplingCampaign, SkyMesh
+
+    cloud = build_sky(seed=42)
+    account = cloud.create_account("research", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = mesh.deploy_sampling_endpoints(account, "us-west-1b")
+    campaign = SamplingCampaign(cloud, endpoints)
+    profile = campaign.run().ground_truth()
+    print(profile.shares())
+"""
+
+from repro.cloudsim import (
+    Cloud,
+    CloudAccount,
+    CPU_CATALOG,
+    build_global_catalog,
+)
+from repro.cloudsim.catalog import EX3_ZONES, EX4_ZONES
+from repro.core import (
+    BaselinePolicy,
+    CharacterizationStore,
+    HybridPolicy,
+    RegionalPolicy,
+    RetryEngine,
+    RetryPolicy,
+    RetryRoutingPolicy,
+    RoutingStudy,
+    SkyController,
+    SmartRouter,
+    WorkloadRunner,
+    ZoneRanker,
+)
+from repro.dynfunc import (
+    DynamicFunctionRuntime,
+    UniversalDynamicFunctionHandler,
+    build_payload,
+)
+from repro.saaf import Inspector, report_from_invocation
+from repro.sampling import (
+    CPUCharacterization,
+    DailyCampaignSeries,
+    HourlySeries,
+    Poller,
+    ProgressiveAnalysis,
+    SamplingCampaign,
+)
+from repro.skymesh import ExperimentRunner, SkyMesh
+from repro.workloads import all_workloads, workload_by_name
+
+__version__ = "1.0.0"
+
+# ``build_sky`` is the friendlier name for the catalog builder.
+build_sky = build_global_catalog
+
+__all__ = [
+    "__version__",
+    "build_sky",
+    "build_global_catalog",
+    "Cloud",
+    "CloudAccount",
+    "CPU_CATALOG",
+    "EX3_ZONES",
+    "EX4_ZONES",
+    "BaselinePolicy",
+    "CharacterizationStore",
+    "HybridPolicy",
+    "RegionalPolicy",
+    "RetryEngine",
+    "RetryPolicy",
+    "RetryRoutingPolicy",
+    "RoutingStudy",
+    "SkyController",
+    "SmartRouter",
+    "WorkloadRunner",
+    "ZoneRanker",
+    "DynamicFunctionRuntime",
+    "UniversalDynamicFunctionHandler",
+    "build_payload",
+    "Inspector",
+    "report_from_invocation",
+    "CPUCharacterization",
+    "DailyCampaignSeries",
+    "HourlySeries",
+    "Poller",
+    "ProgressiveAnalysis",
+    "SamplingCampaign",
+    "ExperimentRunner",
+    "SkyMesh",
+    "all_workloads",
+    "workload_by_name",
+]

@@ -1,0 +1,264 @@
+"""Command-line interface to the serverless sky toolkit.
+
+Subcommands mirror the library's main flows::
+
+    python -m repro catalog [--provider aws]
+    python -m repro workloads
+    python -m repro characterize us-west-1b [--polls 6] [--json out.json]
+    python -m repro profile zipper --zone us-west-1b [--repetitions 2000]
+    python -m repro study zipper --zones us-west-1a,us-west-1b,sa-east-1a \
+        --days 7 [--json out.json]
+
+Everything runs against the simulated sky; ``--seed`` makes runs
+reproducible.
+"""
+
+import argparse
+import sys
+
+from repro import (
+    BaselinePolicy,
+    CharacterizationStore,
+    HybridPolicy,
+    RetryRoutingPolicy,
+    RoutingStudy,
+    SamplingCampaign,
+    SkyMesh,
+    UniversalDynamicFunctionHandler,
+    WorkloadRunner,
+    build_sky,
+    workload_by_name,
+)
+from repro import reporting
+from repro.cloudsim.catalog import catalog_region_names, zone_spec
+from repro.workloads import all_workloads, resolve_runtime_model
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serverless sky computing: characterize zones and "
+                    "route workloads on a simulated multi-cloud sky.")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="simulation seed (default 42)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    catalog = commands.add_parser("catalog",
+                                  help="list the 41-region catalog")
+    catalog.add_argument("--provider", choices=("aws", "ibm", "do"))
+
+    workloads = commands.add_parser(
+        "workloads", help="list (or actually execute) the 12 Table-1 "
+                          "workloads")
+    workloads.add_argument("--run", action="store_true",
+                           help="execute each workload for real and time "
+                                "it")
+    workloads.add_argument("--scale", type=float, default=0.1)
+    workloads.add_argument("--repetitions", type=int, default=2)
+
+    characterize = commands.add_parser(
+        "characterize", help="sample a zone's CPU distribution")
+    characterize.add_argument("zone")
+    characterize.add_argument("--polls", type=int, default=6,
+                              help="polls to run (default 6; 0 = until "
+                                   "saturation)")
+    characterize.add_argument("--json", dest="json_path")
+
+    profile = commands.add_parser(
+        "profile", help="per-CPU runtime profile of a workload in a zone")
+    profile.add_argument("workload")
+    profile.add_argument("--zone", default="us-west-1b")
+    profile.add_argument("--repetitions", type=int, default=2000)
+
+    advise = commands.add_parser(
+        "advise", help="recommend a memory setting for a workload in a "
+                       "zone")
+    advise.add_argument("workload")
+    advise.add_argument("--zone", default="us-west-1b")
+    advise.add_argument("--polls", type=int, default=6)
+    advise.add_argument("--objective", default="balanced",
+                        choices=("cheapest", "fastest", "balanced"))
+
+    study = commands.add_parser(
+        "study", help="multi-day routing study (baseline vs. retry vs. "
+                      "hybrid)")
+    study.add_argument("workload")
+    study.add_argument("--zones",
+                       default="us-west-1a,us-west-1b,sa-east-1a")
+    study.add_argument("--baseline-zone", default="us-west-1b")
+    study.add_argument("--days", type=int, default=7)
+    study.add_argument("--burst", type=int, default=1000)
+    study.add_argument("--json", dest="json_path")
+    study.add_argument("--csv", dest="csv_path")
+    return parser
+
+
+def cmd_catalog(args, out):
+    for name in catalog_region_names(args.provider):
+        # Region provider is implied by which spec table holds it.
+        out.write("{}\n".format(name))
+    return 0
+
+
+def cmd_workloads(args, out):
+    if getattr(args, "run", False):
+        from repro.workloads.suite import WorkloadSuite
+        suite = WorkloadSuite(scale=args.scale,
+                              repetitions=args.repetitions,
+                              seed=args.seed)
+        report = suite.run()
+        out.write("{:<24} {:>5} {:>6} {:>12} {:>12}\n".format(
+            "name", "vCPUs", "runs", "mean (s)", "stdev (s)"))
+        for row in report.rows:
+            out.write("{:<24} {:>5} {:>6} {:>12.4f} {:>12.4f}\n".format(
+                row.name, row.vcpus, row.runs, row.mean_seconds,
+                row.stdev_seconds))
+        out.write("total wall time: {:.2f}s at scale {}\n".format(
+            report.total_seconds(), report.scale))
+        return 0
+    out.write("{:<24} {:>5}  {}\n".format("name", "vCPUs", "description"))
+    for workload in all_workloads():
+        out.write("{:<24} {:>5}  {}\n".format(
+            workload.name, workload.vcpus, workload.description))
+    return 0
+
+
+def cmd_characterize(args, out):
+    cloud = build_sky(seed=args.seed)
+    spec = zone_spec(args.zone)  # fail fast on unknown zones
+    region = cloud.region_of_zone(args.zone)
+    account = cloud.create_account("cli", region.provider.name)
+    mesh = SkyMesh(cloud)
+    count = max(args.polls, 1) if args.polls else 100
+    endpoints = mesh.deploy_sampling_endpoints(
+        account, args.zone, count=count,
+        memory_base_mb=min(2048, region.provider.memory_options_mb[-1]
+                           - count))
+    campaign = SamplingCampaign(
+        cloud, endpoints,
+        n_requests=min(1000, region.provider.concurrency_quota),
+        max_polls=args.polls if args.polls else None)
+    result = campaign.run()
+    profile = result.ground_truth()
+    out.write("zone {} ({} drift class)\n".format(args.zone, spec.drift))
+    out.write("observed {} FIs over {} polls, cost {}\n".format(
+        result.total_fis, result.polls_run, result.total_cost))
+    for cpu in profile.cpu_keys():
+        out.write("  {:<18} {:6.1%}\n".format(cpu, profile.share(cpu)))
+    if args.json_path:
+        reporting.write_json(args.json_path,
+                             reporting.campaign_to_dict(result))
+        out.write("wrote {}\n".format(args.json_path))
+    return 0
+
+
+def cmd_profile(args, out):
+    cloud = build_sky(seed=args.seed, aws_only=True)
+    account = cloud.create_account("cli", "aws")
+    workload = workload_by_name(args.workload)
+    deployment = cloud.deploy(
+        account, args.zone, "dynamic", 2048,
+        handler=UniversalDynamicFunctionHandler(resolve_runtime_model))
+    runner = WorkloadRunner(cloud)
+    profile = runner.profile_workload(deployment, workload,
+                                      args.repetitions)
+    normalized = profile.normalized_to("xeon-2.5") \
+        if "xeon-2.5" in profile.cpu_keys() else None
+    out.write("{} in {} ({} repetitions)\n".format(
+        workload.name, args.zone, args.repetitions))
+    out.write("{:<12} {:>8} {:>12} {:>12}\n".format(
+        "cpu", "count", "mean (s)", "vs 2.5GHz"))
+    for cpu in profile.cpu_keys():
+        ratio = ("{:.3f}".format(normalized[cpu])
+                 if normalized else "-")
+        out.write("{:<12} {:>8} {:>12.3f} {:>12}\n".format(
+            cpu, profile.count(cpu), profile.mean_runtime(cpu), ratio))
+    return 0
+
+
+def cmd_advise(args, out):
+    from repro.core import CharacterizationStore
+    from repro.core.memory_advisor import MemoryAdvisor
+    cloud = build_sky(seed=args.seed, aws_only=True)
+    account = cloud.create_account("cli", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = mesh.deploy_sampling_endpoints(account, args.zone,
+                                               count=max(args.polls, 1))
+    campaign = SamplingCampaign(cloud, endpoints, max_polls=args.polls)
+    store = CharacterizationStore()
+    store.put(campaign.run().ground_truth())
+    workload = workload_by_name(args.workload)
+    recommendation = MemoryAdvisor(cloud, store).recommend(workload,
+                                                           args.zone)
+    out.write("{} in {} (profile from {} polls)\n".format(
+        workload.name, args.zone, args.polls))
+    out.write("{:>9} {:>12} {:>14}\n".format("memory", "runtime (s)",
+                                             "cost ($/inv)"))
+    for row in recommendation.to_rows():
+        out.write("{:>7}MB {:>12.3f} {:>14.8f}\n".format(
+            row["memory_mb"], row["runtime_s"], row["cost_usd"]))
+    out.write("cheapest: {}MB  fastest: {}MB  balanced: {}MB\n".format(
+        recommendation.cheapest, recommendation.fastest,
+        recommendation.balanced))
+    out.write("recommended ({}): {}MB\n".format(
+        args.objective, recommendation.pick(args.objective)))
+    return 0
+
+
+def cmd_study(args, out):
+    zones = [z.strip() for z in args.zones.split(",") if z.strip()]
+    cloud = build_sky(seed=args.seed, aws_only=True)
+    account = cloud.create_account("cli", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = {}
+    for zone in zones:
+        endpoints[zone] = mesh.deploy_sampling_endpoints(account, zone,
+                                                         count=10)
+        mesh.register(cloud.deploy(
+            account, zone, "dynamic", 2048,
+            handler=UniversalDynamicFunctionHandler(resolve_runtime_model)))
+    study = RoutingStudy(cloud, mesh, CharacterizationStore(),
+                         workload_by_name(args.workload), zones, endpoints,
+                         days=args.days, burst_size=args.burst,
+                         polls_per_day=6)
+    result = study.run([
+        BaselinePolicy(args.baseline_zone),
+        RetryRoutingPolicy(args.baseline_zone, "retry_slow"),
+        RetryRoutingPolicy(args.baseline_zone, "focus_fastest"),
+        HybridPolicy("focus_fastest"),
+    ])
+    out.write("{} over {} days, burst {} (baseline {})\n".format(
+        args.workload, args.days, args.burst, args.baseline_zone))
+    for name, summary in sorted(result.savings_summary().items()):
+        out.write("  {:<22} cumulative {:6.1f}%  best day {:6.1f}%\n"
+                  .format(name, summary["cumulative_pct"],
+                          summary["max_daily_pct"]))
+    out.write("sampling spend: {}\n".format(result.sampling_cost))
+    if args.json_path:
+        reporting.write_json(args.json_path,
+                             reporting.study_result_to_dict(result))
+        out.write("wrote {}\n".format(args.json_path))
+    if args.csv_path:
+        reporting.write_csv(args.csv_path, reporting.study_to_rows(result))
+        out.write("wrote {}\n".format(args.csv_path))
+    return 0
+
+
+_COMMANDS = {
+    "catalog": cmd_catalog,
+    "workloads": cmd_workloads,
+    "characterize": cmd_characterize,
+    "profile": cmd_profile,
+    "advise": cmd_advise,
+    "study": cmd_study,
+}
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

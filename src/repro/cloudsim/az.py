@@ -1,0 +1,450 @@
+"""Availability zones: placement, keep-alive, saturation, and scaling.
+
+An :class:`AvailabilityZone` owns a set of :class:`~repro.cloudsim.host.HostPool`
+objects (one per CPU model) and implements the two invocation paths:
+
+* :meth:`place_batch` — vectorized placement of a poll's worth of parallel
+  requests (the sampling hot path);
+* :meth:`invoke_one` — a single identified request (the smart-router path),
+  with warm reuse and a ``force_new`` escape hatch used by retry strategies.
+
+Saturation behaviour
+--------------------
+FIs hold their slots for the keep-alive period (~5 min).  Since a sampling
+campaign issues polls against *distinct* deployments back-to-back, warm FIs
+pile up and free capacity shrinks poll over poll.  The platform reacts by
+provisioning extra hosts, but slowly (``ScalingPolicy``), so once the pool is
+exhausted the vast majority of new requests fail — for every account, since
+the pool is shared.  This reproduces the paper's EX-1 findings.
+
+Placement bias
+--------------
+New FIs are placed tier-by-tier in decreasing pool ``affinity``; within a
+tier, placement is proportional to free capacity with **host-granular**
+sampling noise (requests land on whole hosts, so a 1,000-request poll
+samples only ~15 hosts, not 1,000 independent slots).  This yields the
+single-poll characterization error of up to ~25 % that EX-3 reports, and
+makes rare low-affinity hardware surface only late in a campaign.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError, SaturationError
+from repro.common.distributions import CategoricalDistribution
+from repro.common.ids import make_id_factory
+from repro.common.rng import derive_rng
+from repro.common.units import MINUTES
+
+
+DEFAULT_KEEPALIVE = 5 * MINUTES
+
+
+class ScalingPolicy(object):
+    """How fast the platform adds capacity under sustained pressure."""
+
+    __slots__ = ("pressure_threshold", "slots_per_minute", "max_surge_slots")
+
+    def __init__(self, pressure_threshold=0.85, slots_per_minute=8,
+                 max_surge_slots=2048):
+        if not 0 < pressure_threshold <= 1:
+            raise ConfigurationError("pressure_threshold must be in (0, 1]")
+        self.pressure_threshold = float(pressure_threshold)
+        self.slots_per_minute = float(slots_per_minute)
+        self.max_surge_slots = int(max_surge_slots)
+
+
+class PlacementResult(object):
+    """Outcome of placing a batch of parallel requests in a zone."""
+
+    __slots__ = ("zone_id", "requested", "served", "failed", "unique_fis",
+                 "new_fi_counts", "reused_fi_counts", "request_cpu_counts",
+                 "duration", "timestamp")
+
+    def __init__(self, zone_id, requested, served, failed, unique_fis,
+                 new_fi_counts, reused_fi_counts, request_cpu_counts,
+                 duration, timestamp):
+        self.zone_id = zone_id
+        self.requested = requested
+        self.served = served
+        self.failed = failed
+        self.unique_fis = unique_fis
+        self.new_fi_counts = new_fi_counts
+        self.reused_fi_counts = reused_fi_counts
+        self.request_cpu_counts = request_cpu_counts
+        self.duration = duration
+        self.timestamp = timestamp
+
+    @property
+    def failure_rate(self):
+        if self.requested == 0:
+            return 0.0
+        return self.failed / float(self.requested)
+
+    @property
+    def new_fis(self):
+        return sum(self.new_fi_counts.values())
+
+    def cpu_distribution(self):
+        """Distribution of CPU models over the FIs observed by this batch."""
+        return CategoricalDistribution(self.request_cpu_counts)
+
+    def __repr__(self):
+        return ("PlacementResult({}: served={}/{} unique_fis={} "
+                "fail={:.0%})".format(self.zone_id, self.served,
+                                      self.requested, self.unique_fis,
+                                      self.failure_rate))
+
+
+class AvailabilityZone(object):
+    """A FaaS deployment zone backed by a finite heterogeneous host pool."""
+
+    def __init__(self, zone_id, pools, clock, keepalive=DEFAULT_KEEPALIVE,
+                 scaling=None, rng=None):
+        if not pools:
+            raise ConfigurationError("zone needs at least one host pool")
+        keys = [p.cpu_key for p in pools]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError("duplicate CPU pools in zone")
+        self.zone_id = zone_id
+        self.pools = {p.cpu_key: p for p in pools}
+        self.clock = clock
+        self.keepalive = float(keepalive)
+        self.scaling = scaling or ScalingPolicy()
+        self.rng = derive_rng(rng, "az", zone_id)
+        self._new_instance_id = make_id_factory("fi-" + zone_id)
+        self._fi_index = {}
+        self._last_scale_check = clock.now
+        self._surge_slots_added = 0
+        self._base_shares = self.cpu_slot_shares()
+        self._drift = None
+        self._background = None
+
+    def attach_drift(self, drift_process):
+        """Attach a :class:`~repro.cloudsim.drift.DriftProcess`; the zone
+        rebalances lazily whenever the clock crosses an hour boundary."""
+        self._drift = drift_process
+        drift_process.apply_if_due(self, self.clock.now)
+
+    def attach_background(self, background_load):
+        """Attach a :class:`~repro.cloudsim.background.BackgroundLoad`
+        modelling other tenants sharing this zone's pool."""
+        self._background = background_load
+        background_load.apply_if_due(self, self.clock.now)
+
+    def _apply_processes(self, now):
+        if self._drift is not None:
+            self._drift.apply_if_due(self, now)
+        if self._background is not None:
+            self._background.apply_if_due(self, now)
+
+    # -- capacity views --------------------------------------------------------
+    @property
+    def capacity(self):
+        return sum(p.capacity for p in self.pools.values())
+
+    def occupied(self, now=None):
+        now = self._now(now)
+        return sum(p.occupied(now) for p in self.pools.values())
+
+    def free_slots(self, now=None):
+        now = self._now(now)
+        return sum(p.free_slots(now) for p in self.pools.values())
+
+    def occupancy(self, now=None):
+        if self.capacity == 0:
+            return 1.0
+        return self.occupied(now) / float(self.capacity)
+
+    def cpu_slot_shares(self):
+        """Ground-truth CPU distribution by provisioned slot capacity."""
+        counts = {key: p.capacity for key, p in self.pools.items()
+                  if p.capacity > 0}
+        return CategoricalDistribution(counts)
+
+    def cpu_keys(self):
+        return sorted(self.pools)
+
+    # -- batched placement (sampling hot path) -----------------------------------
+    def place_batch(self, deployment, n_requests, duration, window,
+                    now=None):
+        """Place ``n_requests`` parallel requests arriving over ``window`` s.
+
+        Each request occupies an FI for ``duration`` seconds.  Peak
+        concurrency — hence the number of unique FIs required — is
+        ``n * min(1, duration / window)``; the remaining requests reuse FIs
+        sequentially within the batch.
+        """
+        now = self._now(now)
+        if n_requests <= 0:
+            raise ConfigurationError("n_requests must be positive")
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        self._apply_processes(now)
+        self._maybe_scale(now)
+        for pool in self.pools.values():
+            pool.expire(now)
+
+        if window <= 0:
+            unique_needed = n_requests
+        else:
+            unique_needed = max(
+                1, int(math.ceil(n_requests * min(1.0, duration / window))))
+        requests_per_fi = n_requests / float(unique_needed)
+
+        # Warm FIs of this deployment absorb demand first.
+        reused_counts = {}
+        remaining = unique_needed
+        for pool in self._pools_by_affinity():
+            if remaining <= 0:
+                break
+            claimed = pool.claim_warm(deployment, remaining, now, duration,
+                                      self.keepalive)
+            if claimed:
+                reused_counts[pool.cpu_key] = claimed
+                remaining -= claimed
+
+        new_counts = self._place_new_fis(deployment, remaining, now, duration)
+        got_fis = sum(reused_counts.values()) + sum(new_counts.values())
+        served = min(n_requests, int(round(got_fis * requests_per_fi)))
+        failed = n_requests - served
+
+        fi_cpu_counts = dict(reused_counts)
+        for key, count in new_counts.items():
+            fi_cpu_counts[key] = fi_cpu_counts.get(key, 0) + count
+        request_cpu_counts = _apportion(served, fi_cpu_counts)
+
+        return PlacementResult(
+            zone_id=self.zone_id,
+            requested=n_requests,
+            served=served,
+            failed=failed,
+            unique_fis=got_fis,
+            new_fi_counts=new_counts,
+            reused_fi_counts=reused_counts,
+            request_cpu_counts=request_cpu_counts,
+            duration=duration,
+            timestamp=now,
+        )
+
+    # -- per-request invocation (router path) -------------------------------------
+    def invoke_one(self, deployment, duration_fn, now=None, force_new=False):
+        """Serve a single request; returns ``(FunctionInstance, reused)``.
+
+        ``duration_fn(cpu_key) -> seconds`` supplies the runtime once the
+        hosting CPU is known (runtime depends on which hardware the platform
+        picks — the whole point of the paper).
+
+        ``force_new=True`` skips warm reuse — the retry strategies hold a
+        poorly-placed FI busy and re-issue the request so the platform must
+        spin up a fresh FI elsewhere.
+
+        Raises :class:`SaturationError` when the zone has no free capacity.
+        """
+        now = self._now(now)
+        self._apply_processes(now)
+        self._maybe_scale(now)
+        for pool in self.pools.values():
+            pool.expire(now)
+
+        if not force_new:
+            warm = self._find_warm_instance(deployment, now)
+            if warm is not None:
+                warm.touch(now, duration_fn(warm.cpu_key), self.keepalive)
+                return warm, True
+
+        new_counts = self._place_new_fis(deployment, 1, now, duration=0.0,
+                                         materialize=False)
+        if not new_counts:
+            raise SaturationError(
+                "zone {} has no free capacity".format(self.zone_id))
+        (cpu_key,) = new_counts
+        duration = duration_fn(cpu_key)
+        pool = self.pools[cpu_key]
+        host_index = int(self.rng.integers(0, max(1, pool.hosts)))
+        host_id = "host-{}-{}-{:04d}".format(self.zone_id, cpu_key,
+                                             host_index)
+        fi = pool.allocate_instance(self._new_instance_id(), host_id,
+                                    deployment, now, duration, self.keepalive)
+        fi.invocations = 1
+        self._fi_index.setdefault(deployment, []).append(fi)
+        return fi, False
+
+    def hold_instance(self, fi, hold_seconds, now=None):
+        """Keep ``fi`` busy for ``hold_seconds`` (retry strategies do this
+        so a re-issued request cannot land back on the same FI)."""
+        now = self._now(now)
+        fi.touch(now, hold_seconds, self.keepalive)
+
+    # -- drift & scaling hooks ------------------------------------------------------
+    def rebalance(self, target_shares, now=None, total_hosts=None):
+        """Shift host counts toward ``target_shares`` (cpu_key -> share).
+
+        Called by the drift process.  Pools running live FIs shrink only as
+        far as their occupancy allows; new CPU models get fresh pools.
+        ``total_hosts`` overrides the zone's host total (pool growth/shrink).
+        """
+        now = self._now(now)
+        slots_per_host = self._typical_slots_per_host()
+        if total_hosts is None:
+            total_hosts = sum(p.hosts for p in self.pools.values())
+        for cpu_key, share in target_shares.items():
+            hosts = int(round(total_hosts * share))
+            if cpu_key not in self.pools:
+                if hosts > 0:
+                    from repro.cloudsim.host import HostPool
+                    self.pools[cpu_key] = HostPool(
+                        cpu_key, hosts, slots_per_host, affinity=0.4)
+            else:
+                self.pools[cpu_key].set_hosts(hosts, now)
+        for cpu_key in list(self.pools):
+            if cpu_key not in target_shares:
+                self.pools[cpu_key].set_hosts(0, now)
+        self._base_shares = self.cpu_slot_shares()
+        # Rebalancing rebuilds the pool from the drift target, which does
+        # not include surge hosts — the platform reclaims them when the
+        # pressure spike has passed, replenishing the surge budget.
+        self._surge_slots_added = 0
+
+    def _maybe_scale(self, now):
+        """Slowly add surge capacity while the zone is under pressure."""
+        elapsed = now - self._last_scale_check
+        if elapsed <= 0:
+            return
+        self._last_scale_check = now
+        if self.occupancy(now) < self.scaling.pressure_threshold:
+            return
+        budget = self.scaling.max_surge_slots - self._surge_slots_added
+        if budget <= 0:
+            return
+        add = min(budget,
+                  int(self.scaling.slots_per_minute * elapsed / MINUTES))
+        if add <= 0:
+            return
+        self._surge_slots_added += add
+        # Surge hosts mirror the zone's base CPU mix.
+        for cpu_key in self._base_shares.categories:
+            pool = self.pools.get(cpu_key)
+            if pool is None:
+                continue
+            extra_hosts = int(round(
+                add * self._base_shares.share(cpu_key) / pool.slots_per_host))
+            pool.add_hosts(max(0, extra_hosts))
+
+    # -- internals -----------------------------------------------------------------
+    def _now(self, now):
+        return self.clock.now if now is None else float(now)
+
+    def _pools_by_affinity(self):
+        return sorted(self.pools.values(),
+                      key=lambda p: (-p.affinity, p.cpu_key))
+
+    def _typical_slots_per_host(self):
+        pools = list(self.pools.values())
+        return pools[0].slots_per_host if pools else 64
+
+    def _find_warm_instance(self, deployment, now):
+        instances = self._fi_index.get(deployment)
+        if not instances:
+            return None
+        live = [fi for fi in instances if not fi.is_expired(now)]
+        self._fi_index[deployment] = live
+        for fi in live:
+            if fi.is_idle(now):
+                return fi
+        return None
+
+    def _place_new_fis(self, deployment, count, now, duration,
+                       materialize=True):
+        """Distribute ``count`` new FIs across pools; returns cpu -> count.
+
+        Placement weight of a pool is ``free_slots × affinity``: low-affinity
+        (rare, phased-in/out) hardware is under-represented while mainstream
+        pools have room, and surfaces progressively as they fill — matching
+        EX-3, where partial characterizations under-count rare CPUs and
+        converge only as sampling approaches saturation.  The split carries
+        host-granular multinomial noise.  Allocates only what fits; the
+        caller treats the shortfall as failed requests.
+        """
+        counts = {}
+        if count <= 0:
+            return counts
+        pools = [p for p in self._pools_by_affinity() if p.capacity > 0]
+        free = [p.free_slots(now) for p in pools]
+        total_free = sum(free)
+        if total_free <= 0:
+            return counts
+        take = min(count, total_free)
+        weights = [f * p.affinity for f, p in zip(free, pools)]
+        split = self._noisy_split(take, free, weights,
+                                  [p.slots_per_host for p in pools])
+        for pool, allocated in zip(pools, split):
+            if allocated <= 0:
+                continue
+            if materialize:
+                pool.allocate(deployment, allocated, now, duration,
+                              self.keepalive)
+            counts[pool.cpu_key] = counts.get(pool.cpu_key, 0) + allocated
+        return counts
+
+    # Fraction of a host a single placement wave typically fills before the
+    # scheduler spills to another host.  Sets the effective sample
+    # granularity of a poll: 1,000 requests touch ~1000/(64*0.15) ≈ 104 host
+    # visits, giving single-poll characterization errors in the ~5-15 % APE
+    # range the paper reports (EX-3), with ~25 % in the worst zone.
+    HOST_FILL_FRACTION = 0.15
+
+    def _noisy_split(self, take, free, weights, slots_per_host):
+        """Split ``take`` slots across pools ∝ ``weights``, sampling at
+        partial-host granularity, clamped to each pool's free slots."""
+        if len(free) == 1:
+            return [min(take, free[0])]
+        total_weight = float(sum(weights))
+        if total_weight <= 0:
+            return [0] * len(free)
+        probs = [w / total_weight for w in weights]
+        mean_sph = sum(slots_per_host) / float(len(slots_per_host))
+        granule = max(1.0, mean_sph * self.HOST_FILL_FRACTION)
+        host_draws = max(1, int(round(take / granule)))
+        host_counts = self.rng.multinomial(host_draws, probs)
+        raw = [take * (h / float(host_draws)) for h in host_counts]
+        split = [min(int(round(r)), f) for r, f in zip(raw, free)]
+        # Fix rounding drift and clamping shortfalls deterministically.
+        deficit = take - sum(split)
+        order = sorted(range(len(free)), key=lambda i: split[i] - free[i])
+        idx = 0
+        while deficit > 0 and idx < len(order):
+            i = order[idx]
+            room = free[i] - split[i]
+            grant = min(room, deficit)
+            split[i] += grant
+            deficit -= grant
+            idx += 1
+        while deficit < 0:
+            # Rounding overshoot: shave from the largest allocation.
+            i = max(range(len(split)), key=lambda j: split[j])
+            split[i] -= 1
+            deficit += 1
+        return split
+
+    def __repr__(self):
+        return "AvailabilityZone({!r}, capacity={})".format(
+            self.zone_id, self.capacity)
+
+
+def _apportion(total, weights):
+    """Integer-apportion ``total`` across categories ∝ ``weights`` (largest
+    remainder method); returns a dict with the same keys."""
+    if total <= 0 or not weights:
+        return {}
+    weight_sum = float(sum(weights.values()))
+    if weight_sum <= 0:
+        return {}
+    keys = sorted(weights)
+    raw = {k: total * weights[k] / weight_sum for k in keys}
+    result = {k: int(math.floor(raw[k])) for k in keys}
+    shortfall = total - sum(result.values())
+    by_remainder = sorted(keys, key=lambda k: raw[k] - result[k],
+                          reverse=True)
+    for k in by_remainder[:shortfall]:
+        result[k] += 1
+    return {k: v for k, v in result.items() if v > 0}

@@ -1,0 +1,128 @@
+"""Background tenant load: other customers sharing the zone's pool.
+
+The paper's saturation curves (Figure 4) fluctuate in the 80-98 % band
+rather than pinning at 100 %, because other tenants' function instances
+constantly claim and release slots in the shared pool.  This module models
+that churn: a :class:`BackgroundLoad` process keeps a time-varying fraction
+of each zone's capacity occupied by a synthetic ``__background__``
+deployment, re-targeted on a fixed cadence with a diurnal swing plus noise.
+
+Attach to any zone::
+
+    load = BackgroundLoad(zone_id, profile=BackgroundProfile(), seed=7)
+    zone.attach_background(load)
+
+The catalog leaves background load off by default so that the calibrated
+saturation points stay exact; the ablation benchmark
+(`bench_ablation_background.py`) demonstrates its effect.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng
+from repro.common.units import DAYS, HOURS, MINUTES
+
+BACKGROUND_DEPLOYMENT = "__background__"
+
+
+class BackgroundProfile(object):
+    """Shape of the background occupancy over time.
+
+    ``base_fraction`` — mean share of zone capacity held by other tenants;
+    ``diurnal_amplitude`` — peak-to-mean swing following the local day
+    (the "Night Shift" effect);
+    ``noise_sigma`` — per-step lognormal jitter;
+    ``peak_hour`` — local hour of maximum load;
+    ``cadence`` — how often the target is re-drawn (seconds).
+    """
+
+    __slots__ = ("base_fraction", "diurnal_amplitude", "noise_sigma",
+                 "peak_hour", "cadence")
+
+    def __init__(self, base_fraction=0.10, diurnal_amplitude=0.05,
+                 noise_sigma=0.20, peak_hour=14.0, cadence=5 * MINUTES):
+        if not 0 <= base_fraction < 1:
+            raise ConfigurationError("base_fraction must be in [0, 1)")
+        if diurnal_amplitude < 0 or noise_sigma < 0:
+            raise ConfigurationError("amplitudes must be non-negative")
+        if cadence <= 0:
+            raise ConfigurationError("cadence must be positive")
+        self.base_fraction = float(base_fraction)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.noise_sigma = float(noise_sigma)
+        self.peak_hour = float(peak_hour)
+        self.cadence = float(cadence)
+
+
+class BackgroundLoad(object):
+    """Keeps a drifting share of a zone's slots busy with tenant FIs."""
+
+    def __init__(self, zone_id, profile=None, seed=0):
+        self.zone_id = zone_id
+        self.profile = profile or BackgroundProfile()
+        self._seed = seed
+        self._last_bucket = None
+        self._held = []  # buckets we created, for explicit release
+
+    def target_fraction(self, now):
+        """Deterministic occupancy target at simulated time ``now``."""
+        profile = self.profile
+        hour = (now % DAYS) / HOURS
+        phase = (hour - profile.peak_hour) / 24.0 * 2.0 * math.pi
+        diurnal = profile.diurnal_amplitude * math.cos(phase)
+        bucket = int(now // profile.cadence)
+        rng = derive_rng(self._seed, "background", self.zone_id, bucket)
+        noise = math.exp(rng.normal(0.0, profile.noise_sigma))
+        fraction = (profile.base_fraction + diurnal) * noise
+        return min(max(fraction, 0.0), 0.95)
+
+    def apply_if_due(self, zone, now):
+        """Re-target the background occupancy if a cadence tick passed."""
+        bucket = int(now // self.profile.cadence)
+        if bucket == self._last_bucket:
+            return False
+        self._last_bucket = bucket
+        target_slots = int(zone.capacity * self.target_fraction(now))
+        current = sum(b.count for b in self._held if not b.is_expired(now))
+        if target_slots > current:
+            self._grow(zone, target_slots - current, now)
+        elif target_slots < current:
+            self._shrink(zone, current - target_slots, now)
+        return True
+
+    # -- internals ------------------------------------------------------------
+    def _grow(self, zone, slots, now):
+        grown = 0
+        for pool in zone.pools.values():
+            if grown >= slots:
+                break
+            free = pool.free_slots(now)
+            take = min(free, slots - grown)
+            if take > 0:
+                # Background FIs stay "busy" for a long stretch; the next
+                # re-target shrinks them explicitly.
+                bucket = pool.allocate(BACKGROUND_DEPLOYMENT, take, now,
+                                       duration=self.profile.cadence * 4,
+                                       keepalive=zone.keepalive)
+                self._held.append(bucket)
+                grown += take
+
+    def _shrink(self, zone, slots, now):
+        remaining = slots
+        survivors = []
+        for bucket in self._held:
+            if bucket.is_expired(now):
+                continue
+            if remaining >= bucket.count:
+                remaining -= bucket.count
+                bucket.expire_at = now  # release immediately
+            elif remaining > 0:
+                bucket.count -= remaining
+                remaining = 0
+                survivors.append(bucket)
+            else:
+                survivors.append(bucket)
+        self._held = survivors
+        for pool in zone.pools.values():
+            pool.expire(now)

@@ -1,0 +1,126 @@
+"""Carbon intensity of cloud regions.
+
+The paper's routing system extends a prior carbon-aware router
+(Cordingly et al., IC2E'23) that sent requests to regions with the lowest
+real-time carbon intensity under a client-distance latency bound.  This
+module provides that substrate: a per-region carbon-intensity model with a
+diurnal solar dip, plus an energy model converting billed GB-seconds into
+grams of CO2-equivalent.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError, UnknownRegionError
+from repro.common.rng import derive_rng
+from repro.common.units import DAYS, HOURS, gb_seconds
+
+# Approximate grid carbon intensity by region family, in gCO2e/kWh.
+# Values follow public grid averages: hydro-heavy grids (Nordics, Brazil,
+# Canada, Oregon) sit low; coal-heavy grids (India, South Africa, parts of
+# APAC) sit high.
+_REGION_BASELINES = {
+    "af-south-1": 700.0,
+    "ap-east-1": 610.0,
+    "ap-east-2": 500.0,
+    "ap-south-1": 650.0,
+    "ap-south-2": 650.0,
+    "ap-northeast-1": 460.0,
+    "ap-northeast-2": 420.0,
+    "ap-northeast-3": 460.0,
+    "ap-southeast-1": 390.0,
+    "ap-southeast-2": 520.0,
+    "ap-southeast-3": 620.0,
+    "ap-southeast-4": 520.0,
+    "ap-southeast-5": 540.0,
+    "ap-southeast-7": 480.0,
+    "ca-central-1": 130.0,
+    "ca-west-1": 350.0,
+    "eu-central-1": 340.0,
+    "eu-central-2": 90.0,
+    "eu-west-1": 290.0,
+    "eu-west-2": 210.0,
+    "eu-west-3": 60.0,
+    "eu-north-1": 30.0,
+    "eu-south-1": 310.0,
+    "eu-south-2": 170.0,
+    "il-central-1": 530.0,
+    "me-central-1": 560.0,
+    "me-south-1": 590.0,
+    "mx-central-1": 430.0,
+    "sa-east-1": 100.0,
+    "us-east-1": 350.0,
+    "us-east-2": 420.0,
+    "us-west-1": 240.0,
+    "us-west-2": 120.0,
+    # IBM Code Engine regions
+    "us-south": 400.0,
+    "us-east-ibm": 350.0,
+    "eu-de": 340.0,
+    "eu-gb": 210.0,
+    # Digital Ocean regions
+    "nyc1": 280.0,
+    "sfo3": 240.0,
+    "ams3": 330.0,
+    "lon1": 210.0,
+}
+
+DEFAULT_BASELINE = 400.0
+
+# Effective marginal power draw of an active FI per GB of allocated
+# memory, including the host share and PUE overheads.
+WATTS_PER_GB = 3.0
+PUE = 1.2
+
+
+class CarbonIntensityModel(object):
+    """Time-varying grid carbon intensity per region.
+
+    Intensity follows the regional baseline with a midday solar dip
+    (``solar_dip_fraction`` at ``solar_peak_hour``) and lognormal noise
+    per hour bucket.  Deterministic in (seed, region, hour).
+    """
+
+    def __init__(self, solar_dip_fraction=0.25, solar_peak_hour=13.0,
+                 noise_sigma=0.06, seed=0, baselines=None):
+        if not 0 <= solar_dip_fraction < 1:
+            raise ConfigurationError(
+                "solar_dip_fraction must be in [0, 1)")
+        self.solar_dip_fraction = float(solar_dip_fraction)
+        self.solar_peak_hour = float(solar_peak_hour)
+        self.noise_sigma = float(noise_sigma)
+        self._seed = seed
+        self._baselines = dict(baselines or _REGION_BASELINES)
+
+    def baseline(self, region_name):
+        try:
+            return self._baselines[region_name]
+        except KeyError:
+            raise UnknownRegionError(region_name)
+
+    def intensity(self, region_name, now, lon=0.0):
+        """gCO2e/kWh for ``region_name`` at simulated time ``now``.
+
+        ``lon`` shifts the solar window to the region's local time.
+        """
+        base = self.baseline(region_name)
+        local_hour = ((now % DAYS) / HOURS + lon / 15.0) % 24.0
+        phase = (local_hour - self.solar_peak_hour) / 24.0 * 2 * math.pi
+        # A cosine dip centred on the solar peak.
+        dip = self.solar_dip_fraction * max(0.0, math.cos(phase))
+        bucket = int(now // HOURS)
+        rng = derive_rng(self._seed, "carbon", region_name, bucket)
+        noise = math.exp(rng.normal(0.0, self.noise_sigma)) if (
+            self.noise_sigma > 0) else 1.0
+        return base * (1.0 - dip) * noise
+
+    def normalized_intensity(self, region_name, now, lon=0.0):
+        """Intensity scaled to [0, ~2] against the global mean baseline."""
+        mean = sum(self._baselines.values()) / len(self._baselines)
+        return self.intensity(region_name, now, lon=lon) / mean
+
+
+def grams_co2e(memory_mb, duration_s, intensity_g_per_kwh):
+    """CO2e attributable to one invocation's billed compute."""
+    kwh = (gb_seconds(memory_mb, duration_s) * WATTS_PER_GB * PUE
+           / 3_600_000.0)
+    return kwh * intensity_g_per_kwh

@@ -1,0 +1,305 @@
+"""The top-level cloud facade: accounts, deployments, invocations, polls.
+
+:class:`Cloud` owns the simulated clock, the region/zone topology, and the
+accounts.  Everything above this layer (sampling, sky mesh, smart routing)
+talks to the cloud exclusively through:
+
+* :meth:`Cloud.deploy` — create a function deployment in a zone;
+* :meth:`Cloud.invoke` — one request, with warm reuse and retry hooks;
+* :meth:`Cloud.place_batch` / :meth:`Cloud.poll` — a burst of parallel
+  requests (the sampling hot path);
+* :meth:`Cloud.hold` — keep an FI busy (billed!) so a re-issued request
+  must land elsewhere.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    DeploymentError,
+    UnknownRegionError,
+    UnknownZoneError,
+)
+from repro.common.ids import make_id_factory
+from repro.common.rng import derive_rng
+from repro.simclock import SimClock
+from repro.cloudsim.account import CloudAccount
+from repro.cloudsim.handlers import SleepHandler
+from repro.cloudsim.network import NetworkModel
+from repro.cloudsim.provider import provider_by_name
+
+
+class Deployment(object):
+    """A function deployed to one availability zone."""
+
+    __slots__ = ("deployment_id", "account", "provider", "region_name",
+                 "zone_id", "function_name", "memory_mb", "arch", "handler")
+
+    def __init__(self, deployment_id, account, provider, region_name,
+                 zone_id, function_name, memory_mb, arch, handler):
+        self.deployment_id = deployment_id
+        self.account = account
+        self.provider = provider
+        self.region_name = region_name
+        self.zone_id = zone_id
+        self.function_name = function_name
+        self.memory_mb = memory_mb
+        self.arch = arch
+        self.handler = handler
+
+    def __repr__(self):
+        return ("Deployment({!r}: {!r} @ {} {}MB {})".format(
+            self.deployment_id, self.function_name, self.zone_id,
+            self.memory_mb, self.arch))
+
+
+class Invocation(object):
+    """The observable outcome of a single request."""
+
+    __slots__ = ("request_id", "deployment_id", "zone_id", "cpu_key",
+                 "instance_id", "host_id", "reused", "cold_start_s",
+                 "runtime_s", "latency_s", "bill", "timestamp", "response")
+
+    def __init__(self, request_id, deployment_id, zone_id, cpu_key,
+                 instance_id, host_id, reused, cold_start_s, runtime_s,
+                 latency_s, bill, timestamp, response):
+        self.request_id = request_id
+        self.deployment_id = deployment_id
+        self.zone_id = zone_id
+        self.cpu_key = cpu_key
+        self.instance_id = instance_id
+        self.host_id = host_id
+        self.reused = reused
+        self.cold_start_s = cold_start_s
+        self.runtime_s = runtime_s
+        self.latency_s = latency_s
+        self.bill = bill
+        self.timestamp = timestamp
+        self.response = response
+
+    @property
+    def is_cold(self):
+        return not self.reused
+
+    def __repr__(self):
+        return "Invocation({} on {} cpu={} {:.3f}s)".format(
+            self.request_id, self.zone_id, self.cpu_key, self.runtime_s)
+
+
+class Cloud(object):
+    """A multi-provider, multi-region simulated sky of FaaS platforms."""
+
+    def __init__(self, clock=None, seed=0, network=None):
+        self.clock = clock if clock is not None else SimClock()
+        self.seed = seed
+        self.rng = derive_rng(seed, "cloud")
+        self.network = network or NetworkModel()
+        self.regions = {}
+        self._zone_index = {}
+        self.accounts = {}
+        self._deployments = {}
+        self._new_request_id = make_id_factory("req")
+        self._new_deployment_id = make_id_factory("dep")
+
+    # -- topology ---------------------------------------------------------------
+    def add_region(self, region):
+        if region.name in self.regions:
+            raise ConfigurationError(
+                "duplicate region {!r}".format(region.name))
+        self.regions[region.name] = region
+        for zone_id, zone in region.zones.items():
+            if zone_id in self._zone_index:
+                raise ConfigurationError(
+                    "duplicate zone {!r}".format(zone_id))
+            self._zone_index[zone_id] = (region, zone)
+        return region
+
+    def region(self, name):
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise UnknownRegionError(name)
+
+    def zone(self, zone_id):
+        try:
+            return self._zone_index[zone_id][1]
+        except KeyError:
+            raise UnknownZoneError(zone_id)
+
+    def region_of_zone(self, zone_id):
+        try:
+            return self._zone_index[zone_id][0]
+        except KeyError:
+            raise UnknownZoneError(zone_id)
+
+    def region_names(self, provider=None):
+        names = sorted(self.regions)
+        if provider is not None:
+            names = [n for n in names
+                     if self.regions[n].provider.name == provider]
+        return names
+
+    def zone_ids(self, provider=None):
+        ids = []
+        for name in self.region_names(provider):
+            ids.extend(self.regions[name].zone_ids())
+        return ids
+
+    # -- accounts -----------------------------------------------------------------
+    def create_account(self, account_id, provider="aws"):
+        if account_id in self.accounts:
+            raise ConfigurationError(
+                "duplicate account {!r}".format(account_id))
+        account = CloudAccount(account_id, provider_by_name(provider))
+        self.accounts[account_id] = account
+        return account
+
+    # -- deployments ---------------------------------------------------------------
+    def deploy(self, account, zone_id, function_name, memory_mb,
+               arch="x86_64", handler=None):
+        """Deploy ``function_name`` to ``zone_id`` under ``account``.
+
+        The zone's provider must match the account's; memory and
+        architecture are validated against the provider's envelope.
+        """
+        region = self.region_of_zone(zone_id)
+        provider = region.provider
+        if provider.name != account.provider.name:
+            raise DeploymentError(
+                "account {!r} is on {!r} but zone {!r} belongs to "
+                "{!r}".format(account.account_id, account.provider.name,
+                              zone_id, provider.name))
+        memory_mb = provider.validate_memory(memory_mb)
+        arch = provider.validate_arch(arch)
+        if handler is None:
+            handler = SleepHandler(0.25)
+        deployment = Deployment(
+            deployment_id=self._new_deployment_id(),
+            account=account,
+            provider=provider,
+            region_name=region.name,
+            zone_id=zone_id,
+            function_name=function_name,
+            memory_mb=memory_mb,
+            arch=arch,
+            handler=handler,
+        )
+        self._deployments[deployment.deployment_id] = deployment
+        account.register_deployment(deployment)
+        return deployment
+
+    def deployment(self, deployment_id):
+        try:
+            return self._deployments[deployment_id]
+        except KeyError:
+            raise DeploymentError(
+                "unknown deployment {!r}".format(deployment_id))
+
+    # -- invocation: single request ---------------------------------------------------
+    def invoke(self, deployment, payload=None, now=None, force_new=False,
+               client=None, bill_category="invocation"):
+        """Execute one request against ``deployment``.
+
+        Returns an :class:`Invocation`.  Raises
+        :class:`~repro.common.errors.SaturationError` if the zone is full.
+        """
+        now = self.clock.now if now is None else float(now)
+        zone = self.zone(deployment.zone_id)
+        handler = deployment.handler
+
+        def duration_fn(cpu_key):
+            return handler.duration_on(cpu_key, self.rng, payload)
+
+        fi, reused = zone.invoke_one(deployment.deployment_id, duration_fn,
+                                     now=now, force_new=force_new)
+        runtime = fi.busy_until - now
+        cold_start = 0.0 if reused else deployment.provider.cold_start_s
+        latency = runtime + cold_start
+        if client is not None:
+            region = self.region_of_zone(deployment.zone_id)
+            latency += self.network.round_trip(client, region.geo,
+                                               rng=self.rng)
+        bill = deployment.provider.billing.bill(
+            deployment.memory_mb, runtime, deployment.arch, requests=1)
+        deployment.account.record_bill(bill, category=bill_category)
+        return Invocation(
+            request_id=self._new_request_id(),
+            deployment_id=deployment.deployment_id,
+            zone_id=deployment.zone_id,
+            cpu_key=fi.cpu_key,
+            instance_id=getattr(fi, "instance_id", None),
+            host_id=getattr(fi, "host_id", None),
+            reused=reused,
+            cold_start_s=cold_start,
+            runtime_s=runtime,
+            latency_s=latency,
+            bill=bill,
+            timestamp=now,
+            response=handler.respond(fi.cpu_key, payload),
+        )
+
+    def hold(self, deployment, invocation_or_fi, hold_seconds, now=None,
+             bill_category="retry-hold"):
+        """Keep an FI busy for ``hold_seconds`` — billed runtime.
+
+        Retry strategies hold poorly-placed FIs so that re-issued requests
+        cannot be routed back onto them.
+        """
+        now = self.clock.now if now is None else float(now)
+        zone = self.zone(deployment.zone_id)
+        fi = invocation_or_fi
+        if isinstance(invocation_or_fi, Invocation):
+            fi = self._find_fi(zone, deployment, invocation_or_fi.instance_id)
+        if fi is not None:
+            zone.hold_instance(fi, hold_seconds, now=now)
+        # A hold extends an in-flight request, so there is no per-request
+        # fee — only the extra billed compute time.
+        bill = deployment.provider.billing.bill(
+            deployment.memory_mb, hold_seconds, deployment.arch, requests=1)
+        bill.request.usd = 0.0
+        deployment.account.record_bill(bill, category=bill_category)
+        return bill
+
+    # -- invocation: batched ------------------------------------------------------------
+    def place_batch(self, deployment, n_requests, duration, window=None,
+                    now=None, bill_category="poll", charge=True):
+        """Fire ``n_requests`` parallel requests of ``duration`` seconds.
+
+        ``window`` defaults to the provider's arrival-window model for the
+        deployment's memory setting.  The account's concurrency quota caps
+        the batch; zone saturation failures surface in the result's
+        ``failed`` count.  Only served requests are billed; callers that
+        compute exact per-CPU bills themselves (the batched burst runner)
+        pass ``charge=False``.
+        """
+        now = self.clock.now if now is None else float(now)
+        zone = self.zone(deployment.zone_id)
+        admitted = deployment.account.admit_batch(n_requests)
+        if window is None:
+            window = deployment.provider.arrival_window(deployment.memory_mb)
+        result = zone.place_batch(deployment.deployment_id, admitted,
+                                  duration, window, now=now)
+        bill = deployment.provider.billing.bill(
+            deployment.memory_mb, duration, deployment.arch,
+            requests=result.served)
+        if charge:
+            deployment.account.record_bill(bill, category=bill_category)
+        return result, bill
+
+    def poll(self, deployment, n_requests=1000, now=None,
+             bill_category="poll"):
+        """One sampling poll: a parallel burst against a sleep function."""
+        handler = deployment.handler
+        duration = handler.duration_on(None, self.rng)
+        return self.place_batch(deployment, n_requests, duration,
+                                now=now, bill_category=bill_category)
+
+    # -- internals ------------------------------------------------------------------------
+    @staticmethod
+    def _find_fi(zone, deployment, instance_id):
+        for fi in zone._fi_index.get(deployment.deployment_id, []):
+            if fi.instance_id == instance_id:
+                return fi
+        return None
+
+    def __repr__(self):
+        return "Cloud(regions={}, accounts={})".format(
+            len(self.regions), len(self.accounts))

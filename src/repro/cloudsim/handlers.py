@@ -1,0 +1,131 @@
+"""Function handlers: what runs inside a simulated FI.
+
+A handler answers one question for the simulator — *how long does this
+request run on a given CPU?* — and optionally produces a response payload.
+Real workload code lives in :mod:`repro.workloads`; inside the simulator we
+use calibrated runtime models so that 10,000-invocation profiling runs stay
+fast while preserving the per-CPU sensitivity that routing exploits.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError
+
+
+class Handler(object):
+    """Base handler interface."""
+
+    def duration_on(self, cpu_key, rng, payload=None):
+        """Billed runtime (seconds) of one request on ``cpu_key``."""
+        raise NotImplementedError
+
+    def respond(self, cpu_key, payload=None):
+        """Response body returned to the client (may be None)."""
+        return None
+
+
+class SleepHandler(Handler):
+    """The paper's sampling function: sleep for a fixed interval.
+
+    Sleep time is CPU-independent; a tiny per-request overhead models the
+    interpreter's dispatch cost.
+    """
+
+    def __init__(self, sleep_s, overhead_s=1e-3):
+        if sleep_s <= 0:
+            raise ConfigurationError("sleep must be positive")
+        self.sleep_s = float(sleep_s)
+        self.overhead_s = float(overhead_s)
+
+    def duration_on(self, cpu_key, rng, payload=None):
+        return self.sleep_s + self.overhead_s
+
+    def respond(self, cpu_key, payload=None):
+        return {"slept": self.sleep_s, "cpu": cpu_key}
+
+
+class ModeledWorkloadHandler(Handler):
+    """A workload whose runtime is ``base × cpu_factor × lognormal noise``.
+
+    ``cpu_factors`` maps cpu_key -> relative runtime (1.0 = the reference
+    CPU; >1 is slower).  Factors for the paper's 12 workloads live in
+    :mod:`repro.workloads.profiles` (Figure 9).
+    """
+
+    def __init__(self, name, base_seconds, cpu_factors, noise_sigma=0.04,
+                 default_factor=None):
+        if base_seconds <= 0:
+            raise ConfigurationError("base_seconds must be positive")
+        self.name = name
+        self.base_seconds = float(base_seconds)
+        self.cpu_factors = dict(cpu_factors)
+        self.noise_sigma = float(noise_sigma)
+        self.default_factor = default_factor
+
+    def factor_for(self, cpu_key):
+        factor = self.cpu_factors.get(cpu_key, self.default_factor)
+        if factor is None:
+            raise ConfigurationError(
+                "workload {!r} has no runtime factor for CPU {!r}".format(
+                    self.name, cpu_key))
+        return factor
+
+    def mean_duration_on(self, cpu_key):
+        """Noise-free expected runtime on ``cpu_key``."""
+        return self.base_seconds * self.factor_for(cpu_key)
+
+    def duration_on(self, cpu_key, rng, payload=None):
+        noise = 1.0
+        if rng is not None and self.noise_sigma > 0:
+            noise = float(math.exp(rng.normal(0.0, self.noise_sigma)))
+        return self.mean_duration_on(cpu_key) * noise
+
+    def respond(self, cpu_key, payload=None):
+        return {"workload": self.name, "cpu": cpu_key}
+
+
+class ScaledWorkloadHandler(Handler):
+    """Wraps a workload model with a fixed runtime multiplier.
+
+    Used for deployment-level effects that scale every run the same way —
+    e.g. the memory-dependent CPU allocation of a specific mesh rung.
+    """
+
+    def __init__(self, inner, scale):
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        self.inner = inner
+        self.scale = float(scale)
+
+    @property
+    def name(self):
+        return self.inner.name
+
+    @property
+    def noise_sigma(self):
+        return self.inner.noise_sigma
+
+    def mean_duration_on(self, cpu_key):
+        return self.inner.mean_duration_on(cpu_key) * self.scale
+
+    def duration_on(self, cpu_key, rng, payload=None):
+        return self.inner.duration_on(cpu_key, rng, payload) * self.scale
+
+    def respond(self, cpu_key, payload=None):
+        return self.inner.respond(cpu_key, payload)
+
+
+class CallableHandler(Handler):
+    """Adapter for ad-hoc handlers in tests and examples."""
+
+    def __init__(self, duration_fn, respond_fn=None):
+        self._duration_fn = duration_fn
+        self._respond_fn = respond_fn
+
+    def duration_on(self, cpu_key, rng, payload=None):
+        return self._duration_fn(cpu_key, rng, payload)
+
+    def respond(self, cpu_key, payload=None):
+        if self._respond_fn is None:
+            return None
+        return self._respond_fn(cpu_key, payload)

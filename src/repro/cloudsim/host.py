@@ -1,0 +1,146 @@
+"""Host pools: the bare-metal capacity behind an availability zone.
+
+A :class:`HostPool` aggregates every host of one CPU model inside an AZ.
+Hosts expose a fixed number of FI *slots* (microVM capacity); slots are
+consumed by live FIs (busy or warm-idle) and released when an FI's
+keep-alive expires.
+
+``affinity`` models the platform's packing preference.  Pools with high
+affinity fill first; low-affinity pools (rare hardware being phased in or
+out) only receive placements once the preferred pools are under pressure.
+This is what makes "previously unseen hardware" appear late in a sampling
+campaign — the anomaly the paper observes in EX-3.
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.cloudsim.instance import FIBucket, FunctionInstance
+
+
+class HostPool(object):
+    """All hosts of one CPU model within an AZ."""
+
+    def __init__(self, cpu_key, hosts, slots_per_host, affinity=1.0):
+        if hosts < 0 or slots_per_host <= 0:
+            raise ConfigurationError(
+                "host pool needs hosts >= 0 and slots_per_host > 0")
+        if affinity <= 0:
+            raise ConfigurationError("affinity must be positive")
+        self.cpu_key = cpu_key
+        self.hosts = int(hosts)
+        self.slots_per_host = int(slots_per_host)
+        self.affinity = float(affinity)
+        self._buckets = []
+
+    # -- capacity accounting -------------------------------------------------
+    @property
+    def capacity(self):
+        """Total FI slots across the pool's hosts."""
+        return self.hosts * self.slots_per_host
+
+    def expire(self, now):
+        """Drop buckets whose keep-alive has lapsed, releasing their slots."""
+        if self._buckets:
+            self._buckets = [b for b in self._buckets if not b.is_expired(now)]
+
+    def occupied(self, now):
+        """Slots held by live (busy or warm) FIs."""
+        self.expire(now)
+        return sum(b.count for b in self._buckets)
+
+    def free_slots(self, now):
+        return max(0, self.capacity - self.occupied(now))
+
+    def live_buckets(self):
+        """The pool's current FI buckets (after the last expiry sweep)."""
+        return list(self._buckets)
+
+    # -- allocation ------------------------------------------------------------
+    def allocate(self, deployment, count, now, duration, keepalive):
+        """Create ``count`` new FIs as one bucket; returns the bucket.
+
+        The caller is responsible for checking :meth:`free_slots`; allocating
+        beyond capacity raises, because over-packing would silently corrupt
+        the saturation behaviour the experiments depend on.
+        """
+        if count <= 0:
+            raise ConfigurationError("allocation count must be positive")
+        if count > self.free_slots(now):
+            raise ConfigurationError(
+                "pool {} over-allocated: {} requested, {} free".format(
+                    self.cpu_key, count, self.free_slots(now)))
+        bucket = FIBucket(deployment, self.cpu_key, count,
+                          busy_until=now + duration,
+                          expire_at=now + duration + keepalive)
+        self._buckets.append(bucket)
+        return bucket
+
+    def allocate_instance(self, instance_id, host_id, deployment, now,
+                          duration, keepalive):
+        """Create a single identified FI (per-request invocation path)."""
+        if self.free_slots(now) < 1:
+            raise ConfigurationError(
+                "pool {} has no free slot".format(self.cpu_key))
+        fi = FunctionInstance(instance_id, host_id, deployment, self.cpu_key,
+                              created_at=now,
+                              busy_until=now + duration,
+                              expire_at=now + duration + keepalive)
+        self._buckets.append(fi)
+        return fi
+
+    def claim_warm(self, deployment, count, now, duration, keepalive):
+        """Reuse up to ``count`` warm-idle FIs of ``deployment``.
+
+        Returns the number actually claimed.  Claimed FIs become busy for
+        ``duration`` and get a refreshed keep-alive.  Buckets are split when
+        only part of them is needed.
+        """
+        remaining = int(count)
+        if remaining <= 0:
+            return 0
+        claimed = 0
+        new_buckets = []
+        for bucket in self._buckets:
+            if (remaining > 0 and bucket.deployment == deployment
+                    and bucket.is_idle(now)):
+                take = min(bucket.count, remaining)
+                if take == bucket.count:
+                    bucket.touch(now, duration, keepalive)
+                else:
+                    bucket.count -= take
+                    reused = FIBucket(deployment, self.cpu_key, take,
+                                      busy_until=now + duration,
+                                      expire_at=now + duration + keepalive)
+                    new_buckets.append(reused)
+                remaining -= take
+                claimed += take
+        self._buckets.extend(new_buckets)
+        return claimed
+
+    def idle_warm(self, deployment, now):
+        """Warm-idle FI count available to ``deployment`` right now."""
+        return sum(b.count for b in self._buckets
+                   if b.deployment == deployment and b.is_idle(now))
+
+    # -- resizing (drift & scaling) ---------------------------------------------
+    def set_hosts(self, hosts, now):
+        """Resize the pool; never below currently occupied capacity.
+
+        Returns the host count actually applied.  Drift wants to shrink
+        pools, but hosts running live FIs cannot be drained instantly, so
+        shrinking is floored at the occupied host count.
+        """
+        hosts = int(hosts)
+        if hosts < 0:
+            raise ConfigurationError("host count cannot be negative")
+        occupied_hosts = -(-self.occupied(now) // self.slots_per_host)
+        self.hosts = max(hosts, occupied_hosts)
+        return self.hosts
+
+    def add_hosts(self, hosts):
+        if hosts < 0:
+            raise ConfigurationError("cannot add a negative host count")
+        self.hosts += int(hosts)
+
+    def __repr__(self):
+        return "HostPool(cpu={}, hosts={}, slots/host={})".format(
+            self.cpu_key, self.hosts, self.slots_per_host)

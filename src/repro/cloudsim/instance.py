@@ -1,0 +1,75 @@
+"""Function-instance records.
+
+The simulator tracks FIs at two granularities:
+
+* :class:`FIBucket` — an aggregate of ``count`` identical FIs created
+  together (same deployment, same CPU pool, same lifecycle timestamps).
+  Sampling campaigns place 1,000 requests per poll, so bucketing keeps the
+  hot path allocation-free.
+* :class:`FunctionInstance` — a bucket of count 1 with identity (instance
+  id, host id) used by the per-request invocation path that the smart router
+  drives, where retry logic needs to reason about *this specific* FI.
+
+Lifecycle: an FI is **busy** until ``busy_until`` (it is executing a
+request), then **warm-idle** until ``expire_at`` (the platform's keep-alive,
+~5 minutes on AWS Lambda), after which its slot is released.
+"""
+
+
+class FIBucket(object):
+    """``count`` FIs sharing a deployment, CPU, and lifecycle window."""
+
+    __slots__ = ("deployment", "cpu_key", "count", "busy_until", "expire_at")
+
+    def __init__(self, deployment, cpu_key, count, busy_until, expire_at):
+        self.deployment = deployment
+        self.cpu_key = cpu_key
+        self.count = int(count)
+        self.busy_until = float(busy_until)
+        self.expire_at = float(expire_at)
+
+    def is_expired(self, now):
+        return now >= self.expire_at
+
+    def is_idle(self, now):
+        """Warm and not executing: eligible for reuse by its deployment."""
+        return self.busy_until <= now < self.expire_at
+
+    def touch(self, now, duration, keepalive):
+        """Serve another request: busy for ``duration``, then fresh keep-alive."""
+        self.busy_until = now + duration
+        self.expire_at = self.busy_until + keepalive
+
+    def __repr__(self):
+        return ("FIBucket({}x {} for {!r}, busy_until={:.2f}, "
+                "expire_at={:.2f})".format(self.count, self.cpu_key,
+                                           self.deployment, self.busy_until,
+                                           self.expire_at))
+
+
+class FunctionInstance(FIBucket):
+    """A single FI with identity, as observed by in-function profiling."""
+
+    __slots__ = ("instance_id", "host_id", "created_at", "invocations")
+
+    def __init__(self, instance_id, host_id, deployment, cpu_key,
+                 created_at, busy_until, expire_at):
+        super(FunctionInstance, self).__init__(
+            deployment, cpu_key, 1, busy_until, expire_at)
+        self.instance_id = instance_id
+        self.host_id = host_id
+        self.created_at = float(created_at)
+        self.invocations = 0
+
+    def touch(self, now, duration, keepalive):
+        super(FunctionInstance, self).touch(now, duration, keepalive)
+        self.invocations += 1
+
+    @property
+    def is_cold(self):
+        """True until the FI has served its first request."""
+        return self.invocations == 0
+
+    def __repr__(self):
+        return "FunctionInstance({!r} on {!r}, cpu={})".format(
+            self.instance_id, self.host_id, self.cpu_key)

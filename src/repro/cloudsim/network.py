@@ -1,0 +1,70 @@
+"""Client-to-region network latency.
+
+The regional routing approach trades extra round-trip latency (not billed)
+for faster CPUs.  We model one-way propagation as great-circle distance over
+an effective signal speed (~2/3 c with routing detours), plus a fixed
+processing floor and lognormal jitter.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MILLIS
+
+
+class GeoPoint(object):
+    """A latitude/longitude pair in degrees."""
+
+    __slots__ = ("lat", "lon")
+
+    def __init__(self, lat, lon):
+        if not -90 <= lat <= 90 or not -180 <= lon <= 180:
+            raise ConfigurationError(
+                "invalid coordinates ({}, {})".format(lat, lon))
+        self.lat = float(lat)
+        self.lon = float(lon)
+
+    def __repr__(self):
+        return "GeoPoint({:.2f}, {:.2f})".format(self.lat, self.lon)
+
+
+def haversine_km(a, b):
+    """Great-circle distance between two :class:`GeoPoint` in kilometres."""
+    rad = math.pi / 180.0
+    dlat = (b.lat - a.lat) * rad
+    dlon = (b.lon - a.lon) * rad
+    lat1, lat2 = a.lat * rad, b.lat * rad
+    h = (math.sin(dlat / 2) ** 2
+         + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2)
+    return 2 * 6371.0 * math.asin(min(1.0, math.sqrt(h)))
+
+
+class NetworkModel(object):
+    """Round-trip latency between a client location and cloud regions."""
+
+    def __init__(self, base_rtt=8 * MILLIS, ms_per_100km=1.2,
+                 jitter_sigma=0.15):
+        self.base_rtt = float(base_rtt)
+        self.ms_per_100km = float(ms_per_100km)
+        self.jitter_sigma = float(jitter_sigma)
+
+    def round_trip(self, client, region_geo, rng=None):
+        """Round-trip time in seconds; deterministic when ``rng`` is None."""
+        km = haversine_km(client, region_geo)
+        rtt = self.base_rtt + km / 100.0 * self.ms_per_100km * MILLIS
+        if rng is not None and self.jitter_sigma > 0:
+            rtt *= float(math.exp(rng.normal(0.0, self.jitter_sigma)))
+        return rtt
+
+    def one_way(self, client, region_geo, rng=None):
+        return self.round_trip(client, region_geo, rng=rng) / 2.0
+
+
+# A few handy client locations for examples and benchmarks.
+CLIENT_LOCATIONS = {
+    "seattle": GeoPoint(47.61, -122.33),
+    "new-york": GeoPoint(40.71, -74.01),
+    "london": GeoPoint(51.51, -0.13),
+    "tokyo": GeoPoint(35.68, 139.69),
+    "sao-paulo": GeoPoint(-23.55, -46.63),
+}

@@ -1,0 +1,131 @@
+"""Provider configurations: AWS Lambda, IBM Code Engine, Digital Ocean.
+
+A :class:`ProviderConfig` captures everything that differs between FaaS
+platforms from the perspective of the experiments: the deployable memory
+ladder, supported architectures, per-account concurrency quota, billing,
+keep-alive, cold-start behaviour, and the client fan-out *arrival window*
+model used by the unique-FI analysis (Figure 3).
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MILLIS, MINUTES
+from repro.cloudsim.billing import (
+    AWS_LAMBDA_BILLING,
+    DIGITAL_OCEAN_BILLING,
+    IBM_CODE_ENGINE_BILLING,
+)
+
+
+class ProviderConfig(object):
+    """Static description of one FaaS platform."""
+
+    __slots__ = ("name", "memory_options_mb", "archs", "concurrency_quota",
+                 "billing", "keepalive", "cold_start_s", "slots_per_host",
+                 "base_arrival_window", "reference_memory_mb",
+                 "window_exponent", "function_timeout")
+
+    def __init__(self, name, memory_options_mb, archs, concurrency_quota,
+                 billing, keepalive=5 * MINUTES, cold_start_s=0.18,
+                 slots_per_host=64, base_arrival_window=0.25,
+                 reference_memory_mb=2048, window_exponent=0.5,
+                 function_timeout=900.0):
+        if not memory_options_mb:
+            raise ConfigurationError("provider needs memory options")
+        self.name = name
+        self.memory_options_mb = tuple(sorted(memory_options_mb))
+        self.archs = tuple(archs)
+        self.concurrency_quota = int(concurrency_quota)
+        self.billing = billing
+        self.keepalive = float(keepalive)
+        self.cold_start_s = float(cold_start_s)
+        self.slots_per_host = int(slots_per_host)
+        self.base_arrival_window = float(base_arrival_window)
+        self.reference_memory_mb = int(reference_memory_mb)
+        self.window_exponent = float(window_exponent)
+        self.function_timeout = float(function_timeout)
+
+    def validate_memory(self, memory_mb):
+        """Memory settings need not be on the ladder (AWS allows any MB in
+        range) but must lie within the provider's envelope."""
+        low, high = self.memory_options_mb[0], self.memory_options_mb[-1]
+        if not low <= memory_mb <= high:
+            raise ConfigurationError(
+                "{}: memory {} MB outside [{}, {}]".format(
+                    self.name, memory_mb, low, high))
+        return int(memory_mb)
+
+    def validate_arch(self, arch):
+        if arch not in self.archs:
+            raise ConfigurationError(
+                "{} does not offer architecture {!r}".format(self.name, arch))
+        return arch
+
+    def arrival_window(self, memory_mb):
+        """Client fan-out spread for a 1,000-request poll at ``memory_mb``.
+
+        Lower-memory functions initialise and schedule more slowly, widening
+        the window over which requests land — which is why the paper needed
+        longer sleeps at low memory to force unique FIs (Figure 3).
+        """
+        ratio = self.reference_memory_mb / float(memory_mb)
+        window = self.base_arrival_window * ratio ** self.window_exponent
+        return min(max(window, 0.05), 3.0)
+
+    def __repr__(self):
+        return "ProviderConfig({!r})".format(self.name)
+
+
+AWS_LAMBDA = ProviderConfig(
+    name="aws",
+    # 128 MB .. 10,240 MB; the sky mesh ladder uses the paper's settings.
+    memory_options_mb=(128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240),
+    archs=("x86_64", "arm64"),
+    concurrency_quota=1000,
+    billing=AWS_LAMBDA_BILLING,
+    keepalive=5 * MINUTES,
+    cold_start_s=0.18,
+    slots_per_host=64,
+    base_arrival_window=0.25,
+)
+
+IBM_CODE_ENGINE = ProviderConfig(
+    name="ibm",
+    memory_options_mb=(1024, 2048, 4096),
+    archs=("x86_64",),
+    concurrency_quota=250,
+    billing=IBM_CODE_ENGINE_BILLING,
+    keepalive=10 * MINUTES,
+    cold_start_s=0.55,
+    slots_per_host=48,
+    base_arrival_window=0.45,
+)
+
+DIGITAL_OCEAN = ProviderConfig(
+    name="do",
+    memory_options_mb=(128, 256, 512, 1024),
+    archs=("x86_64",),
+    concurrency_quota=120,
+    billing=DIGITAL_OCEAN_BILLING,
+    keepalive=10 * MINUTES,
+    cold_start_s=0.40,
+    slots_per_host=32,
+    base_arrival_window=0.50,
+)
+
+PROVIDERS = {
+    "aws": AWS_LAMBDA,
+    "ibm": IBM_CODE_ENGINE,
+    "do": DIGITAL_OCEAN,
+}
+
+
+def provider_by_name(name):
+    try:
+        return PROVIDERS[name]
+    except KeyError:
+        raise ConfigurationError("unknown provider {!r}".format(name))
+
+
+# The paper's sampling functions sleep 250 ms; cold start adds ~180 ms of
+# unbilled init.  Exposed as a constant so sampling and billing agree.
+SAMPLING_OVERHEAD = 1 * MILLIS

@@ -1,0 +1,54 @@
+"""Regions: named groups of availability zones with a geographic location."""
+
+from repro.common.errors import ConfigurationError, UnknownZoneError
+from repro.cloudsim.network import GeoPoint
+
+
+class Region(object):
+    """A provider region containing one or more availability zones."""
+
+    def __init__(self, name, provider, geo):
+        if not isinstance(geo, GeoPoint):
+            raise ConfigurationError("region geo must be a GeoPoint")
+        self.name = name
+        self.provider = provider
+        self.geo = geo
+        self.zones = {}
+
+    def add_zone(self, zone):
+        if zone.zone_id in self.zones:
+            raise ConfigurationError(
+                "duplicate zone {!r} in region {!r}".format(
+                    zone.zone_id, self.name))
+        self.zones[zone.zone_id] = zone
+        return zone
+
+    def zone(self, zone_id):
+        try:
+            return self.zones[zone_id]
+        except KeyError:
+            raise UnknownZoneError(zone_id)
+
+    def zone_ids(self):
+        return sorted(self.zones)
+
+    def first_zone(self):
+        """The region's alphabetically first zone (its default target)."""
+        if not self.zones:
+            raise ConfigurationError(
+                "region {!r} has no zones".format(self.name))
+        return self.zones[self.zone_ids()[0]]
+
+    def aggregate_cpu_shares(self):
+        """Capacity-weighted CPU distribution across the region's zones."""
+        from repro.common.distributions import CategoricalDistribution
+        counts = {}
+        for zone in self.zones.values():
+            for cpu_key, pool in zone.pools.items():
+                if pool.capacity > 0:
+                    counts[cpu_key] = counts.get(cpu_key, 0) + pool.capacity
+        return CategoricalDistribution(counts)
+
+    def __repr__(self):
+        return "Region({!r}, provider={!r}, zones={})".format(
+            self.name, self.provider.name, len(self.zones))

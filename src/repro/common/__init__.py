@@ -1,0 +1,81 @@
+"""Shared building blocks: identifiers, units, errors, RNG, distributions.
+
+Everything in :mod:`repro` sits on top of this package.  It deliberately has
+no dependencies on the simulator or the routing system so that any module can
+import it without cycles.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    DeploymentError,
+    InvocationError,
+    QuotaExceededError,
+    SaturationError,
+    UnknownRegionError,
+    UnknownZoneError,
+    PayloadError,
+    CharacterizationError,
+)
+from repro.common.ids import (
+    AccountId,
+    DeploymentId,
+    FunctionInstanceId,
+    HostId,
+    RequestId,
+    ZoneId,
+    make_id_factory,
+)
+from repro.common.units import (
+    MB,
+    GB,
+    MILLIS,
+    SECONDS,
+    MINUTES,
+    HOURS,
+    DAYS,
+    Money,
+    gb_seconds,
+    mb_to_gb,
+)
+from repro.common.rng import derive_rng, spawn_children
+from repro.common.distributions import (
+    CategoricalDistribution,
+    absolute_percentage_error,
+    total_variation_distance,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DeploymentError",
+    "InvocationError",
+    "QuotaExceededError",
+    "SaturationError",
+    "UnknownRegionError",
+    "UnknownZoneError",
+    "PayloadError",
+    "CharacterizationError",
+    "AccountId",
+    "DeploymentId",
+    "FunctionInstanceId",
+    "HostId",
+    "RequestId",
+    "ZoneId",
+    "make_id_factory",
+    "MB",
+    "GB",
+    "MILLIS",
+    "SECONDS",
+    "MINUTES",
+    "HOURS",
+    "DAYS",
+    "Money",
+    "gb_seconds",
+    "mb_to_gb",
+    "derive_rng",
+    "spawn_children",
+    "CategoricalDistribution",
+    "absolute_percentage_error",
+    "total_variation_distance",
+]

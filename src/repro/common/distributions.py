@@ -1,0 +1,166 @@
+"""Categorical distributions and the error metrics the paper reports.
+
+A *CPU characterization* is a categorical distribution over CPU model names.
+The paper compares intermediate characterizations against a ground truth
+using **absolute percentage error (APE)**: the sum of absolute differences
+between the estimated and true share of each category, expressed in percent.
+(With this definition, "95 % characterization accuracy" corresponds to
+APE ≤ 5 %.)
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.common.errors import CharacterizationError
+
+
+class CategoricalDistribution(object):
+    """An immutable categorical distribution over string-labelled categories.
+
+    Built either from raw observation counts or directly from shares.
+    Supports the arithmetic the sampling layer needs: merging counts,
+    normalized shares, sampling, and distance metrics.
+    """
+
+    __slots__ = ("_counts", "_total")
+
+    def __init__(self, counts):
+        """``counts`` maps category -> non-negative count (int or float)."""
+        cleaned = {}
+        for category, count in counts.items():
+            if count < 0:
+                raise CharacterizationError(
+                    "negative count for category {!r}".format(category))
+            if count > 0:
+                cleaned[str(category)] = float(count)
+        self._counts = cleaned
+        self._total = float(sum(cleaned.values()))
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_observations(cls, observations):
+        """Build from an iterable of category labels.
+
+        >>> d = CategoricalDistribution.from_observations(["a", "a", "b"])
+        >>> round(d.share("a"), 3)
+        0.667
+        """
+        return cls(Counter(observations))
+
+    @classmethod
+    def from_shares(cls, shares):
+        """Build from category -> probability (will be normalized)."""
+        return cls(shares)
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def total(self):
+        """Total observation weight behind this distribution."""
+        return self._total
+
+    @property
+    def categories(self):
+        """Sorted tuple of category names with non-zero mass."""
+        return tuple(sorted(self._counts))
+
+    def count(self, category):
+        return self._counts.get(category, 0.0)
+
+    def share(self, category):
+        """Fraction of mass on ``category`` (0.0 if absent or empty)."""
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(category, 0.0) / self._total
+
+    def shares(self):
+        """Dict of category -> normalized share."""
+        return {c: self.share(c) for c in self._counts}
+
+    def counts(self):
+        """Copy of the raw counts."""
+        return dict(self._counts)
+
+    def mode(self):
+        """The most frequent category (ties broken alphabetically)."""
+        if not self._counts:
+            raise CharacterizationError("empty distribution has no mode")
+        return min(self._counts, key=lambda c: (-self._counts[c], c))
+
+    def is_empty(self):
+        return self._total == 0
+
+    # -- algebra --------------------------------------------------------------
+    def merge(self, other):
+        """Pool the observation counts of two distributions."""
+        merged = Counter(self._counts)
+        merged.update(other.counts())
+        return CategoricalDistribution(merged)
+
+    def expectation(self, value_of, default=None):
+        """Expected value of ``value_of(category)`` under this distribution.
+
+        ``default`` is used for categories where ``value_of`` returns None.
+        """
+        if self._total == 0:
+            raise CharacterizationError(
+                "cannot take expectation of empty distribution")
+        acc = 0.0
+        for category in self._counts:
+            value = value_of(category)
+            if value is None:
+                if default is None:
+                    raise CharacterizationError(
+                        "no value for category {!r}".format(category))
+                value = default
+            acc += self.share(category) * value
+        return acc
+
+    def sample(self, rng, size=None):
+        """Draw category labels according to the distribution's shares."""
+        if self._total == 0:
+            raise CharacterizationError("cannot sample empty distribution")
+        labels = self.categories
+        probs = np.array([self.share(c) for c in labels])
+        probs = probs / probs.sum()
+        return rng.choice(labels, size=size, p=probs)
+
+    # -- comparisons -----------------------------------------------------------
+    def __eq__(self, other):
+        if not isinstance(other, CategoricalDistribution):
+            return NotImplemented
+        mine, theirs = self.shares(), other.shares()
+        keys = set(mine) | set(theirs)
+        return all(abs(mine.get(k, 0.0) - theirs.get(k, 0.0)) < 1e-12
+                   for k in keys)
+
+    def __hash__(self):
+        return hash(tuple(sorted(
+            (c, round(s, 12)) for c, s in self.shares().items())))
+
+    def __repr__(self):
+        shares = ", ".join("{}={:.1%}".format(c, self.share(c))
+                           for c in self.categories)
+        return "CategoricalDistribution({})".format(shares)
+
+
+def absolute_percentage_error(estimate, truth):
+    """APE between two distributions, in percent (0-200).
+
+    Defined as ``100 * sum_c |p_est(c) - p_true(c)|`` over the union of
+    categories, the metric the paper plots in Figures 5-8.  An estimate that
+    matches the ground truth exactly scores 0; totally disjoint supports
+    score 200.
+    """
+    if truth.is_empty():
+        raise CharacterizationError("ground-truth distribution is empty")
+    if estimate.is_empty():
+        raise CharacterizationError("estimated distribution is empty")
+    est, tru = estimate.shares(), truth.shares()
+    keys = set(est) | set(tru)
+    return 100.0 * sum(abs(est.get(k, 0.0) - tru.get(k, 0.0)) for k in keys)
+
+
+def total_variation_distance(left, right):
+    """Total variation distance (half the L1 distance) between shares."""
+    return absolute_percentage_error(left, right) / 200.0

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro library.
+
+All library exceptions derive from :class:`ReproError` so callers can catch a
+single base type.  Errors that model *cloud platform* failures (quota,
+saturation) carry enough structure for the sampling layer to distinguish
+"platform exhausted" from "caller misconfigured".
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class UnknownRegionError(ConfigurationError):
+    """A region name does not exist in the provider catalog."""
+
+    def __init__(self, region):
+        super().__init__("unknown region: {!r}".format(region))
+        self.region = region
+
+
+class UnknownZoneError(ConfigurationError):
+    """An availability-zone name does not exist in the provider catalog."""
+
+    def __init__(self, zone):
+        super().__init__("unknown availability zone: {!r}".format(zone))
+        self.zone = zone
+
+
+class DeploymentError(ReproError):
+    """A function deployment failed or a deployment id is unknown."""
+
+
+class InvocationError(ReproError):
+    """A function invocation failed.
+
+    ``reason`` is a short machine-readable string; the cloud simulator uses
+    ``"throttled"`` (per-account concurrency quota), ``"no_capacity"``
+    (zone-wide saturation), and ``"handler_error"`` (user code raised).
+    """
+
+    def __init__(self, message, reason="handler_error"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class QuotaExceededError(InvocationError):
+    """The per-account concurrent request quota was exceeded."""
+
+    def __init__(self, message="concurrent request quota exceeded"):
+        super().__init__(message, reason="throttled")
+
+
+class SaturationError(InvocationError):
+    """The availability zone has no capacity left to create new FIs."""
+
+    def __init__(self, message="availability zone has no free capacity"):
+        super().__init__(message, reason="no_capacity")
+
+
+class PayloadError(ReproError):
+    """A dynamic-function payload could not be built or decoded."""
+
+
+class CharacterizationError(ReproError):
+    """A CPU characterization is empty, stale, or otherwise unusable."""

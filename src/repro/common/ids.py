@@ -1,0 +1,60 @@
+"""Lightweight typed identifiers used across the simulator and router.
+
+Identifiers are plain strings (cheap, hashable, printable) wrapped in
+``NewType``-style aliases for documentation, plus a deterministic factory so
+simulation runs produce stable ids for a given seed.
+"""
+
+import itertools
+
+# Semantic aliases.  We intentionally keep these as ``str`` at runtime: ids
+# cross module boundaries constantly and must stay trivially serializable.
+AccountId = str
+DeploymentId = str
+FunctionInstanceId = str
+HostId = str
+RequestId = str
+ZoneId = str
+
+
+def make_id_factory(prefix):
+    """Return a callable producing ``prefix-000001`` style sequential ids.
+
+    Sequential ids keep simulation output deterministic and diffable, which
+    matters for reproducible benchmarks.
+
+    >>> new_host = make_id_factory("host")
+    >>> new_host()
+    'host-000001'
+    >>> new_host()
+    'host-000002'
+    """
+    counter = itertools.count(1)
+
+    def factory():
+        return "{}-{:06d}".format(prefix, next(counter))
+
+    return factory
+
+
+def zone_of_region(region_name, zone_suffix):
+    """Compose an AZ id from a region and a suffix letter.
+
+    >>> zone_of_region("us-east-2", "a")
+    'us-east-2a'
+    """
+    return "{}{}".format(region_name, zone_suffix)
+
+
+def region_of_zone(zone_id):
+    """Strip the trailing zone letter from an AZ id.
+
+    >>> region_of_zone("us-east-2a")
+    'us-east-2'
+
+    Zones that do not end in a single letter (e.g. IBM/DO regions that have
+    no per-zone subdivision in this model) are returned unchanged.
+    """
+    if zone_id and zone_id[-1].isalpha() and zone_id[-2:-1].isdigit():
+        return zone_id[:-1]
+    return zone_id

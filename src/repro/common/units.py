@@ -1,0 +1,114 @@
+"""Units and money.
+
+Time is expressed in **seconds of simulated time** (floats) everywhere in the
+library; these constants make call sites self-describing.  Memory is in
+**megabytes** (the unit FaaS platforms configure) with helpers to convert to
+the GB-seconds billing unit.
+"""
+
+# -- time ------------------------------------------------------------------
+MILLIS = 1e-3
+SECONDS = 1.0
+MINUTES = 60.0
+HOURS = 3600.0
+DAYS = 86400.0
+
+# -- memory ----------------------------------------------------------------
+MB = 1
+GB = 1024  # megabytes per gigabyte, matching FaaS console conventions
+
+
+def mb_to_gb(memory_mb):
+    """Convert a memory setting in MB to GB (1 GB = 1024 MB).
+
+    >>> mb_to_gb(2048)
+    2.0
+    """
+    return memory_mb / float(GB)
+
+
+def gb_seconds(memory_mb, duration_s):
+    """Compute the GB-seconds consumed by an invocation.
+
+    This is the billing unit used by AWS Lambda and similar platforms:
+    allocated memory (GB) multiplied by billed duration (seconds).
+
+    >>> gb_seconds(1024, 2.0)
+    2.0
+    """
+    return mb_to_gb(memory_mb) * duration_s
+
+
+class Money(object):
+    """US-dollar amount with exact-ish arithmetic and friendly formatting.
+
+    Costs in this library are tiny (micro-dollars per request) and get summed
+    millions of times, so ``Money`` stores a float but formats and compares
+    at micro-dollar resolution to avoid noise in test assertions.
+    """
+
+    __slots__ = ("usd",)
+
+    RESOLUTION = 1e-9
+
+    def __init__(self, usd=0.0):
+        self.usd = float(usd)
+
+    # arithmetic -----------------------------------------------------------
+    def __add__(self, other):
+        return Money(self.usd + _usd_of(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return Money(self.usd - _usd_of(other))
+
+    def __mul__(self, factor):
+        return Money(self.usd * factor)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor):
+        if isinstance(divisor, Money):
+            return self.usd / divisor.usd
+        return Money(self.usd / divisor)
+
+    def __neg__(self):
+        return Money(-self.usd)
+
+    # comparisons ----------------------------------------------------------
+    def __eq__(self, other):
+        return abs(self.usd - _usd_of(other)) < self.RESOLUTION
+
+    def __lt__(self, other):
+        return self.usd < _usd_of(other) - self.RESOLUTION
+
+    def __le__(self, other):
+        return self == other or self < other
+
+    def __gt__(self, other):
+        return _usd_of(other) < self.usd - self.RESOLUTION
+
+    def __ge__(self, other):
+        return self == other or self > other
+
+    def __hash__(self):
+        return hash(round(self.usd, 9))
+
+    # misc -----------------------------------------------------------------
+    def __float__(self):
+        return self.usd
+
+    def __repr__(self):
+        return "Money({:.9f})".format(self.usd)
+
+    def __str__(self):
+        if abs(self.usd) >= 0.01:
+            return "${:,.2f}".format(self.usd)
+        return "${:.6f}".format(self.usd)
+
+
+def _usd_of(value):
+    if isinstance(value, Money):
+        return value.usd
+    return float(value)

@@ -1,0 +1,189 @@
+"""Client-side burst dispatch with latency accounting (§4.6 trade-off).
+
+The retry method trades latency for cost: every declined placement adds a
+round trip plus the 150 ms hold before the re-issue.  The paper argues the
+approach suits asynchronous batch workloads; this module quantifies it — a
+:class:`BurstDispatcher` replays a burst with bounded client concurrency
+and produces the full client-observed latency distribution alongside the
+cost ledger, so users can see both sides of the trade.
+"""
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.dynfunc.handler import CPU_CHECK_SECONDS
+
+
+class LatencyDistribution(object):
+    """Summary statistics over per-request client latencies."""
+
+    def __init__(self, latencies_s):
+        if len(latencies_s) == 0:
+            raise ConfigurationError("no latencies recorded")
+        self._values = np.sort(np.asarray(latencies_s, dtype=float))
+
+    def __len__(self):
+        return int(self._values.size)
+
+    @property
+    def mean(self):
+        return float(self._values.mean())
+
+    def percentile(self, pct):
+        return float(np.percentile(self._values, pct))
+
+    @property
+    def p50(self):
+        return self.percentile(50)
+
+    @property
+    def p95(self):
+        return self.percentile(95)
+
+    @property
+    def p99(self):
+        return self.percentile(99)
+
+    @property
+    def max(self):
+        return float(self._values[-1])
+
+    def summary(self):
+        return {
+            "mean_s": round(self.mean, 4),
+            "p50_s": round(self.p50, 4),
+            "p95_s": round(self.p95, 4),
+            "p99_s": round(self.p99, 4),
+            "max_s": round(self.max, 4),
+        }
+
+    def __repr__(self):
+        return "LatencyDistribution(n={}, p50={:.3f}s, p95={:.3f}s)".format(
+            len(self), self.p50, self.p95)
+
+
+class DispatchResult(object):
+    """Cost plus client-observed latency for one dispatched burst."""
+
+    __slots__ = ("n", "total_cost", "latency", "retries", "makespan_s",
+                 "cpu_counts")
+
+    def __init__(self, n, total_cost, latency, retries, makespan_s,
+                 cpu_counts):
+        self.n = n
+        self.total_cost = total_cost
+        self.latency = latency
+        self.retries = retries
+        self.makespan_s = makespan_s
+        self.cpu_counts = cpu_counts
+
+    def __repr__(self):
+        return ("DispatchResult(n={}, cost={}, p95={:.2f}s, "
+                "makespan={:.1f}s)".format(self.n, self.total_cost,
+                                           self.latency.p95,
+                                           self.makespan_s))
+
+
+class BurstDispatcher(object):
+    """Dispatches a burst with bounded client concurrency.
+
+    The dispatcher mirrors how the paper's clients work: up to
+    ``concurrency`` requests in flight; a declined (banned-CPU) response
+    triggers an immediate re-issue after the hold window.  Latency per
+    logical request = network RTT per attempt + check/hold time per
+    declined round + the final workload runtime.
+    """
+
+    def __init__(self, cloud, concurrency=100):
+        if concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        self.cloud = cloud
+        self.concurrency = int(concurrency)
+
+    def dispatch(self, deployment, workload, n_requests, retry_policy=None,
+                 client=None, rtt_s=None):
+        """Run ``n_requests`` with analytic concurrency/latency modelling.
+
+        Placement and billing reuse the batched fast path semantics; the
+        client model adds queueing (bounded concurrency) and per-attempt
+        round trips.  Returns a :class:`DispatchResult`.
+        """
+        if n_requests <= 0:
+            raise ConfigurationError("n_requests must be positive")
+        if rtt_s is None:
+            if client is not None:
+                region = self.cloud.region_of_zone(deployment.zone_id)
+                rtt_s = self.cloud.network.round_trip(client, region.geo)
+            else:
+                rtt_s = 0.02
+        from repro.workloads.memory import memory_speed_factor
+        model = workload.runtime_model()
+        factors = workload.cpu_factors()
+        base_seconds = workload.base_seconds * memory_speed_factor(
+            deployment.memory_mb, vcpus=workload.vcpus)
+        rng = self.cloud.rng
+        billing = deployment.provider.billing
+        banned = frozenset() if retry_policy is None else (
+            retry_policy.banned_cpus)
+        hold_s = 0.0 if retry_policy is None else retry_policy.hold_seconds
+        max_rounds = 1 if retry_policy is None else (
+            retry_policy.max_retries + 1)
+
+        latencies = []
+        total_cost = Money(0)
+        retries = 0
+        cpu_counts = {}
+        pending = [0.0] * n_requests  # accumulated latency per request
+        round_index = 0
+        while pending and round_index < max_rounds:
+            last_round = round_index == max_rounds - 1
+            active_ban = frozenset() if last_round else banned
+            result, _ = self.cloud.place_batch(
+                deployment, len(pending), base_seconds,
+                bill_category="dispatch", charge=False)
+            # Apportion the attempt outcomes over the pending requests.
+            assignments = []
+            for cpu_key in sorted(result.request_cpu_counts):
+                assignments.extend(
+                    [cpu_key] * result.request_cpu_counts[cpu_key])
+            # Unserved requests retry in the next round unchanged.
+            unserved = len(pending) - len(assignments)
+            next_pending = [lat + rtt_s for lat in pending[:unserved]]
+            served_latencies = pending[unserved:]
+            for accumulated, cpu_key in zip(served_latencies, assignments):
+                if cpu_key in active_ban:
+                    billed = CPU_CHECK_SECONDS + hold_s
+                    total_cost = total_cost + billing.bill(
+                        deployment.memory_mb, billed,
+                        deployment.arch).total
+                    retries += 1
+                    next_pending.append(accumulated + rtt_s + billed)
+                else:
+                    noise = float(np.exp(rng.normal(0.0,
+                                                    model.noise_sigma)))
+                    runtime = (base_seconds * factors[cpu_key]
+                               * noise)
+                    total_cost = total_cost + billing.bill(
+                        deployment.memory_mb, runtime,
+                        deployment.arch).total
+                    latencies.append(accumulated + rtt_s + runtime)
+                    cpu_counts[cpu_key] = cpu_counts.get(cpu_key, 0) + 1
+            pending = next_pending
+            round_index += 1
+
+        if not latencies:
+            raise ConfigurationError(
+                "burst produced no completed requests (zone saturated?)")
+        distribution = LatencyDistribution(latencies)
+        # Makespan: waves of `concurrency` requests run back to back.
+        waves = -(-n_requests // self.concurrency)
+        makespan = waves * distribution.mean
+        return DispatchResult(
+            n=n_requests,
+            total_cost=total_cost,
+            latency=distribution,
+            retries=retries,
+            makespan_s=makespan,
+            cpu_counts=cpu_counts,
+        )

@@ -1,0 +1,104 @@
+"""Memory-setting advice: predict cost and runtime across the mesh ladder.
+
+The SAAF lineage the paper builds on includes predicting the performance
+and cost of functions across configurations.  Given a zone's CPU
+characterization and a workload, the advisor sweeps the provider's memory
+ladder and predicts, per rung:
+
+* expected runtime — Figure-9 CPU factors weighted by the zone mix, times
+  the memory-dependent CPU-allocation slowdown;
+* expected billed cost — runtime × memory × the provider's GB-second rate
+  plus the per-request fee.
+
+It then recommends a rung per objective: ``cheapest``, ``fastest``, or
+``balanced`` (minimum cost × runtime product).
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.memory import memory_speed_factor
+
+
+class MemoryRecommendation(object):
+    """Predictions for every rung plus the per-objective picks."""
+
+    def __init__(self, workload_name, zone_id, predictions):
+        if not predictions:
+            raise ConfigurationError("no memory settings evaluated")
+        self.workload_name = workload_name
+        self.zone_id = zone_id
+        # memory_mb -> {"runtime_s": float, "cost_usd": float}
+        self.predictions = dict(predictions)
+
+    def ladder(self):
+        return sorted(self.predictions)
+
+    def runtime_at(self, memory_mb):
+        return self.predictions[memory_mb]["runtime_s"]
+
+    def cost_at(self, memory_mb):
+        return self.predictions[memory_mb]["cost_usd"]
+
+    @property
+    def cheapest(self):
+        return min(self.ladder(), key=lambda m: (self.cost_at(m), m))
+
+    @property
+    def fastest(self):
+        return min(self.ladder(), key=lambda m: (self.runtime_at(m), m))
+
+    @property
+    def balanced(self):
+        return min(self.ladder(),
+                   key=lambda m: (self.cost_at(m) * self.runtime_at(m),
+                                  m))
+
+    def pick(self, objective="balanced"):
+        try:
+            return getattr(self, objective)
+        except AttributeError:
+            raise ConfigurationError(
+                "unknown objective {!r}; use cheapest/fastest/"
+                "balanced".format(objective))
+
+    def to_rows(self):
+        return [{
+            "memory_mb": memory_mb,
+            "runtime_s": round(self.runtime_at(memory_mb), 4),
+            "cost_usd": self.cost_at(memory_mb),
+        } for memory_mb in self.ladder()]
+
+    def __repr__(self):
+        return ("MemoryRecommendation({}@{}: cheapest={}MB, fastest={}MB, "
+                "balanced={}MB)".format(self.workload_name, self.zone_id,
+                                        self.cheapest, self.fastest,
+                                        self.balanced))
+
+
+class MemoryAdvisor(object):
+    """Sweeps the memory ladder against a zone characterization."""
+
+    def __init__(self, cloud, store):
+        self.cloud = cloud
+        self.store = store
+
+    def recommend(self, workload, zone_id, ladder=None, arch="x86_64",
+                  now=None):
+        profile = self.store.get(zone_id, now=now)
+        provider = self.cloud.region_of_zone(zone_id).provider
+        if ladder is None:
+            ladder = provider.memory_options_mb
+        factors = workload.cpu_factors()
+        mix_factor = profile.distribution.expectation(factors.get)
+        predictions = {}
+        for memory_mb in ladder:
+            memory_mb = provider.validate_memory(memory_mb)
+            runtime = (workload.base_seconds * mix_factor
+                       * memory_speed_factor(memory_mb,
+                                             vcpus=workload.vcpus))
+            bill = provider.billing.bill(memory_mb, runtime, arch=arch,
+                                         requests=1)
+            predictions[memory_mb] = {
+                "runtime_s": runtime,
+                "cost_usd": float(bill.total),
+            }
+        return MemoryRecommendation(workload.name, zone_id, predictions)

@@ -1,0 +1,70 @@
+"""Savings metrics: how the paper reports EX-5.
+
+All savings are expressed as a percentage of the baseline's cost:
+``100 * (baseline - strategy) / baseline``.  The paper reports *cumulative*
+savings over the two-week horizon, the *maximum single-day* savings, and
+the all-function mean ± standard deviation.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError
+
+
+def cost_savings_pct(baseline_cost, strategy_cost):
+    """Percent saved versus the baseline (negative = strategy cost more)."""
+    baseline = float(baseline_cost)
+    if baseline <= 0:
+        raise ConfigurationError("baseline cost must be positive")
+    return 100.0 * (baseline - float(strategy_cost)) / baseline
+
+
+def daily_savings_pct(baseline_daily, strategy_daily):
+    """Per-day savings; the two series must be the same length."""
+    if len(baseline_daily) != len(strategy_daily):
+        raise ConfigurationError("daily cost series lengths differ")
+    return [cost_savings_pct(base, cost)
+            for base, cost in zip(baseline_daily, strategy_daily)]
+
+
+def cumulative_savings_pct(baseline_daily, strategy_daily):
+    """Savings of the summed series (the paper's headline number)."""
+    return cost_savings_pct(sum(float(c) for c in baseline_daily),
+                            sum(float(c) for c in strategy_daily))
+
+
+def max_daily_savings_pct(baseline_daily, strategy_daily):
+    return max(daily_savings_pct(baseline_daily, strategy_daily))
+
+
+def summarize_savings(daily_costs, baseline="baseline"):
+    """Per-strategy savings summary from ``{strategy: [daily cost]}``.
+
+    Returns ``{strategy: {"cumulative_pct", "max_daily_pct",
+    "mean_daily_pct"}}`` for every non-baseline strategy.
+    """
+    if baseline not in daily_costs:
+        raise ConfigurationError(
+            "no baseline series named {!r}".format(baseline))
+    base = daily_costs[baseline]
+    summary = {}
+    for name, series in daily_costs.items():
+        if name == baseline:
+            continue
+        per_day = daily_savings_pct(base, series)
+        summary[name] = {
+            "cumulative_pct": cumulative_savings_pct(base, series),
+            "max_daily_pct": max(per_day),
+            "mean_daily_pct": sum(per_day) / len(per_day),
+        }
+    return summary
+
+
+def mean_std(values):
+    """Mean and (population) standard deviation of a list of numbers."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ConfigurationError("no values given")
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(variance)

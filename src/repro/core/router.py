@@ -1,0 +1,179 @@
+"""The SmartRouter: policy-driven request routing over the sky mesh.
+
+For each request (or burst) the router builds a
+:class:`~repro.core.policies.RoutingView` from the characterization store,
+asks its policy for a :class:`RoutingDecision`, resolves the target mesh
+deployment, and executes — directly or through the
+:class:`~repro.core.retry.RetryEngine` when the decision carries a retry
+policy.  Optionally it feeds every observed CPU back into the store
+(*passive characterization*, the paper's future-work path).
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.core.optimizer import ZoneRanker
+from repro.core.policies import RoutingView
+from repro.core.retry import RetryEngine, RetriedInvocation
+
+
+class RoutedRequest(object):
+    """Uniform view over direct and retried invocations."""
+
+    __slots__ = ("decision", "outcome")
+
+    def __init__(self, decision, outcome):
+        self.decision = decision
+        self.outcome = outcome
+
+    @property
+    def zone_id(self):
+        return self.decision.zone_id
+
+    @property
+    def cpu_key(self):
+        return self.outcome.cpu_key
+
+    @property
+    def retries(self):
+        if isinstance(self.outcome, RetriedInvocation):
+            return self.outcome.retries
+        return 0
+
+    @property
+    def cost(self):
+        if isinstance(self.outcome, RetriedInvocation):
+            return self.outcome.total_cost
+        return self.outcome.bill.total
+
+    @property
+    def latency_s(self):
+        if isinstance(self.outcome, RetriedInvocation):
+            return self.outcome.total_latency
+        return self.outcome.latency_s
+
+    @property
+    def billed_runtime_s(self):
+        if isinstance(self.outcome, RetriedInvocation):
+            return self.outcome.billed_runtime
+        return self.outcome.runtime_s
+
+    def __repr__(self):
+        return "RoutedRequest(zone={}, cpu={}, retries={}, cost={})".format(
+            self.zone_id, self.cpu_key, self.retries, self.cost)
+
+
+class SmartRouter(object):
+    """Routes one workload's requests according to a policy."""
+
+    def __init__(self, cloud, mesh, store, policy, workload,
+                 candidate_zones, memory_mb=2048, arch="x86_64",
+                 function_name="dynamic", client=None, passive=False):
+        self.cloud = cloud
+        self.mesh = mesh
+        self.store = store
+        self.policy = policy
+        self.workload = workload
+        self.candidate_zones = list(candidate_zones)
+        if not self.candidate_zones:
+            raise ConfigurationError("router needs candidate zones")
+        self.memory_mb = memory_mb
+        self.arch = arch
+        self.function_name = function_name
+        self.client = client
+        self.passive = passive
+        self._ranker = ZoneRanker(store, cloud=cloud)
+        self._retry_engine = RetryEngine(cloud)
+        self._factors = workload.cpu_factors()
+        self._payload = workload.payload()
+
+    # -- views ---------------------------------------------------------------------
+    def current_view(self, now=None):
+        now = self.cloud.clock.now if now is None else now
+        return RoutingView(
+            characterizations=self.store.view(self.candidate_zones,
+                                              now=now),
+            factors=self._factors,
+            base_seconds=self.workload.base_seconds,
+            ranker=self._ranker,
+            candidate_zones=self.candidate_zones,
+            client=self.client,
+            now=now,
+        )
+
+    def decide(self, now=None):
+        """Ask the policy for a routing decision under the current view."""
+        return self.policy.decide(self.current_view(now=now))
+
+    def _deployment_for(self, zone_id):
+        return self.mesh.endpoint(zone_id, self.memory_mb, self.arch,
+                                  self.function_name)
+
+    # -- execution -------------------------------------------------------------------
+    def route(self, decision=None):
+        """Route a single request; returns a :class:`RoutedRequest`."""
+        if decision is None:
+            decision = self.decide()
+        deployment = self._deployment_for(decision.zone_id)
+        if decision.retry_policy is not None:
+            outcome = self._retry_engine.invoke(
+                deployment, decision.retry_policy, payload=self._payload,
+                client=self.client)
+        else:
+            outcome = self.cloud.invoke(deployment, payload=self._payload,
+                                        client=self.client)
+        request = RoutedRequest(decision, outcome)
+        if self.passive:
+            self.store.record_observation(decision.zone_id,
+                                          request.cpu_key,
+                                          timestamp=self.cloud.clock.now)
+        return request
+
+    def route_with_failover(self, max_zones=None):
+        """Route one request, failing over across candidate zones.
+
+        Sky computing's availability story: if the chosen zone is
+        saturated, drop it from this request's view and re-decide, until a
+        zone serves the request or the candidates are exhausted (the last
+        error propagates).  ``max_zones`` bounds the attempts.
+        """
+        from repro.common.errors import SaturationError
+        remaining = list(self.candidate_zones)
+        attempts = max_zones if max_zones is not None else len(remaining)
+        last_error = None
+        original = self.candidate_zones
+        try:
+            for _ in range(attempts):
+                if not remaining:
+                    break
+                self.candidate_zones = remaining
+                try:
+                    decision = self.decide()
+                except Exception:
+                    raise
+                try:
+                    return self.route(decision)
+                except SaturationError as error:
+                    last_error = error
+                    remaining = [z for z in remaining
+                                 if z != decision.zone_id]
+        finally:
+            self.candidate_zones = original
+        if last_error is not None:
+            raise last_error
+        raise ConfigurationError("no candidate zones left to fail over to")
+
+    def route_burst(self, n_requests, decide_once=True):
+        """Route a burst of ``n_requests``.
+
+        ``decide_once`` (the default) makes one routing decision for the
+        whole burst, matching how a batch dispatcher works; otherwise every
+        request re-decides (useful when passive observations shift the view
+        mid-burst).
+        """
+        if n_requests <= 0:
+            raise ConfigurationError("n_requests must be positive")
+        decision = self.decide() if decide_once else None
+        return [self.route(decision) for _ in range(n_requests)]
+
+    def __repr__(self):
+        return "SmartRouter(policy={}, workload={!r})".format(
+            self.policy.name, self.workload.name)

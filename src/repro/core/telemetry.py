@@ -1,0 +1,128 @@
+"""Routing telemetry: observe what the router actually did.
+
+A production sky router needs observability: which zones served traffic,
+on which CPUs, with how many retries, at what cost and latency.
+:class:`RoutingTelemetry` is a bounded in-memory sink the router (or any
+caller) records :class:`~repro.core.router.RoutedRequest` outcomes into,
+with per-zone/per-CPU summaries and CSV-ready export.
+"""
+
+import collections
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+
+
+class TelemetryRecord(object):
+    """One routed request, flattened."""
+
+    __slots__ = ("timestamp", "workload", "policy", "zone_id", "cpu_key",
+                 "retries", "cost_usd", "latency_s")
+
+    def __init__(self, timestamp, workload, policy, zone_id, cpu_key,
+                 retries, cost_usd, latency_s):
+        self.timestamp = timestamp
+        self.workload = workload
+        self.policy = policy
+        self.zone_id = zone_id
+        self.cpu_key = cpu_key
+        self.retries = retries
+        self.cost_usd = cost_usd
+        self.latency_s = latency_s
+
+    def to_row(self):
+        return {
+            "timestamp": self.timestamp,
+            "workload": self.workload,
+            "policy": self.policy,
+            "zone": self.zone_id,
+            "cpu": self.cpu_key,
+            "retries": self.retries,
+            "cost_usd": self.cost_usd,
+            "latency_s": self.latency_s,
+        }
+
+
+class RoutingTelemetry(object):
+    """Bounded ring buffer of routing outcomes with aggregations."""
+
+    def __init__(self, capacity=100000):
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self._records = collections.deque(maxlen=int(capacity))
+
+    def __len__(self):
+        return len(self._records)
+
+    # -- recording -------------------------------------------------------------
+    def record(self, request, workload="", policy="", timestamp=0.0):
+        """Record a :class:`RoutedRequest` (or compatible object)."""
+        record = TelemetryRecord(
+            timestamp=timestamp,
+            workload=workload,
+            policy=policy,
+            zone_id=request.zone_id,
+            cpu_key=request.cpu_key,
+            retries=request.retries,
+            cost_usd=float(request.cost),
+            latency_s=request.latency_s,
+        )
+        self._records.append(record)
+        return record
+
+    def records(self):
+        return list(self._records)
+
+    def rows(self):
+        """CSV-ready dict rows (pairs with ``repro.reporting.write_csv``)."""
+        return [record.to_row() for record in self._records]
+
+    # -- aggregations -------------------------------------------------------------
+    def total_cost(self):
+        return Money(sum(r.cost_usd for r in self._records))
+
+    def total_retries(self):
+        return sum(r.retries for r in self._records)
+
+    def by_zone(self):
+        """zone -> {requests, cost_usd, retries, mean_latency_s}."""
+        return self._group(lambda r: r.zone_id)
+
+    def by_cpu(self):
+        """cpu -> {requests, cost_usd, retries, mean_latency_s}."""
+        return self._group(lambda r: r.cpu_key)
+
+    def by_policy(self):
+        return self._group(lambda r: r.policy)
+
+    def cpu_distribution(self):
+        """Observed CPU mix across all recorded requests — usable as a
+        passive characterization cross-check."""
+        from repro.common.distributions import CategoricalDistribution
+        counts = {}
+        for record in self._records:
+            counts[record.cpu_key] = counts.get(record.cpu_key, 0) + 1
+        return CategoricalDistribution(counts)
+
+    def _group(self, key_fn):
+        groups = {}
+        for record in self._records:
+            bucket = groups.setdefault(key_fn(record), {
+                "requests": 0, "cost_usd": 0.0, "retries": 0,
+                "_latency_sum": 0.0,
+            })
+            bucket["requests"] += 1
+            bucket["cost_usd"] += record.cost_usd
+            bucket["retries"] += record.retries
+            bucket["_latency_sum"] += record.latency_s
+        for bucket in groups.values():
+            bucket["mean_latency_s"] = (bucket.pop("_latency_sum")
+                                        / bucket["requests"])
+        return groups
+
+    def clear(self):
+        self._records.clear()
+
+    def __repr__(self):
+        return "RoutingTelemetry(records={}, cost={})".format(
+            len(self), self.total_cost())

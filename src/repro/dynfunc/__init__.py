@@ -1,0 +1,46 @@
+"""Dynamic functions: generic pre-deployed FaaS functions (paper §3.2).
+
+A *dynamic function* is a generic execution environment deployed once to
+every zone; the **workload source code travels in the request payload**
+(compressed + base64), is cached on the FI's ephemeral filesystem keyed by
+payload hash, and is executed by the resident Python interpreter.  This lets
+the sky mesh run any workload anywhere without redeployment.
+
+Components:
+
+* :mod:`payload` — build/encode/decode payloads (code, files, arguments),
+  with the paper's size envelope (≤5 MB) and decode-cost model (<1 ms for
+  code, ≤70 ms for a maximal payload);
+* :mod:`runtime` — the in-FI runtime: decode, hash-keyed caching, and real
+  ``exec`` of the supplied source (used by tests and examples);
+* :mod:`handler` — the simulator-side handler that accounts for decode
+  overhead, payload caching per FI, and the in-function CPU check used by
+  the retry strategies.
+"""
+
+from repro.dynfunc.payload import (
+    DynamicPayload,
+    build_payload,
+    decode_payload,
+    payload_decode_seconds,
+    MAX_PAYLOAD_BYTES,
+)
+from repro.dynfunc.runtime import DynamicFunctionRuntime, ExecutionResult
+from repro.dynfunc.handler import (
+    CPU_CHECK_SECONDS,
+    DynamicFunctionHandler,
+    UniversalDynamicFunctionHandler,
+)
+
+__all__ = [
+    "DynamicPayload",
+    "build_payload",
+    "decode_payload",
+    "payload_decode_seconds",
+    "MAX_PAYLOAD_BYTES",
+    "DynamicFunctionRuntime",
+    "ExecutionResult",
+    "DynamicFunctionHandler",
+    "UniversalDynamicFunctionHandler",
+    "CPU_CHECK_SECONDS",
+]

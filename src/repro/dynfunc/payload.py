@@ -1,0 +1,143 @@
+"""Dynamic-function payloads: code and data shipped in the request.
+
+FaaSET's tooling "can take files, compress, encode, and automatically
+generate the payload for a request to a dynamic function" (paper §3.2).
+A payload bundles:
+
+* ``code`` — the workload's Python source (zlib + base64);
+* ``files`` — auxiliary data files (same encoding), unpacked to the FI's
+  ephemeral filesystem;
+* ``entry`` — the handler symbol to call;
+* ``args`` — JSON-serializable arguments for the handler;
+* ``sha256`` — content hash, the FI-side cache key.
+"""
+
+import base64
+import hashlib
+import json
+import zlib
+
+from repro.common.errors import PayloadError
+
+# The paper evaluates payloads up to 5 MB ("Even for a maximum payload input
+# size of 5 MB, the decode time remains minimal (at most 70 ms)").
+MAX_PAYLOAD_BYTES = 5 * 1024 * 1024
+
+# Decode-cost model endpoints: ~1 ms for a small code-only payload,
+# ~70 ms for a maximal 5 MB payload.
+_BASE_DECODE_SECONDS = 1e-3
+_DECODE_SECONDS_PER_BYTE = (70e-3 - _BASE_DECODE_SECONDS) / MAX_PAYLOAD_BYTES
+
+
+class DynamicPayload(object):
+    """An encoded dynamic-function payload."""
+
+    __slots__ = ("code_b64", "files_b64", "entry", "args", "sha256",
+                 "banned_cpus")
+
+    def __init__(self, code_b64, files_b64, entry, args, sha256,
+                 banned_cpus=()):
+        self.code_b64 = code_b64
+        self.files_b64 = dict(files_b64)
+        self.entry = entry
+        self.args = args
+        self.sha256 = sha256
+        self.banned_cpus = tuple(banned_cpus)
+
+    @property
+    def encoded_bytes(self):
+        """Total size of the encoded payload body."""
+        total = len(self.code_b64)
+        for blob in self.files_b64.values():
+            total += len(blob)
+        return total
+
+    def to_dict(self):
+        """Wire format: what would be POSTed to the function URL."""
+        return {
+            "code": self.code_b64,
+            "files": dict(self.files_b64),
+            "entry": self.entry,
+            "args": self.args,
+            "sha256": self.sha256,
+            "banned_cpus": list(self.banned_cpus),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        try:
+            return cls(data["code"], data.get("files", {}),
+                       data.get("entry", "handler"), data.get("args"),
+                       data["sha256"], data.get("banned_cpus", ()))
+        except KeyError as missing:
+            raise PayloadError(
+                "payload missing field {}".format(missing))
+
+    def with_banned_cpus(self, banned_cpus):
+        """Copy of this payload carrying a banned-CPU list (retry method)."""
+        return DynamicPayload(self.code_b64, self.files_b64, self.entry,
+                              self.args, self.sha256, tuple(banned_cpus))
+
+    def __repr__(self):
+        return "DynamicPayload(entry={!r}, bytes={}, files={})".format(
+            self.entry, self.encoded_bytes, len(self.files_b64))
+
+
+def _encode_blob(raw):
+    return base64.b64encode(zlib.compress(raw, 6)).decode("ascii")
+
+
+def _decode_blob(blob):
+    try:
+        return zlib.decompress(base64.b64decode(blob.encode("ascii")))
+    except Exception as exc:
+        raise PayloadError("cannot decode payload blob: {}".format(exc))
+
+
+def build_payload(source_code, files=None, entry="handler", args=None):
+    """Compress and encode a workload into a :class:`DynamicPayload`.
+
+    ``files`` maps filename -> bytes.  Raises :class:`PayloadError` if the
+    encoded payload exceeds the 5 MB envelope.
+    """
+    if not source_code or not source_code.strip():
+        raise PayloadError("source code must be non-empty")
+    files = files or {}
+    code_b64 = _encode_blob(source_code.encode("utf-8"))
+    files_b64 = {}
+    digest = hashlib.sha256(source_code.encode("utf-8"))
+    for name in sorted(files):
+        raw = files[name]
+        if isinstance(raw, str):
+            raw = raw.encode("utf-8")
+        files_b64[name] = _encode_blob(raw)
+        digest.update(name.encode("utf-8"))
+        digest.update(raw)
+    digest.update(json.dumps(args, sort_keys=True,
+                             default=str).encode("utf-8"))
+    payload = DynamicPayload(code_b64, files_b64, entry, args,
+                             digest.hexdigest())
+    if payload.encoded_bytes > MAX_PAYLOAD_BYTES:
+        raise PayloadError(
+            "payload is {} bytes; the envelope is {}".format(
+                payload.encoded_bytes, MAX_PAYLOAD_BYTES))
+    return payload
+
+
+def decode_payload(payload):
+    """Decode a payload back to ``(source_code, files)``.
+
+    ``payload`` may be a :class:`DynamicPayload` or its wire dict.
+    """
+    if isinstance(payload, dict):
+        payload = DynamicPayload.from_dict(payload)
+    source = _decode_blob(payload.code_b64).decode("utf-8")
+    files = {name: _decode_blob(blob)
+             for name, blob in payload.files_b64.items()}
+    return source, files
+
+
+def payload_decode_seconds(payload):
+    """Modelled decode+decompress+store time for a payload (paper §3.2)."""
+    return (_BASE_DECODE_SECONDS
+            + payload.encoded_bytes * _DECODE_SECONDS_PER_BYTE)

@@ -1,0 +1,121 @@
+"""Result export: characterizations, campaigns, and studies to JSON/CSV.
+
+Everything the experiments produce can be serialized for external
+analysis; the CLI uses these helpers for its ``--json``/``--csv`` flags.
+"""
+
+import csv
+import json
+
+from repro.common.errors import ConfigurationError
+
+
+def characterization_to_dict(profile):
+    """A :class:`CPUCharacterization` as a JSON-safe dict."""
+    return {
+        "zone": profile.zone_id,
+        "shares": {cpu: round(profile.share(cpu), 6)
+                   for cpu in profile.cpu_keys()},
+        "samples": profile.samples,
+        "polls": profile.polls,
+        "cost_usd": float(profile.cost),
+        "created_at": profile.created_at,
+    }
+
+
+def campaign_to_dict(result):
+    """A :class:`CampaignResult` with its per-poll trace."""
+    return {
+        "zone": result.zone_id,
+        "saturated": result.saturated,
+        "polls": result.polls_run,
+        "total_fis": result.total_fis,
+        "total_cost_usd": float(result.total_cost),
+        "trace": [
+            {
+                "unique_fis": obs.unique_fis,
+                "served": obs.served,
+                "failed": obs.failed,
+                "failure_rate": round(obs.failure_rate, 4),
+                "cost_usd": float(obs.cost),
+                "cpu_counts": dict(obs.cpu_counts),
+            }
+            for obs in result.observations
+        ],
+        "ground_truth": characterization_to_dict(result.ground_truth()),
+    }
+
+
+def study_result_to_dict(result):
+    """A :class:`StudyResult` with savings summaries."""
+    payload = {
+        "workload": result.workload_name,
+        "days": result.days,
+        "policies": list(result.policy_names),
+        "daily_costs_usd": {name: list(series)
+                            for name, series in result.daily_costs.items()},
+        "daily_retries": {name: list(series)
+                          for name, series in result.daily_retries.items()},
+        "zones_chosen": {name: list(series)
+                         for name, series in result.zones_chosen.items()},
+        "sampling_cost_usd": float(result.sampling_cost),
+    }
+    if "baseline" in result.daily_costs:
+        payload["savings_vs_baseline"] = result.savings_summary()
+    return payload
+
+
+def write_json(path, payload):
+    """Write any JSON-safe payload to ``path`` (pretty-printed)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def characterizations_to_rows(profiles):
+    """Flatten characterizations into CSV rows (one row per zone x CPU)."""
+    rows = []
+    for profile in profiles:
+        for cpu in profile.cpu_keys():
+            rows.append({
+                "zone": profile.zone_id,
+                "cpu": cpu,
+                "share": round(profile.share(cpu), 6),
+                "samples": profile.samples,
+                "cost_usd": float(profile.cost),
+            })
+    return rows
+
+
+def study_to_rows(result):
+    """Flatten a study into CSV rows (one row per policy x day)."""
+    rows = []
+    for name in result.policy_names:
+        for day, cost in enumerate(result.daily_costs[name], start=1):
+            rows.append({
+                "workload": result.workload_name,
+                "policy": name,
+                "day": day,
+                "cost_usd": cost,
+                "retries": result.daily_retries[name][day - 1],
+                "zone": result.zones_chosen[name][day - 1],
+            })
+    return rows
+
+
+def write_csv(path, rows):
+    """Write a list of homogeneous dicts to ``path`` as CSV."""
+    if not rows:
+        raise ConfigurationError("no rows to write")
+    fieldnames = list(rows[0])
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,25 @@
+"""A SAAF-style profiling layer for simulated function instances.
+
+The paper uses the Serverless Application Analytics Framework (SAAF) to
+observe, from *inside* a running function, the hardware it landed on: CPU
+model string, clock speed, host identity, whether the container is new, and
+runtime metrics.  This package reproduces SAAF's report schema on top of the
+simulator so downstream code (characterization, routing) consumes reports
+exactly the way SAAF consumers do.
+"""
+
+from repro.saaf.inspector import Inspector
+from repro.saaf.report import (
+    SAAFReport,
+    aggregate_cpu_counts,
+    report_from_invocation,
+    reports_from_placement,
+)
+
+__all__ = [
+    "Inspector",
+    "SAAFReport",
+    "aggregate_cpu_counts",
+    "report_from_invocation",
+    "reports_from_placement",
+]

@@ -1,0 +1,81 @@
+"""The Inspector: SAAF's in-function introspection object.
+
+Real SAAF exposes ``inspectCPU()``, ``inspectContainer()``,
+``inspectPlatform()`` and friends, accumulating attributes into a dict that
+is returned with the function's response.  Our Inspector reads the same
+attributes from a simulated :class:`~repro.cloudsim.cloud.Invocation`.
+"""
+
+from repro.cloudsim.cpu import cpu_by_key
+
+
+class Inspector(object):
+    """Collects profiling attributes for one function execution.
+
+    Mirrors SAAF's fluent usage::
+
+        inspector = Inspector(invocation)
+        inspector.inspect_cpu()
+        inspector.inspect_container()
+        report = inspector.finish()
+    """
+
+    def __init__(self, invocation):
+        self._invocation = invocation
+        self._attributes = {
+            "version": 0.6,
+            "lang": "python",
+            "uuid": invocation.request_id,
+        }
+
+    # -- probes ---------------------------------------------------------------
+    def inspect_cpu(self):
+        """Record CPU attributes as read from /proc/cpuinfo inside the FI."""
+        cpu = cpu_by_key(self._invocation.cpu_key)
+        self._attributes.update({
+            "cpuType": cpu.model_name,
+            "cpuModel": cpu.key,
+            "cpuMhz": cpu.clock_ghz * 1000.0,
+            "cpuArch": cpu.arch,
+            "cpuVendor": cpu.vendor,
+        })
+        return self
+
+    def inspect_container(self):
+        """Record container/FI identity and freshness."""
+        self._attributes.update({
+            "containerID": self._invocation.instance_id,
+            "vmID": self._invocation.host_id,
+            "newcontainer": 0 if self._invocation.reused else 1,
+        })
+        return self
+
+    def inspect_platform(self):
+        """Record platform-level attributes."""
+        self._attributes.update({
+            "platform": "simulated-faas",
+            "functionRegion": self._invocation.zone_id,
+        })
+        return self
+
+    def inspect_all(self):
+        self.inspect_cpu()
+        self.inspect_container()
+        self.inspect_platform()
+        return self
+
+    def add_attribute(self, key, value):
+        """SAAF lets handlers attach custom attributes."""
+        self._attributes[key] = value
+        return self
+
+    # -- results -----------------------------------------------------------------
+    def finish(self):
+        """Finalize and return the report dict (SAAF's ``inspector.finish()``)."""
+        self._attributes.update({
+            "runtime": self._invocation.runtime_s * 1000.0,
+            "latency": self._invocation.latency_s * 1000.0,
+            "coldTime": self._invocation.cold_start_s * 1000.0,
+            "startTime": self._invocation.timestamp,
+        })
+        return dict(self._attributes)

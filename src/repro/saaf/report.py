@@ -1,0 +1,97 @@
+"""SAAF report objects and aggregation helpers.
+
+A single invocation yields one report; a sampling poll yields one report per
+served request.  The characterization layer only needs the CPU attribute,
+so for batched polls we expose the aggregated CPU counts directly instead of
+materializing 1,000 dicts per poll.
+"""
+
+from repro.cloudsim.cpu import cpu_by_key
+from repro.saaf.inspector import Inspector
+
+
+class SAAFReport(object):
+    """Typed view over a SAAF report dict."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = dict(data)
+
+    @property
+    def cpu_key(self):
+        return self.data.get("cpuModel")
+
+    @property
+    def cpu_type(self):
+        return self.data.get("cpuType")
+
+    @property
+    def is_cold(self):
+        return bool(self.data.get("newcontainer", 0))
+
+    @property
+    def runtime_ms(self):
+        return self.data.get("runtime", 0.0)
+
+    @property
+    def zone(self):
+        return self.data.get("functionRegion")
+
+    def __getitem__(self, key):
+        return self.data[key]
+
+    def __contains__(self, key):
+        return key in self.data
+
+    def __repr__(self):
+        return "SAAFReport(cpu={}, runtime={:.1f}ms)".format(
+            self.cpu_key, self.runtime_ms)
+
+
+def report_from_invocation(invocation):
+    """Full SAAF report for one simulated invocation."""
+    return SAAFReport(Inspector(invocation).inspect_all().finish())
+
+
+def reports_from_placement(result, max_reports=None):
+    """Materialize per-request reports from a batched placement result.
+
+    Reports carry the CPU attributes; identity fields are synthesized per
+    request.  ``max_reports`` caps materialization for very large polls.
+    """
+    reports = []
+    index = 0
+    for cpu_key in sorted(result.request_cpu_counts):
+        cpu = cpu_by_key(cpu_key)
+        for _ in range(result.request_cpu_counts[cpu_key]):
+            if max_reports is not None and len(reports) >= max_reports:
+                return reports
+            reports.append(SAAFReport({
+                "version": 0.6,
+                "lang": "python",
+                "uuid": "{}-{}-{}".format(result.zone_id,
+                                          int(result.timestamp), index),
+                "cpuType": cpu.model_name,
+                "cpuModel": cpu.key,
+                "cpuMhz": cpu.clock_ghz * 1000.0,
+                "cpuArch": cpu.arch,
+                "cpuVendor": cpu.vendor,
+                "functionRegion": result.zone_id,
+                "runtime": result.duration * 1000.0,
+                "startTime": result.timestamp,
+            }))
+            index += 1
+    return reports
+
+
+def aggregate_cpu_counts(reports):
+    """Count reports per CPU key — the input to a characterization."""
+    counts = {}
+    for report in reports:
+        key = report.cpu_key if isinstance(report, SAAFReport) else (
+            report.get("cpuModel"))
+        if key is None:
+            continue
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,69 @@
+"""FaaS infrastructure sampling (paper §3.1, EX-1..EX-4).
+
+The pipeline:
+
+1. :mod:`fanout` — plan the recursive invocation tree that turns a handful
+   of client requests into 1,000 truly parallel invocations;
+2. :mod:`poller` — execute *polls* (one parallel burst against one of the
+   100 sampling endpoints) and collect per-request CPU observations;
+3. :mod:`characterization` — aggregate observations into zone CPU
+   characterizations and compare them (APE);
+4. :mod:`campaign` — run polls until the zone saturates (>50 % failures),
+   yielding the ground-truth characterization;
+5. :mod:`progressive` — the accuracy-vs-cost analysis of EX-3;
+6. :mod:`temporal` — daily and hourly campaign series of EX-4;
+7. :mod:`cost` — dollar accounting of the sampling spend.
+"""
+
+from repro.sampling.fanout import FanoutSpec
+from repro.sampling.poller import Poller, PollObservation
+from repro.sampling.characterization import (
+    CPUCharacterization,
+    CharacterizationBuilder,
+)
+from repro.sampling.campaign import SamplingCampaign, CampaignResult
+from repro.sampling.progressive import ProgressiveAnalysis
+from repro.sampling.temporal import DailyCampaignSeries, HourlySeries
+from repro.sampling.cost import (
+    campaign_cost_summary,
+    characterization_cost,
+)
+from repro.sampling.estimators import CharacterizationEstimator
+from repro.sampling.scheduler import (
+    SamplingBudgetPlanner,
+    SamplingPlan,
+    ZoneSamplingInfo,
+)
+from repro.sampling.similarity import SimilarityMatrix
+from repro.sampling.validation import (
+    SaturationValidation,
+    validate_saturation,
+)
+from repro.sampling.stability import (
+    StabilityClassifier,
+    ZoneStabilityTracker,
+)
+
+__all__ = [
+    "FanoutSpec",
+    "Poller",
+    "PollObservation",
+    "CPUCharacterization",
+    "CharacterizationBuilder",
+    "SamplingCampaign",
+    "CampaignResult",
+    "ProgressiveAnalysis",
+    "DailyCampaignSeries",
+    "HourlySeries",
+    "campaign_cost_summary",
+    "characterization_cost",
+    "CharacterizationEstimator",
+    "SamplingBudgetPlanner",
+    "SamplingPlan",
+    "ZoneSamplingInfo",
+    "SimilarityMatrix",
+    "SaturationValidation",
+    "validate_saturation",
+    "StabilityClassifier",
+    "ZoneStabilityTracker",
+]

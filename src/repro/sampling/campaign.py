@@ -1,0 +1,108 @@
+"""Sampling campaigns: poll until the zone saturates.
+
+EX-1 defines the stop rule: "we defined the failure point to stop sampling
+as when more than 50 % of the requests in a sampling poll failed."  The
+accumulated observations at that point are the zone's **ground truth**
+characterization — validated in the paper by a second account hitting
+immediate saturation.
+"""
+
+from repro.common.errors import CharacterizationError, ConfigurationError
+from repro.common.units import Money
+from repro.sampling.characterization import CharacterizationBuilder
+from repro.sampling.poller import Poller
+
+
+class CampaignResult(object):
+    """The full trace of one sampling campaign in one zone."""
+
+    def __init__(self, zone_id, observations, saturated):
+        self.zone_id = zone_id
+        self.observations = list(observations)
+        self.saturated = saturated
+
+    # -- aggregates ----------------------------------------------------------
+    @property
+    def polls_run(self):
+        return len(self.observations)
+
+    @property
+    def total_fis(self):
+        return sum(obs.unique_fis for obs in self.observations)
+
+    @property
+    def total_requests(self):
+        return sum(obs.served + obs.failed for obs in self.observations)
+
+    @property
+    def total_cost(self):
+        return sum((obs.cost for obs in self.observations), Money(0))
+
+    # -- characterizations --------------------------------------------------------
+    def characterization_after(self, polls):
+        """Characterization built from the first ``polls`` polls."""
+        if polls < 1 or polls > self.polls_run:
+            raise ConfigurationError(
+                "polls must be in [1, {}]".format(self.polls_run))
+        builder = CharacterizationBuilder(self.zone_id)
+        for obs in self.observations[:polls]:
+            if obs.served > 0:
+                builder.add_poll(obs.cpu_counts, cost=obs.cost,
+                                 timestamp=obs.timestamp)
+        if builder.is_empty():
+            raise CharacterizationError(
+                "first {} polls in {} observed nothing".format(
+                    polls, self.zone_id))
+        return builder.snapshot()
+
+    def ground_truth(self):
+        """The saturation-time characterization (all polls pooled)."""
+        return self.characterization_after(self.polls_run)
+
+    def fis_after(self, polls):
+        return sum(obs.unique_fis for obs in self.observations[:polls])
+
+    def __repr__(self):
+        return ("CampaignResult({}, polls={}, fis={}, saturated={}, "
+                "cost={})".format(self.zone_id, self.polls_run,
+                                  self.total_fis, self.saturated,
+                                  self.total_cost))
+
+
+class SamplingCampaign(object):
+    """Run polls back-to-back until saturation (or the endpoint budget)."""
+
+    def __init__(self, cloud, endpoints, n_requests=1000,
+                 failure_threshold=0.5, max_polls=None,
+                 inter_poll_gap=2.5, fanout=None):
+        if not 0 < failure_threshold <= 1:
+            raise ConfigurationError("failure_threshold must be in (0, 1]")
+        self.cloud = cloud
+        self.poller = Poller(cloud, endpoints, n_requests=n_requests,
+                             fanout=fanout)
+        self.failure_threshold = float(failure_threshold)
+        self.max_polls = max_polls if max_polls is not None else len(
+            endpoints)
+        self.inter_poll_gap = float(inter_poll_gap)
+
+    @property
+    def zone_id(self):
+        return self.poller.zone_id
+
+    def run(self):
+        """Poll until >``failure_threshold`` of a poll's requests fail.
+
+        Returns a :class:`CampaignResult`; ``saturated`` is False when the
+        campaign ran out of endpoints before hitting the failure point.
+        """
+        self.poller.reset_rotation()
+        observations = []
+        saturated = False
+        for _ in range(self.max_polls):
+            observation = self.poller.poll()
+            observations.append(observation)
+            if observation.failure_rate > self.failure_threshold:
+                saturated = True
+                break
+            self.cloud.clock.advance(self.inter_poll_gap)
+        return CampaignResult(self.zone_id, observations, saturated)

@@ -1,0 +1,125 @@
+"""CPU characterizations: the product of infrastructure sampling.
+
+A characterization is a categorical distribution over CPU models for one
+zone, together with provenance: how many FIs back it, how many polls it
+took, what it cost, and when it was taken (characterizations age — EX-4).
+"""
+
+from repro.common.distributions import (
+    CategoricalDistribution,
+    absolute_percentage_error,
+)
+from repro.common.errors import CharacterizationError
+from repro.common.units import Money
+
+
+class CPUCharacterization(object):
+    """An immutable zone CPU profile with provenance."""
+
+    __slots__ = ("zone_id", "distribution", "samples", "polls", "cost",
+                 "created_at")
+
+    def __init__(self, zone_id, distribution, samples, polls, cost,
+                 created_at):
+        if distribution.is_empty():
+            raise CharacterizationError(
+                "characterization for {} has no observations".format(zone_id))
+        self.zone_id = zone_id
+        self.distribution = distribution
+        self.samples = int(samples)
+        self.polls = int(polls)
+        self.cost = cost
+        self.created_at = float(created_at)
+
+    # -- views ---------------------------------------------------------------
+    def share(self, cpu_key):
+        return self.distribution.share(cpu_key)
+
+    def shares(self):
+        return self.distribution.shares()
+
+    def cpu_keys(self):
+        return list(self.distribution.categories)
+
+    def dominant_cpu(self):
+        return self.distribution.mode()
+
+    def age_at(self, now):
+        """Seconds elapsed since this characterization was taken."""
+        return max(0.0, now - self.created_at)
+
+    # -- comparison ---------------------------------------------------------------
+    def ape_to(self, other):
+        """Absolute percentage error versus another characterization."""
+        other_dist = (other.distribution
+                      if isinstance(other, CPUCharacterization) else other)
+        return absolute_percentage_error(self.distribution, other_dist)
+
+    def accuracy_to(self, other):
+        """Paper-style accuracy: 100 % − APE (clamped at 0)."""
+        return max(0.0, 100.0 - self.ape_to(other))
+
+    def __repr__(self):
+        return ("CPUCharacterization({}, samples={}, polls={}, "
+                "cost={})".format(self.zone_id, self.samples, self.polls,
+                                  self.cost))
+
+
+class CharacterizationBuilder(object):
+    """Accumulates poll observations into a characterization."""
+
+    def __init__(self, zone_id):
+        self.zone_id = zone_id
+        self._counts = {}
+        self._samples = 0
+        self._polls = 0
+        self._cost = Money(0)
+        self._first_time = None
+        self._last_time = None
+
+    def add_poll(self, cpu_counts, cost=Money(0), timestamp=0.0):
+        """Fold one poll's per-CPU observation counts into the profile."""
+        for cpu_key, count in cpu_counts.items():
+            self._counts[cpu_key] = self._counts.get(cpu_key, 0) + count
+            self._samples += count
+        self._polls += 1
+        self._cost = self._cost + cost
+        if self._first_time is None:
+            self._first_time = timestamp
+        self._last_time = timestamp
+        return self
+
+    def add_observation(self, cpu_key, timestamp=0.0):
+        """Fold a single passive observation (e.g. from a routed workload
+        invocation) into the profile."""
+        self._counts[cpu_key] = self._counts.get(cpu_key, 0) + 1
+        self._samples += 1
+        if self._first_time is None:
+            self._first_time = timestamp
+        self._last_time = timestamp
+        return self
+
+    @property
+    def samples(self):
+        return self._samples
+
+    @property
+    def polls(self):
+        return self._polls
+
+    def is_empty(self):
+        return self._samples == 0
+
+    def snapshot(self):
+        """Freeze the current state into a :class:`CPUCharacterization`."""
+        if self.is_empty():
+            raise CharacterizationError(
+                "no observations recorded for {}".format(self.zone_id))
+        return CPUCharacterization(
+            zone_id=self.zone_id,
+            distribution=CategoricalDistribution(self._counts),
+            samples=self._samples,
+            polls=self._polls,
+            cost=self._cost,
+            created_at=self._last_time or 0.0,
+        )

@@ -1,0 +1,44 @@
+"""Sampling cost accounting.
+
+The paper's headline numbers: ~$0.20 to fully saturate an AZ, ~$0.04 for a
+95 %-accurate characterization, under two cents per poll at the 2 GB
+setting, and $2.80 of total sampling spend across the two-week EX-4/EX-5
+study.
+"""
+
+from repro.common.units import Money
+from repro.sampling.progressive import ProgressiveAnalysis
+
+
+def characterization_cost(campaign_result, accuracy_pct=95.0):
+    """Dollars to characterize a zone to ``accuracy_pct`` from one campaign.
+
+    Returns the full campaign cost when the target was never reached.
+    """
+    analysis = ProgressiveAnalysis(campaign_result)
+    cost = analysis.cost_to_accuracy(accuracy_pct)
+    if cost is None:
+        return campaign_result.total_cost
+    return cost
+
+
+def campaign_cost_summary(campaign_result):
+    """Headline cost metrics for one campaign."""
+    fis = campaign_result.total_fis
+    total = campaign_result.total_cost
+    return {
+        "zone": campaign_result.zone_id,
+        "polls": campaign_result.polls_run,
+        "fis_observed": fis,
+        "saturated": campaign_result.saturated,
+        "total_cost_usd": float(total),
+        "cost_per_poll_usd": (float(total) / campaign_result.polls_run
+                              if campaign_result.polls_run else 0.0),
+        "cost_per_fi_usd": float(total) / fis if fis else 0.0,
+        "cost_to_95pct_usd": float(characterization_cost(campaign_result)),
+    }
+
+
+def series_cost(results):
+    """Total sampling spend over a list of campaign results."""
+    return sum((result.total_cost for result in results), Money(0))

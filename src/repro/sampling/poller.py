@@ -1,0 +1,101 @@
+"""Polling: one parallel burst against one sampling endpoint.
+
+A :class:`Poller` owns the zone's sampling endpoint set (the 100 deployed
+sleep functions) and rotates through them, so back-to-back polls never share
+warm FIs — each poll observes a fresh slice of the zone's infrastructure.
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.sampling.fanout import FanoutSpec
+
+
+class PollObservation(object):
+    """What one poll saw."""
+
+    __slots__ = ("endpoint_id", "zone_id", "result", "bill", "timestamp")
+
+    def __init__(self, endpoint_id, zone_id, result, bill, timestamp):
+        self.endpoint_id = endpoint_id
+        self.zone_id = zone_id
+        self.result = result
+        self.bill = bill
+        self.timestamp = timestamp
+
+    @property
+    def cpu_counts(self):
+        """Per-request CPU observations (one SAAF report per request)."""
+        return self.result.request_cpu_counts
+
+    @property
+    def unique_fis(self):
+        return self.result.unique_fis
+
+    @property
+    def served(self):
+        return self.result.served
+
+    @property
+    def failed(self):
+        return self.result.failed
+
+    @property
+    def failure_rate(self):
+        return self.result.failure_rate
+
+    @property
+    def cost(self):
+        return self.bill.total
+
+    def __repr__(self):
+        return ("PollObservation({} served={} failed={} "
+                "cost={})".format(self.zone_id, self.served, self.failed,
+                                  self.cost))
+
+
+class Poller(object):
+    """Rotates polls across a zone's sampling endpoints."""
+
+    def __init__(self, cloud, endpoints, n_requests=1000, fanout=None):
+        if not endpoints:
+            raise ConfigurationError("poller needs at least one endpoint")
+        zones = {e.zone_id for e in endpoints}
+        if len(zones) != 1:
+            raise ConfigurationError(
+                "sampling endpoints span multiple zones: {}".format(
+                    sorted(zones)))
+        self.cloud = cloud
+        self.endpoints = list(endpoints)
+        self.n_requests = int(n_requests)
+        self.fanout = fanout or FanoutSpec()
+        self._next_endpoint = 0
+
+    @property
+    def zone_id(self):
+        return self.endpoints[0].zone_id
+
+    @property
+    def polls_available(self):
+        """Endpoints not yet used in this rotation cycle."""
+        return len(self.endpoints) - self._next_endpoint
+
+    def reset_rotation(self):
+        """Start a fresh rotation (e.g. a new day's campaign)."""
+        self._next_endpoint = 0
+
+    def poll(self, now=None):
+        """Execute one poll against the next endpoint in rotation."""
+        endpoint = self.endpoints[self._next_endpoint % len(self.endpoints)]
+        self._next_endpoint += 1
+        duration = endpoint.handler.duration_on(None, self.cloud.rng)
+        window = self.fanout.effective_window(
+            self.n_requests, endpoint.provider, endpoint.memory_mb)
+        result, bill = self.cloud.place_batch(
+            endpoint, self.n_requests, duration, window=window, now=now,
+            bill_category="sampling")
+        return PollObservation(
+            endpoint_id=endpoint.deployment_id,
+            zone_id=endpoint.zone_id,
+            result=result,
+            bill=bill,
+            timestamp=result.timestamp,
+        )

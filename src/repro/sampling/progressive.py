@@ -1,0 +1,72 @@
+"""Progressive-sampling analysis (EX-3, Figure 5).
+
+Given a saturation campaign, measure how quickly partial characterizations
+converge on the ground truth: APE after k polls, and the polls/FIs/cost
+needed to reach a target accuracy.
+"""
+
+from repro.common.errors import CharacterizationError, ConfigurationError
+from repro.common.units import Money
+
+
+class ProgressiveAnalysis(object):
+    """Accuracy-versus-cost curves for one campaign."""
+
+    def __init__(self, campaign_result):
+        if campaign_result.polls_run == 0:
+            raise CharacterizationError("campaign recorded no polls")
+        self.campaign = campaign_result
+        self._truth = campaign_result.ground_truth()
+
+    @property
+    def zone_id(self):
+        return self.campaign.zone_id
+
+    @property
+    def ground_truth(self):
+        return self._truth
+
+    def ape_after(self, polls):
+        """APE of the first-``polls`` characterization vs. ground truth."""
+        partial = self.campaign.characterization_after(polls)
+        return partial.ape_to(self._truth)
+
+    def ape_curve(self):
+        """``[(polls, cumulative_fis, ape)]`` for every poll prefix."""
+        curve = []
+        for polls in range(1, self.campaign.polls_run + 1):
+            try:
+                ape = self.ape_after(polls)
+            except CharacterizationError:
+                continue  # a fully-failed poll contributes no observations
+            curve.append((polls, self.campaign.fis_after(polls), ape))
+        return curve
+
+    def polls_to_accuracy(self, accuracy_pct=95.0):
+        """Polls needed to first reach ``accuracy_pct`` (APE ≤ 100−acc).
+
+        Returns None when the campaign never got there.
+        """
+        if not 0 < accuracy_pct <= 100:
+            raise ConfigurationError("accuracy must be in (0, 100]")
+        ape_target = 100.0 - accuracy_pct
+        for polls, _, ape in self.ape_curve():
+            if ape <= ape_target:
+                return polls
+        return None
+
+    def fis_to_accuracy(self, accuracy_pct=95.0):
+        """FIs observed by the first characterization reaching the target."""
+        polls = self.polls_to_accuracy(accuracy_pct)
+        if polls is None:
+            return None
+        return self.campaign.fis_after(polls)
+
+    def cost_to_accuracy(self, accuracy_pct=95.0):
+        """Sampling dollars spent up to the target-accuracy poll."""
+        polls = self.polls_to_accuracy(accuracy_pct)
+        if polls is None:
+            return None
+        return sum((obs.cost
+                    for obs in self.campaign.observations[:polls]),
+                   Money(0))

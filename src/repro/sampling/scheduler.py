@@ -1,0 +1,164 @@
+"""Budget-constrained sampling planning (paper contribution 4).
+
+"We thoroughly investigated ways to minimize sampling costs" — profiling
+dozens of zones several times a day balloons quickly (§4.3).  The planner
+here answers the operational question: *given a dollar budget, how many
+polls should each zone get?*
+
+Model: a zone's characterization error after ``k`` polls follows
+``APE(k) ≈ APE(1) / sqrt(k)`` (independent host-granular noise averaging
+out — the empirically observed EX-3 behaviour).  Each next poll therefore
+has a diminishing marginal accuracy gain; the planner allocates polls
+greedily by *weighted marginal gain per dollar*, weighting volatile zones
+(whose profiles decay fastest) above stable ones.
+"""
+
+import heapq
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.sampling.stability import STABLE, UNKNOWN, VOLATILE
+
+# How much one more unit of accuracy is worth, per stability class: a
+# volatile zone's profile is both noisier and shorter-lived, so accuracy
+# there buys more routing quality per day.
+DEFAULT_CLASS_WEIGHTS = {VOLATILE: 2.0, UNKNOWN: 1.0, STABLE: 0.5}
+
+
+class ZoneSamplingInfo(object):
+    """What the planner needs to know about one zone."""
+
+    __slots__ = ("zone_id", "first_poll_ape", "poll_cost", "stability")
+
+    def __init__(self, zone_id, first_poll_ape, poll_cost,
+                 stability=UNKNOWN):
+        if first_poll_ape < 0:
+            raise ConfigurationError("first_poll_ape must be >= 0")
+        if float(poll_cost) <= 0:
+            raise ConfigurationError("poll_cost must be positive")
+        self.zone_id = zone_id
+        self.first_poll_ape = float(first_poll_ape)
+        self.poll_cost = Money(float(poll_cost))
+        self.stability = stability
+
+    @classmethod
+    def from_campaign(cls, campaign_result, stability=UNKNOWN):
+        """Derive planning inputs from a past campaign in the zone."""
+        from repro.sampling.progressive import ProgressiveAnalysis
+        analysis = ProgressiveAnalysis(campaign_result)
+        per_poll = (campaign_result.total_cost
+                    / max(1, campaign_result.polls_run))
+        return cls(campaign_result.zone_id, analysis.ape_after(1),
+                   per_poll, stability=stability)
+
+    def predicted_ape(self, polls):
+        """Predicted characterization APE after ``polls`` polls."""
+        if polls <= 0:
+            return 200.0  # no information at all
+        return self.first_poll_ape / (polls ** 0.5)
+
+    def __repr__(self):
+        return "ZoneSamplingInfo({}, ape1={:.1f}%, {})".format(
+            self.zone_id, self.first_poll_ape, self.stability)
+
+
+class SamplingPlan(object):
+    """Result of planning: polls per zone plus predicted outcomes."""
+
+    def __init__(self, allocations, infos):
+        self.allocations = dict(allocations)
+        self._infos = {info.zone_id: info for info in infos}
+
+    def polls_for(self, zone_id):
+        return self.allocations.get(zone_id, 0)
+
+    def total_cost(self):
+        return sum((self._infos[z].poll_cost * k
+                    for z, k in self.allocations.items()), Money(0))
+
+    def predicted_ape(self, zone_id):
+        return self._infos[zone_id].predicted_ape(self.polls_for(zone_id))
+
+    def weighted_error(self, class_weights=None):
+        """The objective the planner minimizes (lower is better)."""
+        weights = class_weights or DEFAULT_CLASS_WEIGHTS
+        return sum(weights[self._infos[z].stability]
+                   * self._infos[z].predicted_ape(k)
+                   for z, k in self.allocations.items())
+
+    def __repr__(self):
+        return "SamplingPlan({}, cost={})".format(self.allocations,
+                                                  self.total_cost())
+
+
+class SamplingBudgetPlanner(object):
+    """Greedy marginal-gain-per-dollar poll allocation."""
+
+    def __init__(self, class_weights=None, min_polls=1, max_polls=30):
+        if min_polls < 0 or max_polls < min_polls:
+            raise ConfigurationError(
+                "need 0 <= min_polls <= max_polls")
+        self.class_weights = dict(class_weights or DEFAULT_CLASS_WEIGHTS)
+        self.min_polls = int(min_polls)
+        self.max_polls = int(max_polls)
+
+    def _weight(self, info):
+        return self.class_weights.get(info.stability,
+                                      self.class_weights[UNKNOWN])
+
+    def _marginal_gain_per_dollar(self, info, current_polls):
+        gain = (info.predicted_ape(current_polls)
+                - info.predicted_ape(current_polls + 1))
+        return self._weight(info) * gain / float(info.poll_cost)
+
+    def plan(self, infos, budget):
+        """Allocate polls to maximize weighted accuracy under ``budget``.
+
+        ``infos`` is a list of :class:`ZoneSamplingInfo`.  Every zone first
+        receives ``min_polls`` (raising if even that exceeds the budget),
+        then remaining dollars go to the best marginal gain per dollar.
+        """
+        if not infos:
+            raise ConfigurationError("no zones to plan for")
+        budget = Money(float(budget))
+        allocations = {info.zone_id: self.min_polls for info in infos}
+        spent = sum((info.poll_cost * self.min_polls for info in infos),
+                    Money(0))
+        if spent > budget:
+            raise ConfigurationError(
+                "budget {} cannot cover {} minimum polls".format(
+                    budget, self.min_polls))
+        heap = []
+        for info in infos:
+            if self.min_polls < self.max_polls:
+                gain = self._marginal_gain_per_dollar(info,
+                                                      self.min_polls)
+                heapq.heappush(heap, (-gain, info.zone_id, info))
+        while heap:
+            neg_gain, zone_id, info = heapq.heappop(heap)
+            if spent + info.poll_cost > budget:
+                continue  # cannot afford this zone's next poll; try others
+            allocations[zone_id] += 1
+            spent = spent + info.poll_cost
+            if allocations[zone_id] < self.max_polls:
+                gain = self._marginal_gain_per_dollar(
+                    info, allocations[zone_id])
+                heapq.heappush(heap, (-gain, zone_id, info))
+        return SamplingPlan(allocations, infos)
+
+    def plan_uniform(self, infos, budget):
+        """Baseline for comparison: equal polls per zone."""
+        if not infos:
+            raise ConfigurationError("no zones to plan for")
+        budget = Money(float(budget))
+        per_round = sum((info.poll_cost for info in infos), Money(0))
+        rounds = self.min_polls
+        while (per_round * (rounds + 1) <= budget
+               and rounds + 1 <= self.max_polls):
+            rounds += 1
+        if per_round * rounds > budget:
+            raise ConfigurationError(
+                "budget {} cannot cover {} uniform polls".format(
+                    budget, rounds))
+        return SamplingPlan({info.zone_id: rounds for info in infos},
+                            infos)

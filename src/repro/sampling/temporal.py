@@ -1,0 +1,123 @@
+"""Temporal sampling series (EX-4, Figures 6-8).
+
+* :class:`DailyCampaignSeries` — one saturation campaign per "day",
+  repeated every 22 hours (the paper's cadence, chosen so the poll time
+  walks across the day over two weeks);
+* :class:`HourlySeries` — a short campaign every hour for 24 hours
+  (Figure 8's high-frequency study of us-west-1b).
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import HOURS
+from repro.sampling.campaign import SamplingCampaign
+from repro.sampling.progressive import ProgressiveAnalysis
+
+
+class DailyCampaignSeries(object):
+    """Saturation campaigns in one zone over a multi-day horizon."""
+
+    def __init__(self, cloud, endpoints, days=14, cadence_hours=22.0,
+                 n_requests=1000, max_polls=None):
+        if days < 1:
+            raise ConfigurationError("series needs at least one day")
+        self.cloud = cloud
+        self.endpoints = endpoints
+        self.days = int(days)
+        self.cadence_hours = float(cadence_hours)
+        self.n_requests = n_requests
+        self.max_polls = max_polls
+        self.results = []
+
+    @property
+    def zone_id(self):
+        return self.endpoints[0].zone_id
+
+    def run(self):
+        """Execute the series; returns one CampaignResult per day."""
+        self.results = []
+        for day in range(self.days):
+            campaign = SamplingCampaign(self.cloud, self.endpoints,
+                                        n_requests=self.n_requests,
+                                        max_polls=self.max_polls)
+            self.results.append(campaign.run())
+            if day != self.days - 1:
+                self.cloud.clock.advance(self.cadence_hours * HOURS)
+        return self.results
+
+    # -- Figure 6: polls to reach a target accuracy, per day ---------------------
+    def polls_for_accuracy(self, accuracy_pct=95.0):
+        """Per-day polls needed to reach ``accuracy_pct`` (None = never)."""
+        return [ProgressiveAnalysis(result).polls_to_accuracy(accuracy_pct)
+                for result in self.results]
+
+    def mean_polls_for_accuracy(self, accuracy_pct=95.0):
+        counts = [p for p in self.polls_for_accuracy(accuracy_pct)
+                  if p is not None]
+        if not counts:
+            return None
+        return sum(counts) / float(len(counts))
+
+    # -- Figure 7: decay of the day-1 profile ------------------------------------------
+    def decay_curve(self):
+        """``[(day_index, ape_vs_day1)]`` for days 2..N.
+
+        Measures how stale the day-1 ground truth becomes: the APE between
+        each later day's ground truth and day 1's.
+        """
+        if not self.results:
+            raise ConfigurationError("run() the series first")
+        baseline = self.results[0].ground_truth()
+        curve = []
+        for day, result in enumerate(self.results[1:], start=2):
+            curve.append((day, result.ground_truth().ape_to(baseline)))
+        return curve
+
+    def is_stable(self, ape_threshold=10.0):
+        """True when every day stayed within ``ape_threshold`` of day 1."""
+        return all(ape <= ape_threshold for _, ape in self.decay_curve())
+
+
+class HourlySeries(object):
+    """Short campaigns every hour for 24 hours (Figure 8)."""
+
+    def __init__(self, cloud, endpoints, hours=24, polls_per_hour=6,
+                 n_requests=1000):
+        if hours < 2:
+            raise ConfigurationError("series needs at least two hours")
+        self.cloud = cloud
+        self.endpoints = endpoints
+        self.hours = int(hours)
+        self.polls_per_hour = int(polls_per_hour)
+        self.n_requests = n_requests
+        self.characterizations = []
+
+    @property
+    def zone_id(self):
+        return self.endpoints[0].zone_id
+
+    def run(self):
+        """One bounded campaign per hour; returns the characterizations."""
+        self.characterizations = []
+        for hour in range(self.hours):
+            campaign = SamplingCampaign(self.cloud, self.endpoints,
+                                        n_requests=self.n_requests,
+                                        max_polls=self.polls_per_hour)
+            result = campaign.run()
+            self.characterizations.append(result.ground_truth())
+            if hour != self.hours - 1:
+                self.cloud.clock.advance(1 * HOURS)
+        return self.characterizations
+
+    def variation_curve(self):
+        """``[(hour, ape_vs_hour0)]`` for hours 1..N-1."""
+        if not self.characterizations:
+            raise ConfigurationError("run() the series first")
+        baseline = self.characterizations[0]
+        return [(hour, profile.ape_to(baseline))
+                for hour, profile in enumerate(self.characterizations[1:],
+                                               start=1)]
+
+    def hours_within(self, ape_threshold=10.0):
+        """How many later hours stayed within ``ape_threshold`` of hour 0."""
+        return sum(1 for _, ape in self.variation_curve()
+                   if ape <= ape_threshold)

@@ -1,0 +1,11 @@
+"""Simulated time: a virtual clock plus a discrete-event queue.
+
+The cloud simulator never touches wall-clock time.  All components share a
+:class:`SimClock`; campaigns advance it explicitly (e.g. "run a poll, wait
+30 seconds, run the next poll") and long-horizon experiments jump it by days.
+"""
+
+from repro.simclock.clock import SimClock
+from repro.simclock.events import EventQueue, ScheduledEvent
+
+__all__ = ["SimClock", "EventQueue", "ScheduledEvent"]

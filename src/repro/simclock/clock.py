@@ -1,0 +1,56 @@
+"""The virtual clock shared by every simulated component."""
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import DAYS, HOURS
+
+
+class SimClock(object):
+    """Monotonic simulated time in seconds since the simulation epoch.
+
+    The clock only moves forward.  Components read ``clock.now`` and
+    experiments advance it with :meth:`advance` or :meth:`advance_to`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start=0.0):
+        if start < 0:
+            raise ConfigurationError("clock cannot start before epoch")
+        self._now = float(start)
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds):
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ConfigurationError(
+                "cannot move simulated time backwards ({}s)".format(seconds))
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp):
+        """Jump the clock to an absolute timestamp (must not be in the past)."""
+        if timestamp < self._now:
+            raise ConfigurationError(
+                "cannot rewind clock from {} to {}".format(
+                    self._now, timestamp))
+        self._now = float(timestamp)
+        return self._now
+
+    # -- convenience views ---------------------------------------------------
+    @property
+    def day(self):
+        """Whole simulated days elapsed since the epoch."""
+        return int(self._now // DAYS)
+
+    @property
+    def hour_of_day(self):
+        """Fractional hour within the current simulated day (0-24)."""
+        return (self._now % DAYS) / HOURS
+
+    def __repr__(self):
+        return "SimClock(day={}, hour={:.2f})".format(self.day,
+                                                      self.hour_of_day)

@@ -1,0 +1,112 @@
+"""A small discrete-event queue.
+
+The heavy paths of the simulator are batched (a poll places 1,000 requests in
+one vectorized call), but background processes — host pool scaling, drift
+steps, keep-alive expiry sweeps — are naturally event-driven.  This queue
+lets an experiment interleave those processes with its own actions while
+staying fully deterministic.
+"""
+
+import heapq
+import itertools
+
+from repro.common.errors import ConfigurationError
+
+
+class ScheduledEvent(object):
+    """A callback scheduled at a simulated timestamp."""
+
+    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, time, seq, callback, label):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event so the queue skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "ScheduledEvent({!r} @ {:.3f}s, {})".format(
+            self.label, self.time, state)
+
+
+class EventQueue(object):
+    """Priority queue of :class:`ScheduledEvent` driven by a `SimClock`.
+
+    Events scheduled at the same timestamp fire in scheduling order (FIFO),
+    which keeps runs deterministic.
+    """
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._heap = []
+        self._seq = itertools.count()
+
+    def __len__(self):
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay, callback, label="event"):
+        """Schedule ``callback(clock_now)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigurationError("cannot schedule in the past")
+        event = ScheduledEvent(self._clock.now + delay, next(self._seq),
+                               callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, timestamp, callback, label="event"):
+        """Schedule ``callback`` at an absolute simulated timestamp."""
+        if timestamp < self._clock.now:
+            raise ConfigurationError("cannot schedule in the past")
+        event = ScheduledEvent(timestamp, next(self._seq), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def next_event_time(self):
+        """Timestamp of the earliest pending event, or None if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def run_until(self, timestamp):
+        """Fire all events scheduled up to ``timestamp`` (inclusive).
+
+        The clock is advanced to each event's time as it fires and finally to
+        ``timestamp``.  Returns the number of callbacks executed.
+        """
+        fired = 0
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap or self._heap[0].time > timestamp:
+                break
+            event = heapq.heappop(self._heap)
+            self._clock.advance_to(event.time)
+            event.callback(self._clock.now)
+            fired += 1
+        self._clock.advance_to(max(timestamp, self._clock.now))
+        return fired
+
+    def run_all(self):
+        """Fire every pending event in timestamp order."""
+        fired = 0
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap:
+                return fired
+            event = heapq.heappop(self._heap)
+            self._clock.advance_to(event.time)
+            event.callback(self._clock.now)
+            fired += 1
+
+    def _drop_cancelled_head(self):
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,13 @@
+"""The sky mesh: pre-deployed dynamic functions across the whole sky.
+
+Paper §3.3: "The sky mesh consists of a large deployment of dynamic
+functions to every region on AWS Lambda, IBM Code Engine, and Digital Ocean
+functions" — with the full memory ladder and both CPU architectures on AWS
+(>1,600 deployments), and the much smaller configuration space on the other
+providers.  The mesh is the substrate the smart router selects targets from.
+"""
+
+from repro.skymesh.mesh import SkyMesh, MeshKey
+from repro.skymesh.faaset import ExperimentRunner, ExperimentResult
+
+__all__ = ["SkyMesh", "MeshKey", "ExperimentRunner", "ExperimentResult"]

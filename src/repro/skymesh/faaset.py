@@ -1,0 +1,102 @@
+"""FaaSET-style experiment helpers.
+
+The FaaS Experiment Toolkit (FaaSET) streamlines running repeatable
+experiments against deployed functions and collecting SAAF reports.  The
+:class:`ExperimentRunner` here plays that role for the simulator: it fires
+repetitions, gathers per-invocation reports, and produces summary tables.
+"""
+
+import math
+
+from repro.common.errors import InvocationError
+from repro.saaf import report_from_invocation
+
+
+class ExperimentResult(object):
+    """Collected reports plus summary statistics for one experiment."""
+
+    def __init__(self, name, reports, failures=0):
+        self.name = name
+        self.reports = list(reports)
+        self.failures = failures
+
+    def __len__(self):
+        return len(self.reports)
+
+    def runtimes_ms(self):
+        return [report.runtime_ms for report in self.reports]
+
+    def mean_runtime_ms(self):
+        runtimes = self.runtimes_ms()
+        return sum(runtimes) / len(runtimes) if runtimes else 0.0
+
+    def stdev_runtime_ms(self):
+        runtimes = self.runtimes_ms()
+        if len(runtimes) < 2:
+            return 0.0
+        mean = self.mean_runtime_ms()
+        return math.sqrt(sum((r - mean) ** 2 for r in runtimes)
+                         / (len(runtimes) - 1))
+
+    def cold_start_fraction(self):
+        if not self.reports:
+            return 0.0
+        return sum(1 for r in self.reports if r.is_cold) / len(self.reports)
+
+    def cpu_breakdown(self):
+        """cpu_key -> (count, mean runtime ms)."""
+        groups = {}
+        for report in self.reports:
+            groups.setdefault(report.cpu_key, []).append(report.runtime_ms)
+        return {cpu: (len(rts), sum(rts) / len(rts))
+                for cpu, rts in groups.items()}
+
+    def __repr__(self):
+        return "ExperimentResult({!r}, n={}, mean={:.1f}ms)".format(
+            self.name, len(self.reports), self.mean_runtime_ms())
+
+
+class ExperimentRunner(object):
+    """Run repetition experiments against deployments and collect reports."""
+
+    def __init__(self, cloud):
+        self.cloud = cloud
+
+    def run(self, deployment, repetitions, payload=None, gap_seconds=0.0,
+            name=None, force_new=False):
+        """Invoke ``deployment`` ``repetitions`` times, collecting reports.
+
+        ``gap_seconds`` advances the simulated clock between invocations
+        (0 keeps them back-to-back, reusing warm FIs; a gap larger than the
+        keep-alive forces fresh FIs each time).
+        """
+        reports = []
+        failures = 0
+        for _ in range(repetitions):
+            try:
+                invocation = self.cloud.invoke(deployment, payload=payload,
+                                               force_new=force_new)
+            except InvocationError:
+                failures += 1
+            else:
+                reports.append(report_from_invocation(invocation))
+            if gap_seconds:
+                self.cloud.clock.advance(gap_seconds)
+        return ExperimentResult(name or deployment.function_name, reports,
+                                failures)
+
+    def compare(self, deployments, repetitions, payload=None,
+                gap_seconds=0.0):
+        """Run the same experiment against several deployments.
+
+        Returns ``{deployment_id: ExperimentResult}`` — FaaSET's side-by-side
+        comparison mode.
+        """
+        return {
+            deployment.deployment_id: self.run(
+                deployment, repetitions, payload=payload,
+                gap_seconds=gap_seconds,
+                name="{}@{}".format(deployment.function_name,
+                                    deployment.zone_id))
+            for deployment in deployments
+        }

@@ -1,0 +1,147 @@
+"""Sky mesh construction and lookup.
+
+A mesh key is ``(zone_id, memory_mb, arch, function_name)``; the mesh maps
+keys to live :class:`~repro.cloudsim.cloud.Deployment` objects and offers
+the two bulk builders the experiments need:
+
+* :meth:`SkyMesh.deploy_everywhere` — the dynamic-function ladder in every
+  zone (every memory setting × architecture the provider offers);
+* :meth:`SkyMesh.deploy_sampling_endpoints` — the paper's 100 near-identical
+  sampling functions in one zone, each with a unique memory setting and a
+  unique code package so polls against different endpoints never share warm
+  FIs.
+"""
+
+import collections
+
+from repro.common.errors import ConfigurationError, DeploymentError
+from repro.cloudsim.handlers import SleepHandler
+
+MeshKey = collections.namedtuple(
+    "MeshKey", ["zone_id", "memory_mb", "arch", "function_name"])
+
+# The paper's AWS ladder: 128 MB .. 10 GB, x86 and ARM.
+AWS_MESH_MEMORY_LADDER = (128, 256, 512, 1024, 2048, 4096, 6144, 8192,
+                          10240)
+
+
+class SkyMesh(object):
+    """Registry of dynamic-function deployments across the sky."""
+
+    def __init__(self, cloud):
+        self.cloud = cloud
+        self._deployments = {}
+
+    def __len__(self):
+        return len(self._deployments)
+
+    # -- registration/lookup ------------------------------------------------------
+    def register(self, deployment):
+        key = MeshKey(deployment.zone_id, deployment.memory_mb,
+                      deployment.arch, deployment.function_name)
+        if key in self._deployments:
+            raise ConfigurationError(
+                "mesh already has a deployment at {}".format((key,)))
+        self._deployments[key] = deployment
+        return key
+
+    def endpoint(self, zone_id, memory_mb, arch="x86_64",
+                 function_name="dynamic"):
+        key = MeshKey(zone_id, memory_mb, arch, function_name)
+        try:
+            return self._deployments[key]
+        except KeyError:
+            raise DeploymentError(
+                "no mesh deployment at {}".format((key,)))
+
+    def lookup(self, zone_id=None, region=None, provider=None,
+               memory_mb=None, arch=None, function_name=None):
+        """All deployments matching the given filters."""
+        matches = []
+        for key, deployment in sorted(self._deployments.items()):
+            if zone_id is not None and key.zone_id != zone_id:
+                continue
+            if region is not None and deployment.region_name != region:
+                continue
+            if provider is not None and deployment.provider.name != provider:
+                continue
+            if memory_mb is not None and key.memory_mb != memory_mb:
+                continue
+            if arch is not None and key.arch != arch:
+                continue
+            if (function_name is not None
+                    and key.function_name != function_name):
+                continue
+            matches.append(deployment)
+        return matches
+
+    def zones(self):
+        return sorted({key.zone_id for key in self._deployments})
+
+    def deployment_count(self, provider=None):
+        if provider is None:
+            return len(self._deployments)
+        return sum(1 for d in self._deployments.values()
+                   if d.provider.name == provider)
+
+    # -- bulk builders -----------------------------------------------------------------
+    def deploy_everywhere(self, accounts, handler_factory,
+                          memory_ladder=None, function_name="dynamic",
+                          providers=None):
+        """Deploy a dynamic function across every zone of the sky.
+
+        ``accounts`` maps provider name -> :class:`CloudAccount`.
+        ``handler_factory(zone_id, memory_mb, arch)`` builds the handler for
+        each deployment.  ``memory_ladder`` overrides the per-provider
+        ladder (defaults: the paper's AWS ladder; each other provider's full
+        memory option list).  Returns the deployments created.
+        """
+        created = []
+        for region_name in self.cloud.region_names():
+            region = self.cloud.region(region_name)
+            provider = region.provider
+            if providers is not None and provider.name not in providers:
+                continue
+            account = accounts.get(provider.name)
+            if account is None:
+                continue
+            if memory_ladder is not None:
+                ladder = memory_ladder
+            elif provider.name == "aws":
+                ladder = AWS_MESH_MEMORY_LADDER
+            else:
+                ladder = provider.memory_options_mb
+            for zone_id in region.zone_ids():
+                for memory_mb in ladder:
+                    for arch in provider.archs:
+                        deployment = self.cloud.deploy(
+                            account, zone_id, function_name, memory_mb,
+                            arch=arch,
+                            handler=handler_factory(zone_id, memory_mb,
+                                                    arch))
+                        self.register(deployment)
+                        created.append(deployment)
+        return created
+
+    def deploy_sampling_endpoints(self, account, zone_id, count=100,
+                                  sleep_s=0.25, memory_base_mb=2048):
+        """Deploy the paper's sampling endpoint set to one zone.
+
+        ``count`` near-identical sleep functions, each with a **unique
+        memory setting** (base, base+1, ...) and its own code package, so
+        that successive polls hit disjoint warm-FI sets (paper §3.1 deploys
+        100 such functions with memory 10,140-10,240 MB; we default the
+        base to the 2 GB setting EX-1 found cost-optimal).
+        """
+        if count <= 0:
+            raise ConfigurationError("endpoint count must be positive")
+        endpoints = []
+        for index in range(count):
+            deployment = self.cloud.deploy(
+                account, zone_id,
+                "sampler-{:03d}".format(index),
+                memory_base_mb + index,
+                handler=SleepHandler(sleep_s))
+            self.register(deployment)
+            endpoints.append(deployment)
+        return endpoints

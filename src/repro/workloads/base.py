@@ -1,0 +1,136 @@
+"""The workload base class.
+
+A :class:`Workload` couples a real, runnable implementation with the
+simulator-facing runtime model.  Subclasses implement
+:meth:`generate_input`, :meth:`run`, and :meth:`summarize`; the base class
+provides the dynamic-function source packaging and handler construction.
+"""
+
+import textwrap
+
+from repro.common.errors import ConfigurationError
+from repro.cloudsim.handlers import ModeledWorkloadHandler
+from repro.dynfunc.handler import DynamicFunctionHandler
+from repro.dynfunc.payload import build_payload
+from repro.workloads import profiles
+
+
+class Workload(object):
+    """One of the paper's twelve serverless functions.
+
+    Class attributes set by subclasses:
+
+    * ``name`` — registry key (matches Figure 9 labels);
+    * ``vcpus`` — parallelism from Table 1 (1, 1.2, or 2);
+    * ``base_seconds`` — modelled runtime on the 2.5 GHz baseline CPU;
+    * ``description`` — the Table 1 description.
+    """
+
+    name = None
+    vcpus = 1.0
+    base_seconds = 1.0
+    description = ""
+    noise_sigma = 0.04
+
+    # SeBS-style input size classes -> generate_input scale factors.
+    SIZE_SCALES = {"test": 0.05, "small": 0.3, "large": 1.0}
+
+    # -- runnable implementation (override in subclasses) -----------------------
+    def generate_input(self, rng, scale=1.0):
+        """Create a self-contained input for :meth:`run`.
+
+        Every workload generates its own data (the paper removed external
+        service dependencies when packaging them as dynamic functions), so
+        ``rng`` and ``scale`` fully determine the work.
+        """
+        raise NotImplementedError
+
+    def run(self, data):
+        """Execute the workload on ``data``; returns its raw output."""
+        raise NotImplementedError
+
+    def summarize(self, output):
+        """A small JSON-safe summary of ``output`` (function response body)."""
+        raise NotImplementedError
+
+    def execute(self, rng, scale=1.0):
+        """Generate input and run, returning the summary (one-call helper)."""
+        return self.summarize(self.run(self.generate_input(rng, scale)))
+
+    @classmethod
+    def scale_for_size(cls, size):
+        """Map a SeBS-style size class (test/small/large) to a scale.
+
+        >>> Workload.scale_for_size("small")
+        0.3
+        """
+        try:
+            return cls.SIZE_SCALES[size]
+        except KeyError:
+            raise ConfigurationError(
+                "unknown size class {!r}; pick one of {}".format(
+                    size, sorted(cls.SIZE_SCALES)))
+
+    # -- simulator-facing model ---------------------------------------------------
+    def cpu_factors(self):
+        """Per-CPU runtime factors (Figure 9 calibration)."""
+        return profiles.factors_for(self.name)
+
+    def runtime_model(self):
+        """A :class:`ModeledWorkloadHandler` for this workload."""
+        return ModeledWorkloadHandler(self.name, self.base_seconds,
+                                      self.cpu_factors(),
+                                      noise_sigma=self.noise_sigma)
+
+    def handler(self, payload=None):
+        """A dynamic-function handler hosting this workload."""
+        if payload is None:
+            payload = self.payload()
+        return DynamicFunctionHandler(self.runtime_model(),
+                                      default_payload=payload)
+
+    # -- dynamic-function packaging --------------------------------------------------
+    def source_code(self):
+        """Self-contained dynamic-function source for this workload.
+
+        The source assumes the repro library is present in the FI (shipped
+        once via a Lambda-layer-style dependency, as the paper's dynamic
+        functions support), keeping the per-request payload tiny.
+        """
+        return textwrap.dedent('''\
+            """Dynamic-function body for the {name} workload."""
+            import numpy as np
+
+            from repro.workloads import workload_by_name
+
+
+            def handler(event, context):
+                event = event or {{}}
+                workload = workload_by_name("{name}")
+                rng = np.random.default_rng(event.get("seed", 0))
+                scale = event.get("scale")
+                if scale is None:
+                    scale = workload.scale_for_size(
+                        event.get("size", "test"))
+                data = workload.generate_input(rng, scale=scale)
+                output = workload.run(data)
+                return {{
+                    "workload": "{name}",
+                    "summary": workload.summarize(output),
+                }}
+            ''').format(name=self.name)
+
+    def payload(self, args=None, files=None):
+        """Build the dynamic-function payload for this workload.
+
+        The payload always identifies its workload in ``args["workload"]``
+        so universal mesh endpoints can resolve the runtime model.
+        """
+        args = dict(args or {})
+        args.setdefault("workload", self.name)
+        return build_payload(self.source_code(), files=files,
+                             entry="handler", args=args)
+
+    def __repr__(self):
+        return "Workload({!r}, vcpus={}, base={:.1f}s)".format(
+            self.name, self.vcpus, self.base_seconds)

@@ -1,0 +1,63 @@
+"""The zipper workload: generate files and compress them into ZIP archives.
+
+Table 1 lists zipper at 2 vCPUs: the original compresses two archives in
+parallel threads (zlib releases the GIL, so threading is genuine
+parallelism here).
+"""
+
+import io
+import threading
+import zipfile
+
+from repro.workloads.base import Workload
+
+
+class Zipper(Workload):
+    """Generates files and compresses them into ZIP archives."""
+
+    name = "zipper"
+    vcpus = 2
+    base_seconds = 8.0
+    description = "Generates files and compresses them into ZIP archives."
+
+    def generate_input(self, rng, scale=1.0):
+        file_count = max(2, int(6 * scale))
+        file_bytes = max(4096, int(98304 * scale))
+        # Mix compressible (tiled) and incompressible (random) content.
+        files = {}
+        for index in range(file_count):
+            if index % 2 == 0:
+                tile = rng.integers(0, 256, size=256, dtype="u1").tobytes()
+                files["tiled-{}.bin".format(index)] = tile * (
+                    file_bytes // len(tile) + 1)
+            else:
+                files["random-{}.bin".format(index)] = rng.integers(
+                    0, 256, size=file_bytes, dtype="u1").tobytes()
+        return files
+
+    def run(self, data):
+        names = sorted(data)
+        halves = (names[0::2], names[1::2])
+        archives = [None, None]
+
+        def compress(slot, subset):
+            buffer = io.BytesIO()
+            with zipfile.ZipFile(buffer, "w",
+                                 compression=zipfile.ZIP_DEFLATED) as archive:
+                for name in subset:
+                    archive.writestr(name, data[name])
+            archives[slot] = buffer.getvalue()
+
+        threads = [threading.Thread(target=compress, args=(slot, subset))
+                   for slot, subset in enumerate(halves)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return archives
+
+    def summarize(self, output):
+        return {
+            "archives": len(output),
+            "compressed_bytes": sum(len(a) for a in output),
+        }

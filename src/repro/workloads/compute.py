@@ -1,0 +1,68 @@
+"""Compute-bound workloads: math_service and matrix_multiply (Table 1)."""
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class MathService(Workload):
+    """Builds large arrays and repeatedly performs arithmetic on them."""
+
+    name = "math_service"
+    vcpus = 2
+    base_seconds = 7.5
+    description = ("Builds large arrays and repeatedly performs arithmetic "
+                   "operations on them.")
+
+    def generate_input(self, rng, scale=1.0):
+        size = max(1024, int(200000 * scale))
+        return {
+            "a": rng.random(size),
+            "b": rng.random(size) + 0.5,
+            "rounds": max(2, int(25 * scale)),
+        }
+
+    def run(self, data):
+        a, b = data["a"], data["b"]
+        acc = np.zeros_like(a)
+        for round_index in range(data["rounds"]):
+            acc += a * b
+            acc -= np.sqrt(np.abs(a - b))
+            acc *= 1.0 + 1.0 / (round_index + 2)
+            acc /= b
+        return acc
+
+    def summarize(self, output):
+        return {"elements": int(output.size),
+                "checksum": round(float(np.mean(output)), 6)}
+
+
+class MatrixMultiply(Workload):
+    """Generates large matrices and executes multiply and dot operations
+    in loops."""
+
+    name = "matrix_multiply"
+    vcpus = 2
+    base_seconds = 6.5
+    description = ("Generates large matrices and executes multiply and dot "
+                   "operations in loops.")
+
+    def generate_input(self, rng, scale=1.0):
+        side = max(16, int(160 * scale))
+        return {
+            "left": rng.random((side, side)),
+            "right": rng.random((side, side)),
+            "rounds": max(2, int(10 * scale)),
+        }
+
+    def run(self, data):
+        product = data["left"]
+        for _ in range(data["rounds"]):
+            product = product.dot(data["right"])
+            # Renormalize to keep values finite across rounds.
+            product /= np.linalg.norm(product)
+        return product
+
+    def summarize(self, output):
+        return {"shape": list(output.shape),
+                "norm": round(float(np.linalg.norm(output)), 6)}

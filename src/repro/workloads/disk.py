@@ -1,0 +1,105 @@
+"""Disk workloads: disk_writer and disk_write_and_process (Table 1).
+
+These exercise the FI's ephemeral filesystem.  The original
+``disk_write_and_process`` pipes the file through shell commands (``wc``,
+``base64``, ``sha1sum``, ``cat``); for portability we perform the exact same
+computations in-process (documented substitution — the work per byte is the
+same, without forking a shell).
+"""
+
+import base64
+import hashlib
+import os
+import tempfile
+
+from repro.workloads.base import Workload
+
+_WORDS = ("serverless sky function instance zone region cloud "
+          "hardware heterogeneity sampling poll retry route").split()
+
+
+def _generate_text(rng, approx_bytes):
+    words = []
+    size = 0
+    while size < approx_bytes:
+        word = _WORDS[int(rng.integers(0, len(_WORDS)))]
+        words.append(word)
+        size += len(word) + 1
+    return " ".join(words)
+
+
+class DiskWriter(Workload):
+    """Generates text, repeatedly writes it to disk, and deletes it."""
+
+    name = "disk_writer"
+    vcpus = 1
+    base_seconds = 4.0
+    description = ("Generates text, repeatedly writes it to disk, and "
+                   "deletes it.")
+
+    def generate_input(self, rng, scale=1.0):
+        return {
+            "text": _generate_text(rng, approx_bytes=int(65536 * scale)),
+            "rounds": max(2, int(12 * scale)),
+        }
+
+    def run(self, data):
+        written = 0
+        for _ in range(data["rounds"]):
+            fd, path = tempfile.mkstemp(prefix="disk-writer-")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(data["text"])
+                written += os.path.getsize(path)
+            finally:
+                os.unlink(path)
+        return {"bytes_written": written, "rounds": data["rounds"]}
+
+    def summarize(self, output):
+        return output
+
+
+class DiskWriteAndProcess(Workload):
+    """Writes a large text file and runs wc/base64/sha1sum/cat-equivalent
+    passes over it in a loop."""
+
+    name = "disk_write_and_process"
+    vcpus = 1
+    base_seconds = 5.0
+    description = ("Writes a large text file and then runs several shell "
+                   "commands (wc, base64, sha1sum, cat) on it in a loop.")
+
+    def generate_input(self, rng, scale=1.0):
+        return {
+            "text": _generate_text(rng, approx_bytes=int(131072 * scale)),
+            "rounds": max(1, int(6 * scale)),
+        }
+
+    def run(self, data):
+        fd, path = tempfile.mkstemp(prefix="disk-process-")
+        results = []
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(data["text"])
+            for _ in range(data["rounds"]):
+                with open(path, "rb") as handle:   # cat
+                    raw = handle.read()
+                lines = raw.count(b"\n") + (0 if raw.endswith(b"\n") else 1)
+                words = len(raw.split())           # wc
+                encoded = base64.b64encode(raw)    # base64
+                digest = hashlib.sha1(raw).hexdigest()  # sha1sum
+                results.append({
+                    "lines": lines,
+                    "words": words,
+                    "chars": len(raw),
+                    "b64_bytes": len(encoded),
+                    "sha1": digest,
+                })
+        finally:
+            os.unlink(path)
+        return results
+
+    def summarize(self, output):
+        last = output[-1]
+        return {"rounds": len(output), "words": last["words"],
+                "sha1": last["sha1"]}

@@ -1,0 +1,43 @@
+"""The thumbnailer workload: bitmap generation and rescaling."""
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class Thumbnailer(Workload):
+    """Generates a random bitmap image and scales it to different sizes."""
+
+    name = "thumbnailer"
+    vcpus = 1
+    base_seconds = 4.5
+    description = ("Generates a random bitmap image and scales it to "
+                   "different sizes.")
+
+    target_factors = (2, 4, 8)
+
+    def generate_input(self, rng, scale=1.0):
+        side = max(64, int(512 * scale))
+        side -= side % 8  # keep divisible by all scale factors
+        return rng.integers(0, 256, size=(side, side, 3), dtype="u1")
+
+    def run(self, data):
+        thumbnails = {}
+        for factor in self.target_factors:
+            thumbnails[factor] = self._block_mean(data, factor)
+        return thumbnails
+
+    @staticmethod
+    def _block_mean(image, factor):
+        """Downscale by averaging factor x factor pixel blocks."""
+        height, width, channels = image.shape
+        reshaped = image.reshape(height // factor, factor,
+                                 width // factor, factor, channels)
+        return reshaped.mean(axis=(1, 3)).astype("u1")
+
+    def summarize(self, output):
+        return {
+            "thumbnails": sorted(output),
+            "sizes": {factor: list(thumb.shape)
+                      for factor, thumb in sorted(output.items())},
+        }

@@ -1,0 +1,68 @@
+"""Memory-dependent performance: the Lambda CPU-allocation model.
+
+AWS Lambda allocates CPU in proportion to configured memory — one full
+vCPU per ~1,769 MB.  A workload therefore runs slower below its CPU
+saturation point, with the slowdown bounded by its non-parallelizable
+fraction (Amdahl), and degrades sharply once memory drops below its
+working set.  The paper's mesh spans the whole memory ladder (§3.3); this
+model is what makes choosing a rung a real decision (see
+:mod:`repro.core.memory_advisor` — the SAAF performance/cost-prediction
+lineage the paper cites).
+
+The Figure-9 runtime calibrations are taken at the 2 GB setting, so
+factors here are normalized to ``reference_memory_mb=2048``.
+"""
+
+from repro.common.errors import ConfigurationError
+
+# AWS Lambda: one full vCPU per 1,769 MB of configured memory.
+VCPU_SATURATION_MB = 1769.0
+
+# Fraction of a typical workload's runtime that scales with CPU allocation.
+DEFAULT_PARALLEL_FRACTION = 0.85
+
+# Exponent of the slowdown once memory drops below the working set.
+PRESSURE_EXPONENT = 1.5
+
+
+def _raw_factor(memory_mb, vcpus, parallel_fraction, min_memory_mb):
+    """Runtime multiplier at ``memory_mb`` vs. full CPU allocation."""
+    if memory_mb <= 0:
+        raise ConfigurationError("memory must be positive")
+    cpu_alloc = memory_mb / VCPU_SATURATION_MB
+    usable = min(cpu_alloc, vcpus)
+    usable = max(usable, 0.05)  # the platform floor: some CPU always runs
+    factor = (1.0 - parallel_fraction) + parallel_fraction * (
+        vcpus / usable)
+    factor = max(factor, 1.0)
+    if memory_mb < min_memory_mb:
+        factor *= (min_memory_mb / memory_mb) ** PRESSURE_EXPONENT
+    return factor
+
+
+def memory_speed_factor(memory_mb, vcpus=1.0,
+                        parallel_fraction=DEFAULT_PARALLEL_FRACTION,
+                        min_memory_mb=256,
+                        reference_memory_mb=2048):
+    """Runtime multiplier at ``memory_mb`` relative to the reference rung.
+
+    1.0 at the reference (2 GB, where Figure 9 was calibrated); > 1 when
+    the setting starves the workload of CPU or memory; < 1 when extra
+    memory buys more vCPU than the reference had.
+
+    >>> memory_speed_factor(2048, vcpus=1) == 1.0
+    True
+    """
+    if vcpus <= 0:
+        raise ConfigurationError("vcpus must be positive")
+    if not 0 <= parallel_fraction < 1:
+        raise ConfigurationError("parallel_fraction must be in [0, 1)")
+    reference = _raw_factor(reference_memory_mb, vcpus,
+                            parallel_fraction, min_memory_mb)
+    return _raw_factor(memory_mb, vcpus, parallel_fraction,
+                       min_memory_mb) / reference
+
+
+def saturation_memory_mb(vcpus):
+    """Memory at which the workload has all the CPU it can use."""
+    return vcpus * VCPU_SATURATION_MB

@@ -1,0 +1,72 @@
+"""The logistic_regression workload: two-threaded SGD (Table 1)."""
+
+import threading
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class LogisticRegression(Workload):
+    """Runs logistic-regression SGD across two threads on a generated
+    dataset for the requested epochs."""
+
+    name = "logistic_regression"
+    vcpus = 2
+    base_seconds = 9.0
+    description = ("Runs logistic-regression SGD across two threads on a "
+                   "generated dataset for the requested epochs.")
+
+    def generate_input(self, rng, scale=1.0):
+        samples = max(128, int(2000 * scale))
+        features = max(4, int(20 * scale))
+        true_weights = rng.normal(0.0, 1.0, size=features)
+        inputs = rng.normal(0.0, 1.0, size=(samples, features))
+        logits = inputs.dot(true_weights)
+        labels = (logits + rng.normal(0.0, 0.5, size=samples) > 0).astype(
+            float)
+        return {
+            "X": inputs,
+            "y": labels,
+            "epochs": max(2, int(10 * scale)),
+            "lr": 0.1,
+        }
+
+    def run(self, data):
+        inputs, labels = data["X"], data["y"]
+        samples, features = inputs.shape
+        weights = np.zeros(features)
+        half = samples // 2
+        shards = ((inputs[:half], labels[:half]),
+                  (inputs[half:], labels[half:]))
+
+        def sgd_shard(shard_inputs, shard_labels):
+            # Hogwild-style updates: both threads write the shared weight
+            # vector without locking, as the original workload does.
+            for _ in range(data["epochs"]):
+                predictions = _sigmoid(shard_inputs.dot(weights))
+                gradient = shard_inputs.T.dot(
+                    predictions - shard_labels) / len(shard_labels)
+                weights[:] = weights - data["lr"] * gradient
+
+        threads = [threading.Thread(target=sgd_shard, args=shard)
+                   for shard in shards]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        predictions = _sigmoid(inputs.dot(weights))
+        accuracy = float(np.mean((predictions > 0.5) == (labels > 0.5)))
+        loss = float(np.mean(
+            -labels * np.log(predictions + 1e-12)
+            - (1 - labels) * np.log(1 - predictions + 1e-12)))
+        return {"weights": weights, "accuracy": accuracy, "loss": loss}
+
+    def summarize(self, output):
+        return {"accuracy": round(output["accuracy"], 4),
+                "loss": round(output["loss"], 6)}
+
+
+def _sigmoid(values):
+    return 1.0 / (1.0 + np.exp(-np.clip(values, -30, 30)))

@@ -1,0 +1,75 @@
+"""Per-CPU runtime factors for the twelve workloads (Figure 9).
+
+A factor is *relative runtime normalized to the Intel Xeon 2.5 GHz
+baseline*: factor < 1 is faster than baseline, factor > 1 slower.  The
+x86 Lambda CPUs carry workload-specific calibrations from the paper's
+Figure 9; every other catalog CPU falls back to the generic
+``1 / base_speed`` of its :class:`~repro.cloudsim.cpu.CPUModel`.
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.cloudsim.cpu import CPU_CATALOG
+
+# workload -> {cpu_key: runtime factor vs. xeon-2.5}.
+# Columns: xeon-3.0 (fastest), xeon-2.9 (older part, slower), amd-epyc.
+_FIGURE9_FACTORS = {
+    "graph_mst":              {"xeon-3.0": 0.90, "xeon-2.9": 1.20, "amd-epyc": 1.30},
+    "graph_bfs":              {"xeon-3.0": 0.88, "xeon-2.9": 1.18, "amd-epyc": 1.28},
+    "pagerank":               {"xeon-3.0": 0.89, "xeon-2.9": 1.22, "amd-epyc": 1.32},
+    "disk_writer":            {"xeon-3.0": 0.97, "xeon-2.9": 1.05, "amd-epyc": 0.96},
+    "disk_write_and_process": {"xeon-3.0": 0.95, "xeon-2.9": 1.08, "amd-epyc": 1.02},
+    "zipper":                 {"xeon-3.0": 0.88, "xeon-2.9": 1.22, "amd-epyc": 1.33},
+    "thumbnailer":            {"xeon-3.0": 0.90, "xeon-2.9": 1.20, "amd-epyc": 1.25},
+    "sha1_hash":              {"xeon-3.0": 0.96, "xeon-2.9": 1.10, "amd-epyc": 1.05},
+    "json_flattener":         {"xeon-3.0": 0.89, "xeon-2.9": 1.21, "amd-epyc": 1.30},
+    "math_service":           {"xeon-3.0": 0.87, "xeon-2.9": 1.28, "amd-epyc": 1.48},
+    "matrix_multiply":        {"xeon-3.0": 0.86, "xeon-2.9": 1.25, "amd-epyc": 1.40},
+    "logistic_regression":    {"xeon-3.0": 0.87, "xeon-2.9": 1.30, "amd-epyc": 1.50},
+}
+
+BASELINE_CPU = "xeon-2.5"
+
+
+def factors_for(workload_name):
+    """Full cpu_key -> runtime factor map for a workload.
+
+    Covers every CPU in the catalog: Figure 9 calibrations for the Lambda
+    x86 parts, generic ``1 / base_speed`` elsewhere.
+    """
+    if workload_name not in _FIGURE9_FACTORS:
+        raise ConfigurationError(
+            "no performance profile for workload {!r}".format(workload_name))
+    specific = _FIGURE9_FACTORS[workload_name]
+    factors = {BASELINE_CPU: 1.0}
+    for cpu_key, cpu in CPU_CATALOG.items():
+        if cpu_key in specific:
+            factors[cpu_key] = specific[cpu_key]
+        elif cpu_key not in factors:
+            factors[cpu_key] = 1.0 / cpu.base_speed
+    return factors
+
+
+def cpu_factor(workload_name, cpu_key):
+    """Runtime factor of one workload on one CPU."""
+    return factors_for(workload_name)[cpu_key]
+
+
+def normalized_performance_table(workload_names=None, cpu_keys=None):
+    """The Figure 9 table: runtime per CPU normalized to the 2.5 GHz Xeon.
+
+    Returns ``{workload: {cpu_key: factor}}`` restricted to the requested
+    rows/columns (defaults: all twelve workloads × the four Lambda CPUs).
+    """
+    if workload_names is None:
+        workload_names = sorted(_FIGURE9_FACTORS)
+    if cpu_keys is None:
+        cpu_keys = (BASELINE_CPU, "xeon-2.9", "xeon-3.0", "amd-epyc")
+    table = {}
+    for name in workload_names:
+        factors = factors_for(name)
+        table[name] = {cpu: factors[cpu] for cpu in cpu_keys}
+    return table
+
+
+def profiled_workload_names():
+    return sorted(_FIGURE9_FACTORS)

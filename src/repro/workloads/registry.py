@@ -1,0 +1,84 @@
+"""Workload registry: name -> singleton workload instance."""
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.compress import Zipper
+from repro.workloads.compute import MathService, MatrixMultiply
+from repro.workloads.disk import DiskWriteAndProcess, DiskWriter
+from repro.workloads.graphs import GraphBFS, GraphMST, PageRank
+from repro.workloads.media import Thumbnailer
+from repro.workloads.ml import LogisticRegression
+from repro.workloads.text import JsonFlattener, Sha1Hash
+
+_WORKLOAD_CLASSES = (
+    GraphMST,
+    GraphBFS,
+    PageRank,
+    DiskWriter,
+    DiskWriteAndProcess,
+    Zipper,
+    Thumbnailer,
+    Sha1Hash,
+    JsonFlattener,
+    MathService,
+    MatrixMultiply,
+    LogisticRegression,
+)
+
+_REGISTRY = {cls.name: cls() for cls in _WORKLOAD_CLASSES}
+
+WORKLOAD_NAMES = tuple(sorted(_REGISTRY))
+
+
+def workload_by_name(name):
+    """Look up a workload instance by its Table-1 name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError("unknown workload {!r}".format(name))
+
+
+def all_workloads():
+    """All twelve workloads, sorted by name."""
+    return [_REGISTRY[name] for name in WORKLOAD_NAMES]
+
+
+_MODEL_CACHE = {}
+
+
+def resolve_runtime_model(payload):
+    """Payload -> runtime model, for universal dynamic-function endpoints.
+
+    Payloads built by :meth:`repro.workloads.base.Workload.payload` carry
+    their workload name in ``args["workload"]``.
+    """
+    from repro.common.errors import PayloadError
+    args = payload.args or {}
+    name = args.get("workload") if isinstance(args, dict) else None
+    if name is None:
+        raise PayloadError(
+            "payload does not identify its workload (args['workload'])")
+    if name not in _MODEL_CACHE:
+        _MODEL_CACHE[name] = workload_by_name(name).runtime_model()
+    return _MODEL_CACHE[name]
+
+
+def memory_aware_resolver(memory_mb):
+    """A payload resolver for one mesh rung's memory setting.
+
+    Wraps each workload's runtime model with the Lambda CPU-allocation
+    slowdown for ``memory_mb`` (see :mod:`repro.workloads.memory`), so a
+    128 MB deployment genuinely runs slower than the 2 GB rung the
+    Figure-9 factors were calibrated at.
+    """
+    from repro.cloudsim.handlers import ScaledWorkloadHandler
+    from repro.workloads.memory import memory_speed_factor
+
+    def resolve(payload):
+        model = resolve_runtime_model(payload)
+        workload = workload_by_name(model.name)
+        scale = memory_speed_factor(memory_mb, vcpus=workload.vcpus)
+        if abs(scale - 1.0) < 1e-9:
+            return model
+        return ScaledWorkloadHandler(model, scale)
+
+    return resolve

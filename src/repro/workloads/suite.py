@@ -1,0 +1,107 @@
+"""The workload suite runner: execute Table 1 for real and report.
+
+Runs every workload's genuine implementation through the dynamic-function
+runtime, timing execution — the local measurement a user makes to sanity-
+check the simulator's runtime models before trusting routing decisions.
+"""
+
+import math
+import time
+from repro.common.errors import ConfigurationError
+from repro.dynfunc.runtime import DynamicFunctionRuntime
+from repro.workloads.registry import WORKLOAD_NAMES, workload_by_name
+
+
+class SuiteRow(object):
+    """Timing results for one workload."""
+
+    __slots__ = ("name", "vcpus", "runs", "mean_seconds", "stdev_seconds",
+                 "sample_summary")
+
+    def __init__(self, name, vcpus, runs, mean_seconds, stdev_seconds,
+                 sample_summary):
+        self.name = name
+        self.vcpus = vcpus
+        self.runs = runs
+        self.mean_seconds = mean_seconds
+        self.stdev_seconds = stdev_seconds
+        self.sample_summary = sample_summary
+
+    def __repr__(self):
+        return "SuiteRow({}, mean={:.4f}s)".format(self.name,
+                                                   self.mean_seconds)
+
+
+class SuiteReport(object):
+    """All rows plus convenience accessors."""
+
+    def __init__(self, rows, scale):
+        self.rows = list(rows)
+        self.scale = scale
+
+    def __len__(self):
+        return len(self.rows)
+
+    def row(self, name):
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise ConfigurationError("no suite row for {!r}".format(name))
+
+    def total_seconds(self):
+        return sum(row.mean_seconds * row.runs for row in self.rows)
+
+    def to_rows(self):
+        """CSV-ready dict rows."""
+        return [{
+            "workload": row.name,
+            "vcpus": row.vcpus,
+            "runs": row.runs,
+            "mean_seconds": round(row.mean_seconds, 6),
+            "stdev_seconds": round(row.stdev_seconds, 6),
+        } for row in self.rows]
+
+
+class WorkloadSuite(object):
+    """Executes the twelve workloads for real, with timing."""
+
+    def __init__(self, scale=0.1, repetitions=3, seed=0):
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        self.scale = float(scale)
+        self.repetitions = int(repetitions)
+        self.seed = seed
+
+    def run(self, names=None):
+        """Run the suite; ``names`` restricts to a subset of workloads."""
+        names = sorted(names) if names is not None else list(
+            WORKLOAD_NAMES)
+        runtime = DynamicFunctionRuntime()
+        rows = []
+        for name in names:
+            workload = workload_by_name(name)
+            payload = workload.payload(args={"seed": self.seed,
+                                             "scale": self.scale})
+            runtime.handle(payload)  # warm decode + JIT-ish effects
+            timings = []
+            sample_summary = None
+            for repetition in range(self.repetitions):
+                rep_payload = workload.payload(
+                    args={"seed": self.seed + repetition,
+                          "scale": self.scale})
+                started = time.perf_counter()
+                result = runtime.handle(rep_payload)
+                timings.append(time.perf_counter() - started)
+                sample_summary = result.value["summary"]
+            mean = sum(timings) / len(timings)
+            if len(timings) > 1:
+                variance = (sum((t - mean) ** 2 for t in timings)
+                            / (len(timings) - 1))
+                stdev = math.sqrt(variance)
+            else:
+                stdev = 0.0
+            rows.append(SuiteRow(name, workload.vcpus, len(timings),
+                                 mean, stdev, sample_summary))
+        return SuiteReport(rows, self.scale)

@@ -1,0 +1,81 @@
+"""Text workloads: sha1_hash and json_flattener (Table 1)."""
+
+import hashlib
+
+from repro.workloads.base import Workload
+
+
+class Sha1Hash(Workload):
+    """Takes an input string and produces its SHA-1 hash."""
+
+    name = "sha1_hash"
+    vcpus = 1
+    base_seconds = 2.5
+    description = "Takes an input string and produces its SHA-1 hash."
+
+    def generate_input(self, rng, scale=1.0):
+        payload = rng.integers(0, 256, size=int(262144 * scale),
+                               dtype="u1").tobytes()
+        return {"data": payload, "rounds": max(1, int(40 * scale))}
+
+    def run(self, data):
+        digest = None
+        blob = data["data"]
+        for _ in range(data["rounds"]):
+            digest = hashlib.sha1(blob).hexdigest()
+            blob = digest.encode("ascii") + blob[:-40] if len(blob) > 40 \
+                else digest.encode("ascii")
+        return digest
+
+    def summarize(self, output):
+        return {"sha1": output}
+
+
+class JsonFlattener(Workload):
+    """Recursively generates a large JSON object and flattens it into
+    key-value pairs."""
+
+    name = "json_flattener"
+    vcpus = 1
+    base_seconds = 5.0
+    description = ("Recursively generates a large JSON object and flattens "
+                   "it into key-value pairs.")
+
+    def generate_input(self, rng, scale=1.0):
+        depth = max(2, int(5 * min(scale, 2.0)))
+        breadth = max(2, int(6 * scale))
+        return self._generate_node(rng, depth, breadth)
+
+    def _generate_node(self, rng, depth, breadth):
+        if depth == 0:
+            kind = int(rng.integers(0, 3))
+            if kind == 0:
+                return float(rng.random())
+            if kind == 1:
+                return int(rng.integers(0, 10 ** 6))
+            return "value-{}".format(int(rng.integers(0, 10 ** 6)))
+        if rng.random() < 0.3:
+            return [self._generate_node(rng, depth - 1, breadth)
+                    for _ in range(breadth)]
+        return {"key_{}".format(i): self._generate_node(rng, depth - 1,
+                                                        breadth)
+                for i in range(breadth)}
+
+    def run(self, data):
+        flat = {}
+        self._flatten(data, "", flat)
+        return flat
+
+    def _flatten(self, node, prefix, out):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                self._flatten(value, prefix + "." + key if prefix else key,
+                              out)
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                self._flatten(value, "{}[{}]".format(prefix, index), out)
+        else:
+            out[prefix] = node
+
+    def summarize(self, output):
+        return {"pairs": len(output)}

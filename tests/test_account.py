@@ -1,0 +1,73 @@
+"""Cloud accounts: quotas and ledgers."""
+
+import pytest
+
+from repro.cloudsim.account import CloudAccount
+from repro.cloudsim.billing import AWS_LAMBDA_BILLING
+from repro.cloudsim.provider import AWS_LAMBDA
+from repro.common.units import Money
+
+
+@pytest.fixture
+def account():
+    return CloudAccount("acct-1", AWS_LAMBDA)
+
+
+class TestQuota(object):
+    def test_admits_up_to_quota(self, account):
+        assert account.admit_batch(500) == 500
+        assert account.admit_batch(1000) == 1000
+
+    def test_throttles_excess(self, account):
+        assert account.admit_batch(1500) == 1000
+        assert account.throttled_requests == 500
+
+    def test_throttles_accumulate(self, account):
+        account.admit_batch(1200)
+        account.admit_batch(1300)
+        assert account.throttled_requests == 500
+
+
+class TestLedger(object):
+    def test_records_and_totals(self, account):
+        account.record_bill(AWS_LAMBDA_BILLING.bill(1024, 1.0))
+        account.record_bill(AWS_LAMBDA_BILLING.bill(1024, 1.0))
+        assert account.total_spend() == Money(2 * (1.66667e-5 + 2e-7))
+
+    def test_category_filtering(self, account):
+        account.record_bill(AWS_LAMBDA_BILLING.bill(1024, 1.0),
+                            category="sampling")
+        account.record_bill(AWS_LAMBDA_BILLING.bill(1024, 2.0),
+                            category="invocation")
+        assert account.total_spend("sampling") < account.total_spend()
+
+    def test_spend_breakdown(self, account):
+        account.record_bill(AWS_LAMBDA_BILLING.bill(1024, 1.0),
+                            category="sampling")
+        account.record_bill(AWS_LAMBDA_BILLING.bill(1024, 1.0),
+                            category="sampling")
+        breakdown = account.spend_breakdown()
+        assert set(breakdown) == {"sampling"}
+        assert breakdown["sampling"] == pytest.approx(
+            2 * (1.66667e-5 + 2e-7))
+
+    def test_empty_ledger(self, account):
+        assert account.total_spend() == Money(0)
+
+
+class TestDeployments(object):
+    def test_register_and_list(self, account):
+        class FakeDeployment(object):
+            deployment_id = "dep-1"
+
+        account.register_deployment(FakeDeployment())
+        assert len(account.deployments()) == 1
+
+    def test_duplicate_rejected(self, account):
+        class FakeDeployment(object):
+            deployment_id = "dep-1"
+
+        account.register_deployment(FakeDeployment())
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            account.register_deployment(FakeDeployment())

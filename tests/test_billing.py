@@ -1,0 +1,99 @@
+"""Billing models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.cloudsim.billing import (
+    AWS_LAMBDA_BILLING,
+    BillingModel,
+    DIGITAL_OCEAN_BILLING,
+    IBM_CODE_ENGINE_BILLING,
+    InvocationBill,
+)
+
+
+class TestBilledDuration(object):
+    def test_rounds_up_to_granularity(self):
+        assert AWS_LAMBDA_BILLING.billed_duration(0.0011) == pytest.approx(
+            0.002)
+
+    def test_exact_multiple_unchanged(self):
+        assert AWS_LAMBDA_BILLING.billed_duration(0.250) == pytest.approx(
+            0.250)
+
+    def test_minimum_billed_duration(self):
+        model = BillingModel({"x86_64": 1e-5}, min_billed_duration=0.1)
+        assert model.billed_duration(0.01) == pytest.approx(0.1)
+
+
+class TestBill(object):
+    def test_aws_one_gb_second(self):
+        bill = AWS_LAMBDA_BILLING.bill(1024, 1.0, "x86_64")
+        assert bill.compute == Money(1.66667e-5)
+        assert bill.request == Money(2e-7)
+        assert bill.total == Money(1.66667e-5 + 2e-7)
+
+    def test_arm_is_cheaper(self):
+        x86 = AWS_LAMBDA_BILLING.bill(1024, 1.0, "x86_64")
+        arm = AWS_LAMBDA_BILLING.bill(1024, 1.0, "arm64")
+        assert arm.total < x86.total
+
+    def test_batch_of_requests(self):
+        one = AWS_LAMBDA_BILLING.bill(2048, 0.25, requests=1)
+        thousand = AWS_LAMBDA_BILLING.bill(2048, 0.25, requests=1000)
+        assert thousand.total == one.total * 1000
+
+    def test_paper_poll_cost_under_two_cents(self):
+        # EX-1/Figure 3: a 1,000-request poll at 2 GB and 0.25 s sleep
+        # costs "less than two cents".
+        bill = AWS_LAMBDA_BILLING.bill(2048, 0.251, requests=1000)
+        assert bill.total < Money(0.02)
+
+    def test_unknown_arch_raises(self):
+        with pytest.raises(ConfigurationError):
+            DIGITAL_OCEAN_BILLING.bill(512, 1.0, "arm64")
+
+    def test_negative_requests_raises(self):
+        with pytest.raises(ConfigurationError):
+            AWS_LAMBDA_BILLING.bill(512, 1.0, requests=-1)
+
+    def test_provider_rates_differ(self):
+        aws = AWS_LAMBDA_BILLING.bill(1024, 1.0).total
+        ibm = IBM_CODE_ENGINE_BILLING.bill(1024, 1.0).total
+        do = DIGITAL_OCEAN_BILLING.bill(1024, 1.0).total
+        assert len({float(aws), float(ibm), float(do)}) == 3
+
+
+class TestInvocationBill(object):
+    def test_addition(self):
+        a = AWS_LAMBDA_BILLING.bill(1024, 1.0)
+        b = AWS_LAMBDA_BILLING.bill(1024, 2.0)
+        total = a + b
+        assert total.requests == 2
+        assert total.total == a.total + b.total
+
+    def test_zero(self):
+        zero = InvocationBill.zero()
+        assert zero.total == Money(0)
+        assert zero.requests == 0
+
+
+class TestBillingProperties(object):
+    @given(st.floats(min_value=1e-3, max_value=900),
+           st.floats(min_value=1e-3, max_value=900))
+    def test_monotonic_in_duration(self, d1, d2):
+        low, high = sorted([d1, d2])
+        assert (AWS_LAMBDA_BILLING.bill(1024, low).total
+                <= AWS_LAMBDA_BILLING.bill(1024, high).total)
+
+    @given(st.integers(min_value=128, max_value=10240))
+    def test_monotonic_in_memory(self, memory):
+        assert (AWS_LAMBDA_BILLING.bill(memory, 1.0).total
+                <= AWS_LAMBDA_BILLING.bill(memory + 64, 1.0).total)
+
+    @given(st.floats(min_value=1e-4, max_value=100))
+    def test_billed_duration_never_less_than_raw(self, duration):
+        assert (AWS_LAMBDA_BILLING.billed_duration(duration)
+                >= duration - 1e-9)

@@ -1,0 +1,182 @@
+"""Carbon intensity model and green routing policies."""
+
+import pytest
+
+from repro.common.errors import (
+    CharacterizationError,
+    ConfigurationError,
+    UnknownRegionError,
+)
+from repro.common.units import HOURS, Money
+from repro.cloudsim.carbon import (
+    CarbonIntensityModel,
+    grams_co2e,
+)
+from repro.cloudsim.network import GeoPoint
+from repro.core import CharacterizationStore, ZoneRanker
+from repro.core.green import CarbonAwarePolicy, MultiObjectivePolicy
+from repro.core.policies import RoutingView
+from repro.sampling import CharacterizationBuilder
+from tests.helpers import make_cloud
+
+FACTORS = {"xeon-2.5": 1.0, "xeon-2.9": 1.25, "xeon-3.0": 0.9}
+
+
+class TestCarbonModel(object):
+    def test_hydro_grids_are_cleaner(self):
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        assert model.baseline("eu-north-1") < model.baseline("af-south-1")
+        assert model.baseline("sa-east-1") < model.baseline("ap-south-1")
+
+    def test_unknown_region(self):
+        with pytest.raises(UnknownRegionError):
+            CarbonIntensityModel().baseline("mars-1")
+
+    def test_solar_dip_at_local_noon(self):
+        model = CarbonIntensityModel(noise_sigma=0.0,
+                                     solar_dip_fraction=0.3)
+        noon = model.intensity("us-east-2", 13 * HOURS)
+        midnight = model.intensity("us-east-2", 1 * HOURS)
+        assert noon < midnight
+
+    def test_longitude_shifts_solar_window(self):
+        model = CarbonIntensityModel(noise_sigma=0.0,
+                                     solar_dip_fraction=0.3)
+        # 13:00 UTC is morning in Ohio but mid-afternoon in Frankfurt.
+        ohio = model.intensity("us-east-2", 13 * HOURS, lon=-83.0)
+        utc = model.intensity("us-east-2", 13 * HOURS, lon=0.0)
+        assert ohio != utc
+
+    def test_noise_deterministic_per_hour(self):
+        model = CarbonIntensityModel(seed=3)
+        assert model.intensity("us-east-2", 500.0) == model.intensity(
+            "us-east-2", 900.0)  # same hour bucket
+        assert model.intensity("us-east-2", 500.0) != model.intensity(
+            "us-east-2", 2 * HOURS + 500.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CarbonIntensityModel(solar_dip_fraction=1.5)
+
+    def test_grams_co2e_scales_with_memory_and_duration(self):
+        small = grams_co2e(1024, 1.0, 400.0)
+        assert grams_co2e(2048, 1.0, 400.0) == pytest.approx(2 * small)
+        assert grams_co2e(1024, 2.0, 400.0) == pytest.approx(2 * small)
+        assert small > 0
+
+
+def make_view(cloud, profiles, client=None, now=0.0):
+    store = CharacterizationStore()
+    for zone, counts in profiles.items():
+        builder = CharacterizationBuilder(zone)
+        builder.add_poll(counts, cost=Money(0), timestamp=now)
+        store.put(builder.snapshot())
+    return RoutingView(
+        characterizations=store.view(sorted(profiles)),
+        factors=FACTORS,
+        base_seconds=8.0,
+        ranker=ZoneRanker(store, cloud=cloud),
+        candidate_zones=sorted(profiles),
+        client=client,
+        now=now,
+    )
+
+
+@pytest.fixture
+def two_region_cloud():
+    from repro.cloudsim.az import AvailabilityZone, ScalingPolicy
+    from repro.cloudsim.host import HostPool
+    from repro.cloudsim.provider import AWS_LAMBDA
+    from repro.cloudsim.region import Region
+
+    cloud = make_cloud(seed=3, region_name="us-east-2",
+                       geo=(40.0, -83.0))
+    clean = Region("eu-north-1", AWS_LAMBDA, GeoPoint(59.3, 18.1))
+    clean.add_zone(AvailabilityZone(
+        "eu-north-1a",
+        [HostPool("xeon-2.5", 6, 64), HostPool("xeon-3.0", 6, 64)],
+        cloud.clock, scaling=ScalingPolicy(max_surge_slots=64), rng=3))
+    cloud.add_region(clean)
+    return cloud
+
+
+class TestCarbonAwarePolicy(object):
+    def test_prefers_clean_grid(self, two_region_cloud):
+        cloud = two_region_cloud
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        view = make_view(cloud, {
+            "us-east-2a": {"xeon-2.5": 10},
+            "eu-north-1a": {"xeon-2.5": 10},
+        }, client=GeoPoint(40.7, -74.0))
+        policy = CarbonAwarePolicy(cloud, model, max_rtt=10.0)
+        assert policy.decide(view).zone_id == "eu-north-1a"
+
+    def test_latency_bound_overrides_carbon(self, two_region_cloud):
+        cloud = two_region_cloud
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        view = make_view(cloud, {
+            "us-east-2a": {"xeon-2.5": 10},
+            "eu-north-1a": {"xeon-2.5": 10},
+        }, client=GeoPoint(40.7, -74.0))
+        policy = CarbonAwarePolicy(cloud, model, max_rtt=0.06)
+        assert policy.decide(view).zone_id == "us-east-2a"
+
+    def test_no_zone_within_bound_raises(self, two_region_cloud):
+        cloud = two_region_cloud
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        view = make_view(cloud, {"eu-north-1a": {"xeon-2.5": 10}},
+                         client=GeoPoint(-33.9, 151.2))
+        policy = CarbonAwarePolicy(cloud, model, max_rtt=0.02)
+        with pytest.raises(CharacterizationError):
+            policy.decide(view)
+
+
+class TestMultiObjectivePolicy(object):
+    def test_cost_only_matches_regional_choice(self, two_region_cloud):
+        cloud = two_region_cloud
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        view = make_view(cloud, {
+            "us-east-2a": {"xeon-3.0": 10},   # fast hardware, dirty grid
+            "eu-north-1a": {"xeon-2.5": 10},  # slow hardware, clean grid
+        })
+        policy = MultiObjectivePolicy(cloud, model, cost_weight=1.0)
+        assert policy.decide(view).zone_id == "us-east-2a"
+
+    def test_carbon_weight_flips_the_choice(self, two_region_cloud):
+        cloud = two_region_cloud
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        view = make_view(cloud, {
+            "us-east-2a": {"xeon-3.0": 10},
+            "eu-north-1a": {"xeon-2.5": 10},
+        })
+        policy = MultiObjectivePolicy(cloud, model, cost_weight=1.0,
+                                      carbon_weight=2.0)
+        assert policy.decide(view).zone_id == "eu-north-1a"
+
+    def test_latency_weight_needs_client(self, two_region_cloud):
+        cloud = two_region_cloud
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        view = make_view(cloud, {"us-east-2a": {"xeon-2.5": 10}})
+        policy = MultiObjectivePolicy(cloud, model, cost_weight=1.0,
+                                      latency_weight=1.0)
+        with pytest.raises(ConfigurationError):
+            policy.decide(view)
+
+    def test_latency_weight_prefers_near_zone(self, two_region_cloud):
+        cloud = two_region_cloud
+        model = CarbonIntensityModel(noise_sigma=0.0)
+        view = make_view(cloud, {
+            "us-east-2a": {"xeon-2.5": 10},
+            "eu-north-1a": {"xeon-2.5": 10},
+        }, client=GeoPoint(40.7, -74.0))
+        policy = MultiObjectivePolicy(cloud, model, cost_weight=1.0,
+                                      latency_weight=5.0)
+        assert policy.decide(view).zone_id == "us-east-2a"
+
+    def test_weights_validated(self, two_region_cloud):
+        model = CarbonIntensityModel()
+        with pytest.raises(ConfigurationError):
+            MultiObjectivePolicy(two_region_cloud, model, cost_weight=-1)
+        with pytest.raises(ConfigurationError):
+            MultiObjectivePolicy(two_region_cloud, model, cost_weight=0,
+                                 carbon_weight=0, latency_weight=0)

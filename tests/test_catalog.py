@@ -1,0 +1,144 @@
+"""The 41-region global catalog and its paper-mandated constraints."""
+
+import pytest
+
+from repro.common.errors import UnknownZoneError
+from repro.cloudsim.catalog import (
+    AWS_REGION_SPECS,
+    DO_REGION_SPECS,
+    EX3_ZONES,
+    EX4_ZONES,
+    IBM_REGION_SPECS,
+    catalog_region_names,
+    zone_spec,
+)
+
+
+class TestCatalogShape(object):
+    def test_41_regions_total(self):
+        assert len(catalog_region_names()) == 41
+
+    def test_provider_split(self):
+        assert len(catalog_region_names("aws")) == 33
+        assert len(catalog_region_names("ibm")) == 4
+        assert len(catalog_region_names("do")) == 4
+
+    def test_region_names_unique(self):
+        names = catalog_region_names()
+        assert len(names) == len(set(names))
+
+    def test_ex3_zones_exist(self):
+        # The eleven progressive-sampling AZs of EX-3.
+        assert len(EX3_ZONES) == 11
+        for zone_id in EX3_ZONES:
+            assert zone_spec(zone_id) is not None
+
+    def test_ex4_zones_subset_of_ex3(self):
+        assert len(EX4_ZONES) == 5
+        assert set(EX4_ZONES) <= set(EX3_ZONES)
+
+    def test_unknown_zone_spec(self):
+        with pytest.raises(UnknownZoneError):
+            zone_spec("mars-central-1a")
+
+
+class TestPaperConstraints(object):
+    def test_every_aws_zone_has_the_25ghz_xeon(self):
+        # EX-2 observation (3): every region had the 2.5 GHz processor.
+        for name, (_, _, zones) in AWS_REGION_SPECS.items():
+            for spec in zones.values():
+                assert "xeon-2.5" in spec.mix, name
+
+    def test_only_af_south_lacks_the_30ghz_xeon(self):
+        # EX-2 observation (4): all regions but af-south-1 host the 3.0 GHz
+        # part (region-level: in at least one of their zones).
+        missing = []
+        for name, (_, _, zones) in AWS_REGION_SPECS.items():
+            if not any("xeon-3.0" in spec.mix for spec in zones.values()):
+                missing.append(name)
+        assert missing == ["af-south-1"]
+
+    def test_epyc_most_prevalent_in_il_central_1(self):
+        # EX-2 observation (2).
+        def epyc_share(region_name):
+            _, _, zones = AWS_REGION_SPECS[region_name]
+            return max(spec.mix.get("amd-epyc", 0.0)
+                       for spec in zones.values())
+
+        il_share = epyc_share("il-central-1")
+        for name in AWS_REGION_SPECS:
+            assert epyc_share(name) <= il_share
+
+    def test_us_west_2_dominated_by_30ghz(self):
+        # EX-2: "regions like us-west-2 ... the 3.0 GHz processor was most
+        # prevalent."
+        spec = zone_spec("us-west-2a")
+        assert max(spec.mix, key=spec.mix.get) == "xeon-3.0"
+
+    def test_us_east_2a_single_cpu(self):
+        # EX-3: us-east-2a consistently returned 0 % error — all requests
+        # on the 2.5 GHz Xeon exclusively.
+        assert zone_spec("us-east-2a").mix == {"xeon-2.5": 1.0}
+
+    def test_eu_north_much_smaller_than_eu_central(self):
+        # EX-3: eu-north-1a fails after ~5k calls; eu-central-1a sustains
+        # ten times that.
+        ratio = (zone_spec("eu-central-1a").slots
+                 / zone_spec("eu-north-1a").slots)
+        assert 8 <= ratio <= 12
+
+    def test_temporal_classes(self):
+        # EX-4: stable vs volatile zones.
+        for zone_id in ("sa-east-1a", "eu-north-1a"):
+            assert zone_spec(zone_id).drift == "stable"
+        for zone_id in ("ca-central-1a", "us-west-1a", "us-west-1b"):
+            assert zone_spec(zone_id).drift == "volatile"
+
+    def test_mixes_sum_to_one(self):
+        for name, (_, _, zones) in AWS_REGION_SPECS.items():
+            for suffix, spec in zones.items():
+                assert sum(spec.mix.values()) == pytest.approx(1.0), (
+                    name + suffix)
+
+    def test_ibm_and_do_near_homogeneous(self):
+        # EX-2: no exploitable heterogeneity outside AWS.
+        for specs in (IBM_REGION_SPECS, DO_REGION_SPECS):
+            for name, (_, _, spec) in specs.items():
+                assert max(spec.mix.values()) >= 0.85, name
+
+
+class TestBuiltCatalog(object):
+    def test_full_build(self, catalog_cloud_readonly):
+        assert len(catalog_cloud_readonly.regions) == 41
+
+    def test_zone_index_spans_providers(self, catalog_cloud_readonly):
+        cloud = catalog_cloud_readonly
+        assert cloud.zone("us-east-2a").zone_id == "us-east-2a"
+        assert cloud.zone("us-south").zone_id == "us-south"
+        assert cloud.zone("nyc1").zone_id == "nyc1"
+
+    def test_aws_only_build(self):
+        from repro.cloudsim import build_global_catalog
+        cloud = build_global_catalog(seed=0, aws_only=True)
+        assert len(cloud.regions) == 33
+
+    def test_zone_capacity_matches_spec_scale(self, catalog_cloud_readonly):
+        zone = catalog_cloud_readonly.zone("eu-north-1a")
+        spec = zone_spec("eu-north-1a")
+        assert abs(zone.capacity - spec.slots) <= spec.slots * 0.3
+
+    def test_subset_install(self):
+        from repro.cloudsim.cloud import Cloud
+        from repro.cloudsim.catalog import install_catalog
+        cloud = Cloud(seed=0)
+        install_catalog(cloud, regions={"us-west-1", "nyc1"})
+        assert sorted(cloud.regions) == ["nyc1", "us-west-1"]
+
+    def test_mesh_scale_matches_paper(self, catalog_cloud_readonly):
+        # §3.3: the full AWS ladder (9 memory x 2 arch) across every zone
+        # plus per-zone sampling sets exceeds 1,600 deployments.  Count the
+        # deployable slots rather than deploying (read-only fixture).
+        zones = catalog_cloud_readonly.zone_ids(provider="aws")
+        ladder_deployments = len(zones) * 9 * 2
+        sampling_deployments = 100 * len(EX3_ZONES)
+        assert ladder_deployments + sampling_deployments > 1600

@@ -1,0 +1,89 @@
+"""CPU characterizations and the builder."""
+
+import pytest
+
+from repro.common.errors import CharacterizationError
+from repro.common.units import Money
+from repro.sampling import CharacterizationBuilder, CPUCharacterization
+from repro.common.distributions import CategoricalDistribution
+
+
+def build(zone="z-1", counts=None, **kwargs):
+    builder = CharacterizationBuilder(zone)
+    builder.add_poll(counts or {"a": 60, "b": 40}, cost=Money(0.01),
+                     timestamp=kwargs.get("timestamp", 100.0))
+    return builder.snapshot()
+
+
+class TestBuilder(object):
+    def test_accumulates_polls(self):
+        builder = CharacterizationBuilder("z-1")
+        builder.add_poll({"a": 10}, cost=Money(0.01), timestamp=1.0)
+        builder.add_poll({"a": 5, "b": 5}, cost=Money(0.01), timestamp=2.0)
+        snapshot = builder.snapshot()
+        assert snapshot.samples == 20
+        assert snapshot.polls == 2
+        assert snapshot.share("a") == pytest.approx(0.75)
+        assert snapshot.cost == Money(0.02)
+
+    def test_passive_observations(self):
+        builder = CharacterizationBuilder("z-1")
+        for _ in range(3):
+            builder.add_observation("a", timestamp=5.0)
+        builder.add_observation("b", timestamp=6.0)
+        snapshot = builder.snapshot()
+        assert snapshot.samples == 4
+        assert snapshot.polls == 0
+        assert snapshot.share("a") == 0.75
+
+    def test_empty_snapshot_raises(self):
+        with pytest.raises(CharacterizationError):
+            CharacterizationBuilder("z-1").snapshot()
+
+    def test_created_at_is_last_observation(self):
+        builder = CharacterizationBuilder("z-1")
+        builder.add_poll({"a": 1}, timestamp=10.0)
+        builder.add_poll({"a": 1}, timestamp=20.0)
+        assert builder.snapshot().created_at == 20.0
+
+    def test_snapshot_is_frozen(self):
+        builder = CharacterizationBuilder("z-1")
+        builder.add_poll({"a": 1}, timestamp=1.0)
+        first = builder.snapshot()
+        builder.add_poll({"b": 1}, timestamp=2.0)
+        assert first.cpu_keys() == ["a"]
+
+
+class TestCharacterization(object):
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CPUCharacterization("z", CategoricalDistribution({}), 0, 0,
+                                Money(0), 0.0)
+
+    def test_dominant_cpu(self):
+        assert build().dominant_cpu() == "a"
+
+    def test_age(self):
+        profile = build(timestamp=100.0)
+        assert profile.age_at(160.0) == 60.0
+        assert profile.age_at(50.0) == 0.0
+
+    def test_ape_to_characterization(self):
+        left = build(counts={"a": 60, "b": 40})
+        right = build(counts={"a": 50, "b": 50})
+        assert left.ape_to(right) == pytest.approx(20.0)
+
+    def test_ape_to_raw_distribution(self):
+        left = build(counts={"a": 60, "b": 40})
+        dist = CategoricalDistribution({"a": 6, "b": 4})
+        assert left.ape_to(dist) == pytest.approx(0.0)
+
+    def test_accuracy_complement(self):
+        left = build(counts={"a": 60, "b": 40})
+        right = build(counts={"a": 50, "b": 50})
+        assert left.accuracy_to(right) == pytest.approx(80.0)
+
+    def test_shares_and_keys(self):
+        profile = build(counts={"a": 3, "b": 1})
+        assert profile.cpu_keys() == ["a", "b"]
+        assert profile.shares()["b"] == 0.25

@@ -1,0 +1,135 @@
+"""The command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro import cli
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = cli.main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCatalog(object):
+    def test_lists_41_regions(self):
+        code, output = run_cli("catalog")
+        assert code == 0
+        assert len(output.strip().splitlines()) == 41
+
+    def test_provider_filter(self):
+        code, output = run_cli("catalog", "--provider", "ibm")
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert len(lines) == 4
+        assert "eu-de" in lines
+
+
+class TestWorkloads(object):
+    def test_lists_twelve(self):
+        code, output = run_cli("workloads")
+        assert code == 0
+        assert "zipper" in output
+        assert "logistic_regression" in output
+        # Header plus twelve rows.
+        assert len(output.strip().splitlines()) == 13
+
+
+class TestWorkloadsRun(object):
+    def test_executes_suite(self):
+        code, output = run_cli("workloads", "--run", "--scale", "0.05",
+                               "--repetitions", "1")
+        assert code == 0
+        assert "mean (s)" in output
+        assert "total wall time" in output
+        # Twelve data rows between header and the total line.
+        assert len(output.strip().splitlines()) == 14
+
+
+class TestCharacterize(object):
+    def test_prints_shares(self):
+        code, output = run_cli("--seed", "3", "characterize",
+                               "us-east-2a", "--polls", "2")
+        assert code == 0
+        assert "xeon-2.5" in output
+        assert "100.0%" in output
+
+    def test_json_export(self, tmp_path):
+        path = tmp_path / "zone.json"
+        code, output = run_cli("characterize", "us-east-2a", "--polls",
+                               "2", "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["zone"] == "us-east-2a"
+        assert payload["trace"]
+
+    def test_unknown_zone_fails_fast(self):
+        with pytest.raises(Exception):
+            run_cli("characterize", "atlantis-1a")
+
+
+class TestProfile(object):
+    def test_profile_table(self):
+        code, output = run_cli("--seed", "5", "profile", "zipper",
+                               "--repetitions", "400")
+        assert code == 0
+        assert "vs 2.5GHz" in output
+        assert "xeon-3.0" in output
+
+
+class TestAdvise(object):
+    def test_prints_ladder_and_recommendation(self):
+        code, output = run_cli("--seed", "7", "advise", "sha1_hash",
+                               "--zone", "us-east-2a", "--polls", "2")
+        assert code == 0
+        assert "cheapest" in output
+        assert "recommended (balanced)" in output
+        # Header + 9 ladder rungs + 2 summary lines + title.
+        assert "10240MB" in output
+
+    def test_objective_flag(self):
+        code, output = run_cli("--seed", "7", "advise", "sha1_hash",
+                               "--zone", "us-east-2a", "--polls", "2",
+                               "--objective", "fastest")
+        assert code == 0
+        assert "recommended (fastest)" in output
+
+
+class TestStudy(object):
+    def test_study_summary_and_exports(self, tmp_path):
+        json_path = tmp_path / "study.json"
+        csv_path = tmp_path / "study.csv"
+        code, output = run_cli(
+            "--seed", "5", "study", "zipper", "--days", "2", "--burst",
+            "200", "--json", str(json_path), "--csv", str(csv_path))
+        assert code == 0
+        assert "hybrid_focus_fastest" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["workload"] == "zipper"
+        assert len(payload["daily_costs_usd"]["baseline"]) == 2
+        assert "savings_vs_baseline" in payload
+        lines = csv_path.read_text().strip().splitlines()
+        # header + 4 policies x 2 days
+        assert len(lines) == 1 + 4 * 2
+
+
+class TestModuleEntryPoint(object):
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "catalog", "--provider",
+             "do"], capture_output=True, text=True)
+        assert completed.returncode == 0
+        assert "nyc1" in completed.stdout
+
+    def test_usage_error_exits_nonzero(self):
+        import subprocess
+        import sys
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "frobnicate"],
+            capture_output=True, text=True)
+        assert completed.returncode != 0

@@ -1,0 +1,109 @@
+"""The SkyController middleware layer."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import DAYS, Money
+from repro.core import BaselinePolicy
+from repro.core.controller import SkyController
+from repro.workloads import workload_by_name
+from tests.helpers import make_cloud
+
+
+@pytest.fixture
+def controller():
+    cloud = make_cloud(seed=81)
+    account = cloud.create_account("ctl", "aws")
+    return SkyController(cloud, account, ["test-1a", "test-1b"],
+                         polls_per_refresh=2, poll_requests=150,
+                         sampling_count=4)
+
+
+class TestProvisioning(object):
+    def test_mesh_and_sampling_endpoints_deployed(self, controller):
+        assert controller.mesh.endpoint("test-1a", 2048) is not None
+        assert controller.mesh.endpoint("test-1b", 2048) is not None
+        # 2 dynamic endpoints + 2 zones x 4 sampling endpoints.
+        assert len(controller.mesh) == 2 + 8
+
+    def test_requires_zones(self):
+        cloud = make_cloud(seed=82)
+        account = cloud.create_account("ctl", "aws")
+        with pytest.raises(ConfigurationError):
+            SkyController(cloud, account, [])
+
+
+class TestProfiling(object):
+    def test_first_refresh_covers_all_zones(self, controller):
+        refreshed = controller.refresh_due_zones()
+        assert sorted(refreshed) == ["test-1a", "test-1b"]
+        assert controller.sampling_cost > Money(0)
+
+    def test_fresh_profiles_not_resampled_immediately(self, controller):
+        controller.refresh_due_zones()
+        controller.cloud.clock.advance(60.0)
+        assert controller.refresh_due_zones() == []
+
+    def test_force_refresh(self, controller):
+        controller.refresh_due_zones()
+        assert sorted(controller.refresh_due_zones(force=True)) == [
+            "test-1a", "test-1b"]
+
+    def test_stable_zone_gets_weekly_cadence(self, controller):
+        # Seed the tracker with a drift-free history: both zones classify
+        # stable and the weekly cadence suppresses daily re-sampling.
+        from repro.common.units import Money
+        from repro.sampling import CharacterizationBuilder
+
+        for zone_id in ("test-1a", "test-1b"):
+            for day in range(3):
+                builder = CharacterizationBuilder(zone_id)
+                builder.add_poll({"xeon-2.5": 500, "xeon-2.9": 300},
+                                 cost=Money(0), timestamp=day * DAYS)
+                controller.tracker.observe(builder.snapshot())
+        assert controller.classification() == {"test-1a": "stable",
+                                               "test-1b": "stable"}
+        controller.cloud.clock.advance_to(3 * DAYS)
+        cost_before = float(controller.sampling_cost)
+        assert controller.refresh_due_zones() == []
+        assert float(controller.sampling_cost) == cost_before
+        # ...but a week later the profiles are due again.
+        controller.cloud.clock.advance(8 * DAYS)
+        assert sorted(controller.refresh_due_zones()) == ["test-1a",
+                                                          "test-1b"]
+
+
+class TestRouting(object):
+    def test_submit_routes_a_request(self, controller):
+        request = controller.submit(workload_by_name("sha1_hash"))
+        assert request.zone_id in ("test-1a", "test-1b")
+        assert request.cost > Money(0)
+
+    def test_submit_burst(self, controller):
+        burst = controller.submit_burst(workload_by_name("sha1_hash"), 100)
+        assert burst.executed == 100
+        assert burst.zone_id in ("test-1a", "test-1b")
+
+    def test_hybrid_policy_prefers_fast_zone(self, controller):
+        # test-1b hosts the 3.0 GHz pool; the default hybrid policy should
+        # route compute-bound work there.
+        burst = controller.submit_burst(
+            workload_by_name("matrix_multiply"), 50)
+        assert burst.zone_id == "test-1b"
+
+    def test_passive_observations_recorded(self, controller):
+        controller.submit_burst(workload_by_name("sha1_hash"), 100)
+        total_passive = sum(
+            controller.store.passive_samples(z)
+            for z in ("test-1a", "test-1b"))
+        assert total_passive > 0
+
+    def test_custom_policy(self):
+        cloud = make_cloud(seed=83)
+        account = cloud.create_account("ctl", "aws")
+        controller = SkyController(cloud, account, ["test-1a"],
+                                   policy=BaselinePolicy("test-1a"),
+                                   polls_per_refresh=2, poll_requests=150,
+                                   sampling_count=4)
+        request = controller.submit(workload_by_name("sha1_hash"))
+        assert request.zone_id == "test-1a"

@@ -1,0 +1,74 @@
+"""The CPU catalog."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cloudsim.cpu import (
+    AWS_X86_CPUS,
+    CPU_CATALOG,
+    cpu_by_key,
+    cpu_by_model_name,
+    fastest_cpu,
+    slowest_cpus,
+)
+
+
+class TestCatalog(object):
+    def test_paper_cpus_present(self):
+        # EX-2: four Lambda CPUs, two IBM Cascade Lakes, two DO Xeons.
+        for key in ("xeon-2.5", "xeon-2.9", "xeon-3.0", "amd-epyc",
+                    "cascadelake-2.4", "cascadelake-2.5",
+                    "do-xeon-2.6", "do-xeon-2.7"):
+            assert key in CPU_CATALOG
+
+    def test_lookup_by_key(self):
+        cpu = cpu_by_key("xeon-2.5")
+        assert cpu.clock_ghz == 2.5
+        assert cpu.vendor == "Intel"
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ConfigurationError):
+            cpu_by_key("pentium-66mhz")
+
+    def test_lookup_by_model_name(self):
+        cpu = cpu_by_model_name("AMD EPYC")
+        assert cpu.key == "amd-epyc"
+
+    def test_unknown_model_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            cpu_by_model_name("Transmeta Crusoe")
+
+    def test_model_names_unique(self):
+        names = [cpu.model_name for cpu in CPU_CATALOG.values()]
+        assert len(names) == len(set(names))
+
+    def test_equality_and_hash(self):
+        assert cpu_by_key("xeon-2.5") == cpu_by_key("xeon-2.5")
+        assert len({cpu_by_key("xeon-2.5"), cpu_by_key("xeon-2.5")}) == 1
+
+
+class TestSpeedHierarchy(object):
+    def test_paper_hierarchy(self):
+        # 3.0 GHz fastest; EPYC slowest; 2.9 GHz slower than 2.5 baseline.
+        speeds = {key: cpu_by_key(key).base_speed for key in AWS_X86_CPUS}
+        assert speeds["xeon-3.0"] > speeds["xeon-2.5"]
+        assert speeds["xeon-2.9"] < speeds["xeon-2.5"]
+        assert speeds["amd-epyc"] == min(speeds.values())
+
+    def test_fastest_cpu(self):
+        assert fastest_cpu(AWS_X86_CPUS) == "xeon-3.0"
+
+    def test_fastest_with_custom_speed(self):
+        assert fastest_cpu(["a", "b"],
+                           speed_of={"a": 2, "b": 5}.get) == "b"
+
+    def test_fastest_of_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            fastest_cpu([])
+
+    def test_slowest_cpus(self):
+        slowest = slowest_cpus(AWS_X86_CPUS, 2)
+        assert slowest == ["amd-epyc", "xeon-2.9"]
+
+    def test_slowest_order_is_slowest_first(self):
+        assert slowest_cpus(AWS_X86_CPUS, 4)[0] == "amd-epyc"

@@ -1,0 +1,94 @@
+"""Client-side dispatch with latency accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.core import RetryPolicy
+from repro.core.dispatcher import BurstDispatcher, LatencyDistribution
+from repro.dynfunc import UniversalDynamicFunctionHandler
+from repro.workloads import resolve_runtime_model, workload_by_name
+from tests.helpers import make_cloud
+
+
+@pytest.fixture
+def dispatch_setup():
+    cloud = make_cloud(seed=91)
+    account = cloud.create_account("dispatch", "aws")
+    deployment = cloud.deploy(
+        account, "test-1a", "dynamic", 2048,
+        handler=UniversalDynamicFunctionHandler(resolve_runtime_model))
+    return cloud, deployment
+
+
+class TestLatencyDistribution(object):
+    def test_percentiles_ordered(self):
+        dist = LatencyDistribution([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert dist.p50 <= dist.p95 <= dist.p99 <= dist.max
+
+    def test_summary_keys(self):
+        summary = LatencyDistribution([1.0, 2.0]).summary()
+        assert set(summary) == {"mean_s", "p50_s", "p95_s", "p99_s",
+                                "max_s"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyDistribution([])
+
+
+class TestDispatch(object):
+    def test_baseline_dispatch(self, dispatch_setup):
+        cloud, deployment = dispatch_setup
+        dispatcher = BurstDispatcher(cloud, concurrency=50)
+        result = dispatcher.dispatch(deployment,
+                                     workload_by_name("sha1_hash"), 200)
+        assert len(result.latency) == 200
+        assert result.retries == 0
+        assert result.total_cost > Money(0)
+        # Latency ≈ RTT + workload runtime.
+        assert result.latency.p50 > 2.0
+
+    def test_retry_policy_adds_latency(self, dispatch_setup):
+        cloud, deployment = dispatch_setup
+        dispatcher = BurstDispatcher(cloud, concurrency=50)
+        workload = workload_by_name("sha1_hash")
+        baseline = dispatcher.dispatch(deployment, workload, 200)
+        cloud.clock.advance(700.0)
+        retry = RetryPolicy(["xeon-2.9"], max_retries=8)
+        retried = dispatcher.dispatch(deployment, workload, 200,
+                                      retry_policy=retry)
+        assert retried.retries > 0
+        assert retried.latency.p95 >= baseline.latency.p95 - 0.5
+        # All completed requests avoided the banned CPU.
+        assert set(retried.cpu_counts) == {"xeon-2.5"}
+
+    def test_makespan_scales_with_concurrency(self, dispatch_setup):
+        cloud, deployment = dispatch_setup
+        workload = workload_by_name("sha1_hash")
+        wide = BurstDispatcher(cloud, concurrency=200).dispatch(
+            deployment, workload, 200)
+        cloud.clock.advance(700.0)
+        narrow = BurstDispatcher(cloud, concurrency=20).dispatch(
+            deployment, workload, 200)
+        assert narrow.makespan_s > wide.makespan_s
+
+    def test_validation(self, dispatch_setup):
+        cloud, deployment = dispatch_setup
+        with pytest.raises(ConfigurationError):
+            BurstDispatcher(cloud, concurrency=0)
+        dispatcher = BurstDispatcher(cloud)
+        with pytest.raises(ConfigurationError):
+            dispatcher.dispatch(deployment,
+                                workload_by_name("sha1_hash"), 0)
+
+    def test_client_rtt_used(self, dispatch_setup):
+        cloud, deployment = dispatch_setup
+        from repro.cloudsim.network import GeoPoint
+        dispatcher = BurstDispatcher(cloud, concurrency=50)
+        workload = workload_by_name("sha1_hash")
+        near = dispatcher.dispatch(deployment, workload, 100,
+                                   rtt_s=0.01)
+        cloud.clock.advance(700.0)
+        far = dispatcher.dispatch(deployment, workload, 100,
+                                  client=GeoPoint(-33.9, 151.2))
+        assert far.latency.mean > near.latency.mean

@@ -1,0 +1,190 @@
+"""Categorical distributions and APE — including property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.distributions import (
+    CategoricalDistribution,
+    absolute_percentage_error,
+    total_variation_distance,
+)
+from repro.common.errors import CharacterizationError
+
+
+def dist(**counts):
+    return CategoricalDistribution(counts)
+
+
+class TestConstruction(object):
+    def test_from_counts(self):
+        d = dist(a=3, b=1)
+        assert d.share("a") == 0.75
+        assert d.share("b") == 0.25
+
+    def test_from_observations(self):
+        d = CategoricalDistribution.from_observations("aab")
+        assert d.share("a") == pytest.approx(2 / 3)
+
+    def test_from_shares_normalizes(self):
+        d = CategoricalDistribution.from_shares({"a": 2.0, "b": 2.0})
+        assert d.share("a") == 0.5
+
+    def test_zero_counts_dropped(self):
+        d = dist(a=1, b=0)
+        assert d.categories == ("a",)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CharacterizationError):
+            dist(a=-1)
+
+    def test_empty(self):
+        assert CategoricalDistribution({}).is_empty()
+
+
+class TestAccessors(object):
+    def test_total(self):
+        assert dist(a=3, b=2).total == 5
+
+    def test_share_of_missing_category(self):
+        assert dist(a=1).share("zzz") == 0.0
+
+    def test_mode(self):
+        assert dist(a=1, b=5).mode() == "b"
+
+    def test_mode_tie_breaks_alphabetically(self):
+        assert dist(b=2, a=2).mode() == "a"
+
+    def test_mode_of_empty_raises(self):
+        with pytest.raises(CharacterizationError):
+            CategoricalDistribution({}).mode()
+
+    def test_counts_returns_copy(self):
+        d = dist(a=1)
+        d.counts()["a"] = 99
+        assert d.count("a") == 1
+
+
+class TestAlgebra(object):
+    def test_merge_pools_counts(self):
+        merged = dist(a=1, b=1).merge(dist(a=3))
+        assert merged.count("a") == 4
+        assert merged.total == 5
+
+    def test_merge_keeps_operands_immutable(self):
+        left, right = dist(a=1), dist(b=1)
+        left.merge(right)
+        assert left.categories == ("a",)
+        assert right.categories == ("b",)
+
+    def test_expectation(self):
+        d = dist(fast=1, slow=1)
+        values = {"fast": 0.9, "slow": 1.3}
+        assert d.expectation(values.get) == pytest.approx(1.1)
+
+    def test_expectation_with_default(self):
+        d = dist(known=1, unknown=1)
+        assert d.expectation({"known": 2.0}.get,
+                             default=4.0) == pytest.approx(3.0)
+
+    def test_expectation_missing_value_raises(self):
+        with pytest.raises(CharacterizationError):
+            dist(a=1).expectation(lambda c: None)
+
+    def test_expectation_of_empty_raises(self):
+        with pytest.raises(CharacterizationError):
+            CategoricalDistribution({}).expectation(lambda c: 1.0)
+
+    def test_sample_respects_support(self):
+        d = dist(a=1, b=3)
+        rng = np.random.default_rng(0)
+        draws = d.sample(rng, size=100)
+        assert set(draws) <= {"a", "b"}
+
+    def test_equality(self):
+        assert dist(a=1, b=1) == dist(a=10, b=10)
+        assert dist(a=1) != dist(b=1)
+
+
+class TestAPE(object):
+    def test_identical_is_zero(self):
+        d = dist(a=2, b=2)
+        assert absolute_percentage_error(d, d) == 0.0
+
+    def test_disjoint_is_200(self):
+        assert absolute_percentage_error(dist(a=1), dist(b=1)) == 200.0
+
+    def test_known_value(self):
+        est = dist(a=6, b=4)
+        tru = dist(a=5, b=5)
+        assert absolute_percentage_error(est, tru) == pytest.approx(20.0)
+
+    def test_missing_category_counts_double(self):
+        est = dist(a=9, b=1)
+        tru = dist(a=9, c=1)
+        # b excess 10% + c missing 10% = 20% APE.
+        assert absolute_percentage_error(est, tru) == pytest.approx(20.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(CharacterizationError):
+            absolute_percentage_error(CategoricalDistribution({}), dist(a=1))
+        with pytest.raises(CharacterizationError):
+            absolute_percentage_error(dist(a=1), CategoricalDistribution({}))
+
+    def test_tvd_is_half_l1(self):
+        est, tru = dist(a=6, b=4), dist(a=5, b=5)
+        assert total_variation_distance(est, tru) == pytest.approx(0.1)
+
+
+counts_strategy = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d", "e"]),
+    st.integers(min_value=1, max_value=10 ** 6),
+    min_size=1, max_size=5)
+
+
+class TestProperties(object):
+    @given(counts_strategy)
+    def test_shares_sum_to_one(self, counts):
+        d = CategoricalDistribution(counts)
+        assert sum(d.shares().values()) == pytest.approx(1.0)
+
+    @given(counts_strategy, counts_strategy)
+    def test_ape_symmetric(self, left, right):
+        a, b = CategoricalDistribution(left), CategoricalDistribution(right)
+        assert (absolute_percentage_error(a, b)
+                == pytest.approx(absolute_percentage_error(b, a)))
+
+    @given(counts_strategy, counts_strategy)
+    def test_ape_bounded(self, left, right):
+        a, b = CategoricalDistribution(left), CategoricalDistribution(right)
+        ape = absolute_percentage_error(a, b)
+        assert 0.0 <= ape <= 200.0 + 1e-9
+
+    @given(counts_strategy)
+    def test_ape_to_self_zero(self, counts):
+        d = CategoricalDistribution(counts)
+        assert absolute_percentage_error(d, d) == pytest.approx(0.0)
+
+    @given(counts_strategy, counts_strategy, counts_strategy)
+    def test_ape_triangle_inequality(self, x, y, z):
+        a = CategoricalDistribution(x)
+        b = CategoricalDistribution(y)
+        c = CategoricalDistribution(z)
+        ab = absolute_percentage_error(a, b)
+        bc = absolute_percentage_error(b, c)
+        ac = absolute_percentage_error(a, c)
+        assert ac <= ab + bc + 1e-9
+
+    @given(counts_strategy, counts_strategy)
+    def test_merge_total_is_sum(self, left, right):
+        a, b = CategoricalDistribution(left), CategoricalDistribution(right)
+        assert a.merge(b).total == pytest.approx(a.total + b.total)
+
+    @given(counts_strategy, counts_strategy)
+    def test_merged_share_between_operands(self, left, right):
+        a, b = CategoricalDistribution(left), CategoricalDistribution(right)
+        merged = a.merge(b)
+        for category in merged.categories:
+            low = min(a.share(category), b.share(category))
+            high = max(a.share(category), b.share(category))
+            assert low - 1e-9 <= merged.share(category) <= high + 1e-9

@@ -1,0 +1,94 @@
+"""The in-FI dynamic-function runtime: real exec with caching."""
+
+import pytest
+
+from repro.common.errors import PayloadError
+from repro.dynfunc import DynamicFunctionRuntime, build_payload
+
+ADDER = """
+def handler(event, context):
+    return event["a"] + event["b"]
+"""
+
+FILE_READER = """
+def handler(event, context):
+    return sorted(__dynamic_files__)
+"""
+
+CONTEXT_ECHO = """
+def handler(event, context):
+    return context
+"""
+
+
+@pytest.fixture
+def runtime():
+    return DynamicFunctionRuntime()
+
+
+class TestExecution(object):
+    def test_executes_entry_point(self, runtime):
+        payload = build_payload(ADDER, args={"a": 2, "b": 3})
+        result = runtime.handle(payload)
+        assert result.value == 5
+
+    def test_passes_context(self, runtime):
+        payload = build_payload(CONTEXT_ECHO)
+        result = runtime.handle(payload, context={"request_id": "r-1"})
+        assert result.value == {"request_id": "r-1"}
+
+    def test_files_exposed_to_handler(self, runtime):
+        payload = build_payload(FILE_READER, files={"a.txt": b"x",
+                                                    "b.txt": b"y"})
+        result = runtime.handle(payload)
+        assert result.value == ["a.txt", "b.txt"]
+
+    def test_handles_wire_dict(self, runtime):
+        payload = build_payload(ADDER, args={"a": 1, "b": 1}).to_dict()
+        assert runtime.handle(payload).value == 2
+
+    def test_missing_entry_raises(self, runtime):
+        payload = build_payload("x = 1", args=None)
+        with pytest.raises(PayloadError):
+            runtime.handle(payload)
+
+    def test_broken_source_raises(self, runtime):
+        payload = build_payload("def handler(:\n  pass")
+        with pytest.raises(PayloadError):
+            runtime.handle(payload)
+
+    def test_custom_entry_point(self, runtime):
+        source = "def my_main(event, context):\n    return 'ok'\n"
+        payload = build_payload(source, entry="my_main")
+        assert runtime.handle(payload).value == "ok"
+
+
+class TestCaching(object):
+    def test_second_request_hits_cache(self, runtime):
+        payload = build_payload(ADDER, args={"a": 1, "b": 1})
+        first = runtime.handle(payload)
+        second = runtime.handle(payload)
+        assert not first.cached
+        assert second.cached
+
+    def test_different_payloads_cached_separately(self, runtime):
+        first = build_payload(ADDER, args={"a": 1, "b": 1})
+        second = build_payload(ADDER + "# v2", args={"a": 1, "b": 1})
+        runtime.handle(first)
+        result = runtime.handle(second)
+        assert not result.cached
+        assert runtime.cached_payloads == 2
+
+    def test_cache_eviction_under_pressure(self):
+        runtime = DynamicFunctionRuntime(ephemeral_limit_bytes=200)
+        for version in range(5):
+            payload = build_payload(ADDER + "# v{}\n".format(version) * 10,
+                                    args={"a": 1, "b": 1})
+            runtime.handle(payload)
+        assert runtime.cached_payloads < 5
+
+    def test_execution_times_measured(self, runtime):
+        payload = build_payload(ADDER, args={"a": 1, "b": 1})
+        result = runtime.handle(payload)
+        assert result.decode_seconds >= 0
+        assert result.execute_seconds >= 0

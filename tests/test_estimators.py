@@ -1,0 +1,115 @@
+"""Characterization confidence intervals and sample-size planning."""
+
+import pytest
+
+from repro.common.errors import CharacterizationError, ConfigurationError
+from repro.common.units import Money
+from repro.sampling import CharacterizationBuilder
+from repro.sampling.estimators import CharacterizationEstimator
+
+
+def profile(counts, zone="z-1"):
+    builder = CharacterizationBuilder(zone)
+    builder.add_poll(counts, cost=Money(0), timestamp=0.0)
+    return builder.snapshot()
+
+
+def estimator(counts, **kwargs):
+    return CharacterizationEstimator(profile(counts), **kwargs)
+
+
+class TestConstruction(object):
+    def test_effective_samples_deflated(self):
+        est = estimator({"a": 960}, cluster_size=9.6)
+        assert est.effective_samples == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimator({"a": 10}, cluster_size=0.5)
+        with pytest.raises(ConfigurationError):
+            estimator({"a": 10}, prior=0)
+
+
+class TestShareIntervals(object):
+    def test_interval_contains_point_estimate(self):
+        est = estimator({"a": 600, "b": 400})
+        low, high = est.share_interval("a")
+        assert low < 0.6 < high
+
+    def test_more_data_tightens_interval(self):
+        loose = estimator({"a": 60, "b": 40}).share_halfwidth("a")
+        tight = estimator({"a": 6000, "b": 4000}).share_halfwidth("a")
+        assert tight < loose
+
+    def test_clustering_widens_interval(self):
+        clustered = estimator({"a": 600, "b": 400},
+                              cluster_size=9.6).share_halfwidth("a")
+        independent = estimator({"a": 600, "b": 400},
+                                cluster_size=1.0).share_halfwidth("a")
+        assert clustered > independent
+
+    def test_unobserved_cpu_has_small_upper_bound(self):
+        est = estimator({"a": 5000})
+        low, high = est.share_interval("never-seen")
+        assert low == pytest.approx(0.0, abs=1e-6)
+        assert high < 0.05
+
+    def test_higher_confidence_wider(self):
+        est = estimator({"a": 600, "b": 400})
+        assert (est.share_halfwidth("a", confidence=0.99)
+                > est.share_halfwidth("a", confidence=0.80))
+
+    def test_confidence_validated(self):
+        est = estimator({"a": 10})
+        with pytest.raises(ConfigurationError):
+            est.share_interval("a", confidence=1.5)
+
+
+class TestPredictedApe(object):
+    def test_shrinks_with_samples(self):
+        small = estimator({"a": 60, "b": 40}).predicted_ape()
+        large = estimator({"a": 6000, "b": 4000}).predicted_ape()
+        assert large < small
+
+    def test_matches_empirical_scale(self):
+        # A single 1,000-request poll carries ~104 effective draws over
+        # a 4-way mix -> predicted APE around 5-15 %, the Figure 5 range.
+        est = estimator({"xeon-2.5": 350, "xeon-3.0": 250,
+                         "xeon-2.9": 250, "amd-epyc": 150})
+        assert 4.0 < est.predicted_ape() < 20.0
+
+
+class TestSampleSizePlanning(object):
+    def test_already_precise_needs_nothing(self):
+        est = estimator({"a": 96000, "b": 64000})
+        assert est.observations_for_halfwidth("a", 0.05) == 0
+
+    def test_tighter_target_needs_more(self):
+        est = estimator({"a": 600, "b": 400})
+        loose = est.observations_for_halfwidth("a", 0.05)
+        tight = est.observations_for_halfwidth("a", 0.01)
+        assert tight > loose > 0
+
+    def test_inflated_by_cluster_size(self):
+        clustered = estimator({"a": 600, "b": 400}, cluster_size=9.6)
+        independent = estimator({"a": 600, "b": 400}, cluster_size=1.0)
+        assert (clustered.observations_for_halfwidth("a", 0.02)
+                > independent.observations_for_halfwidth("a", 0.02))
+
+    def test_target_validated(self):
+        with pytest.raises(ConfigurationError):
+            estimator({"a": 10}).observations_for_halfwidth("a", 0.0)
+
+
+class TestEmptyProfile(object):
+    def test_rejected(self):
+        class Fake(object):
+            zone_id = "z"
+
+            class distribution(object):
+                @staticmethod
+                def counts():
+                    return {}
+
+        with pytest.raises(CharacterizationError):
+            CharacterizationEstimator(Fake())

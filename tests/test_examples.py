@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Each example's ``main()`` is executed in-process with stdout captured;
+these are the library's living documentation, so they must keep working.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        "example_" + name, EXAMPLES_DIR / (name + ".py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "dynamic_functions_demo",
+    "batch_cost_optimizer",
+    "slo_aware_routing",
+    "cross_provider_sky",
+])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) >= 5
+
+
+def test_quickstart_reports_savings(capsys):
+    load_example("quickstart").main()
+    output = capsys.readouterr().out
+    assert "CPU characterization" in output
+    assert "saves" in output
+
+
+def test_all_examples_have_docstring_and_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), path.name
+        assert "def main():" in source, path.name
+        assert '__name__ == "__main__"' in source, path.name

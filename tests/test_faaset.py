@@ -1,0 +1,68 @@
+"""FaaSET-style experiment helpers."""
+
+import pytest
+
+from repro.cloudsim.handlers import ModeledWorkloadHandler, SleepHandler
+from repro.skymesh import ExperimentRunner
+
+
+@pytest.fixture
+def runner(cloud):
+    return ExperimentRunner(cloud)
+
+
+@pytest.fixture
+def deployment(cloud, aws_account):
+    return cloud.deploy(aws_account, "test-1a", "fn", 2048,
+                        handler=SleepHandler(0.25))
+
+
+class TestRun(object):
+    def test_collects_one_report_per_invocation(self, runner, deployment):
+        result = runner.run(deployment, repetitions=10)
+        assert len(result) == 10
+        assert result.failures == 0
+
+    def test_mean_runtime(self, runner, deployment):
+        result = runner.run(deployment, repetitions=5)
+        assert result.mean_runtime_ms() == pytest.approx(251.0)
+
+    def test_stdev_zero_for_constant_runtime(self, runner, deployment):
+        result = runner.run(deployment, repetitions=5)
+        assert result.stdev_runtime_ms() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cold_start_fraction_with_reuse(self, runner, deployment):
+        result = runner.run(deployment, repetitions=4, gap_seconds=1.0)
+        # First invocation cold, later ones reuse the warm FI.
+        assert result.cold_start_fraction() == pytest.approx(0.25)
+
+    def test_force_new_all_cold(self, runner, deployment):
+        result = runner.run(deployment, repetitions=4, gap_seconds=1.0,
+                            force_new=True)
+        assert result.cold_start_fraction() == 1.0
+
+    def test_cpu_breakdown(self, runner, cloud, aws_account):
+        handler = ModeledWorkloadHandler("wl", 1.0,
+                                         {"xeon-2.5": 1.0, "xeon-2.9": 2.0},
+                                         noise_sigma=0.0)
+        deployment = cloud.deploy(aws_account, "test-1a", "wl", 2048,
+                                  handler=handler)
+        result = runner.run(deployment, repetitions=20, gap_seconds=400.0)
+        breakdown = result.cpu_breakdown()
+        assert set(breakdown) <= {"xeon-2.5", "xeon-2.9"}
+        for cpu, (count, mean_ms) in breakdown.items():
+            assert count > 0
+            expected = 1000.0 if cpu == "xeon-2.5" else 2000.0
+            assert mean_ms == pytest.approx(expected)
+
+
+class TestCompare(object):
+    def test_side_by_side(self, runner, cloud, aws_account):
+        a = cloud.deploy(aws_account, "test-1a", "fn-a", 2048,
+                         handler=SleepHandler(0.25))
+        b = cloud.deploy(aws_account, "test-1b", "fn-b", 2048,
+                         handler=SleepHandler(0.25))
+        results = runner.compare([a, b], repetitions=3)
+        assert len(results) == 2
+        for result in results.values():
+            assert len(result) == 3

@@ -1,0 +1,56 @@
+"""The recursive invocation fan-out tree."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cloudsim.provider import AWS_LAMBDA
+from repro.sampling import FanoutSpec
+
+
+class TestTreeGeometry(object):
+    def test_depth(self):
+        spec = FanoutSpec(branching=10)
+        assert spec.depth(1) == 0
+        assert spec.depth(10) == 1
+        assert spec.depth(1000) == 3
+        assert spec.depth(1001) == 4
+
+    def test_branching_validated(self):
+        with pytest.raises(ConfigurationError):
+            FanoutSpec(branching=1)
+
+    def test_client_requests_with_tree(self):
+        assert FanoutSpec(branching=10).client_requests(1000) == 10
+
+    def test_client_requests_without_tree(self):
+        assert FanoutSpec(use_tree=False).client_requests(1000) == 1000
+
+    def test_interior_nodes(self):
+        spec = FanoutSpec(branching=10)
+        assert spec.interior_nodes(1000) == 100
+        assert spec.interior_nodes(1) == 0
+
+
+class TestEffectiveWindow(object):
+    def test_tree_keeps_window_tight(self):
+        spec = FanoutSpec(branching=10)
+        window = spec.effective_window(1000, AWS_LAMBDA, 2048)
+        # 3 levels of ~35 ms latency vs. the 250 ms scheduling spread: the
+        # spread dominates, so a 0.25 s sleep covers the burst.
+        assert window == pytest.approx(0.25)
+
+    def test_no_tree_serializes_dispatch(self):
+        spec = FanoutSpec(use_tree=False)
+        window = spec.effective_window(1000, AWS_LAMBDA, 2048)
+        assert window > 2.0  # 1,000 serialized dispatches
+
+    def test_tree_beats_no_tree(self):
+        with_tree = FanoutSpec().effective_window(1000, AWS_LAMBDA, 2048)
+        without = FanoutSpec(use_tree=False).effective_window(
+            1000, AWS_LAMBDA, 2048)
+        assert with_tree < without
+
+    def test_low_memory_widens_window(self):
+        spec = FanoutSpec()
+        assert (spec.effective_window(1000, AWS_LAMBDA, 128)
+                > spec.effective_window(1000, AWS_LAMBDA, 2048))

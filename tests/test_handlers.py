@@ -1,0 +1,88 @@
+"""Simulator handlers: sleep, modeled workloads, callables."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cloudsim.handlers import (
+    CallableHandler,
+    ModeledWorkloadHandler,
+    SleepHandler,
+)
+
+
+class TestSleepHandler(object):
+    def test_duration_is_sleep_plus_overhead(self):
+        handler = SleepHandler(0.25, overhead_s=1e-3)
+        assert handler.duration_on("xeon-2.5", None) == pytest.approx(0.251)
+
+    def test_cpu_independent(self):
+        handler = SleepHandler(0.25)
+        assert (handler.duration_on("xeon-2.5", None)
+                == handler.duration_on("amd-epyc", None))
+
+    def test_rejects_non_positive_sleep(self):
+        with pytest.raises(ConfigurationError):
+            SleepHandler(0)
+
+    def test_respond(self):
+        assert SleepHandler(0.1).respond("xeon-2.5")["cpu"] == "xeon-2.5"
+
+
+class TestModeledWorkloadHandler(object):
+    @pytest.fixture
+    def handler(self):
+        return ModeledWorkloadHandler(
+            "wl", 10.0, {"fast": 0.9, "slow": 1.3}, noise_sigma=0.0)
+
+    def test_mean_duration_uses_factor(self, handler):
+        assert handler.mean_duration_on("fast") == pytest.approx(9.0)
+        assert handler.mean_duration_on("slow") == pytest.approx(13.0)
+
+    def test_duration_without_noise_equals_mean(self, handler):
+        assert handler.duration_on(
+            "fast", np.random.default_rng(0)) == pytest.approx(9.0)
+
+    def test_noise_perturbs_duration(self):
+        handler = ModeledWorkloadHandler("wl", 10.0, {"c": 1.0},
+                                         noise_sigma=0.1)
+        rng = np.random.default_rng(0)
+        draws = {handler.duration_on("c", rng) for _ in range(5)}
+        assert len(draws) == 5
+
+    def test_noise_is_multiplicative_lognormal(self):
+        handler = ModeledWorkloadHandler("wl", 10.0, {"c": 1.0},
+                                         noise_sigma=0.05)
+        rng = np.random.default_rng(1)
+        draws = [handler.duration_on("c", rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.02)
+        assert all(d > 0 for d in draws)
+
+    def test_unknown_cpu_raises(self, handler):
+        with pytest.raises(ConfigurationError):
+            handler.duration_on("mystery", None)
+
+    def test_default_factor_fallback(self):
+        handler = ModeledWorkloadHandler("wl", 10.0, {"a": 1.0},
+                                         noise_sigma=0.0,
+                                         default_factor=2.0)
+        assert handler.mean_duration_on("other") == pytest.approx(20.0)
+
+    def test_rejects_non_positive_base(self):
+        with pytest.raises(ConfigurationError):
+            ModeledWorkloadHandler("wl", 0.0, {"a": 1.0})
+
+
+class TestCallableHandler(object):
+    def test_delegates_duration(self):
+        handler = CallableHandler(lambda cpu, rng, payload: 3.0)
+        assert handler.duration_on("any", None) == 3.0
+
+    def test_respond_default_none(self):
+        handler = CallableHandler(lambda cpu, rng, payload: 1.0)
+        assert handler.respond("any") is None
+
+    def test_respond_custom(self):
+        handler = CallableHandler(lambda cpu, rng, payload: 1.0,
+                                  respond_fn=lambda cpu, payload: {"c": cpu})
+        assert handler.respond("x")["c"] == "x"

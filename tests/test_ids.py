@@ -1,0 +1,33 @@
+"""Identifier factories and zone/region name helpers."""
+
+from repro.common.ids import make_id_factory, region_of_zone, zone_of_region
+
+
+class TestIdFactory(object):
+    def test_sequential(self):
+        factory = make_id_factory("req")
+        assert factory() == "req-000001"
+        assert factory() == "req-000002"
+
+    def test_independent_factories(self):
+        first, second = make_id_factory("a"), make_id_factory("b")
+        first()
+        assert second() == "b-000001"
+
+
+class TestZoneNames(object):
+    def test_zone_of_region(self):
+        assert zone_of_region("us-east-2", "a") == "us-east-2a"
+
+    def test_region_of_zone(self):
+        assert region_of_zone("us-east-2a") == "us-east-2"
+        assert region_of_zone("eu-north-1b") == "eu-north-1"
+
+    def test_region_of_zone_without_suffix(self):
+        # IBM/DO regions have no per-zone subdivision.
+        assert region_of_zone("us-south") == "us-south"
+        assert region_of_zone("nyc1") == "nyc1"
+
+    def test_roundtrip(self):
+        for region, suffix in [("us-west-1", "a"), ("ap-south-2", "c")]:
+            assert region_of_zone(zone_of_region(region, suffix)) == region

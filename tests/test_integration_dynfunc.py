@@ -1,0 +1,84 @@
+"""Integration: dynamic functions across the mesh, real code + simulation."""
+
+from repro import SkyMesh, build_sky, workload_by_name
+from repro.dynfunc import (
+    DynamicFunctionRuntime,
+    UniversalDynamicFunctionHandler,
+)
+from repro.workloads import all_workloads, resolve_runtime_model
+
+
+class TestMeshWideDynamicFunctions(object):
+    def test_global_mesh_deployment_scale(self):
+        # §3.3: the sky mesh spans every region; on AWS the full ladder is
+        # 9 memory settings x 2 architectures per zone (>1,600 total with
+        # sampling endpoints).
+        cloud = build_sky(seed=2)
+        accounts = {name: cloud.create_account("acct-" + name, name)
+                    for name in ("aws", "ibm", "do")}
+        mesh = SkyMesh(cloud)
+        handler = UniversalDynamicFunctionHandler(resolve_runtime_model)
+        created = mesh.deploy_everywhere(accounts,
+                                         lambda z, m, a: handler)
+        aws_zones = len(cloud.zone_ids(provider="aws"))
+        assert mesh.deployment_count("aws") == aws_zones * 9 * 2
+        assert mesh.deployment_count("ibm") == 4 * 3
+        assert mesh.deployment_count("do") > 0
+        assert len(created) == len(mesh)
+
+    def test_one_endpoint_runs_any_workload(self):
+        # The point of dynamic functions: repurpose a single deployment
+        # for every workload without redeployment.
+        cloud = build_sky(seed=3, aws_only=True)
+        account = cloud.create_account("acct", "aws")
+        handler = UniversalDynamicFunctionHandler(resolve_runtime_model)
+        deployment = cloud.deploy(account, "us-west-1b", "dynamic", 2048,
+                                  handler=handler)
+        durations = {}
+        for workload in (workload_by_name("sha1_hash"),
+                         workload_by_name("logistic_regression")):
+            invocation = cloud.invoke(deployment,
+                                      payload=workload.payload())
+            durations[workload.name] = invocation.runtime_s
+            cloud.clock.advance(400.0)
+        assert durations["logistic_regression"] > durations["sha1_hash"]
+
+    def test_payload_caching_on_warm_fi(self):
+        cloud = build_sky(seed=3, aws_only=True)
+        account = cloud.create_account("acct", "aws")
+        handler = UniversalDynamicFunctionHandler(resolve_runtime_model)
+        deployment = cloud.deploy(account, "us-east-2a", "dynamic", 2048,
+                                  handler=handler)
+        payload = workload_by_name("sha1_hash").payload()
+        first = cloud.invoke(deployment, payload=payload)
+        cloud.clock.advance(5.0)
+        second = cloud.invoke(deployment, payload=payload)
+        assert second.reused
+        # Same CPU (us-east-2a is homogeneous), so the runtime gap is the
+        # decode overhead skipped on the cache hit plus model noise.
+        assert second.runtime_s <= first.runtime_s * 1.2
+
+
+class TestRealCodeMatchesSimulatedSemantics(object):
+    def test_every_workload_payload_executes_for_real(self):
+        runtime = DynamicFunctionRuntime()
+        for workload in all_workloads():
+            result = runtime.handle(
+                workload.payload(args={"seed": 1, "scale": 0.05}))
+            assert result.value["workload"] == workload.name
+
+    def test_cached_second_execution_is_flagged(self):
+        runtime = DynamicFunctionRuntime()
+        payload = workload_by_name("json_flattener").payload(
+            args={"seed": 1, "scale": 0.1})
+        assert not runtime.handle(payload).cached
+        assert runtime.handle(payload).cached
+
+    def test_dynamic_results_depend_on_seed_args(self):
+        runtime = DynamicFunctionRuntime()
+        workload = workload_by_name("graph_mst")
+        first = runtime.handle(workload.payload(args={"seed": 1,
+                                                      "scale": 0.1}))
+        second = runtime.handle(workload.payload(args={"seed": 2,
+                                                       "scale": 0.1}))
+        assert first.value["summary"] != second.value["summary"]

@@ -1,0 +1,120 @@
+"""Integration: the sampling methodology end-to-end on the real catalog.
+
+These tests replay the paper's experiment flows (EX-1 through EX-4) at
+reduced scale against the full 41-region catalog.
+"""
+
+import pytest
+
+from repro import (
+    EX3_ZONES,
+    ProgressiveAnalysis,
+    SamplingCampaign,
+    SkyMesh,
+    build_sky,
+)
+from repro.common.units import Money
+from repro.sampling import DailyCampaignSeries
+
+
+@pytest.fixture
+def sky():
+    cloud = build_sky(seed=77, aws_only=True)
+    account = cloud.create_account("primary", "aws")
+    mesh = SkyMesh(cloud)
+    return cloud, account, mesh
+
+
+class TestEx1SaturationFlow(object):
+    def test_saturation_observes_most_of_the_zone(self, sky):
+        cloud, account, mesh = sky
+        endpoints = mesh.deploy_sampling_endpoints(account, "us-west-1a",
+                                                   count=40)
+        result = SamplingCampaign(cloud, endpoints).run()
+        assert result.saturated
+        zone = cloud.zone("us-west-1a")
+        assert result.total_fis >= zone.capacity * 0.8
+
+    def test_two_account_validation(self, sky):
+        # EX-1: a second, fully independent account hits immediate
+        # saturation right after the first exhausts the zone — the pool is
+        # shared even though quotas and endpoints are not.
+        cloud, account, mesh = sky
+        endpoints_a = mesh.deploy_sampling_endpoints(account, "us-west-1a",
+                                                     count=40)
+        SamplingCampaign(cloud, endpoints_a).run()
+
+        second_account = cloud.create_account("secondary", "aws")
+        endpoints_b = mesh.deploy_sampling_endpoints(
+            second_account, "us-west-1a", count=5, memory_base_mb=3072)
+        first_poll = SamplingCampaign(cloud, endpoints_b,
+                                      max_polls=1).run()
+        assert first_poll.observations[0].failure_rate > 0.9
+
+    def test_full_saturation_costs_about_20_cents(self, sky):
+        # §4.3: "the cost to fully saturate an AZ is approximately $0.20."
+        cloud, account, mesh = sky
+        endpoints = mesh.deploy_sampling_endpoints(account, "us-west-1a",
+                                                   count=40)
+        result = SamplingCampaign(cloud, endpoints).run()
+        assert Money(0.08) < result.total_cost < Money(0.40)
+
+
+class TestEx3ProgressiveFlow(object):
+    def test_eleven_zone_progressive_sampling(self, sky):
+        cloud, account, mesh = sky
+        polls_needed = []
+        for zone_id in EX3_ZONES:
+            endpoints = mesh.deploy_sampling_endpoints(account, zone_id,
+                                                       count=60)
+            result = SamplingCampaign(cloud, endpoints).run()
+            analysis = ProgressiveAnalysis(result)
+            polls = analysis.polls_to_accuracy(95.0)
+            if polls is not None:
+                polls_needed.append(polls)
+        # §4.3: ~6 polls on average reach 95 % accuracy.
+        assert polls_needed
+        mean_polls = sum(polls_needed) / len(polls_needed)
+        assert 2.0 <= mean_polls <= 12.0
+
+    def test_us_east_2a_zero_error(self, sky):
+        # §4.3: us-east-2a consistently returns 0 % error (single CPU).
+        cloud, account, mesh = sky
+        endpoints = mesh.deploy_sampling_endpoints(account, "us-east-2a",
+                                                   count=30)
+        analysis = ProgressiveAnalysis(
+            SamplingCampaign(cloud, endpoints).run())
+        assert analysis.ape_after(1) == pytest.approx(0.0)
+        assert analysis.polls_to_accuracy(99.9) == 1
+
+    def test_characterization_cost_headline(self, sky):
+        # §5: "our sampling technique was able to accurately characterize
+        # the available infrastructure of an AZ for only $0.04."
+        cloud, account, mesh = sky
+        endpoints = mesh.deploy_sampling_endpoints(account, "us-west-1b",
+                                                   count=40)
+        analysis = ProgressiveAnalysis(
+            SamplingCampaign(cloud, endpoints).run())
+        cost = analysis.cost_to_accuracy(95.0)
+        assert cost is not None
+        assert float(cost) < 0.15
+
+
+class TestEx4TemporalFlow(object):
+    def test_stable_zone_holds_for_a_week(self, sky):
+        cloud, account, mesh = sky
+        endpoints = mesh.deploy_sampling_endpoints(account, "sa-east-1a",
+                                                   count=40)
+        series = DailyCampaignSeries(cloud, endpoints, days=7)
+        series.run()
+        decay = [ape for _, ape in series.decay_curve()]
+        assert max(decay) < 25.0
+
+    def test_volatile_zone_drifts_quickly(self, sky):
+        cloud, account, mesh = sky
+        endpoints = mesh.deploy_sampling_endpoints(account, "us-west-1b",
+                                                   count=40)
+        series = DailyCampaignSeries(cloud, endpoints, days=7)
+        series.run()
+        decay = [ape for _, ape in series.decay_curve()]
+        assert max(decay) > 15.0

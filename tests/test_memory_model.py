@@ -1,0 +1,140 @@
+"""Memory-dependent performance and the memory advisor."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.cloudsim.handlers import (
+    ModeledWorkloadHandler,
+    ScaledWorkloadHandler,
+)
+from repro.core import CharacterizationStore
+from repro.core.memory_advisor import MemoryAdvisor
+from repro.sampling import CharacterizationBuilder
+from repro.workloads import workload_by_name
+from repro.workloads.memory import (
+    memory_speed_factor,
+    saturation_memory_mb,
+)
+from repro.workloads.registry import memory_aware_resolver
+from tests.helpers import make_cloud
+
+
+class TestMemorySpeedFactor(object):
+    def test_reference_is_one(self):
+        assert memory_speed_factor(2048, vcpus=1) == pytest.approx(1.0)
+
+    def test_less_memory_is_slower(self):
+        assert memory_speed_factor(512, vcpus=1) > 1.0
+        assert memory_speed_factor(512, vcpus=1) > memory_speed_factor(
+            1024, vcpus=1)
+
+    def test_beyond_saturation_no_further_speedup(self):
+        at_sat = memory_speed_factor(saturation_memory_mb(1), vcpus=1)
+        beyond = memory_speed_factor(10240, vcpus=1)
+        assert beyond == pytest.approx(at_sat)
+
+    def test_two_vcpu_workload_gains_past_2gb(self):
+        # A 2-vCPU workload is still CPU-starved at the 2 GB reference:
+        # 4 GB genuinely helps.
+        assert memory_speed_factor(4096, vcpus=2) < 1.0
+
+    def test_memory_pressure_blowup(self):
+        starved = memory_speed_factor(128, vcpus=1)
+        comfortable = memory_speed_factor(512, vcpus=1)
+        assert starved > comfortable * 2
+
+    def test_monotone_down_the_ladder(self):
+        ladder = (128, 256, 512, 1024, 2048, 4096)
+        factors = [memory_speed_factor(m, vcpus=1) for m in ladder]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            memory_speed_factor(0, vcpus=1)
+        with pytest.raises(ConfigurationError):
+            memory_speed_factor(1024, vcpus=0)
+        with pytest.raises(ConfigurationError):
+            memory_speed_factor(1024, vcpus=1, parallel_fraction=1.0)
+
+
+class TestScaledWorkloadHandler(object):
+    def test_scales_durations(self):
+        inner = ModeledWorkloadHandler("wl", 10.0, {"c": 1.0},
+                                       noise_sigma=0.0)
+        scaled = ScaledWorkloadHandler(inner, 2.0)
+        assert scaled.mean_duration_on("c") == pytest.approx(20.0)
+        assert scaled.duration_on("c", None) == pytest.approx(20.0)
+        assert scaled.name == "wl"
+
+    def test_scale_validated(self):
+        inner = ModeledWorkloadHandler("wl", 10.0, {"c": 1.0})
+        with pytest.raises(ConfigurationError):
+            ScaledWorkloadHandler(inner, 0.0)
+
+
+class TestMemoryAwareResolver(object):
+    def test_low_memory_rung_runs_slower(self):
+        workload = workload_by_name("sha1_hash")
+        payload = workload.payload()
+        low = memory_aware_resolver(256)(payload)
+        reference = memory_aware_resolver(2048)(payload)
+        assert (low.mean_duration_on("xeon-2.5")
+                > reference.mean_duration_on("xeon-2.5"))
+
+    def test_reference_rung_unwrapped(self):
+        workload = workload_by_name("sha1_hash")
+        model = memory_aware_resolver(2048)(workload.payload())
+        assert not isinstance(model, ScaledWorkloadHandler)
+
+
+class TestMemoryAdvisor(object):
+    @pytest.fixture
+    def advisor(self):
+        cloud = make_cloud(seed=151)
+        store = CharacterizationStore()
+        builder = CharacterizationBuilder("test-1a")
+        builder.add_poll({"xeon-2.5": 60, "xeon-2.9": 40}, cost=Money(0),
+                         timestamp=0.0)
+        store.put(builder.snapshot())
+        return MemoryAdvisor(cloud, store)
+
+    def test_recommendation_spans_the_ladder(self, advisor):
+        rec = advisor.recommend(workload_by_name("sha1_hash"), "test-1a")
+        assert rec.ladder() == [128, 256, 512, 1024, 2048, 4096, 6144,
+                                8192, 10240]
+
+    def test_fastest_is_at_or_beyond_saturation(self, advisor):
+        workload = workload_by_name("sha1_hash")  # 1 vCPU, sat ~1.8 GB
+        rec = advisor.recommend(workload, "test-1a")
+        assert rec.fastest >= 2048
+
+    def test_cheapest_is_a_small_rung(self, advisor):
+        rec = advisor.recommend(workload_by_name("sha1_hash"), "test-1a")
+        assert rec.cheapest <= 512
+
+    def test_two_vcpu_workload_wants_more_memory(self, advisor):
+        rec = advisor.recommend(workload_by_name("zipper"), "test-1a")
+        assert rec.fastest >= 4096
+
+    def test_balanced_between_extremes(self, advisor):
+        rec = advisor.recommend(workload_by_name("sha1_hash"), "test-1a")
+        assert rec.cheapest <= rec.balanced <= rec.fastest
+
+    def test_pick_objective(self, advisor):
+        rec = advisor.recommend(workload_by_name("sha1_hash"), "test-1a")
+        assert rec.pick("cheapest") == rec.cheapest
+        with pytest.raises(ConfigurationError):
+            rec.pick("fanciest")
+
+    def test_rows_export(self, advisor):
+        rec = advisor.recommend(workload_by_name("sha1_hash"), "test-1a",
+                                ladder=(512, 2048))
+        rows = rec.to_rows()
+        assert len(rows) == 2
+        assert rows[0]["memory_mb"] == 512
+
+    def test_runtime_predictions_decrease_with_memory(self, advisor):
+        rec = advisor.recommend(workload_by_name("sha1_hash"), "test-1a")
+        runtimes = [rec.runtime_at(m) for m in rec.ladder()]
+        assert runtimes == sorted(runtimes, reverse=True)

@@ -1,0 +1,84 @@
+"""Savings metrics."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.metrics import (
+    cost_savings_pct,
+    cumulative_savings_pct,
+    daily_savings_pct,
+    max_daily_savings_pct,
+    mean_std,
+    summarize_savings,
+)
+
+
+class TestCostSavings(object):
+    def test_basic(self):
+        assert cost_savings_pct(100.0, 80.0) == pytest.approx(20.0)
+
+    def test_negative_when_strategy_costs_more(self):
+        assert cost_savings_pct(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost_savings_pct(0.0, 10.0)
+
+    def test_accepts_money(self):
+        from repro.common.units import Money
+        assert cost_savings_pct(Money(1.0), Money(0.9)) == pytest.approx(
+            10.0)
+
+
+class TestSeries(object):
+    def test_daily_savings(self):
+        savings = daily_savings_pct([10, 10], [9, 8])
+        assert savings == [pytest.approx(10.0), pytest.approx(20.0)]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            daily_savings_pct([10], [9, 8])
+
+    def test_cumulative(self):
+        assert cumulative_savings_pct([10, 10], [9, 9]) == pytest.approx(
+            10.0)
+
+    def test_cumulative_differs_from_mean_daily(self):
+        # Cumulative weights expensive days more heavily.
+        baseline = [100, 1]
+        strategy = [80, 1]
+        cumulative = cumulative_savings_pct(baseline, strategy)
+        per_day = daily_savings_pct(baseline, strategy)
+        assert cumulative > sum(per_day) / 2
+
+    def test_max_daily(self):
+        assert max_daily_savings_pct([10, 10], [9, 5]) == pytest.approx(
+            50.0)
+
+
+class TestSummary(object):
+    def test_summarize(self):
+        daily = {
+            "baseline": [10.0, 10.0],
+            "retry": [9.0, 8.0],
+        }
+        summary = summarize_savings(daily)
+        assert set(summary) == {"retry"}
+        assert summary["retry"]["cumulative_pct"] == pytest.approx(15.0)
+        assert summary["retry"]["max_daily_pct"] == pytest.approx(20.0)
+        assert summary["retry"]["mean_daily_pct"] == pytest.approx(15.0)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_savings({"retry": [1.0]})
+
+
+class TestMeanStd(object):
+    def test_values(self):
+        mean, std = mean_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_std([])

@@ -1,0 +1,82 @@
+"""Geo coordinates and the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cloudsim.network import (
+    CLIENT_LOCATIONS,
+    GeoPoint,
+    NetworkModel,
+    haversine_km,
+)
+
+
+class TestGeoPoint(object):
+    def test_valid(self):
+        point = GeoPoint(47.6, -122.3)
+        assert point.lat == 47.6
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(91, 0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(0, 181)
+
+
+class TestHaversine(object):
+    def test_zero_distance(self):
+        p = GeoPoint(10, 10)
+        assert haversine_km(p, p) == 0.0
+
+    def test_known_distance_seattle_to_london(self):
+        seattle = CLIENT_LOCATIONS["seattle"]
+        london = CLIENT_LOCATIONS["london"]
+        km = haversine_km(seattle, london)
+        assert 7500 < km < 8000  # ~7,700 km
+
+    def test_symmetric(self):
+        a, b = GeoPoint(0, 0), GeoPoint(45, 90)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+
+class TestNetworkModel(object):
+    def test_base_rtt_at_zero_distance(self):
+        model = NetworkModel()
+        p = GeoPoint(0, 0)
+        assert model.round_trip(p, p) == pytest.approx(model.base_rtt)
+
+    def test_rtt_grows_with_distance(self):
+        model = NetworkModel()
+        seattle = CLIENT_LOCATIONS["seattle"]
+        near = GeoPoint(45.8, -119.7)   # Oregon
+        far = CLIENT_LOCATIONS["sao-paulo"]
+        assert (model.round_trip(seattle, far)
+                > model.round_trip(seattle, near))
+
+    def test_deterministic_without_rng(self):
+        model = NetworkModel()
+        a, b = CLIENT_LOCATIONS["tokyo"], CLIENT_LOCATIONS["london"]
+        assert model.round_trip(a, b) == model.round_trip(a, b)
+
+    def test_jitter_with_rng(self):
+        model = NetworkModel()
+        rng = np.random.default_rng(0)
+        a, b = CLIENT_LOCATIONS["tokyo"], CLIENT_LOCATIONS["london"]
+        draws = {model.round_trip(a, b, rng=rng) for _ in range(5)}
+        assert len(draws) == 5
+
+    def test_one_way_is_half_round_trip(self):
+        model = NetworkModel()
+        a, b = CLIENT_LOCATIONS["seattle"], CLIENT_LOCATIONS["new-york"]
+        assert model.one_way(a, b) == pytest.approx(
+            model.round_trip(a, b) / 2)
+
+    def test_intercontinental_rtt_plausible(self):
+        # Seattle <-> São Paulo should be on the order of 100-250 ms.
+        model = NetworkModel()
+        rtt = model.round_trip(CLIENT_LOCATIONS["seattle"],
+                               CLIENT_LOCATIONS["sao-paulo"])
+        assert 0.08 < rtt < 0.3

@@ -1,0 +1,126 @@
+"""Dynamic-function payloads: encode/decode, hashing, size envelope."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import PayloadError
+from repro.dynfunc.payload import (
+    MAX_PAYLOAD_BYTES,
+    DynamicPayload,
+    build_payload,
+    decode_payload,
+    payload_decode_seconds,
+)
+
+SOURCE = "def handler(event, context):\n    return 42\n"
+
+
+class TestBuildAndDecode(object):
+    def test_roundtrip_code(self):
+        payload = build_payload(SOURCE)
+        source, files = decode_payload(payload)
+        assert source == SOURCE
+        assert files == {}
+
+    def test_roundtrip_files(self):
+        payload = build_payload(SOURCE, files={"data.bin": b"\x00\x01",
+                                               "text.txt": "hello"})
+        _, files = decode_payload(payload)
+        assert files["data.bin"] == b"\x00\x01"
+        assert files["text.txt"] == b"hello"
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(PayloadError):
+            build_payload("   ")
+
+    def test_wire_dict_roundtrip(self):
+        payload = build_payload(SOURCE, args={"x": 1})
+        wire = payload.to_dict()
+        rebuilt = DynamicPayload.from_dict(wire)
+        assert rebuilt.sha256 == payload.sha256
+        assert decode_payload(rebuilt)[0] == SOURCE
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(PayloadError):
+            DynamicPayload.from_dict({"code": "xx"})
+
+    def test_corrupt_blob_raises(self):
+        payload = build_payload(SOURCE)
+        payload = DynamicPayload("not-base64!!!", {}, payload.entry,
+                                 None, payload.sha256)
+        with pytest.raises(PayloadError):
+            decode_payload(payload)
+
+
+class TestHashing(object):
+    def test_same_content_same_hash(self):
+        assert build_payload(SOURCE).sha256 == build_payload(SOURCE).sha256
+
+    def test_different_code_different_hash(self):
+        assert (build_payload(SOURCE).sha256
+                != build_payload(SOURCE + "# v2").sha256)
+
+    def test_args_affect_hash(self):
+        assert (build_payload(SOURCE, args={"a": 1}).sha256
+                != build_payload(SOURCE, args={"a": 2}).sha256)
+
+    def test_files_affect_hash(self):
+        assert (build_payload(SOURCE, files={"f": b"1"}).sha256
+                != build_payload(SOURCE, files={"f": b"2"}).sha256)
+
+
+class TestSizeEnvelope(object):
+    def test_envelope_is_5mb(self):
+        assert MAX_PAYLOAD_BYTES == 5 * 1024 * 1024
+
+    def test_oversized_payload_rejected(self):
+        import os
+        big = os.urandom(6 * 1024 * 1024)  # incompressible
+        with pytest.raises(PayloadError):
+            build_payload(SOURCE, files={"big.bin": big})
+
+    def test_compressible_data_fits(self):
+        big_but_compressible = b"a" * (6 * 1024 * 1024)
+        payload = build_payload(SOURCE,
+                                files={"big.txt": big_but_compressible})
+        assert payload.encoded_bytes < MAX_PAYLOAD_BYTES
+
+
+class TestDecodeModel(object):
+    def test_small_payload_decodes_in_a_millisecond(self):
+        # §3.2: "decoding and executing the source code ... added less than
+        # 1 millisecond" for small payloads.
+        payload = build_payload(SOURCE)
+        assert payload_decode_seconds(payload) < 2e-3
+
+    def test_max_payload_decodes_under_70ms(self):
+        # §3.2: "at most 70 ms" for a 5 MB payload.
+        class Fake(object):
+            encoded_bytes = MAX_PAYLOAD_BYTES
+
+        assert payload_decode_seconds(Fake()) <= 0.070 + 1e-9
+
+    def test_monotonic_in_size(self):
+        small = build_payload(SOURCE)
+        larger = build_payload(SOURCE, files={"f": b"x" * 100000})
+        assert (payload_decode_seconds(larger)
+                > payload_decode_seconds(small))
+
+
+class TestBannedCpus(object):
+    def test_with_banned_cpus_copies(self):
+        payload = build_payload(SOURCE)
+        banned = payload.with_banned_cpus(["amd-epyc"])
+        assert banned.banned_cpus == ("amd-epyc",)
+        assert payload.banned_cpus == ()
+        assert banned.sha256 == payload.sha256  # same cached content
+
+
+@given(st.text(min_size=1).filter(lambda s: s.strip()),
+       st.dictionaries(st.sampled_from(["a.txt", "b.bin", "c/d.dat"]),
+                       st.binary(max_size=2048), max_size=3))
+def test_property_roundtrip(source, files):
+    payload = build_payload(source, files=files)
+    decoded_source, decoded_files = decode_payload(payload)
+    assert decoded_source == source
+    assert decoded_files == files

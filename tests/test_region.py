@@ -1,0 +1,51 @@
+"""Regions."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, UnknownZoneError
+from repro.cloudsim.network import GeoPoint
+from repro.cloudsim.provider import AWS_LAMBDA
+from repro.cloudsim.region import Region
+from tests.helpers import make_zone
+
+
+@pytest.fixture
+def region(clock):
+    region = Region("test-1", AWS_LAMBDA, GeoPoint(47.6, -122.3))
+    region.add_zone(make_zone("test-1a", clock=clock))
+    region.add_zone(make_zone("test-1b", clock=clock))
+    return region
+
+
+class TestRegion(object):
+    def test_requires_geopoint(self):
+        with pytest.raises(ConfigurationError):
+            Region("r", AWS_LAMBDA, (1.0, 2.0))
+
+    def test_zone_lookup(self, region):
+        assert region.zone("test-1a").zone_id == "test-1a"
+
+    def test_unknown_zone(self, region):
+        with pytest.raises(UnknownZoneError):
+            region.zone("test-1z")
+
+    def test_duplicate_zone_rejected(self, region, clock):
+        with pytest.raises(ConfigurationError):
+            region.add_zone(make_zone("test-1a", clock=clock))
+
+    def test_zone_ids_sorted(self, region):
+        assert region.zone_ids() == ["test-1a", "test-1b"]
+
+    def test_first_zone(self, region):
+        assert region.first_zone().zone_id == "test-1a"
+
+    def test_first_zone_of_empty_region_raises(self):
+        empty = Region("empty", AWS_LAMBDA, GeoPoint(0, 0))
+        with pytest.raises(ConfigurationError):
+            empty.first_zone()
+
+    def test_aggregate_cpu_shares(self, region):
+        shares = region.aggregate_cpu_shares()
+        # Both zones are 12x xeon-2.5 + 4x xeon-3.0 hosts.
+        assert shares.share("xeon-2.5") == pytest.approx(0.75)
+        assert shares.share("xeon-3.0") == pytest.approx(0.25)

@@ -1,0 +1,84 @@
+"""Result export to JSON/CSV."""
+
+import json
+
+import pytest
+
+from repro import reporting
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.sampling import CharacterizationBuilder, SamplingCampaign
+from repro.skymesh import SkyMesh
+from tests.helpers import make_cloud
+
+
+def make_profile(zone="z-1"):
+    builder = CharacterizationBuilder(zone)
+    builder.add_poll({"xeon-2.5": 60, "xeon-3.0": 40}, cost=Money(0.01),
+                     timestamp=7.0)
+    return builder.snapshot()
+
+
+@pytest.fixture
+def campaign_result():
+    cloud = make_cloud(seed=71)
+    account = cloud.create_account("export", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = mesh.deploy_sampling_endpoints(account, "test-1a",
+                                               count=4)
+    return SamplingCampaign(cloud, endpoints, n_requests=100,
+                            max_polls=3).run()
+
+
+class TestCharacterizationExport(object):
+    def test_dict_shape(self):
+        payload = reporting.characterization_to_dict(make_profile())
+        assert payload["zone"] == "z-1"
+        assert payload["shares"]["xeon-2.5"] == pytest.approx(0.6)
+        assert payload["samples"] == 100
+        assert payload["cost_usd"] == pytest.approx(0.01)
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "profile.json"
+        reporting.write_json(str(path),
+                             reporting.characterization_to_dict(
+                                 make_profile()))
+        loaded = reporting.load_json(str(path))
+        assert loaded["zone"] == "z-1"
+
+    def test_csv_rows(self):
+        rows = reporting.characterizations_to_rows(
+            [make_profile("a"), make_profile("b")])
+        assert len(rows) == 4  # 2 zones x 2 CPUs
+        assert {row["zone"] for row in rows} == {"a", "b"}
+
+
+class TestCampaignExport(object):
+    def test_dict_shape(self, campaign_result):
+        payload = reporting.campaign_to_dict(campaign_result)
+        assert payload["polls"] == campaign_result.polls_run
+        assert len(payload["trace"]) == campaign_result.polls_run
+        assert payload["ground_truth"]["zone"] == "test-1a"
+        json.dumps(payload)  # JSON-safe
+
+    def test_trace_entries(self, campaign_result):
+        payload = reporting.campaign_to_dict(campaign_result)
+        first = payload["trace"][0]
+        assert first["served"] + first["failed"] == 100
+        assert sum(first["cpu_counts"].values()) == first["served"]
+
+
+class TestCsvWriter(object):
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        reporting.write_csv(str(path), [
+            {"a": 1, "b": "x"},
+            {"a": 2, "b": "y"},
+        ])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert len(content) == 3
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            reporting.write_csv(str(tmp_path / "x.csv"), [])

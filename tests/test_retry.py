@@ -1,0 +1,121 @@
+"""Retry policies and the retry engine."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.core import RetryEngine, RetryPolicy
+from repro.workloads import workload_by_name
+from tests.helpers import make_cloud
+
+FACTORS = {"xeon-2.5": 1.0, "xeon-2.9": 1.25, "xeon-3.0": 0.9,
+           "amd-epyc": 1.5}
+CPUS = sorted(FACTORS)
+
+
+class TestRetryPolicy(object):
+    def test_retry_slow_bans_two_slowest(self):
+        policy = RetryPolicy.retry_slow(CPUS, FACTORS)
+        assert policy.banned_cpus == {"amd-epyc", "xeon-2.9"}
+
+    def test_focus_fastest_keeps_only_best(self):
+        policy = RetryPolicy.focus_fastest(CPUS, FACTORS)
+        assert policy.banned_cpus == {"amd-epyc", "xeon-2.5", "xeon-2.9"}
+        assert not policy.is_banned("xeon-3.0")
+
+    def test_retry_slow_cannot_ban_everything(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy.retry_slow(["a", "b"], {"a": 1, "b": 2},
+                                   n_slowest=2)
+
+    def test_focus_fastest_needs_cpus(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy.focus_fastest([], {})
+
+    def test_defaults_match_paper(self):
+        policy = RetryPolicy(["amd-epyc"])
+        assert policy.hold_seconds == pytest.approx(0.150)
+        assert policy.max_retries == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy([], max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy([], hold_seconds=-0.1)
+
+
+@pytest.fixture
+def retry_setup():
+    # test-1a mixes xeon-2.5 (10 hosts) and xeon-2.9 (6 hosts).
+    cloud = make_cloud(seed=31)
+    account = cloud.create_account("router", "aws")
+    workload = workload_by_name("zipper")
+    deployment = cloud.deploy(account, "test-1a", "zipper", 2048,
+                              handler=workload.handler())
+    return cloud, account, deployment, workload
+
+
+class TestRetryEngine(object):
+    def test_lands_on_allowed_cpu(self, retry_setup):
+        cloud, _, deployment, _ = retry_setup
+        engine = RetryEngine(cloud)
+        policy = RetryPolicy(["xeon-2.9"], max_retries=20)
+        for _ in range(5):
+            outcome = engine.invoke(deployment, policy)
+            assert outcome.cpu_key == "xeon-2.5"
+            assert outcome.executed
+            cloud.clock.advance(400.0)
+
+    def test_retries_counted_and_held(self, retry_setup):
+        cloud, account, deployment, _ = retry_setup
+        engine = RetryEngine(cloud)
+        policy = RetryPolicy(["xeon-2.9"], max_retries=20)
+        outcomes = [engine.invoke(deployment, policy) for _ in range(20)]
+        retried = [o for o in outcomes if o.retries > 0]
+        assert retried  # the 2.9 pool is ~37% of the zone
+        assert any(o.hold_cost > Money(0) for o in retried)
+        assert "retry-hold" in account.spend_breakdown()
+
+    def test_no_retries_when_nothing_banned(self, retry_setup):
+        cloud, _, deployment, _ = retry_setup
+        engine = RetryEngine(cloud)
+        outcome = engine.invoke(deployment, RetryPolicy([]))
+        assert outcome.retries == 0
+        assert outcome.hold_cost == Money(0)
+
+    def test_budget_exhaustion_runs_anyway(self, retry_setup):
+        cloud, _, deployment, _ = retry_setup
+        engine = RetryEngine(cloud)
+        # Ban both CPUs: every attempt is declined until the final
+        # no-ban attempt executes the workload wherever it lands.
+        policy = RetryPolicy(["xeon-2.5", "xeon-2.9"], max_retries=3)
+        outcome = engine.invoke(deployment, policy)
+        assert outcome.executed
+        assert outcome.retries == 3
+        assert outcome.final.runtime_s > 1.0  # the workload actually ran
+
+    def test_declined_attempts_are_cheap(self, retry_setup):
+        cloud, _, deployment, workload = retry_setup
+        engine = RetryEngine(cloud)
+        policy = RetryPolicy(["xeon-2.5", "xeon-2.9"], max_retries=2)
+        outcome = engine.invoke(deployment, policy)
+        for attempt in outcome.attempts[:-1]:
+            assert attempt.runtime_s < 0.1  # CPU check, not the workload
+
+    def test_total_cost_includes_holds(self, retry_setup):
+        cloud, _, deployment, _ = retry_setup
+        engine = RetryEngine(cloud)
+        policy = RetryPolicy(["xeon-2.5", "xeon-2.9"], max_retries=2)
+        outcome = engine.invoke(deployment, policy)
+        attempts_cost = sum((a.bill.total for a in outcome.attempts),
+                            Money(0))
+        assert outcome.total_cost == attempts_cost + outcome.hold_cost
+
+    def test_latency_grows_with_retries(self, retry_setup):
+        cloud, _, deployment, _ = retry_setup
+        engine = RetryEngine(cloud)
+        direct = engine.invoke(deployment, RetryPolicy([]))
+        cloud.clock.advance(400.0)
+        policy = RetryPolicy(["xeon-2.5", "xeon-2.9"], max_retries=2)
+        retried = engine.invoke(deployment, policy)
+        assert retried.total_latency > direct.total_latency

@@ -1,0 +1,115 @@
+"""Robustness: headline results hold across seeds; size classes work.
+
+The figure benches run at fixed seeds.  These integration tests re-run a
+compressed EX-5 across several *different* seeds and assert the signs and
+orderings that constitute the paper's claims — the reproduction should
+not hinge on a lucky seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselinePolicy,
+    CharacterizationStore,
+    RetryRoutingPolicy,
+    RoutingStudy,
+    SkyMesh,
+    UniversalDynamicFunctionHandler,
+    build_sky,
+    workload_by_name,
+)
+from repro.common.errors import ConfigurationError
+from repro.workloads import resolve_runtime_model
+
+
+def run_mini_ex5(seed):
+    cloud = build_sky(seed=seed, aws_only=True)
+    account = cloud.create_account("robust", "aws")
+    mesh = SkyMesh(cloud)
+    zone = "us-west-1b"
+    endpoints = {zone: mesh.deploy_sampling_endpoints(account, zone,
+                                                      count=8)}
+    mesh.register(cloud.deploy(
+        account, zone, "dynamic", 2048,
+        handler=UniversalDynamicFunctionHandler(resolve_runtime_model)))
+    study = RoutingStudy(cloud, mesh, CharacterizationStore(),
+                         workload_by_name("zipper"), [zone], endpoints,
+                         days=5, burst_size=500, polls_per_day=6)
+    result = study.run([
+        BaselinePolicy(zone),
+        RetryRoutingPolicy(zone, "retry_slow"),
+        RetryRoutingPolicy(zone, "focus_fastest"),
+    ])
+    return result.savings_summary()
+
+
+class TestSeedRobustness(object):
+    @pytest.mark.parametrize("seed", [2, 17, 101])
+    def test_retry_savings_positive_across_seeds(self, seed):
+        summary = run_mini_ex5(seed)
+        assert summary["retry_slow"]["cumulative_pct"] > 2.0
+        assert summary["focus_fastest"]["cumulative_pct"] > 4.0
+
+    @pytest.mark.parametrize("seed", [2, 17])
+    def test_savings_magnitude_stays_in_band(self, seed):
+        summary = run_mini_ex5(seed)
+        for name in ("retry_slow", "focus_fastest"):
+            assert summary[name]["cumulative_pct"] < 30.0
+
+
+class TestSizeClasses(object):
+    def test_scale_for_size(self):
+        from repro.workloads.base import Workload
+        assert Workload.scale_for_size("test") == 0.05
+        assert Workload.scale_for_size("large") == 1.0
+        with pytest.raises(ConfigurationError):
+            Workload.scale_for_size("gigantic")
+
+    def test_dynamic_function_accepts_size_class(self):
+        from repro.dynfunc import DynamicFunctionRuntime
+        runtime = DynamicFunctionRuntime()
+        workload = workload_by_name("json_flattener")
+        small = runtime.handle(workload.payload(args={"seed": 1,
+                                                      "size": "small"}))
+        test = runtime.handle(workload.payload(args={"seed": 1,
+                                                     "size": "test"}))
+        assert small.value["summary"]["pairs"] >= test.value["summary"][
+            "pairs"]
+
+    def test_explicit_scale_overrides_size(self):
+        from repro.dynfunc import DynamicFunctionRuntime
+        runtime = DynamicFunctionRuntime()
+        workload = workload_by_name("sha1_hash")
+        explicit = runtime.handle(workload.payload(
+            args={"seed": 1, "scale": 0.05, "size": "large"}))
+        assert explicit.value["summary"]
+
+    def test_size_classes_grow_inputs(self):
+        workload = workload_by_name("thumbnailer")
+        small = workload.generate_input(
+            np.random.default_rng(0),
+            scale=workload.scale_for_size("test"))
+        large = workload.generate_input(
+            np.random.default_rng(0),
+            scale=workload.scale_for_size("small"))
+        assert large.shape[0] > small.shape[0]
+
+
+class TestMemoryAwareMeshIntegration(object):
+    def test_low_memory_rung_bills_more_seconds(self):
+        from repro.workloads.registry import memory_aware_resolver
+        cloud = build_sky(seed=51, aws_only=True)
+        account = cloud.create_account("mem", "aws")
+        payload = workload_by_name("sha1_hash").payload()
+        runtimes = {}
+        for memory_mb in (512, 2048):
+            deployment = cloud.deploy(
+                account, "us-east-2a", "dyn-{}".format(memory_mb),
+                memory_mb,
+                handler=UniversalDynamicFunctionHandler(
+                    memory_aware_resolver(memory_mb)))
+            invocation = cloud.invoke(deployment, payload=payload)
+            runtimes[memory_mb] = invocation.runtime_s
+            cloud.clock.advance(400.0)
+        assert runtimes[512] > runtimes[2048] * 1.5

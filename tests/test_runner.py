@@ -1,0 +1,143 @@
+"""Burst execution and workload profiling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.core import (
+    BaselinePolicy,
+    CharacterizationStore,
+    RetryPolicy,
+    SmartRouter,
+    WorkloadRunner,
+)
+from repro.dynfunc import UniversalDynamicFunctionHandler
+from repro.sampling import CharacterizationBuilder
+from repro.skymesh import SkyMesh
+from repro.workloads import resolve_runtime_model, workload_by_name
+from tests.helpers import make_cloud
+
+
+@pytest.fixture
+def setup():
+    cloud = make_cloud(seed=51)
+    account = cloud.create_account("runner", "aws")
+    mesh = SkyMesh(cloud)
+    deployment = cloud.deploy(
+        account, "test-1a", "dynamic", 2048,
+        handler=UniversalDynamicFunctionHandler(resolve_runtime_model))
+    mesh.register(deployment)
+    return cloud, account, mesh, deployment
+
+
+class TestRunBurst(object):
+    def test_burst_aggregates(self, setup):
+        cloud, account, mesh, _ = setup
+        store = CharacterizationStore()
+        builder = CharacterizationBuilder("test-1a")
+        builder.add_poll({"xeon-2.5": 10, "xeon-2.9": 6})
+        store.put(builder.snapshot())
+        router = SmartRouter(cloud, mesh, store,
+                             BaselinePolicy("test-1a"),
+                             workload_by_name("sha1_hash"), ["test-1a"])
+        result = WorkloadRunner(cloud).run_burst(router, 20)
+        assert result.n == 20
+        assert result.total_cost > Money(0)
+        assert sum(result.cpu_counts.values()) == 20
+        assert result.retry_fraction == 0.0
+        assert result.zones == ["test-1a"]
+
+
+class TestProfileWorkload(object):
+    def test_profile_covers_zone_cpus(self, setup):
+        cloud, _, _, deployment = setup
+        workload = workload_by_name("matrix_multiply")
+        profile = WorkloadRunner(cloud).profile_workload(
+            deployment, workload, repetitions=600, batch_size=200)
+        assert set(profile.cpu_keys()) == {"xeon-2.5", "xeon-2.9"}
+        assert sum(profile.count(c) for c in profile.cpu_keys()) == 600
+
+    def test_profile_recovers_figure9_factors(self, setup):
+        cloud, _, _, deployment = setup
+        workload = workload_by_name("matrix_multiply")
+        profile = WorkloadRunner(cloud).profile_workload(
+            deployment, workload, repetitions=800, batch_size=200)
+        normalized = profile.normalized_to("xeon-2.5")
+        expected = workload.cpu_factors()["xeon-2.9"]
+        assert normalized["xeon-2.9"] == pytest.approx(expected, rel=0.05)
+
+    def test_profile_validates_repetitions(self, setup):
+        cloud, _, _, deployment = setup
+        with pytest.raises(ConfigurationError):
+            WorkloadRunner(cloud).profile_workload(
+                deployment, workload_by_name("zipper"), 0)
+
+    def test_normalized_to_unobserved_cpu_raises(self, setup):
+        cloud, _, _, deployment = setup
+        profile = WorkloadRunner(cloud).profile_workload(
+            deployment, workload_by_name("zipper"), repetitions=100,
+            batch_size=100)
+        with pytest.raises(ConfigurationError):
+            profile.normalized_to("amd-epyc")
+
+    def test_profile_many(self, setup):
+        cloud, _, _, deployment = setup
+        workloads = [workload_by_name("zipper"),
+                     workload_by_name("sha1_hash")]
+        profiles = WorkloadRunner(cloud).profile_many(
+            deployment, workloads, repetitions=100, batch_size=100)
+        assert set(profiles) == {"zipper", "sha1_hash"}
+
+
+class TestBatchedBurst(object):
+    def test_baseline_burst(self, setup):
+        cloud, account, _, deployment = setup
+        workload = workload_by_name("zipper")
+        result = WorkloadRunner(cloud).run_batched_burst(
+            deployment, workload, 500)
+        assert result.executed == 500
+        assert result.total_retries == 0
+        assert result.total_cost > Money(0)
+
+    def test_retry_burst_lands_on_allowed_cpus(self, setup):
+        cloud, _, _, deployment = setup
+        workload = workload_by_name("zipper")
+        retry = RetryPolicy(["xeon-2.9"], max_retries=10)
+        result = WorkloadRunner(cloud).run_batched_burst(
+            deployment, workload, 500, retry_policy=retry,
+            policy_name="retry_slow")
+        assert set(result.cpu_counts) == {"xeon-2.5"}
+        assert result.total_retries > 0
+
+    def test_retry_burst_costs_include_holds(self, setup):
+        cloud, _, _, deployment = setup
+        workload = workload_by_name("zipper")
+        baseline = WorkloadRunner(cloud).run_batched_burst(
+            deployment, workload, 300)
+        cloud.clock.advance(700.0)
+        retry = RetryPolicy(["xeon-2.9"], max_retries=10)
+        retried = WorkloadRunner(cloud).run_batched_burst(
+            deployment, workload, 300, retry_policy=retry)
+        # Filtering the slow 37% of the zone must beat the baseline even
+        # after paying for holds.
+        assert float(retried.total_cost) < float(baseline.total_cost)
+
+    def test_burst_charged_to_account(self, setup):
+        cloud, account, _, deployment = setup
+        before = account.total_spend()
+        WorkloadRunner(cloud).run_batched_burst(
+            deployment, workload_by_name("zipper"), 100)
+        assert account.total_spend() > before
+
+    def test_validates_count(self, setup):
+        cloud, _, _, deployment = setup
+        with pytest.raises(ConfigurationError):
+            WorkloadRunner(cloud).run_batched_burst(
+                deployment, workload_by_name("zipper"), 0)
+
+    def test_cost_per_invocation(self, setup):
+        cloud, _, _, deployment = setup
+        result = WorkloadRunner(cloud).run_batched_burst(
+            deployment, workload_by_name("zipper"), 100)
+        assert float(result.cost_per_invocation) == pytest.approx(
+            float(result.total_cost) / 100)

@@ -1,0 +1,187 @@
+"""Poller, campaigns, progressive analysis, and cost accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.sampling import (
+    Poller,
+    ProgressiveAnalysis,
+    SamplingCampaign,
+)
+from repro.sampling.cost import (
+    campaign_cost_summary,
+    characterization_cost,
+    series_cost,
+)
+from repro.skymesh import SkyMesh
+from tests.helpers import make_cloud
+
+
+@pytest.fixture
+def sampling_setup():
+    cloud = make_cloud(seed=11)
+    account = cloud.create_account("sampler", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = mesh.deploy_sampling_endpoints(account, "test-1a",
+                                               count=30)
+    return cloud, account, endpoints
+
+
+class TestPoller(object):
+    def test_poll_observes_requests(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        poller = Poller(cloud, endpoints, n_requests=200)
+        observation = poller.poll()
+        assert observation.served == 200
+        assert sum(observation.cpu_counts.values()) == 200
+        assert observation.cost > Money(0)
+
+    def test_rotates_endpoints(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        poller = Poller(cloud, endpoints, n_requests=50)
+        first = poller.poll()
+        second = poller.poll()
+        assert first.endpoint_id != second.endpoint_id
+        assert poller.polls_available == 28
+
+    def test_reset_rotation(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        poller = Poller(cloud, endpoints, n_requests=50)
+        poller.poll()
+        poller.reset_rotation()
+        assert poller.polls_available == 30
+
+    def test_needs_endpoints(self, sampling_setup):
+        cloud, _, _ = sampling_setup
+        with pytest.raises(ConfigurationError):
+            Poller(cloud, [])
+
+    def test_endpoints_must_share_zone(self, sampling_setup):
+        cloud, account, endpoints = sampling_setup
+        mesh = SkyMesh(cloud)
+        other = mesh.deploy_sampling_endpoints(account, "test-1b", count=1,
+                                               memory_base_mb=4096)
+        with pytest.raises(ConfigurationError):
+            Poller(cloud, endpoints + other)
+
+
+class TestCampaign(object):
+    def test_runs_to_saturation(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        campaign = SamplingCampaign(cloud, endpoints, n_requests=200)
+        result = campaign.run()
+        assert result.saturated
+        # test-1a has 1,024 slots; 200-request polls saturate in ~6 polls.
+        assert 4 <= result.polls_run <= 9
+        assert result.total_fis >= 900
+
+    def test_failure_threshold_stop_rule(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        campaign = SamplingCampaign(cloud, endpoints, n_requests=200)
+        result = campaign.run()
+        assert result.observations[-1].failure_rate > 0.5
+        for observation in result.observations[:-1]:
+            assert observation.failure_rate <= 0.5
+
+    def test_max_polls_bound(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        campaign = SamplingCampaign(cloud, endpoints, n_requests=100,
+                                    max_polls=3)
+        result = campaign.run()
+        assert result.polls_run == 3
+        assert not result.saturated
+
+    def test_ground_truth_close_to_zone_shares(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        campaign = SamplingCampaign(cloud, endpoints, n_requests=200)
+        truth = campaign.run().ground_truth()
+        zone_truth = cloud.zone("test-1a").cpu_slot_shares()
+        assert truth.ape_to(zone_truth) < 12.0
+
+    def test_characterization_after_validates_range(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        result = SamplingCampaign(cloud, endpoints, n_requests=200).run()
+        with pytest.raises(ConfigurationError):
+            result.characterization_after(0)
+        with pytest.raises(ConfigurationError):
+            result.characterization_after(result.polls_run + 1)
+
+    def test_invalid_threshold(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        with pytest.raises(ConfigurationError):
+            SamplingCampaign(cloud, endpoints, failure_threshold=0.0)
+
+    def test_total_cost_sums_polls(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        result = SamplingCampaign(cloud, endpoints, n_requests=100,
+                                  max_polls=2).run()
+        assert result.total_cost == sum(
+            (obs.cost for obs in result.observations), Money(0))
+
+
+class TestProgressive(object):
+    @pytest.fixture
+    def analysis(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        return ProgressiveAnalysis(
+            SamplingCampaign(cloud, endpoints, n_requests=200).run())
+
+    def test_ape_curve_monotone_overall(self, analysis):
+        curve = analysis.ape_curve()
+        assert curve[-1][2] == pytest.approx(0.0)  # converges to truth
+        assert curve[0][2] >= curve[-1][2]
+
+    def test_fis_cumulative(self, analysis):
+        curve = analysis.ape_curve()
+        fis = [point[1] for point in curve]
+        assert fis == sorted(fis)
+
+    def test_polls_to_accuracy(self, analysis):
+        polls = analysis.polls_to_accuracy(95.0)
+        assert polls is not None
+        assert polls <= analysis.campaign.polls_run
+
+    def test_higher_accuracy_needs_more_polls(self, analysis):
+        low = analysis.polls_to_accuracy(80.0)
+        high = analysis.polls_to_accuracy(99.9)
+        assert low <= high
+
+    def test_unreachable_accuracy_returns_none(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        result = SamplingCampaign(cloud, endpoints, n_requests=100,
+                                  max_polls=1).run()
+        analysis = ProgressiveAnalysis(result)
+        # With one poll, the partial == truth, so 100% is reachable; ask
+        # for an impossible negative-APE target via accuracy > 100.
+        with pytest.raises(ConfigurationError):
+            analysis.polls_to_accuracy(101.0)
+
+    def test_cost_to_accuracy(self, analysis):
+        cost = analysis.cost_to_accuracy(95.0)
+        assert Money(0) < cost <= analysis.campaign.total_cost
+
+
+class TestCostAccounting(object):
+    def test_summary_fields(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        result = SamplingCampaign(cloud, endpoints, n_requests=200).run()
+        summary = campaign_cost_summary(result)
+        assert summary["zone"] == "test-1a"
+        assert summary["saturated"]
+        assert summary["cost_per_poll_usd"] > 0
+        assert summary["cost_to_95pct_usd"] <= summary["total_cost_usd"]
+
+    def test_characterization_cost_falls_back_to_total(self,
+                                                       sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        result = SamplingCampaign(cloud, endpoints, n_requests=100,
+                                  max_polls=1).run()
+        assert characterization_cost(result) == result.total_cost
+
+    def test_series_cost(self, sampling_setup):
+        cloud, _, endpoints = sampling_setup
+        results = [SamplingCampaign(cloud, endpoints, n_requests=100,
+                                    max_polls=1).run() for _ in range(2)]
+        assert series_cost(results) == (results[0].total_cost
+                                        + results[1].total_cost)

@@ -1,0 +1,110 @@
+"""Budget-constrained sampling planning."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.sampling.scheduler import (
+    SamplingBudgetPlanner,
+    ZoneSamplingInfo,
+)
+from repro.sampling.stability import STABLE, VOLATILE
+
+
+def info(zone, ape1=12.0, cost=0.008, stability=STABLE):
+    return ZoneSamplingInfo(zone, ape1, cost, stability=stability)
+
+
+class TestZoneSamplingInfo(object):
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZoneSamplingInfo("z", -1.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            ZoneSamplingInfo("z", 5.0, 0.0)
+
+    def test_predicted_ape_decays_like_sqrt(self):
+        zone = info("z", ape1=12.0)
+        assert zone.predicted_ape(1) == pytest.approx(12.0)
+        assert zone.predicted_ape(4) == pytest.approx(6.0)
+        assert zone.predicted_ape(0) == 200.0
+
+    def test_from_campaign(self):
+        from repro.sampling import SamplingCampaign
+        from repro.skymesh import SkyMesh
+        from tests.helpers import make_cloud
+        cloud = make_cloud(seed=111)
+        account = cloud.create_account("plan", "aws")
+        mesh = SkyMesh(cloud)
+        endpoints = mesh.deploy_sampling_endpoints(account, "test-1a",
+                                                   count=5)
+        result = SamplingCampaign(cloud, endpoints, n_requests=150,
+                                  max_polls=4).run()
+        derived = ZoneSamplingInfo.from_campaign(result,
+                                                 stability=VOLATILE)
+        assert derived.zone_id == "test-1a"
+        assert derived.first_poll_ape >= 0
+        assert float(derived.poll_cost) > 0
+
+
+class TestPlanner(object):
+    def test_budget_fully_spent_on_marginal_gains(self):
+        infos = [info("a", stability=VOLATILE), info("b")]
+        planner = SamplingBudgetPlanner()
+        plan = planner.plan(infos, budget=0.1)
+        assert plan.total_cost() <= Money(0.1)
+        # At $0.008/poll and a $0.10 budget, ~12 polls get allocated.
+        assert sum(plan.allocations.values()) >= 10
+
+    def test_volatile_zones_get_more_polls(self):
+        infos = [info("wild", stability=VOLATILE),
+                 info("calm", stability=STABLE)]
+        plan = SamplingBudgetPlanner().plan(infos, budget=0.08)
+        assert plan.polls_for("wild") > plan.polls_for("calm")
+
+    def test_noisier_zones_get_more_polls(self):
+        infos = [info("noisy", ape1=25.0), info("clean", ape1=2.0)]
+        plan = SamplingBudgetPlanner().plan(infos, budget=0.08)
+        assert plan.polls_for("noisy") > plan.polls_for("clean")
+
+    def test_min_polls_guaranteed(self):
+        infos = [info("a"), info("b"), info("c")]
+        plan = SamplingBudgetPlanner(min_polls=2).plan(infos, budget=0.06)
+        for zone in ("a", "b", "c"):
+            assert plan.polls_for(zone) >= 2
+
+    def test_max_polls_cap(self):
+        infos = [info("a")]
+        plan = SamplingBudgetPlanner(max_polls=5).plan(infos, budget=10.0)
+        assert plan.polls_for("a") == 5
+
+    def test_insufficient_budget_raises(self):
+        infos = [info("a"), info("b")]
+        with pytest.raises(ConfigurationError):
+            SamplingBudgetPlanner(min_polls=5).plan(infos, budget=0.01)
+
+    def test_empty_zone_list_raises(self):
+        with pytest.raises(ConfigurationError):
+            SamplingBudgetPlanner().plan([], budget=1.0)
+
+    def test_expensive_zone_polls_deprioritized(self):
+        infos = [info("cheap", cost=0.005), info("pricey", cost=0.05)]
+        plan = SamplingBudgetPlanner().plan(infos, budget=0.1)
+        assert plan.polls_for("cheap") > plan.polls_for("pricey")
+
+    def test_beats_uniform_on_weighted_error(self):
+        infos = [info("wild", ape1=25.0, stability=VOLATILE),
+                 info("calm-1", ape1=4.0), info("calm-2", ape1=5.0),
+                 info("calm-3", ape1=3.0)]
+        planner = SamplingBudgetPlanner()
+        smart = planner.plan(infos, budget=0.2)
+        uniform = planner.plan_uniform(infos, budget=0.2)
+        assert smart.weighted_error() < uniform.weighted_error()
+        assert smart.total_cost() <= Money(0.2)
+        assert uniform.total_cost() <= Money(0.2)
+
+    def test_plan_reports_predicted_ape(self):
+        infos = [info("a", ape1=10.0)]
+        plan = SamplingBudgetPlanner().plan(infos, budget=0.05)
+        polls = plan.polls_for("a")
+        assert plan.predicted_ape("a") == pytest.approx(
+            10.0 / polls ** 0.5)

@@ -1,0 +1,129 @@
+"""Simulated clock and discrete-event queue."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import DAYS, HOURS
+from repro.simclock import EventQueue, SimClock
+
+
+class TestSimClock(object):
+    def test_starts_at_epoch(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock(-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(1.0)
+
+    def test_day_and_hour_views(self):
+        clock = SimClock(2 * DAYS + 3 * HOURS)
+        assert clock.day == 2
+        assert clock.hour_of_day == pytest.approx(3.0)
+
+
+class TestEventQueue(object):
+    def test_fires_in_time_order(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(2.0, lambda t: fired.append("late"))
+        queue.schedule(1.0, lambda t: fired.append("early"))
+        queue.run_until(3.0)
+        assert fired == ["early", "late"]
+
+    def test_fifo_for_simultaneous_events(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append("first"))
+        queue.schedule(1.0, lambda t: fired.append("second"))
+        queue.run_until(1.0)
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        seen = []
+        queue.schedule(1.5, lambda t: seen.append(t))
+        queue.run_until(5.0)
+        assert seen == [1.5]
+        assert clock.now == 5.0
+
+    def test_run_until_leaves_later_events(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        queue.schedule(10.0, lambda t: None)
+        assert queue.run_until(5.0) == 0
+        assert len(queue) == 1
+
+    def test_cancelled_event_skipped(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        fired = []
+        event = queue.schedule(1.0, lambda t: fired.append(1))
+        event.cancel()
+        queue.run_until(2.0)
+        assert fired == []
+        assert len(queue) == 0
+
+    def test_schedule_in_past_rejected(self):
+        clock = SimClock(10.0)
+        queue = EventQueue(clock)
+        with pytest.raises(ConfigurationError):
+            queue.schedule(-1.0, lambda t: None)
+        with pytest.raises(ConfigurationError):
+            queue.schedule_at(5.0, lambda t: None)
+
+    def test_run_all(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        fired = []
+        for delay in (3.0, 1.0, 2.0):
+            queue.schedule(delay, lambda t: fired.append(t))
+        assert queue.run_all() == 3
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_next_event_time(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        assert queue.next_event_time() is None
+        queue.schedule(4.0, lambda t: None)
+        assert queue.next_event_time() == 4.0
+
+    def test_events_can_schedule_events(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                queue.schedule(1.0, chain)
+
+        queue.schedule(1.0, chain)
+        queue.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]

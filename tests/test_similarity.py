@@ -1,0 +1,111 @@
+"""Zone similarity and clustering."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.sampling import CharacterizationBuilder
+from repro.sampling.similarity import SimilarityMatrix
+
+
+def profile(zone, counts):
+    builder = CharacterizationBuilder(zone)
+    builder.add_poll(counts, cost=Money(0), timestamp=0.0)
+    return builder.snapshot()
+
+
+@pytest.fixture
+def matrix():
+    return SimilarityMatrix([
+        profile("twin-a", {"x25": 60, "x30": 40}),
+        profile("twin-b", {"x25": 58, "x30": 42}),
+        profile("loner", {"epyc": 90, "x25": 10}),
+    ])
+
+
+class TestConstruction(object):
+    def test_needs_two_zones(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityMatrix([profile("only", {"a": 1})])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityMatrix([profile("z", {"a": 1}),
+                              profile("z", {"b": 1})])
+
+
+class TestDistances(object):
+    def test_symmetric(self, matrix):
+        assert matrix.distance("twin-a", "loner") == matrix.distance(
+            "loner", "twin-a")
+
+    def test_self_distance_zero(self, matrix):
+        assert matrix.distance("twin-a", "twin-a") == 0.0
+
+    def test_twins_close_loner_far(self, matrix):
+        assert matrix.distance("twin-a", "twin-b") < 0.05
+        assert matrix.distance("twin-a", "loner") > 0.5
+
+    def test_known_tvd_value(self, matrix):
+        # twin-a vs twin-b: |0.60-0.58| + |0.40-0.42| = 0.04 -> TVD 0.02.
+        assert matrix.distance("twin-a", "twin-b") == pytest.approx(0.02)
+
+    def test_most_similar_pair(self, matrix):
+        a, b, distance = matrix.most_similar_pair()
+        assert {a, b} == {"twin-a", "twin-b"}
+        assert distance == pytest.approx(0.02)
+
+    def test_most_distinct_zone(self, matrix):
+        assert matrix.most_distinct_zone() == "loner"
+
+    def test_as_array_is_copy(self, matrix):
+        array = matrix.as_array()
+        array[0, 1] = 99.0
+        assert matrix.distance("twin-a", "twin-b") < 1.0
+
+
+class TestClustering(object):
+    def test_twins_cluster_together(self, matrix):
+        clusters = matrix.clusters(threshold=0.15)
+        assert ["twin-a", "twin-b"] in clusters
+        assert ["loner"] in clusters
+
+    def test_tiny_threshold_splits_everything(self, matrix):
+        clusters = matrix.clusters(threshold=0.001)
+        assert len(clusters) == 3
+
+    def test_huge_threshold_merges_everything(self, matrix):
+        clusters = matrix.clusters(threshold=2.0)
+        assert len(clusters) == 1
+
+    def test_threshold_validated(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix.clusters(threshold=0)
+
+    def test_representatives_cover_clusters(self, matrix):
+        representatives = matrix.representative_zones(threshold=0.15)
+        assert len(representatives) == 2
+        assert "loner" in representatives
+
+
+class TestOnRealCatalog(object):
+    def test_catalog_zones_cluster_sensibly(self):
+        from repro import SamplingCampaign, SkyMesh, build_sky
+        cloud = build_sky(seed=181, aws_only=True)
+        account = cloud.create_account("sim", "aws")
+        mesh = SkyMesh(cloud)
+        profiles = []
+        for index, zone_id in enumerate(
+                ("us-east-2a", "af-south-1a", "us-west-1b",
+                 "us-west-1a")):
+            endpoints = mesh.deploy_sampling_endpoints(
+                account, zone_id, count=4,
+                memory_base_mb=2048 + index * 8)
+            campaign = SamplingCampaign(cloud, endpoints, max_polls=4,
+                                        inter_poll_gap=1.0)
+            profiles.append(campaign.run().ground_truth())
+        matrix = SimilarityMatrix(profiles)
+        # The two us-west-1 siblings share a diverse 4-CPU mix; the
+        # single-CPU zone sits far from both.
+        assert (matrix.distance("us-west-1a", "us-west-1b")
+                < matrix.distance("us-east-2a", "us-west-1b"))

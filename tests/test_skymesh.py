@@ -1,0 +1,100 @@
+"""Sky mesh construction and lookup."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, DeploymentError
+from repro.cloudsim.handlers import SleepHandler
+from repro.skymesh import SkyMesh
+
+
+@pytest.fixture
+def mesh(cloud):
+    return SkyMesh(cloud)
+
+
+def sleep_factory(zone_id, memory_mb, arch):
+    return SleepHandler(0.25)
+
+
+class TestRegistration(object):
+    def test_register_and_endpoint(self, cloud, aws_account, mesh):
+        deployment = cloud.deploy(aws_account, "test-1a", "dynamic", 2048,
+                                  handler=SleepHandler(0.25))
+        mesh.register(deployment)
+        assert mesh.endpoint("test-1a", 2048) is deployment
+
+    def test_duplicate_key_rejected(self, cloud, aws_account, mesh):
+        deployment = cloud.deploy(aws_account, "test-1a", "dynamic", 2048)
+        mesh.register(deployment)
+        duplicate = cloud.deploy(aws_account, "test-1a", "dynamic", 2048)
+        with pytest.raises(ConfigurationError):
+            mesh.register(duplicate)
+
+    def test_missing_endpoint_raises(self, mesh):
+        with pytest.raises(DeploymentError):
+            mesh.endpoint("test-1a", 2048)
+
+
+class TestDeployEverywhere(object):
+    def test_full_ladder_per_zone(self, cloud, aws_account, mesh):
+        created = mesh.deploy_everywhere({"aws": aws_account},
+                                         sleep_factory)
+        # 2 zones x 9 memory settings x 2 architectures.
+        assert len(created) == 2 * 9 * 2
+        assert len(mesh) == len(created)
+
+    def test_custom_ladder(self, cloud, aws_account, mesh):
+        created = mesh.deploy_everywhere({"aws": aws_account},
+                                         sleep_factory,
+                                         memory_ladder=(1024,))
+        assert len(created) == 2 * 1 * 2
+
+    def test_skips_providers_without_account(self, cloud, mesh):
+        created = mesh.deploy_everywhere({}, sleep_factory)
+        assert created == []
+
+    def test_lookup_filters(self, cloud, aws_account, mesh):
+        mesh.deploy_everywhere({"aws": aws_account}, sleep_factory,
+                               memory_ladder=(1024, 2048))
+        assert len(mesh.lookup(zone_id="test-1a")) == 4
+        assert len(mesh.lookup(memory_mb=1024)) == 4
+        assert len(mesh.lookup(arch="arm64")) == 4
+        assert len(mesh.lookup(zone_id="test-1a", memory_mb=1024,
+                               arch="x86_64")) == 1
+        assert mesh.lookup(provider="ibm") == []
+
+    def test_zones_listing(self, cloud, aws_account, mesh):
+        mesh.deploy_everywhere({"aws": aws_account}, sleep_factory,
+                               memory_ladder=(1024,))
+        assert mesh.zones() == ["test-1a", "test-1b"]
+
+    def test_deployment_count_by_provider(self, cloud, aws_account, mesh):
+        mesh.deploy_everywhere({"aws": aws_account}, sleep_factory,
+                               memory_ladder=(1024,))
+        assert mesh.deployment_count("aws") == 4
+        assert mesh.deployment_count("do") == 0
+
+
+class TestSamplingEndpoints(object):
+    def test_hundred_distinct_functions(self, cloud, aws_account, mesh):
+        endpoints = mesh.deploy_sampling_endpoints(aws_account, "test-1a",
+                                                   count=100)
+        assert len(endpoints) == 100
+        names = {e.function_name for e in endpoints}
+        assert len(names) == 100
+
+    def test_unique_memory_settings(self, cloud, aws_account, mesh):
+        # §3.1: each deployment has a unique memory setting.
+        endpoints = mesh.deploy_sampling_endpoints(aws_account, "test-1a",
+                                                   count=10)
+        memories = {e.memory_mb for e in endpoints}
+        assert len(memories) == 10
+
+    def test_sleep_handler_attached(self, cloud, aws_account, mesh):
+        endpoints = mesh.deploy_sampling_endpoints(aws_account, "test-1a",
+                                                   count=3, sleep_s=0.5)
+        assert endpoints[0].handler.sleep_s == 0.5
+
+    def test_count_validated(self, cloud, aws_account, mesh):
+        with pytest.raises(ConfigurationError):
+            mesh.deploy_sampling_endpoints(aws_account, "test-1a", count=0)

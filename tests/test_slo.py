@@ -1,0 +1,129 @@
+"""SLO-aware strategy selection."""
+
+import pytest
+
+from repro.common.errors import CharacterizationError, ConfigurationError
+from repro.common.units import Money
+from repro.core import CharacterizationStore, RetryPolicy
+from repro.core.slo import SLOSelector
+from repro.sampling import CharacterizationBuilder
+from repro.workloads import workload_by_name
+from tests.helpers import make_cloud
+
+
+def put_profile(store, zone, counts):
+    builder = CharacterizationBuilder(zone)
+    builder.add_poll(counts, cost=Money(0), timestamp=0.0)
+    store.put(builder.snapshot())
+
+
+@pytest.fixture
+def selector():
+    cloud = make_cloud(seed=201)
+    store = CharacterizationStore()
+    put_profile(store, "test-1a", {"xeon-2.5": 60, "xeon-2.9": 40})
+    put_profile(store, "test-1b", {"xeon-2.5": 40, "xeon-3.0": 60})
+    return SLOSelector(cloud, store)
+
+
+WORKLOAD = workload_by_name("zipper")  # base 8 s
+
+
+class TestForecast(object):
+    def test_baseline_forecast(self, selector):
+        forecast = selector.forecast(WORKLOAD, "test-1a")
+        assert forecast.expected_retries == 0
+        # Mean factor = 0.6*1.0 + 0.4*1.22 = 1.088 -> ~8.7 s runtime.
+        assert forecast.expected_latency_s == pytest.approx(8.73, abs=0.2)
+        # p95 is bounded by the slowest CPU's runtime.
+        assert forecast.latency_p95_s >= 8.0 * 1.22
+
+    def test_retry_forecast_faster_but_with_retries(self, selector):
+        retry = RetryPolicy(["xeon-2.9"])
+        forecast = selector.forecast(WORKLOAD, "test-1a", retry)
+        baseline = selector.forecast(WORKLOAD, "test-1a")
+        assert forecast.expected_retries > 0
+        assert forecast.expected_latency_s < baseline.expected_latency_s
+        assert forecast.expected_cost_usd < baseline.expected_cost_usd
+
+    def test_retry_tail_includes_retry_rounds(self, selector):
+        retry = RetryPolicy(["xeon-2.9"], hold_seconds=0.5)
+        with_hold = selector.forecast(WORKLOAD, "test-1a", retry)
+        no_hold = selector.forecast(
+            WORKLOAD, "test-1a", RetryPolicy(["xeon-2.9"],
+                                             hold_seconds=0.0))
+        assert with_hold.latency_p95_s > no_hold.latency_p95_s
+
+    def test_banning_everything_raises(self, selector):
+        retry = RetryPolicy(["xeon-2.5", "xeon-2.9"])
+        with pytest.raises(CharacterizationError):
+            selector.forecast(WORKLOAD, "test-1a", retry)
+
+    def test_candidate_menu_shape(self, selector):
+        forecasts = selector.candidate_forecasts(
+            WORKLOAD, ["test-1a", "test-1b"])
+        names = {f.name for f in forecasts}
+        assert "direct@test-1a" in names
+        assert "focus_fastest@test-1b" in names
+        assert len(forecasts) == 6  # 2 zones x 3 strategies
+
+    def test_unknown_zones_skipped(self, selector):
+        forecasts = selector.candidate_forecasts(WORKLOAD,
+                                                 ["test-1a", "ghost"])
+        assert all(f.zone_id == "test-1a" for f in forecasts)
+
+    def test_no_zones_raises(self, selector):
+        with pytest.raises(CharacterizationError):
+            selector.candidate_forecasts(WORKLOAD, ["ghost"])
+
+
+class TestSelect(object):
+    def test_loose_slo_picks_cheapest(self, selector):
+        chosen = selector.select(WORKLOAD, ["test-1a", "test-1b"],
+                                 latency_slo_s=60.0)
+        # With latency unconstrained, a focus-fastest strategy in the
+        # 3.0 GHz-rich zone is the cheapest menu entry.
+        assert chosen.name.startswith("focus_fastest")
+        assert chosen.zone_id == "test-1b"
+
+    def test_median_slo_filters_then_minimizes_cost(self, selector):
+        menu = selector.candidate_forecasts(WORKLOAD,
+                                            ["test-1a", "test-1b"])
+        slo = sorted(f.latency_p95_s for f in menu)[len(menu) // 2]
+        chosen = selector.select(WORKLOAD, ["test-1a", "test-1b"],
+                                 latency_slo_s=slo)
+        feasible = [f for f in menu if f.meets(slo)]
+        infeasible = [f for f in menu if not f.meets(slo)]
+        assert infeasible, "the median SLO must exclude something"
+        assert chosen.meets(slo)
+        assert chosen.expected_cost_usd == pytest.approx(
+            min(f.expected_cost_usd for f in feasible))
+
+    def test_interactive_slo_prefers_direct_over_retry_tails(self):
+        # A zone whose fast CPU is rare: focusing it piles up retry
+        # rounds on the tail, so a tail-sensitive SLO forces the direct
+        # strategy even though retrying is cheaper — the paper's
+        # batch-vs-interactive guidance as a mechanical outcome.
+        cloud = make_cloud(seed=202)
+        store = CharacterizationStore()
+        put_profile(store, "test-1a", {"xeon-2.5": 55, "xeon-2.9": 45})
+        selector = SLOSelector(cloud, store)
+        menu = selector.candidate_forecasts(WORKLOAD, ["test-1a"])
+        retry_like = [f for f in menu if f.retry_policy is not None]
+        direct = [f for f in menu if f.retry_policy is None][0]
+        assert min(f.expected_cost_usd for f in retry_like) < (
+            direct.expected_cost_usd)
+        assert all(f.latency_p95_s > direct.latency_p95_s - 1.2
+                   for f in retry_like)
+
+    def test_impossible_slo_raises_with_guidance(self, selector):
+        with pytest.raises(ConfigurationError) as excinfo:
+            selector.select(WORKLOAD, ["test-1a", "test-1b"],
+                            latency_slo_s=0.5)
+        assert "fastest available" in str(excinfo.value)
+
+    def test_selected_strategy_meets_slo(self, selector):
+        slo = 10.5
+        chosen = selector.select(WORKLOAD, ["test-1a", "test-1b"],
+                                 latency_slo_s=slo)
+        assert chosen.latency_p95_s <= slo

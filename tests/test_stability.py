@@ -1,0 +1,109 @@
+"""Stability classification and adaptive sampling cadence."""
+
+import pytest
+
+from repro.common.errors import CharacterizationError, ConfigurationError
+from repro.common.units import DAYS, HOURS, Money
+from repro.sampling import CharacterizationBuilder
+from repro.sampling.stability import (
+    STABLE,
+    UNKNOWN,
+    VOLATILE,
+    StabilityClassifier,
+    ZoneStabilityTracker,
+)
+
+
+def profile(zone, counts, timestamp):
+    builder = CharacterizationBuilder(zone)
+    builder.add_poll(counts, cost=Money(0), timestamp=timestamp)
+    return builder.snapshot()
+
+
+def steady_history(zone="z", days=4):
+    return [profile(zone, {"a": 50, "b": 50}, day * DAYS)
+            for day in range(days)]
+
+
+def drifting_history(zone="z", days=4):
+    history = []
+    for day in range(days):
+        share = 50 + day * 15
+        history.append(profile(zone, {"a": share, "b": 100 - share + 1},
+                               day * DAYS))
+    return history
+
+
+class TestClassifier(object):
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StabilityClassifier(volatile_threshold=0)
+        with pytest.raises(ConfigurationError):
+            StabilityClassifier(min_observations=1)
+
+    def test_drift_rate_of_steady_history_is_zero(self):
+        rate = StabilityClassifier().drift_rate(steady_history())
+        assert rate == pytest.approx(0.0)
+
+    def test_drift_rate_positive_for_drifting_history(self):
+        rate = StabilityClassifier().drift_rate(drifting_history())
+        assert rate > 10.0
+
+    def test_drift_rate_needs_two_profiles(self):
+        with pytest.raises(CharacterizationError):
+            StabilityClassifier().drift_rate(steady_history(days=1))
+
+    def test_drift_rate_needs_time_separation(self):
+        history = [profile("z", {"a": 1}, 5.0),
+                   profile("z", {"a": 1}, 5.0)]
+        with pytest.raises(CharacterizationError):
+            StabilityClassifier().drift_rate(history)
+
+    def test_classify(self):
+        classifier = StabilityClassifier(volatile_threshold=8.0)
+        assert classifier.classify(steady_history()) == STABLE
+        assert classifier.classify(drifting_history()) == VOLATILE
+        assert classifier.classify(steady_history(days=1)) == UNKNOWN
+
+    def test_recommended_interval(self):
+        classifier = StabilityClassifier()
+        assert classifier.recommended_interval(
+            steady_history()) == 7 * DAYS
+        assert classifier.recommended_interval(
+            drifting_history()) == 22 * HOURS
+
+
+class TestTracker(object):
+    def test_observe_builds_history(self):
+        tracker = ZoneStabilityTracker()
+        for item in steady_history("z-1"):
+            tracker.observe(item)
+        assert tracker.classify("z-1") == STABLE
+        assert len(tracker.history("z-1")) == 4
+
+    def test_history_limit(self):
+        tracker = ZoneStabilityTracker(history_limit=3)
+        for item in steady_history("z-1", days=10):
+            tracker.observe(item)
+        assert len(tracker.history("z-1")) == 3
+
+    def test_unknown_zone(self):
+        tracker = ZoneStabilityTracker()
+        assert tracker.classify("ghost") == UNKNOWN
+        assert tracker.needs_refresh("ghost", now=0.0)
+
+    def test_refresh_cadence_stable_vs_volatile(self):
+        tracker = ZoneStabilityTracker()
+        for item in steady_history("calm"):
+            tracker.observe(item)
+        for item in drifting_history("wild"):
+            tracker.observe(item)
+        just_after = 3 * DAYS + 1 * DAYS
+        assert not tracker.needs_refresh("calm", now=just_after)
+        assert tracker.needs_refresh("wild", now=just_after)
+
+    def test_zones_listing(self):
+        tracker = ZoneStabilityTracker()
+        tracker.observe(profile("b", {"a": 1}, 0.0))
+        tracker.observe(profile("a", {"a": 1}, 0.0))
+        assert tracker.zones() == ["a", "b"]

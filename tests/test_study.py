@@ -1,0 +1,94 @@
+"""Multi-day routing studies."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.core import (
+    BaselinePolicy,
+    CharacterizationStore,
+    RetryRoutingPolicy,
+    RoutingStudy,
+)
+from repro.dynfunc import UniversalDynamicFunctionHandler
+from repro.skymesh import SkyMesh
+from repro.workloads import resolve_runtime_model, workload_by_name
+from tests.helpers import make_cloud
+
+
+@pytest.fixture
+def study_setup():
+    cloud = make_cloud(seed=61)
+    account = cloud.create_account("study", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = {}
+    for zone in ("test-1a", "test-1b"):
+        endpoints[zone] = mesh.deploy_sampling_endpoints(
+            account, zone, count=6,
+            memory_base_mb=2048 if zone == "test-1a" else 3072)
+        deployment = cloud.deploy(
+            account, zone, "dynamic", 2048,
+            handler=UniversalDynamicFunctionHandler(resolve_runtime_model))
+        mesh.register(deployment)
+    store = CharacterizationStore()
+    return cloud, mesh, store, endpoints
+
+
+def make_study(setup, **kwargs):
+    cloud, mesh, store, endpoints = setup
+    defaults = dict(days=3, burst_size=100, polls_per_day=2,
+                    poll_requests=150)
+    defaults.update(kwargs)
+    return RoutingStudy(cloud, mesh, store, workload_by_name("zipper"),
+                        ["test-1a", "test-1b"], endpoints, **defaults)
+
+
+class TestStudy(object):
+    def test_records_daily_series(self, study_setup):
+        study = make_study(study_setup)
+        result = study.run([BaselinePolicy("test-1a"),
+                            RetryRoutingPolicy("test-1a", "retry_slow")])
+        assert len(result.daily_costs["baseline"]) == 3
+        assert len(result.daily_costs["retry_slow"]) == 3
+        assert result.sampling_cost > Money(0)
+
+    def test_retry_beats_baseline_in_mixed_zone(self, study_setup):
+        study = make_study(study_setup)
+        result = study.run([BaselinePolicy("test-1a"),
+                            RetryRoutingPolicy("test-1a", "retry_slow",
+                                               n_slowest=1)])
+        summary = result.savings_summary()
+        assert summary["retry_slow"]["cumulative_pct"] > 0
+
+    def test_zones_chosen_tracked(self, study_setup):
+        study = make_study(study_setup)
+        result = study.run([BaselinePolicy("test-1b")])
+        assert result.zones_chosen["baseline"] == ["test-1b"] * 3
+
+    def test_retry_fraction(self, study_setup):
+        study = make_study(study_setup)
+        result = study.run([RetryRoutingPolicy("test-1a",
+                                               "focus_fastest")])
+        assert result.retry_fraction("focus_fastest", 100) > 0
+
+    def test_duplicate_policy_names_rejected(self, study_setup):
+        study = make_study(study_setup)
+        with pytest.raises(ConfigurationError):
+            study.run([BaselinePolicy("test-1a"),
+                       BaselinePolicy("test-1b")])
+
+    def test_missing_endpoints_rejected(self, study_setup):
+        cloud, mesh, store, endpoints = study_setup
+        with pytest.raises(ConfigurationError):
+            RoutingStudy(cloud, mesh, store, workload_by_name("zipper"),
+                         ["test-1a", "ghost-zone"], endpoints)
+
+    def test_day_count_validated(self, study_setup):
+        with pytest.raises(ConfigurationError):
+            make_study(study_setup, days=0)
+
+    def test_clock_advances_by_cadence(self, study_setup):
+        cloud = study_setup[0]
+        study = make_study(study_setup, days=2, cadence_hours=22.0)
+        study.run([BaselinePolicy("test-1a")])
+        assert cloud.clock.now >= 22 * 3600

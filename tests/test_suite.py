@@ -1,0 +1,51 @@
+"""The workload suite runner."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import WORKLOAD_NAMES
+from repro.workloads.suite import WorkloadSuite
+
+
+class TestWorkloadSuite(object):
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSuite(scale=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSuite(repetitions=0)
+
+    def test_subset_run(self):
+        suite = WorkloadSuite(scale=0.05, repetitions=2)
+        report = suite.run(names=["sha1_hash", "json_flattener"])
+        assert len(report) == 2
+        row = report.row("sha1_hash")
+        assert row.runs == 2
+        assert row.mean_seconds > 0
+        assert row.stdev_seconds >= 0
+        assert row.sample_summary
+
+    def test_full_suite(self):
+        report = WorkloadSuite(scale=0.05, repetitions=1).run()
+        assert len(report) == len(WORKLOAD_NAMES)
+        assert report.total_seconds() > 0
+
+    def test_unknown_row(self):
+        report = WorkloadSuite(scale=0.05, repetitions=1).run(
+            names=["sha1_hash"])
+        with pytest.raises(ConfigurationError):
+            report.row("zipper")
+
+    def test_csv_rows(self):
+        report = WorkloadSuite(scale=0.05, repetitions=1).run(
+            names=["sha1_hash"])
+        rows = report.to_rows()
+        assert rows[0]["workload"] == "sha1_hash"
+        assert set(rows[0]) == {"workload", "vcpus", "runs",
+                                "mean_seconds", "stdev_seconds"}
+
+    def test_different_seeds_per_repetition(self):
+        # Repetitions use different seeds, so stdev reflects genuine
+        # input variation, not just timer noise.
+        suite = WorkloadSuite(scale=0.05, repetitions=3, seed=5)
+        report = suite.run(names=["graph_mst"])
+        assert report.row("graph_mst").runs == 3

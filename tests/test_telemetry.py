@@ -1,0 +1,122 @@
+"""Routing telemetry."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Money
+from repro.core import BaselinePolicy, CharacterizationStore, SmartRouter
+from repro.core.telemetry import RoutingTelemetry
+from repro.dynfunc import UniversalDynamicFunctionHandler
+from repro.sampling import CharacterizationBuilder
+from repro.skymesh import SkyMesh
+from repro.workloads import resolve_runtime_model, workload_by_name
+from tests.helpers import make_cloud
+
+
+class FakeRequest(object):
+    def __init__(self, zone_id="z-1", cpu_key="xeon-2.5", retries=0,
+                 cost=0.001, latency_s=1.0):
+        self.zone_id = zone_id
+        self.cpu_key = cpu_key
+        self.retries = retries
+        self.cost = Money(cost)
+        self.latency_s = latency_s
+
+
+class TestRecording(object):
+    def test_record_and_rows(self):
+        telemetry = RoutingTelemetry()
+        telemetry.record(FakeRequest(), workload="zipper",
+                         policy="baseline", timestamp=5.0)
+        rows = telemetry.rows()
+        assert len(rows) == 1
+        assert rows[0]["workload"] == "zipper"
+        assert rows[0]["zone"] == "z-1"
+
+    def test_capacity_bounds_memory(self):
+        telemetry = RoutingTelemetry(capacity=10)
+        for index in range(25):
+            telemetry.record(FakeRequest(cost=index))
+        assert len(telemetry) == 10
+        # Oldest records were evicted.
+        assert telemetry.rows()[0]["cost_usd"] == 15.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            RoutingTelemetry(capacity=0)
+
+    def test_clear(self):
+        telemetry = RoutingTelemetry()
+        telemetry.record(FakeRequest())
+        telemetry.clear()
+        assert len(telemetry) == 0
+
+
+class TestAggregation(object):
+    @pytest.fixture
+    def telemetry(self):
+        telemetry = RoutingTelemetry()
+        telemetry.record(FakeRequest("a", "xeon-2.5", 0, 0.002, 1.0),
+                         policy="baseline")
+        telemetry.record(FakeRequest("a", "xeon-3.0", 2, 0.001, 2.0),
+                         policy="retry")
+        telemetry.record(FakeRequest("b", "xeon-3.0", 1, 0.003, 3.0),
+                         policy="retry")
+        return telemetry
+
+    def test_totals(self, telemetry):
+        assert telemetry.total_cost() == Money(0.006)
+        assert telemetry.total_retries() == 3
+
+    def test_by_zone(self, telemetry):
+        zones = telemetry.by_zone()
+        assert zones["a"]["requests"] == 2
+        assert zones["a"]["retries"] == 2
+        assert zones["a"]["mean_latency_s"] == pytest.approx(1.5)
+        assert zones["b"]["cost_usd"] == pytest.approx(0.003)
+
+    def test_by_cpu(self, telemetry):
+        cpus = telemetry.by_cpu()
+        assert cpus["xeon-3.0"]["requests"] == 2
+
+    def test_by_policy(self, telemetry):
+        policies = telemetry.by_policy()
+        assert policies["retry"]["requests"] == 2
+
+    def test_cpu_distribution(self, telemetry):
+        dist = telemetry.cpu_distribution()
+        assert dist.share("xeon-3.0") == pytest.approx(2 / 3)
+
+    def test_rows_export_via_reporting(self, telemetry, tmp_path):
+        from repro import reporting
+        path = tmp_path / "telemetry.csv"
+        reporting.write_csv(str(path), telemetry.rows())
+        assert len(path.read_text().strip().splitlines()) == 4
+
+
+class TestWithRealRouter(object):
+    def test_records_routed_requests(self):
+        cloud = make_cloud(seed=141)
+        account = cloud.create_account("tel", "aws")
+        mesh = SkyMesh(cloud)
+        mesh.register(cloud.deploy(
+            account, "test-1a", "dynamic", 2048,
+            handler=UniversalDynamicFunctionHandler(
+                resolve_runtime_model)))
+        store = CharacterizationStore()
+        builder = CharacterizationBuilder("test-1a")
+        builder.add_poll({"xeon-2.5": 10, "xeon-2.9": 6})
+        store.put(builder.snapshot())
+        router = SmartRouter(cloud, mesh, store,
+                             BaselinePolicy("test-1a"),
+                             workload_by_name("sha1_hash"), ["test-1a"])
+        telemetry = RoutingTelemetry()
+        for _ in range(20):
+            request = router.route()
+            telemetry.record(request, workload="sha1_hash",
+                             policy="baseline",
+                             timestamp=cloud.clock.now)
+        assert len(telemetry) == 20
+        assert telemetry.total_cost() > Money(0)
+        observed = telemetry.cpu_distribution()
+        assert set(observed.categories) <= {"xeon-2.5", "xeon-2.9"}

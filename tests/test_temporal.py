@@ -1,0 +1,118 @@
+"""Daily and hourly sampling series (EX-4 machinery)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sampling import DailyCampaignSeries, HourlySeries
+from repro.skymesh import SkyMesh
+from tests.helpers import make_cloud
+
+
+@pytest.fixture
+def setup():
+    cloud = make_cloud(seed=21)
+    account = cloud.create_account("sampler", "aws")
+    mesh = SkyMesh(cloud)
+    endpoints = mesh.deploy_sampling_endpoints(account, "test-1a",
+                                               count=20)
+    return cloud, endpoints
+
+
+class TestDailySeries(object):
+    def test_one_result_per_day(self, setup):
+        cloud, endpoints = setup
+        series = DailyCampaignSeries(cloud, endpoints, days=3,
+                                     n_requests=150)
+        results = series.run()
+        assert len(results) == 3
+        for result in results:
+            assert result.zone_id == "test-1a"
+
+    def test_cadence_advances_clock(self, setup):
+        cloud, endpoints = setup
+        series = DailyCampaignSeries(cloud, endpoints, days=2,
+                                     cadence_hours=22.0, n_requests=150)
+        series.run()
+        assert cloud.clock.now >= 22 * 3600
+
+    def test_capacity_recovers_between_days(self, setup):
+        cloud, endpoints = setup
+        series = DailyCampaignSeries(cloud, endpoints, days=2,
+                                     n_requests=150)
+        results = series.run()
+        # Day 2 should observe a comparable number of FIs, not leftovers.
+        assert results[1].total_fis > results[0].total_fis * 0.5
+
+    def test_polls_for_accuracy_per_day(self, setup):
+        cloud, endpoints = setup
+        series = DailyCampaignSeries(cloud, endpoints, days=2,
+                                     n_requests=150)
+        series.run()
+        polls = series.polls_for_accuracy(90.0)
+        assert len(polls) == 2
+        assert all(p is None or p >= 1 for p in polls)
+
+    def test_mean_polls_for_accuracy(self, setup):
+        cloud, endpoints = setup
+        series = DailyCampaignSeries(cloud, endpoints, days=2,
+                                     n_requests=150)
+        series.run()
+        mean = series.mean_polls_for_accuracy(85.0)
+        assert mean is None or mean >= 1
+
+    def test_decay_curve_without_drift_is_flat(self, setup):
+        # The helper cloud has no drift processes: day-N profiles should
+        # match day 1 almost exactly.
+        cloud, endpoints = setup
+        series = DailyCampaignSeries(cloud, endpoints, days=3,
+                                     n_requests=150)
+        series.run()
+        for day, ape in series.decay_curve():
+            assert ape < 8.0, day
+        assert series.is_stable(ape_threshold=8.0)
+
+    def test_requires_run_before_decay(self, setup):
+        cloud, endpoints = setup
+        series = DailyCampaignSeries(cloud, endpoints, days=2)
+        with pytest.raises(ConfigurationError):
+            series.decay_curve()
+
+    def test_day_count_validated(self, setup):
+        cloud, endpoints = setup
+        with pytest.raises(ConfigurationError):
+            DailyCampaignSeries(cloud, endpoints, days=0)
+
+
+class TestHourlySeries(object):
+    def test_one_characterization_per_hour(self, setup):
+        cloud, endpoints = setup
+        series = HourlySeries(cloud, endpoints, hours=4, polls_per_hour=2,
+                              n_requests=100)
+        profiles = series.run()
+        assert len(profiles) == 4
+
+    def test_variation_curve(self, setup):
+        cloud, endpoints = setup
+        series = HourlySeries(cloud, endpoints, hours=4, polls_per_hour=2,
+                              n_requests=100)
+        series.run()
+        curve = series.variation_curve()
+        assert [hour for hour, _ in curve] == [1, 2, 3]
+
+    def test_hours_within_threshold(self, setup):
+        cloud, endpoints = setup
+        series = HourlySeries(cloud, endpoints, hours=4, polls_per_hour=2,
+                              n_requests=100)
+        series.run()
+        assert 0 <= series.hours_within(10.0) <= 3
+
+    def test_needs_at_least_two_hours(self, setup):
+        cloud, endpoints = setup
+        with pytest.raises(ConfigurationError):
+            HourlySeries(cloud, endpoints, hours=1)
+
+    def test_requires_run_before_curve(self, setup):
+        cloud, endpoints = setup
+        series = HourlySeries(cloud, endpoints, hours=3)
+        with pytest.raises(ConfigurationError):
+            series.variation_curve()

@@ -1,0 +1,83 @@
+"""Units and money."""
+
+import pytest
+
+from repro.common.units import (
+    DAYS,
+    GB,
+    HOURS,
+    MINUTES,
+    Money,
+    gb_seconds,
+    mb_to_gb,
+)
+
+
+class TestConversions(object):
+    def test_mb_to_gb(self):
+        assert mb_to_gb(1024) == 1.0
+        assert mb_to_gb(2048) == 2.0
+        assert mb_to_gb(512) == 0.5
+
+    def test_gb_seconds(self):
+        assert gb_seconds(1024, 1.0) == 1.0
+        assert gb_seconds(2048, 0.5) == 1.0
+        assert gb_seconds(10240, 2.0) == 20.0
+
+    def test_time_constants(self):
+        assert MINUTES == 60
+        assert HOURS == 60 * MINUTES
+        assert DAYS == 24 * HOURS
+
+    def test_gb_constant_is_mb(self):
+        assert GB == 1024
+
+
+class TestMoney(object):
+    def test_addition(self):
+        assert Money(0.1) + Money(0.2) == Money(0.3)
+
+    def test_radd_supports_sum(self):
+        total = sum([Money(0.01), Money(0.02)], Money(0))
+        assert total == Money(0.03)
+
+    def test_subtraction(self):
+        assert Money(1.0) - Money(0.25) == Money(0.75)
+
+    def test_multiplication(self):
+        assert Money(0.5) * 4 == Money(2.0)
+        assert 4 * Money(0.5) == Money(2.0)
+
+    def test_division_by_scalar(self):
+        assert Money(1.0) / 4 == Money(0.25)
+
+    def test_division_by_money_gives_ratio(self):
+        assert Money(1.0) / Money(0.5) == pytest.approx(2.0)
+
+    def test_negation(self):
+        assert -Money(0.5) == Money(-0.5)
+
+    def test_comparisons(self):
+        assert Money(0.001) < Money(0.002)
+        assert Money(0.002) > Money(0.001)
+        assert Money(0.001) <= Money(0.001)
+        assert Money(0.001) >= Money(0.001)
+
+    def test_equality_at_micro_dollar_resolution(self):
+        assert Money(0.1 + 0.2) == Money(0.3)
+
+    def test_compares_against_floats(self):
+        assert Money(0.5) == 0.5
+        assert Money(0.5) < 0.6
+
+    def test_float_conversion(self):
+        assert float(Money(1.25)) == 1.25
+
+    def test_str_large_amounts(self):
+        assert str(Money(1234.5)) == "$1,234.50"
+
+    def test_str_small_amounts_keeps_precision(self):
+        assert str(Money(0.000123)) == "$0.000123"
+
+    def test_hashable(self):
+        assert hash(Money(0.5)) == hash(Money(0.5))

@@ -1,0 +1,71 @@
+"""The EX-1 two-account saturation validation protocol."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sampling.validation import validate_saturation
+from repro.skymesh import SkyMesh
+from tests.helpers import make_cloud
+
+
+@pytest.fixture
+def rig():
+    cloud = make_cloud(seed=161)
+    primary = cloud.create_account("primary", "aws")
+    secondary = cloud.create_account("secondary", "aws")
+    mesh = SkyMesh(cloud)
+    primary_endpoints = mesh.deploy_sampling_endpoints(primary, "test-1a",
+                                                       count=12)
+    secondary_endpoints = mesh.deploy_sampling_endpoints(
+        secondary, "test-1a", count=3, memory_base_mb=4096)
+    return cloud, primary_endpoints, secondary_endpoints
+
+
+class TestValidateSaturation(object):
+    def test_shared_pool_detected(self, rig):
+        cloud, primary, secondary = rig
+        validation = validate_saturation(cloud, primary, secondary,
+                                         n_requests=200)
+        assert validation.primary_saturated
+        assert validation.secondary_blocked
+        assert validation.pool_is_shared
+        assert validation.secondary_failure_rates[0] > 0.9
+
+    def test_summary_is_json_safe(self, rig):
+        import json
+        cloud, primary, secondary = rig
+        validation = validate_saturation(cloud, primary, secondary,
+                                         n_requests=200)
+        json.dumps(validation.summary())
+        assert validation.summary()["pool_is_shared"] is True
+
+    def test_rejects_same_account(self, rig):
+        cloud, primary, _ = rig
+        with pytest.raises(ConfigurationError):
+            validate_saturation(cloud, primary, primary)
+
+    def test_rejects_different_zones(self, rig):
+        cloud, primary, _ = rig
+        other_account = cloud.create_account("third", "aws")
+        mesh = SkyMesh(cloud)
+        other = mesh.deploy_sampling_endpoints(other_account, "test-1b",
+                                               count=2)
+        with pytest.raises(ConfigurationError):
+            validate_saturation(cloud, primary, other)
+
+    def test_unsaturated_zone_reports_not_shared(self):
+        # A fresh zone that the primary never exhausts (its endpoint
+        # budget runs out first): the protocol must not claim sharing.
+        cloud = make_cloud(seed=162)
+        primary = cloud.create_account("primary", "aws")
+        secondary = cloud.create_account("secondary", "aws")
+        mesh = SkyMesh(cloud)
+        primary_endpoints = mesh.deploy_sampling_endpoints(
+            primary, "test-1a", count=2)
+        secondary_endpoints = mesh.deploy_sampling_endpoints(
+            secondary, "test-1a", count=2, memory_base_mb=4096)
+        validation = validate_saturation(cloud, primary_endpoints,
+                                         secondary_endpoints,
+                                         n_requests=100)
+        assert not validation.primary_saturated
+        assert not validation.pool_is_shared

@@ -1,0 +1,191 @@
+"""The twelve Table-1 workloads: real execution and runtime profiles."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    all_workloads,
+    workload_by_name,
+)
+from repro.workloads.profiles import (
+    BASELINE_CPU,
+    cpu_factor,
+    factors_for,
+    normalized_performance_table,
+    profiled_workload_names,
+)
+
+
+class TestRegistry(object):
+    def test_twelve_workloads(self):
+        assert len(WORKLOAD_NAMES) == 12
+
+    def test_table1_names(self):
+        expected = {
+            "graph_mst", "graph_bfs", "pagerank", "disk_writer",
+            "disk_write_and_process", "zipper", "thumbnailer", "sha1_hash",
+            "json_flattener", "math_service", "matrix_multiply",
+            "logistic_regression",
+        }
+        assert set(WORKLOAD_NAMES) == expected
+
+    def test_lookup(self):
+        assert workload_by_name("zipper").name == "zipper"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            workload_by_name("bitcoin_miner")
+
+    def test_table1_vcpus(self):
+        # Table 1's parallelism column.
+        assert workload_by_name("zipper").vcpus == 2
+        assert workload_by_name("pagerank").vcpus == pytest.approx(1.2)
+        assert workload_by_name("logistic_regression").vcpus == 2
+        assert workload_by_name("sha1_hash").vcpus == 1
+
+    def test_every_workload_has_description(self):
+        for workload in all_workloads():
+            assert workload.description
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestExecution(object):
+    def test_runs_end_to_end(self, name):
+        workload = workload_by_name(name)
+        summary = workload.execute(np.random.default_rng(0), scale=0.1)
+        assert isinstance(summary, dict)
+        assert summary
+
+    def test_deterministic_given_seed(self, name):
+        if name in ("logistic_regression", "zipper"):
+            pytest.skip("genuinely multi-threaded: output order can vary")
+        workload = workload_by_name(name)
+        first = workload.execute(np.random.default_rng(7), scale=0.1)
+        second = workload.execute(np.random.default_rng(7), scale=0.1)
+        assert first == second
+
+    def test_payload_runs_in_dynamic_runtime(self, name):
+        from repro.dynfunc import DynamicFunctionRuntime
+        workload = workload_by_name(name)
+        runtime = DynamicFunctionRuntime()
+        result = runtime.handle(
+            workload.payload(args={"seed": 3, "scale": 0.05}))
+        assert result.value["workload"] == name
+        assert result.value["summary"]
+
+
+class TestWorkloadOutputs(object):
+    def test_mst_weight_not_more_than_graph(self):
+        workload = workload_by_name("graph_mst")
+        graph = workload.generate_input(np.random.default_rng(0), scale=0.2)
+        mst = workload.run(graph)
+        assert mst.number_of_edges() == graph.number_of_nodes() - 1
+
+    def test_bfs_visits_connected_graph_fully(self):
+        workload = workload_by_name("graph_bfs")
+        graph = workload.generate_input(np.random.default_rng(0), scale=0.2)
+        depths = workload.run(graph)
+        assert len(depths) == graph.number_of_nodes()
+
+    def test_pagerank_sums_to_one(self):
+        workload = workload_by_name("pagerank")
+        ranks = workload.run(
+            workload.generate_input(np.random.default_rng(0), scale=0.2))
+        assert float(ranks.sum()) == pytest.approx(1.0)
+
+    def test_sha1_is_valid_hex(self):
+        workload = workload_by_name("sha1_hash")
+        digest = workload.run(
+            workload.generate_input(np.random.default_rng(0), scale=0.05))
+        assert len(digest) == 40
+        int(digest, 16)
+
+    def test_json_flattener_pairs_are_scalars(self):
+        workload = workload_by_name("json_flattener")
+        flat = workload.run(
+            workload.generate_input(np.random.default_rng(0), scale=0.4))
+        assert flat
+        for value in flat.values():
+            assert not isinstance(value, (dict, list))
+
+    def test_thumbnailer_shapes(self):
+        workload = workload_by_name("thumbnailer")
+        thumbs = workload.run(
+            workload.generate_input(np.random.default_rng(0), scale=0.2))
+        shapes = {f: t.shape for f, t in thumbs.items()}
+        assert shapes[2][0] == 2 * shapes[4][0]
+
+    def test_zipper_compresses_tiled_content(self):
+        workload = workload_by_name("zipper")
+        files = workload.generate_input(np.random.default_rng(0), scale=0.2)
+        archives = workload.run(files)
+        total_in = sum(len(v) for v in files.values())
+        total_out = sum(len(a) for a in archives)
+        assert total_out < total_in  # tiled halves compress well
+
+    def test_logistic_regression_learns(self):
+        workload = workload_by_name("logistic_regression")
+        output = workload.run(
+            workload.generate_input(np.random.default_rng(0), scale=0.5))
+        assert output["accuracy"] > 0.7
+
+
+class TestProfiles(object):
+    def test_all_twelve_profiled(self):
+        assert set(profiled_workload_names()) == set(WORKLOAD_NAMES)
+
+    def test_baseline_factor_is_one(self):
+        for name in WORKLOAD_NAMES:
+            assert cpu_factor(name, BASELINE_CPU) == 1.0
+
+    def test_30ghz_faster_for_all_workloads(self):
+        # Figure 9: the 3.0 GHz Xeon consistently delivers the fastest
+        # runtimes (5-15 % improvement).
+        for name in WORKLOAD_NAMES:
+            factor = cpu_factor(name, "xeon-3.0")
+            assert 0.85 <= factor <= 0.97, name
+
+    def test_29ghz_slower_than_baseline(self):
+        for name in WORKLOAD_NAMES:
+            assert cpu_factor(name, "xeon-2.9") > 1.0, name
+
+    def test_epyc_slowest_for_compute_bound(self):
+        # Figure 9: EPYC up to 50 % slower for logistic_regression and
+        # math_service.
+        assert cpu_factor("logistic_regression", "amd-epyc") == pytest.approx(
+            1.5, abs=0.05)
+        assert cpu_factor("math_service", "amd-epyc") >= 1.4
+
+    def test_disk_writer_epyc_exception(self):
+        # Figure 9: "the AMD EPYC processor slightly outperformed the
+        # baseline for disk_writer."
+        assert cpu_factor("disk_writer", "amd-epyc") < 1.0
+
+    def test_io_bound_deviators_less_sensitive(self):
+        # disk_write_and_process and sha1_hash deviate from the trend.
+        for name in ("disk_write_and_process", "sha1_hash"):
+            assert cpu_factor(name, "amd-epyc") < 1.1, name
+
+    def test_factors_cover_whole_catalog(self):
+        from repro.cloudsim.cpu import CPU_CATALOG
+        factors = factors_for("zipper")
+        assert set(CPU_CATALOG) <= set(factors)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ConfigurationError):
+            factors_for("quantum_annealer")
+
+    def test_normalized_table_shape(self):
+        table = normalized_performance_table()
+        assert len(table) == 12
+        for row in table.values():
+            assert set(row) == {"xeon-2.5", "xeon-2.9", "xeon-3.0",
+                                "amd-epyc"}
+
+    def test_runtime_model_reflects_profile(self):
+        workload = workload_by_name("matrix_multiply")
+        model = workload.runtime_model()
+        assert model.mean_duration_on("xeon-3.0") < model.mean_duration_on(
+            "xeon-2.5")
