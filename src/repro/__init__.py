@@ -45,6 +45,7 @@ from repro.dynfunc import (
     UniversalDynamicFunctionHandler,
     build_payload,
 )
+from repro.obs import EventBus, MetricsRegistry, Observability, Tracer
 from repro.saaf import Inspector, report_from_invocation
 from repro.sampling import (
     CPUCharacterization,
@@ -86,6 +87,10 @@ __all__ = [
     "DynamicFunctionRuntime",
     "UniversalDynamicFunctionHandler",
     "build_payload",
+    "EventBus",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
     "Inspector",
     "report_from_invocation",
     "CPUCharacterization",

@@ -20,9 +20,11 @@ from repro import (
     BaselinePolicy,
     CharacterizationStore,
     HybridPolicy,
+    Observability,
     RetryRoutingPolicy,
     RoutingStudy,
     SamplingCampaign,
+    SkyController,
     SkyMesh,
     UniversalDynamicFunctionHandler,
     WorkloadRunner,
@@ -90,6 +92,22 @@ def build_parser():
     study.add_argument("--burst", type=int, default=1000)
     study.add_argument("--json", dest="json_path")
     study.add_argument("--csv", dest="csv_path")
+
+    obs = commands.add_parser(
+        "obs", help="run a short routed burst with full observability and "
+                    "print the metrics/trace summary")
+    obs.add_argument("--workload", default="sha1_hash")
+    obs.add_argument("--zones", default="us-west-1a,us-west-1b")
+    obs.add_argument("--requests", type=int, default=60)
+    obs.add_argument("--polls", type=int, default=2,
+                     help="profiling polls per zone refresh (default 2)")
+    obs.add_argument("--poll-requests", type=int, default=400)
+    obs.add_argument("--prom", dest="prom_path",
+                     help="write a Prometheus-text metrics snapshot")
+    obs.add_argument("--jsonl", dest="jsonl_path",
+                     help="write the raw event log as JSONL")
+    obs.add_argument("--csv", dest="csv_path",
+                     help="write the metrics snapshot as CSV")
     return parser
 
 
@@ -244,6 +262,80 @@ def cmd_study(args, out):
     return 0
 
 
+def cmd_obs(args, out):
+    from repro.obs import export as obs_export
+    from repro.obs.trace import format_trace
+    zones = [z.strip() for z in args.zones.split(",") if z.strip()]
+    cloud = build_sky(seed=args.seed, aws_only=True)
+    account = cloud.create_account("cli", "aws")
+    observability = Observability()
+    controller = SkyController(
+        cloud, account, zones, polls_per_refresh=args.polls,
+        poll_requests=args.poll_requests,
+        sampling_count=max(args.polls, 2), obs=observability)
+    workload = workload_by_name(args.workload)
+    for _ in range(args.requests):
+        controller.submit(workload)
+
+    telemetry = controller.telemetry
+    out.write("routed {} x {} over {} zones (policy {})\n".format(
+        args.requests, workload.name, len(zones), controller.policy.name))
+    out.write("\nper-zone latency/cost:\n")
+    header = "{:<14} {:>8} {:>8} {:>12} {:>9} {:>9} {:>9} {:>9}\n"
+    row = "{:<14} {:>8} {:>8} {:>12.6f} {:>9.3f} {:>9.3f} {:>9.3f} {:>9.3f}\n"
+    out.write(header.format("zone", "requests", "retries", "cost ($)",
+                            "mean (s)", "p50 (s)", "p95 (s)", "p99 (s)"))
+    for zone, stats in sorted(telemetry.by_zone().items()):
+        out.write(row.format(zone, stats["requests"], stats["retries"],
+                             stats["cost_usd"], stats["mean_latency_s"],
+                             stats["p50_latency_s"], stats["p95_latency_s"],
+                             stats["p99_latency_s"]))
+    out.write("\nper-cpu latency/cost:\n")
+    out.write(header.format("cpu", "requests", "retries", "cost ($)",
+                            "mean (s)", "p50 (s)", "p95 (s)", "p99 (s)"))
+    for cpu, stats in sorted(telemetry.by_cpu().items()):
+        out.write(row.format(cpu, stats["requests"], stats["retries"],
+                             stats["cost_usd"], stats["mean_latency_s"],
+                             stats["p50_latency_s"], stats["p95_latency_s"],
+                             stats["p99_latency_s"]))
+
+    recorder = observability.recorder
+    out.write("\ncloudsim events:\n")
+    out.write("  placements: {}  saturation: {}  scale-ups: {}\n".format(
+        recorder.count("az.placement"), recorder.count("az.saturation"),
+        recorder.count("az.scale")))
+    out.write("  slot churn: {} allocations, {} reuses, {} expiries\n"
+              .format(recorder.count("host.allocate"),
+                      recorder.count("host.reuse"),
+                      recorder.count("host.expire")))
+    out.write("  sampling polls: {}  profile refreshes: {}\n".format(
+        recorder.count("sampling.poll"),
+        recorder.count("controller.refresh")))
+    out.write("  invocations: {}  retries: {}  holds: {}\n".format(
+        recorder.count("cloud.invoke"), recorder.count("retry.attempt"),
+        recorder.count("retry.hold")))
+    out.write("sampling spend: {}\n".format(controller.sampling_cost))
+
+    trace = observability.tracer.last_trace()
+    if trace is not None:
+        out.write("\nlast request trace:\n")
+        out.write(format_trace(trace) + "\n")
+
+    if args.prom_path:
+        with open(args.prom_path, "w") as handle:
+            handle.write(obs_export.prometheus_text(observability.registry))
+        out.write("wrote {}\n".format(args.prom_path))
+    if args.jsonl_path:
+        obs_export.write_events_jsonl(args.jsonl_path, recorder.events())
+        out.write("wrote {}\n".format(args.jsonl_path))
+    if args.csv_path:
+        reporting.write_csv(args.csv_path,
+                            obs_export.metrics_to_rows(
+                                observability.registry))
+        out.write("wrote {}\n".format(args.csv_path))
+    return 0
+
+
 _COMMANDS = {
     "catalog": cmd_catalog,
     "workloads": cmd_workloads,
@@ -251,6 +343,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "advise": cmd_advise,
     "study": cmd_study,
+    "obs": cmd_obs,
 }
 
 

@@ -34,6 +34,7 @@ from repro.common.distributions import CategoricalDistribution
 from repro.common.ids import make_id_factory
 from repro.common.rng import derive_rng
 from repro.common.units import MINUTES
+from repro.obs.hooks import NULL_BUS
 
 
 DEFAULT_KEEPALIVE = 5 * MINUTES
@@ -118,6 +119,15 @@ class AvailabilityZone(object):
         self._base_shares = self.cpu_slot_shares()
         self._drift = None
         self._background = None
+        self._bus = NULL_BUS
+
+    def attach_bus(self, bus):
+        """Opt in to observability: placements, saturation, scaling, and
+        per-pool slot churn all emit onto ``bus``."""
+        self._bus = bus
+        for pool in self.pools.values():
+            pool.attach_bus(bus, self.zone_id)
+        return bus
 
     def attach_drift(self, drift_process):
         """Attach a :class:`~repro.cloudsim.drift.DriftProcess`; the zone
@@ -213,6 +223,20 @@ class AvailabilityZone(object):
             fi_cpu_counts[key] = fi_cpu_counts.get(key, 0) + count
         request_cpu_counts = _apportion(served, fi_cpu_counts)
 
+        bus = self._bus
+        if bus.enabled:
+            bus.emit("az.placement", now, zone=self.zone_id,
+                     requested=n_requests, served=served, failed=failed,
+                     unique_fis=got_fis,
+                     new_fis=sum(new_counts.values()),
+                     reused_fis=sum(reused_counts.values()),
+                     occupancy=self.occupancy(now))
+            if failed > 0:
+                bus.emit("az.saturation", now, zone=self.zone_id,
+                         failed=failed,
+                         failure_rate=failed / float(n_requests),
+                         kind="batch")
+
         return PlacementResult(
             zone_id=self.zone_id,
             requested=n_requests,
@@ -255,6 +279,10 @@ class AvailabilityZone(object):
         new_counts = self._place_new_fis(deployment, 1, now, duration=0.0,
                                          materialize=False)
         if not new_counts:
+            bus = self._bus
+            if bus.enabled:
+                bus.emit("az.saturation", now, zone=self.zone_id,
+                         failed=1, failure_rate=1.0, kind="invoke")
             raise SaturationError(
                 "zone {} has no free capacity".format(self.zone_id))
         (cpu_key,) = new_counts
@@ -292,8 +320,11 @@ class AvailabilityZone(object):
             if cpu_key not in self.pools:
                 if hosts > 0:
                     from repro.cloudsim.host import HostPool
-                    self.pools[cpu_key] = HostPool(
-                        cpu_key, hosts, slots_per_host, affinity=0.4)
+                    pool = HostPool(cpu_key, hosts, slots_per_host,
+                                    affinity=0.4)
+                    if self._bus is not NULL_BUS:
+                        pool.attach_bus(self._bus, self.zone_id)
+                    self.pools[cpu_key] = pool
             else:
                 self.pools[cpu_key].set_hosts(hosts, now)
         for cpu_key in list(self.pools):
@@ -329,6 +360,11 @@ class AvailabilityZone(object):
             extra_hosts = int(round(
                 add * self._base_shares.share(cpu_key) / pool.slots_per_host))
             pool.add_hosts(max(0, extra_hosts))
+        bus = self._bus
+        if bus.enabled:
+            bus.emit("az.scale", now, zone=self.zone_id, slots_added=add,
+                     surge_total=self._surge_slots_added,
+                     occupancy=self.occupancy(now))
 
     # -- internals -----------------------------------------------------------------
     def _now(self, now):

@@ -20,6 +20,7 @@ from repro.common.errors import (
 )
 from repro.common.ids import make_id_factory
 from repro.common.rng import derive_rng
+from repro.obs.hooks import NULL_BUS
 from repro.simclock import SimClock
 from repro.cloudsim.account import CloudAccount
 from repro.cloudsim.handlers import SleepHandler
@@ -98,6 +99,16 @@ class Cloud(object):
         self._deployments = {}
         self._new_request_id = make_id_factory("req")
         self._new_deployment_id = make_id_factory("dep")
+        self.bus = NULL_BUS
+
+    # -- observability ------------------------------------------------------------
+    def attach_bus(self, bus):
+        """Opt in to observability: wire ``bus`` through every zone and
+        host pool.  Zones added later inherit it automatically."""
+        self.bus = bus
+        for region, zone in self._zone_index.values():
+            zone.attach_bus(bus)
+        return bus
 
     # -- topology ---------------------------------------------------------------
     def add_region(self, region):
@@ -110,6 +121,8 @@ class Cloud(object):
                 raise ConfigurationError(
                     "duplicate zone {!r}".format(zone_id))
             self._zone_index[zone_id] = (region, zone)
+            if self.bus is not NULL_BUS:
+                zone.attach_bus(self.bus)
         return region
 
     def region(self, name):
@@ -220,6 +233,14 @@ class Cloud(object):
         bill = deployment.provider.billing.bill(
             deployment.memory_mb, runtime, deployment.arch, requests=1)
         deployment.account.record_bill(bill, category=bill_category)
+        bus = self.bus
+        if bus.enabled:
+            bus.emit("cloud.invoke", now,
+                     zone=deployment.zone_id, cpu=fi.cpu_key, reused=reused,
+                     latency_s=latency, runtime_s=runtime,
+                     cost_usd=float(bill.total),
+                     deployment=deployment.deployment_id,
+                     category=bill_category)
         return Invocation(
             request_id=self._new_request_id(),
             deployment_id=deployment.deployment_id,
@@ -256,6 +277,10 @@ class Cloud(object):
             deployment.memory_mb, hold_seconds, deployment.arch, requests=1)
         bill.request.usd = 0.0
         deployment.account.record_bill(bill, category=bill_category)
+        bus = self.bus
+        if bus.enabled:
+            bus.emit("cloud.hold", now, zone=deployment.zone_id,
+                     hold_s=float(hold_seconds), cost_usd=float(bill.total))
         return bill
 
     # -- invocation: batched ------------------------------------------------------------

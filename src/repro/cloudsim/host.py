@@ -14,6 +14,7 @@ campaign — the anomaly the paper observes in EX-3.
 
 from repro.common.errors import ConfigurationError
 from repro.cloudsim.instance import FIBucket, FunctionInstance
+from repro.obs.hooks import NULL_BUS
 
 
 class HostPool(object):
@@ -30,6 +31,14 @@ class HostPool(object):
         self.slots_per_host = int(slots_per_host)
         self.affinity = float(affinity)
         self._buckets = []
+        self.bus = NULL_BUS
+        self.zone_id = ""
+
+    def attach_bus(self, bus, zone_id):
+        """Opt in to slot-churn events (allocate / reuse / expire)."""
+        self.bus = bus
+        self.zone_id = zone_id
+        return bus
 
     # -- capacity accounting -------------------------------------------------
     @property
@@ -39,8 +48,15 @@ class HostPool(object):
 
     def expire(self, now):
         """Drop buckets whose keep-alive has lapsed, releasing their slots."""
-        if self._buckets:
-            self._buckets = [b for b in self._buckets if not b.is_expired(now)]
+        if not self._buckets:
+            return
+        live = [b for b in self._buckets if not b.is_expired(now)]
+        if self.bus.enabled and len(live) != len(self._buckets):
+            released = (sum(b.count for b in self._buckets)
+                        - sum(b.count for b in live))
+            self.bus.emit("host.expire", now, zone=self.zone_id,
+                          cpu=self.cpu_key, released=released)
+        self._buckets = live
 
     def occupied(self, now):
         """Slots held by live (busy or warm) FIs."""
@@ -72,6 +88,9 @@ class HostPool(object):
                           busy_until=now + duration,
                           expire_at=now + duration + keepalive)
         self._buckets.append(bucket)
+        if self.bus.enabled:
+            self.bus.emit("host.allocate", now, zone=self.zone_id,
+                          cpu=self.cpu_key, count=count)
         return bucket
 
     def allocate_instance(self, instance_id, host_id, deployment, now,
@@ -85,6 +104,9 @@ class HostPool(object):
                               busy_until=now + duration,
                               expire_at=now + duration + keepalive)
         self._buckets.append(fi)
+        if self.bus.enabled:
+            self.bus.emit("host.allocate", now, zone=self.zone_id,
+                          cpu=self.cpu_key, count=1)
         return fi
 
     def claim_warm(self, deployment, count, now, duration, keepalive):
@@ -114,6 +136,9 @@ class HostPool(object):
                 remaining -= take
                 claimed += take
         self._buckets.extend(new_buckets)
+        if claimed and self.bus.enabled:
+            self.bus.emit("host.reuse", now, zone=self.zone_id,
+                          cpu=self.cpu_key, count=claimed)
         return claimed
 
     def idle_warm(self, deployment, now):

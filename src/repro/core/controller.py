@@ -19,6 +19,7 @@ from repro.common.units import Money
 from repro.core.characterization_store import CharacterizationStore
 from repro.core.policies import HybridPolicy
 from repro.core.router import SmartRouter
+from repro.core.telemetry import RoutingTelemetry
 from repro.core.runner import WorkloadRunner
 from repro.dynfunc.handler import UniversalDynamicFunctionHandler
 from repro.sampling.campaign import SamplingCampaign
@@ -33,7 +34,7 @@ class SkyController(object):
     def __init__(self, cloud, account, zones, policy=None, memory_mb=2048,
                  arch="x86_64", polls_per_refresh=6, poll_requests=1000,
                  sampling_count=10, passive=True, client=None,
-                 tracker=None, recovery_gap=None):
+                 tracker=None, recovery_gap=None, obs=None, telemetry=None):
         if not zones:
             raise ConfigurationError("controller needs candidate zones")
         self.cloud = cloud
@@ -52,6 +53,14 @@ class SkyController(object):
         self.recovery_gap = float(recovery_gap)
         self.passive = passive
         self.client = client
+        # Observability is opt-in per controller: passing an
+        # ``Observability`` wires its bus through the cloud's zones and
+        # pools, and every router created here traces + records telemetry.
+        self.obs = obs
+        if obs is not None:
+            obs.install(cloud)
+        self.telemetry = telemetry if telemetry is not None \
+            else RoutingTelemetry()
         self.mesh = SkyMesh(cloud)
         self.store = CharacterizationStore()
         self.tracker = tracker or ZoneStabilityTracker()
@@ -88,6 +97,13 @@ class SkyController(object):
         self.store.put(profile)
         self.tracker.observe(profile)
         self._sampling_cost = self._sampling_cost + result.total_cost
+        bus = self.cloud.bus
+        if bus.enabled:
+            bus.emit("controller.refresh", self.cloud.clock.now,
+                     zone=zone_id, polls=result.polls_run,
+                     saturated=result.saturated,
+                     cost_usd=float(result.total_cost),
+                     stability=self.tracker.classify(zone_id))
         return profile
 
     def refresh_due_zones(self, force=False):
@@ -104,6 +120,11 @@ class SkyController(object):
                 self.refresh_zone(zone_id)
                 refreshed.append(zone_id)
         if refreshed:
+            bus = self.cloud.bus
+            if bus.enabled:
+                bus.emit("controller.staleness", now,
+                         stale=len(refreshed), checked=len(self.zones),
+                         zones=",".join(refreshed), forced=bool(force))
             self.cloud.clock.advance(self.recovery_gap)
         return refreshed
 
@@ -117,7 +138,8 @@ class SkyController(object):
         return SmartRouter(self.cloud, self.mesh, self.store, self.policy,
                            workload, self.zones, memory_mb=self.memory_mb,
                            arch=self.arch, client=self.client,
-                           passive=self.passive)
+                           passive=self.passive, telemetry=self.telemetry,
+                           obs=self.obs)
 
     def submit(self, workload, payload=None):
         """Route one request of ``workload``; refreshes stale profiles

@@ -120,36 +120,69 @@ class RetryEngine(object):
         self.cloud = cloud
 
     def invoke(self, deployment, policy, payload=None, client=None,
-               bill_category="invocation"):
+               bill_category="invocation", tracer=None, parent=None):
         """Run one request under ``policy``; returns RetriedInvocation.
 
         If the retry budget is exhausted the final attempt executes on
         whatever CPU it got (the paper's behaviour: retries trade cost for
         placement quality but never drop work).
+
+        ``tracer``/``parent`` (both optional) attach a ``placement`` child
+        span per attempt and a ``retry-hold`` span per hold, timestamped
+        with modeled latencies on the sim clock.
         """
         if payload is None and hasattr(deployment.handler,
                                        "default_payload"):
             payload = deployment.handler.default_payload
+        bus = self.cloud.bus
         attempts = []
         hold_cost = Money(0)
+        elapsed = 0.0  # modeled client-side time since the first attempt
         for attempt in range(policy.max_retries + 1):
             last_chance = attempt == policy.max_retries
             banned = () if last_chance else sorted(policy.banned_cpus)
             attempt_payload = payload
             if payload is not None and hasattr(payload, "with_banned_cpus"):
                 attempt_payload = payload.with_banned_cpus(banned)
+            start = self.cloud.clock.now + elapsed
             invocation = self.cloud.invoke(
                 deployment, payload=attempt_payload,
                 force_new=attempt > 0, client=client,
                 bill_category=bill_category)
             attempts.append(invocation)
-            if last_chance or invocation.cpu_key not in policy.banned_cpus:
+            elapsed += invocation.latency_s
+            accepted = (last_chance
+                        or invocation.cpu_key not in policy.banned_cpus)
+            if tracer is not None and parent is not None:
+                span = tracer.start_span("placement", parent, start,
+                                         attempt=attempt,
+                                         cpu=invocation.cpu_key,
+                                         banned=not accepted)
+                span.finish(start + invocation.latency_s)
+            if accepted:
                 return RetriedInvocation(invocation, attempts, hold_cost,
                                          executed=True)
+            if bus.enabled:
+                bus.emit("retry.attempt", self.cloud.clock.now,
+                         zone=deployment.zone_id, cpu=invocation.cpu_key,
+                         attempt=attempt)
             # Banned CPU: hold the FI so the re-issue lands elsewhere.
             if policy.hold_seconds > 0:
                 bill = self.cloud.hold(deployment, invocation,
                                        policy.hold_seconds,
                                        bill_category="retry-hold")
                 hold_cost = hold_cost + bill.total
+                if tracer is not None and parent is not None:
+                    hold_start = self.cloud.clock.now + elapsed
+                    tracer.start_span(
+                        "retry-hold", parent, hold_start,
+                        cpu=invocation.cpu_key,
+                        cost_usd=float(bill.total)).finish(
+                            hold_start + policy.hold_seconds)
+                if bus.enabled:
+                    bus.emit("retry.hold", self.cloud.clock.now,
+                             zone=deployment.zone_id,
+                             cpu=invocation.cpu_key,
+                             hold_s=policy.hold_seconds,
+                             cost_usd=float(bill.total))
         raise AssertionError("unreachable: loop always returns")

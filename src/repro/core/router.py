@@ -66,7 +66,8 @@ class SmartRouter(object):
 
     def __init__(self, cloud, mesh, store, policy, workload,
                  candidate_zones, memory_mb=2048, arch="x86_64",
-                 function_name="dynamic", client=None, passive=False):
+                 function_name="dynamic", client=None, passive=False,
+                 telemetry=None, obs=None):
         self.cloud = cloud
         self.mesh = mesh
         self.store = store
@@ -80,6 +81,8 @@ class SmartRouter(object):
         self.function_name = function_name
         self.client = client
         self.passive = passive
+        self.telemetry = telemetry
+        self.obs = obs
         self._ranker = ZoneRanker(store, cloud=cloud)
         self._retry_engine = RetryEngine(cloud)
         self._factors = workload.cpu_factors()
@@ -109,22 +112,55 @@ class SmartRouter(object):
 
     # -- execution -------------------------------------------------------------------
     def route(self, decision=None):
-        """Route a single request; returns a :class:`RoutedRequest`."""
+        """Route a single request; returns a :class:`RoutedRequest`.
+
+        When the router carries an :class:`~repro.obs.Observability`, each
+        call produces one trace — ``request`` → (``decide``) →
+        ``dispatch`` (→ ``placement``/``retry-hold`` per retry attempt) →
+        ``billing`` — on sim-clock timestamps, and when it carries a
+        :class:`~repro.core.telemetry.RoutingTelemetry` the outcome is
+        recorded there with the real sim-clock timestamp.
+        """
+        obs = self.obs
+        tracer = obs.tracer if obs is not None and obs.enabled else None
+        now = self.cloud.clock.now
+        root = None
+        if tracer is not None:
+            root = tracer.start_trace("request", now,
+                                      workload=self.workload.name,
+                                      policy=self.policy.name)
         if decision is None:
             decision = self.decide()
+            if root is not None:
+                tracer.start_span("decide", root, now,
+                                  zone=decision.zone_id).finish(now)
         deployment = self._deployment_for(decision.zone_id)
+        dispatch = None
+        if root is not None:
+            dispatch = tracer.start_span("dispatch", root, now,
+                                         zone=decision.zone_id)
         if decision.retry_policy is not None:
             outcome = self._retry_engine.invoke(
                 deployment, decision.retry_policy, payload=self._payload,
-                client=self.client)
+                client=self.client, tracer=tracer, parent=dispatch)
         else:
             outcome = self.cloud.invoke(deployment, payload=self._payload,
                                         client=self.client)
         request = RoutedRequest(decision, outcome)
+        if root is not None:
+            done = now + request.latency_s
+            dispatch.finish(done).tag(cpu=request.cpu_key,
+                                      retries=request.retries)
+            tracer.start_span("billing", root, done,
+                              cost_usd=float(request.cost)).finish(done)
+            root.finish(done)
         if self.passive:
             self.store.record_observation(decision.zone_id,
                                           request.cpu_key,
                                           timestamp=self.cloud.clock.now)
+        if self.telemetry is not None:
+            self.telemetry.record(request, workload=self.workload.name,
+                                  policy=self.policy.name, timestamp=now)
         return request
 
     def route_with_failover(self, max_zones=None):

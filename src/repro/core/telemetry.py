@@ -11,6 +11,7 @@ import collections
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import Money
+from repro.obs.metrics import quantile
 
 
 class TelemetryRecord(object):
@@ -56,7 +57,12 @@ class RoutingTelemetry(object):
 
     # -- recording -------------------------------------------------------------
     def record(self, request, workload="", policy="", timestamp=0.0):
-        """Record a :class:`RoutedRequest` (or compatible object)."""
+        """Record a :class:`RoutedRequest` (or compatible object).
+
+        ``request.cost`` may be a plain float/int or a
+        :class:`~repro.common.units.Money`; both are stored as USD floats.
+        """
+        cost = request.cost
         record = TelemetryRecord(
             timestamp=timestamp,
             workload=workload,
@@ -64,7 +70,7 @@ class RoutingTelemetry(object):
             zone_id=request.zone_id,
             cpu_key=request.cpu_key,
             retries=request.retries,
-            cost_usd=float(request.cost),
+            cost_usd=cost.usd if isinstance(cost, Money) else float(cost),
             latency_s=request.latency_s,
         )
         self._records.append(record)
@@ -85,11 +91,13 @@ class RoutingTelemetry(object):
         return sum(r.retries for r in self._records)
 
     def by_zone(self):
-        """zone -> {requests, cost_usd, retries, mean_latency_s}."""
+        """zone -> {requests, cost_usd, retries, mean/p50/p95/p99
+        latency}."""
         return self._group(lambda r: r.zone_id)
 
     def by_cpu(self):
-        """cpu -> {requests, cost_usd, retries, mean_latency_s}."""
+        """cpu -> {requests, cost_usd, retries, mean/p50/p95/p99
+        latency}."""
         return self._group(lambda r: r.cpu_key)
 
     def by_policy(self):
@@ -109,15 +117,18 @@ class RoutingTelemetry(object):
         for record in self._records:
             bucket = groups.setdefault(key_fn(record), {
                 "requests": 0, "cost_usd": 0.0, "retries": 0,
-                "_latency_sum": 0.0,
+                "_latencies": [],
             })
             bucket["requests"] += 1
             bucket["cost_usd"] += record.cost_usd
             bucket["retries"] += record.retries
-            bucket["_latency_sum"] += record.latency_s
+            bucket["_latencies"].append(record.latency_s)
         for bucket in groups.values():
-            bucket["mean_latency_s"] = (bucket.pop("_latency_sum")
-                                        / bucket["requests"])
+            latencies = sorted(bucket.pop("_latencies"))
+            bucket["mean_latency_s"] = sum(latencies) / len(latencies)
+            bucket["p50_latency_s"] = quantile(latencies, 0.50)
+            bucket["p95_latency_s"] = quantile(latencies, 0.95)
+            bucket["p99_latency_s"] = quantile(latencies, 0.99)
         return groups
 
     def clear(self):

@@ -1,0 +1,187 @@
+"""Observability: metrics, tracing, and instrumentation hooks.
+
+The paper's whole method is *observing* opaque FaaS infrastructure; this
+package turns the same lens on the library itself.  Three primitives —
+
+* :mod:`hooks` — a pub/sub :class:`EventBus` with a zero-cost
+  :data:`NULL_BUS` default that every instrumented component holds;
+* :mod:`metrics` — a :class:`MetricsRegistry` of labeled counters,
+  gauges, and streaming histograms (p50/p95/p99);
+* :mod:`trace` — span-based request-lifecycle tracing on sim-clock
+  timestamps with a bounded trace store;
+
+— plus :mod:`export` (JSONL / Prometheus text / CSV) and the
+:class:`Observability` facade that bundles all of them and bridges events
+into standard metrics.  Observability is **opt-in**: nothing is recorded
+until a facade (or bus) is installed on a :class:`~repro.cloudsim.Cloud`
+or passed to a :class:`~repro.core.SkyController`, and the disabled
+default costs one attribute check per emission site.
+"""
+
+from repro.obs.hooks import Event, EventBus, EventRecorder, NULL_BUS, NullBus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile,
+)
+from repro.obs.trace import Span, Trace, Tracer, format_trace
+from repro.obs import export
+
+
+class Observability(object):
+    """One handle over the whole layer: bus + registry + tracer + recorder.
+
+    Construct it, then either ``install(cloud)`` (wires the bus through the
+    cloud's zones and host pools) or pass it to ``SkyController(obs=...)``
+    / ``SmartRouter(obs=...)`` which install and trace on your behalf.
+
+    A built-in bridge folds the standard event stream into registry
+    metrics, so per-zone/per-cpu counters and latency histograms exist
+    without any manual subscription.
+    """
+
+    def __init__(self, event_capacity=20000, max_traces=256, bridge=True):
+        self.bus = EventBus()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(max_traces=max_traces)
+        self.recorder = EventRecorder(self.bus, capacity=event_capacity)
+        if bridge:
+            self.bus.subscribe(self._bridge)
+
+    @property
+    def enabled(self):
+        """Collection switch: gates the bus AND request tracing."""
+        return self.bus.enabled
+
+    # -- wiring -------------------------------------------------------------
+    def install(self, cloud):
+        """Attach this facade's bus to ``cloud`` (zones + host pools)."""
+        cloud.attach_bus(self.bus)
+        return self
+
+    def enable(self):
+        self.bus.resume()
+        return self
+
+    def disable(self):
+        """Pause collection without detaching any wiring."""
+        self.bus.pause()
+        return self
+
+    # -- the standard event → metric bridge ---------------------------------
+    def _bridge(self, event):
+        name, fields = event.name, event.fields
+        registry = self.registry
+        if name == "cloud.invoke":
+            labels = {"zone": fields["zone"], "cpu": fields["cpu"]}
+            registry.counter("invocations_total", **labels).inc()
+            registry.histogram("invoke_latency_s", **labels).observe(
+                fields["latency_s"])
+            registry.counter("invoke_cost_usd_total", **labels).inc(
+                fields["cost_usd"])
+            if not fields["reused"]:
+                registry.counter("cold_starts_total", **labels).inc()
+        elif name == "az.placement":
+            zone = fields["zone"]
+            registry.counter("placements_total", zone=zone).inc()
+            registry.counter("placement_requests_total", zone=zone).inc(
+                fields["requested"])
+            registry.counter("placement_served_total", zone=zone).inc(
+                fields["served"])
+            registry.counter("placement_failed_total", zone=zone).inc(
+                fields["failed"])
+            registry.gauge("zone_occupancy", zone=zone).set(
+                fields["occupancy"])
+        elif name == "az.saturation":
+            registry.counter("saturation_events_total",
+                             zone=fields["zone"]).inc()
+        elif name == "az.scale":
+            registry.counter("surge_slots_total", zone=fields["zone"]).inc(
+                fields["slots_added"])
+        elif name == "host.expire":
+            registry.counter("slots_released_total", zone=fields["zone"],
+                             cpu=fields["cpu"]).inc(fields["released"])
+        elif name == "host.allocate":
+            registry.counter("slots_allocated_total", zone=fields["zone"],
+                             cpu=fields["cpu"]).inc(fields["count"])
+        elif name == "sampling.poll":
+            zone = fields["zone"]
+            registry.counter("polls_total", zone=zone).inc()
+            registry.counter("poll_cost_usd_total", zone=zone).inc(
+                fields["cost_usd"])
+            registry.histogram("poll_failure_rate", zone=zone).observe(
+                fields["failure_rate"])
+        elif name == "sampling.campaign":
+            registry.counter("campaigns_total", zone=fields["zone"]).inc()
+        elif name == "retry.attempt":
+            registry.counter("retry_attempts_total", zone=fields["zone"],
+                             cpu=fields["cpu"]).inc()
+        elif name == "retry.hold":
+            registry.counter("retry_holds_total",
+                             zone=fields["zone"]).inc()
+            registry.counter("retry_hold_cost_usd_total",
+                             zone=fields["zone"]).inc(fields["cost_usd"])
+        elif name == "controller.refresh":
+            registry.counter("profile_refreshes_total",
+                             zone=fields["zone"]).inc()
+            registry.counter("sampling_cost_usd_total",
+                             zone=fields["zone"]).inc(fields["cost_usd"])
+
+    # -- summaries ----------------------------------------------------------
+    def zone_latency_summary(self):
+        """zone -> {requests, mean, p50, p95, p99} from invoke histograms."""
+        return self._latency_summary("zone")
+
+    def cpu_latency_summary(self):
+        """cpu -> {requests, mean, p50, p95, p99} from invoke histograms."""
+        return self._latency_summary("cpu")
+
+    def _latency_summary(self, label):
+        merged = {}
+        for labels in self.registry.labels_of("invoke_latency_s"):
+            histogram = self.registry.get("invoke_latency_s", **labels)
+            bucket = merged.setdefault(labels[label], [])
+            bucket.append(histogram)
+        summary = {}
+        for key, histograms in sorted(merged.items()):
+            values = []
+            for histogram in histograms:
+                values.extend(histogram._reservoir)
+            values.sort()
+            count = sum(h.count for h in histograms)
+            total = sum(h.sum for h in histograms)
+            summary[key] = {
+                "requests": count,
+                "mean_latency_s": total / count if count else 0.0,
+                "p50_latency_s": quantile(values, 0.50) if values else 0.0,
+                "p95_latency_s": quantile(values, 0.95) if values else 0.0,
+                "p99_latency_s": quantile(values, 0.99) if values else 0.0,
+            }
+        return summary
+
+    def __repr__(self):
+        return ("Observability(enabled={}, events={}, metrics={}, "
+                "traces={})".format(self.bus.enabled, len(self.recorder),
+                                    len(self.registry), len(self.tracer)))
+
+
+__all__ = [
+    "Observability",
+    "Event",
+    "EventBus",
+    "EventRecorder",
+    "NullBus",
+    "NULL_BUS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "quantile",
+    "Span",
+    "Trace",
+    "Tracer",
+    "format_trace",
+    "export",
+]

@@ -1,0 +1,253 @@
+"""Metrics registry: labeled counters, gauges, and streaming histograms.
+
+A :class:`MetricsRegistry` owns metric *families* (one per name); each
+family holds children keyed by their label set (zone, cpu, policy,
+provider, ...).  Histograms combine fixed buckets (Prometheus-style
+cumulative counts, cheap and mergeable) with a deterministic reservoir
+sample for accurate p50/p95/p99 quantiles.
+
+Everything here is pure bookkeeping on plain Python objects — no clock,
+no I/O — so the layer sits at the bottom of the stack next to ``common``.
+"""
+
+import bisect
+import math
+import random
+
+from repro.common.errors import ConfigurationError
+
+
+def quantile(sorted_values, q):
+    """Linear-interpolation quantile of an ascending list (numpy's default
+    method), shared with :class:`~repro.core.telemetry.RoutingTelemetry`."""
+    if not sorted_values:
+        raise ConfigurationError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError("q must be in [0, 1]")
+    position = q * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return sorted_values[lower]
+    fraction = position - lower
+    return (sorted_values[lower] * (1.0 - fraction)
+            + sorted_values[upper] * fraction)
+
+
+class Counter(object):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+        return self.value
+
+    def __repr__(self):
+        return "Counter({})".format(self.value)
+
+
+class Gauge(object):
+    """A value that can go up and down (occupancy, pool size, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+        return self.value
+
+    def inc(self, amount=1.0):
+        self.value += amount
+        return self.value
+
+    def dec(self, amount=1.0):
+        self.value -= amount
+        return self.value
+
+    def __repr__(self):
+        return "Gauge({})".format(self.value)
+
+
+# Default buckets span sub-millisecond runtimes up to multi-minute holds —
+# the latency range the simulator produces (seconds).
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+
+class Histogram(object):
+    """Streaming histogram: fixed buckets + reservoir quantiles.
+
+    Bucket counts are *cumulative* (`le` semantics) only at export time;
+    internally each bucket holds its own count.  The reservoir uses
+    Vitter's algorithm R with a per-histogram deterministic seed, so
+    quantiles are exact while ``count <= reservoir_size`` and an unbiased
+    sample beyond.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max",
+                 "_reservoir", "_reservoir_size", "_rng")
+
+    def __init__(self, buckets=None, reservoir_size=1024, seed=0):
+        buckets = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError("buckets must be ascending and "
+                                     "non-empty")
+        if reservoir_size < 1:
+            raise ConfigurationError("reservoir_size must be >= 1")
+        self.buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self._reservoir = []
+        self._reservoir_size = int(reservoir_size)
+        self._rng = random.Random(seed)
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self):
+        if self.count == 0:
+            return 0.0
+        return self.sum / self.count
+
+    def quantile(self, q):
+        """Reservoir quantile; exact while count <= reservoir_size."""
+        if self.count == 0:
+            raise ConfigurationError("quantile of an empty histogram")
+        return quantile(sorted(self._reservoir), q)
+
+    @property
+    def p50(self):
+        return self.quantile(0.50)
+
+    @property
+    def p95(self):
+        return self.quantile(0.95)
+
+    @property
+    def p99(self):
+        return self.quantile(0.99)
+
+    def cumulative_buckets(self):
+        """Prometheus-style ``[(le, cumulative_count), ..., ('+Inf', n)]``."""
+        out = []
+        running = 0
+        for upper, bucket_count in zip(self.buckets, self.bucket_counts):
+            running += bucket_count
+            out.append((upper, running))
+        out.append(("+Inf", self.count))
+        return out
+
+    def __repr__(self):
+        return "Histogram(count={}, mean={:.4f})".format(self.count,
+                                                         self.mean)
+
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+class MetricsRegistry(object):
+    """Families of labeled metrics, created on first touch.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("requests_total", zone="us-west-1a").inc()
+    1.0
+    >>> registry.histogram("latency_s", zone="us-west-1a").observe(0.2)
+    """
+
+    def __init__(self):
+        self._families = {}
+
+    # -- access ------------------------------------------------------------
+    def counter(self, name, **labels):
+        return self._child(name, COUNTER, Counter, labels)
+
+    def gauge(self, name, **labels):
+        return self._child(name, GAUGE, Gauge, labels)
+
+    def histogram(self, name, buckets=None, **labels):
+        return self._child(name, HISTOGRAM,
+                           lambda: Histogram(buckets=buckets), labels)
+
+    def _child(self, name, kind, factory, labels):
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = {"kind": kind, "children": {}}
+        elif family["kind"] != kind:
+            raise ConfigurationError(
+                "metric {!r} is a {}, not a {}".format(name, family["kind"],
+                                                       kind))
+        key = tuple(sorted(labels.items()))
+        child = family["children"].get(key)
+        if child is None:
+            child = family["children"][key] = factory()
+        return child
+
+    # -- introspection ------------------------------------------------------
+    def names(self):
+        return sorted(self._families)
+
+    def kind(self, name):
+        try:
+            return self._families[name]["kind"]
+        except KeyError:
+            raise ConfigurationError("unknown metric {!r}".format(name))
+
+    def collect(self):
+        """Yield ``(name, kind, labels_dict, metric)`` sorted by name and
+        label set — the exporters' single input."""
+        for name in self.names():
+            family = self._families[name]
+            for key in sorted(family["children"]):
+                yield name, family["kind"], dict(key), \
+                    family["children"][key]
+
+    def get(self, name, **labels):
+        """The existing child, or None (never creates)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family["children"].get(tuple(sorted(labels.items())))
+
+    def labels_of(self, name):
+        """Every label set recorded under ``name``."""
+        family = self._families.get(name)
+        if family is None:
+            return []
+        return [dict(key) for key in sorted(family["children"])]
+
+    def clear(self):
+        self._families.clear()
+
+    def __len__(self):
+        return sum(len(f["children"]) for f in self._families.values())
+
+    def __repr__(self):
+        return "MetricsRegistry(families={}, children={})".format(
+            len(self._families), len(self))

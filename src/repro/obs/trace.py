@@ -1,0 +1,217 @@
+"""Request-lifecycle tracing with sim-clock timestamps.
+
+A :class:`Tracer` builds parent/child span trees over the routing path —
+router decision → dispatch → AZ placement attempts → retry holds →
+billing — and retains a bounded number of completed traces in memory.
+
+Because the simulator's clock does not advance *during* an invocation,
+span durations are derived from the modeled latencies: the caller finishes
+a span at ``start + latency`` rather than at a wall-clock reading.  All
+timestamps are seconds of simulated time.
+"""
+
+import collections
+import itertools
+
+from repro.common.errors import ConfigurationError
+
+
+class Span(object):
+    """One timed operation within a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start",
+                 "end", "tags")
+
+    def __init__(self, trace_id, span_id, parent_id, name, start, tags):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = float(start)
+        self.end = None
+        self.tags = tags
+
+    @property
+    def is_open(self):
+        return self.end is None
+
+    @property
+    def duration(self):
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def finish(self, timestamp):
+        if self.end is not None:
+            raise ConfigurationError(
+                "span {!r} already finished".format(self.name))
+        timestamp = float(timestamp)
+        if timestamp < self.start:
+            raise ConfigurationError(
+                "span {!r} cannot end before it starts".format(self.name))
+        self.end = timestamp
+        return self
+
+    def tag(self, **tags):
+        self.tags.update(tags)
+        return self
+
+    def to_dict(self):
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self):
+        return "Span({!r} trace={} id={} parent={})".format(
+            self.name, self.trace_id, self.span_id, self.parent_id)
+
+
+class Trace(object):
+    """A root span and its descendants, in start order."""
+
+    def __init__(self, trace_id, root):
+        self.trace_id = trace_id
+        self.spans = [root]
+
+    @property
+    def root(self):
+        return self.spans[0]
+
+    def add(self, span):
+        self.spans.append(span)
+
+    def span(self, span_id):
+        for span in self.spans:
+            if span.span_id == span_id:
+                return span
+        raise ConfigurationError(
+            "trace {} has no span {}".format(self.trace_id, span_id))
+
+    def children(self, span_id):
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    @property
+    def complete(self):
+        """True when every span has finished."""
+        return all(span.end is not None for span in self.spans)
+
+    @property
+    def duration(self):
+        return self.root.duration
+
+    def __len__(self):
+        return len(self.spans)
+
+    def __repr__(self):
+        return "Trace(id={}, spans={}, complete={})".format(
+            self.trace_id, len(self), self.complete)
+
+
+class Tracer(object):
+    """Creates spans and retains the most recent completed traces.
+
+    The store is bounded (``max_traces``); older traces are evicted FIFO.
+    Traces are retained from creation (not completion) so an abandoned
+    trace is still inspectable.
+    """
+
+    def __init__(self, max_traces=256):
+        if max_traces < 1:
+            raise ConfigurationError("max_traces must be >= 1")
+        self._traces = collections.deque(maxlen=int(max_traces))
+        self._by_id = {}
+        self._next_trace_id = itertools.count(1)
+        self._next_span_id = itertools.count(1)
+
+    # -- span creation ------------------------------------------------------
+    def start_trace(self, name, timestamp, **tags):
+        """Open a new root span (and the trace that owns it)."""
+        trace_id = next(self._next_trace_id)
+        root = Span(trace_id, next(self._next_span_id), None, name,
+                    timestamp, tags)
+        trace = Trace(trace_id, root)
+        if len(self._traces) == self._traces.maxlen:
+            evicted = self._traces[0]
+            self._by_id.pop(evicted.trace_id, None)
+        self._traces.append(trace)
+        self._by_id[trace_id] = trace
+        return root
+
+    def start_span(self, name, parent, timestamp, **tags):
+        """Open a child span under ``parent`` (any span of a live trace)."""
+        if parent is None:
+            raise ConfigurationError(
+                "child spans need a parent; use start_trace for roots")
+        trace = self._by_id.get(parent.trace_id)
+        if trace is None:
+            raise ConfigurationError(
+                "trace {} was evicted; cannot extend it".format(
+                    parent.trace_id))
+        span = Span(parent.trace_id, next(self._next_span_id),
+                    parent.span_id, name, timestamp, tags)
+        trace.add(span)
+        return span
+
+    # -- retrieval ----------------------------------------------------------
+    def traces(self, complete_only=False):
+        traces = list(self._traces)
+        if complete_only:
+            traces = [t for t in traces if t.complete]
+        return traces
+
+    def trace(self, trace_id):
+        try:
+            return self._by_id[trace_id]
+        except KeyError:
+            raise ConfigurationError(
+                "unknown (or evicted) trace {}".format(trace_id))
+
+    def last_trace(self, complete_only=True):
+        """The most recent (complete) trace, or None."""
+        for trace in reversed(self._traces):
+            if not complete_only or trace.complete:
+                return trace
+        return None
+
+    def __len__(self):
+        return len(self._traces)
+
+    def __repr__(self):
+        return "Tracer(traces={})".format(len(self))
+
+
+def format_trace(trace, indent="  "):
+    """Render a trace as an indented tree with durations in ms.
+
+    >>> # trace 3: request (12.4ms)
+    >>> #   decide (0.0ms)
+    >>> #   dispatch (12.4ms)
+    >>> #     placement (11.1ms)
+    """
+    lines = []
+
+    def render(span, depth):
+        duration = span.duration
+        timing = ("{:.1f}ms".format(duration * 1000.0)
+                  if duration is not None else "open")
+        tags = ""
+        if span.tags:
+            tags = "  [" + ", ".join(
+                "{}={}".format(k, span.tags[k])
+                for k in sorted(span.tags)) + "]"
+        lines.append("{}{} ({}){}".format(indent * depth, span.name,
+                                          timing, tags))
+        for child in trace.children(span.span_id):
+            render(child, depth + 1)
+
+    lines.append("trace {}: {} spans, {}".format(
+        trace.trace_id, len(trace),
+        "complete" if trace.complete else "incomplete"))
+    render(trace.root, 1)
+    return "\n".join(lines)

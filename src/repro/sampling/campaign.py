@@ -105,4 +105,13 @@ class SamplingCampaign(object):
                 saturated = True
                 break
             self.cloud.clock.advance(self.inter_poll_gap)
-        return CampaignResult(self.zone_id, observations, saturated)
+        result = CampaignResult(self.zone_id, observations, saturated)
+        bus = self.cloud.bus
+        if bus.enabled:
+            bus.emit("sampling.campaign", self.cloud.clock.now,
+                     zone=result.zone_id, polls=result.polls_run,
+                     saturated=result.saturated,
+                     total_fis=result.total_fis,
+                     total_requests=result.total_requests,
+                     cost_usd=float(result.total_cost))
+        return result

@@ -92,10 +92,21 @@ class Poller(object):
         result, bill = self.cloud.place_batch(
             endpoint, self.n_requests, duration, window=window, now=now,
             bill_category="sampling")
-        return PollObservation(
+        observation = PollObservation(
             endpoint_id=endpoint.deployment_id,
             zone_id=endpoint.zone_id,
             result=result,
             bill=bill,
             timestamp=result.timestamp,
         )
+        bus = self.cloud.bus
+        if bus.enabled:
+            bus.emit("sampling.poll", observation.timestamp,
+                     zone=observation.zone_id,
+                     endpoint=observation.endpoint_id,
+                     poll_index=self._next_endpoint,
+                     served=observation.served, failed=observation.failed,
+                     failure_rate=observation.failure_rate,
+                     unique_fis=observation.unique_fis,
+                     cost_usd=float(observation.cost))
+        return observation

@@ -116,6 +116,37 @@ class TestStudy(object):
         assert len(lines) == 1 + 4 * 2
 
 
+class TestObs(object):
+    def test_prints_metrics_events_and_trace(self):
+        code, output = run_cli("--seed", "11", "obs", "--requests", "25",
+                               "--poll-requests", "200")
+        assert code == 0
+        assert "per-zone" in output
+        assert "per-cpu" in output
+        assert "p95" in output
+        assert "cloudsim events" in output
+        assert "placements:" in output
+        assert "slot churn:" in output
+        assert "invocations: 25" in output
+        assert "request" in output and "dispatch" in output
+        assert "complete" in output  # the printed trace finished
+
+    def test_exports(self, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "events.jsonl"
+        csv_path = tmp_path / "metrics.csv"
+        code, _ = run_cli("--seed", "11", "obs", "--requests", "10",
+                          "--poll-requests", "200",
+                          "--prom", str(prom), "--jsonl", str(jsonl),
+                          "--csv", str(csv_path))
+        assert code == 0
+        assert "# TYPE invocations_total counter" in prom.read_text()
+        first_event = json.loads(
+            jsonl.read_text().strip().splitlines()[0])
+        assert "event" in first_event and "timestamp" in first_event
+        assert csv_path.read_text().startswith("metric,kind,labels")
+
+
 class TestModuleEntryPoint(object):
     def test_python_dash_m_repro(self):
         import subprocess

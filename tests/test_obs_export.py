@@ -1,0 +1,109 @@
+"""Exporters: JSONL round trips, Prometheus text, CSV rows."""
+
+import pytest
+
+from repro import reporting
+from repro.obs.export import (
+    events_to_jsonl,
+    metrics_to_rows,
+    parse_prometheus_text,
+    prometheus_text,
+    read_events_jsonl,
+    traces_to_rows,
+    write_events_jsonl,
+)
+from repro.obs.hooks import EventBus, EventRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", zone="a").inc(5)
+    registry.counter("requests_total", zone="b").inc(2)
+    registry.gauge("occupancy", zone="a").set(0.75)
+    histogram = registry.histogram("latency_s", buckets=(0.1, 1.0),
+                                   zone="a")
+    for value in (0.05, 0.5, 2.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestJsonl(object):
+    def test_round_trip_through_file(self, tmp_path):
+        bus = EventBus()
+        recorder = EventRecorder(bus)
+        bus.emit("az.placement", 1.0, zone="a", served=10, failed=0)
+        bus.emit("sampling.poll", 2.5, zone="a", cost_usd=0.01)
+        path = str(tmp_path / "events.jsonl")
+        write_events_jsonl(path, recorder.events())
+        loaded = read_events_jsonl(path)
+        assert loaded == [
+            {"event": "az.placement", "timestamp": 1.0, "zone": "a",
+             "served": 10, "failed": 0},
+            {"event": "sampling.poll", "timestamp": 2.5, "zone": "a",
+             "cost_usd": 0.01},
+        ]
+
+    def test_accepts_plain_dicts(self):
+        text = events_to_jsonl([{"event": "x", "timestamp": 0.0}])
+        assert text == '{"event": "x", "timestamp": 0.0}\n'
+
+    def test_empty_stream(self):
+        assert events_to_jsonl([]) == ""
+
+
+class TestPrometheus(object):
+    def test_snapshot_parses_back(self):
+        registry = sample_registry()
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[("requests_total", ("zone", "a"))] == 5.0
+        assert samples[("requests_total", ("zone", "b"))] == 2.0
+        assert samples[("occupancy", ("zone", "a"))] == 0.75
+        assert samples[("latency_s_count", ("zone", "a"))] == 3.0
+        assert samples[("latency_s_sum", ("zone", "a"))] == \
+            pytest.approx(2.55)
+        assert samples[("latency_s_bucket", ("le", "0.1"),
+                        ("zone", "a"))] == 1.0
+        assert samples[("latency_s_bucket", ("le", "1.0"),
+                        ("zone", "a"))] == 2.0
+        assert samples[("latency_s_bucket", ("le", "+Inf"),
+                        ("zone", "a"))] == 3.0
+
+    def test_type_lines_present(self):
+        text = prometheus_text(sample_registry())
+        assert "# TYPE requests_total counter" in text
+        assert "# TYPE occupancy gauge" in text
+        assert "# TYPE latency_s histogram" in text
+        # One TYPE line per family, not per child.
+        assert text.count("# TYPE requests_total") == 1
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestCsvRows(object):
+    def test_rows_pair_with_reporting_write_csv(self, tmp_path):
+        rows = metrics_to_rows(sample_registry())
+        path = str(tmp_path / "metrics.csv")
+        reporting.write_csv(path, rows)
+        lines = (tmp_path / "metrics.csv").read_text().strip().splitlines()
+        assert len(lines) == 1 + len(rows)
+        assert lines[0].startswith("metric,kind,labels")
+
+    def test_histogram_rows_carry_quantiles(self):
+        rows = metrics_to_rows(sample_registry())
+        histogram_row = [r for r in rows if r["kind"] == "histogram"][0]
+        assert histogram_row["count"] == 3
+        assert histogram_row["p95"] > 0
+
+    def test_trace_rows(self, tmp_path):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 0.0, policy="p")
+        tracer.start_span("dispatch", root, 0.0, zone="a").finish(1.0)
+        root.finish(1.0)
+        rows = traces_to_rows(tracer.traces())
+        assert len(rows) == 2
+        assert rows[0]["parent_id"] == 0
+        assert rows[1]["name"] == "dispatch"
+        reporting.write_csv(str(tmp_path / "spans.csv"), rows)

@@ -1,0 +1,145 @@
+"""The event bus: pub/sub semantics, no-op default, bounded recording."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.hooks import NULL_BUS, Event, EventBus, EventRecorder, NullBus
+
+
+class TestEvent(object):
+    def test_to_dict_flattens_fields(self):
+        event = Event("az.placement", 12.5, {"zone": "a", "served": 10})
+        assert event.to_dict() == {"event": "az.placement",
+                                   "timestamp": 12.5, "zone": "a",
+                                   "served": 10}
+
+
+class TestNullBus(object):
+    def test_emit_is_a_noop(self):
+        assert NULL_BUS.emit("anything", 0.0, zone="a") is None
+
+    def test_disabled(self):
+        assert NULL_BUS.enabled is False
+
+    def test_subscribe_raises(self):
+        with pytest.raises(ConfigurationError):
+            NULL_BUS.subscribe(lambda event: None)
+
+    def test_singleton_is_shared(self):
+        assert isinstance(NULL_BUS, NullBus)
+
+
+class TestEventBus(object):
+    def test_emit_returns_event(self):
+        bus = EventBus()
+        event = bus.emit("x", 1.0, a=1)
+        assert event.name == "x"
+        assert event.fields == {"a": 1}
+
+    def test_delivery_order_matches_emission_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event.fields["n"]))
+        for n in range(10):
+            bus.emit("tick", float(n), n=n)
+        assert seen == list(range(10))
+
+    def test_all_subscribers_fire_before_named(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda event: order.append("all"))
+        bus.subscribe(lambda event: order.append("named"), name="tick")
+        bus.emit("tick", 0.0)
+        assert order == ["all", "named"]
+
+    def test_named_subscription_filters(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event.name), name="a")
+        bus.emit("a", 0.0)
+        bus.emit("b", 0.0)
+        assert seen == ["a"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(lambda event: seen.append(event))
+        bus.emit("x", 0.0)
+        unsubscribe()
+        bus.emit("x", 1.0)
+        assert len(seen) == 1
+
+    def test_disabled_bus_drops_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event))
+        bus.pause()
+        assert bus.emit("x", 0.0) is None
+        assert seen == []
+        assert bus.emitted == 0
+        bus.resume()
+        bus.emit("x", 1.0)
+        assert len(seen) == 1
+
+    def test_non_callable_subscriber_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventBus().subscribe("not callable")
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        bus.subscribe(lambda event: None)
+        bus.subscribe(lambda event: None, name="x")
+        assert bus.subscriber_count() == 2
+        assert bus.subscriber_count("x") == 1
+        assert bus.subscriber_count("y") == 0
+
+
+class TestEventRecorder(object):
+    def test_records_and_counts(self):
+        bus = EventBus()
+        recorder = EventRecorder(bus)
+        bus.emit("a", 0.0)
+        bus.emit("b", 1.0)
+        bus.emit("a", 2.0)
+        assert len(recorder) == 3
+        assert recorder.counts() == {"a": 2, "b": 1}
+        assert recorder.count("a") == 2
+        assert [event.name for event in recorder.events("a")] == ["a", "a"]
+
+    def test_capacity_bounds_events_but_not_counts(self):
+        bus = EventBus()
+        recorder = EventRecorder(bus, capacity=5)
+        for n in range(20):
+            bus.emit("tick", float(n))
+        assert len(recorder) == 5
+        assert recorder.count("tick") == 20
+        # The retained tail is the most recent five.
+        assert [event.timestamp for event in recorder.events()] \
+            == [15.0, 16.0, 17.0, 18.0, 19.0]
+
+    def test_name_filter(self):
+        bus = EventBus()
+        recorder = EventRecorder(bus, names=["keep"])
+        bus.emit("keep", 0.0)
+        bus.emit("drop", 0.0)
+        assert recorder.counts() == {"keep": 1}
+
+    def test_detach_stops_recording(self):
+        bus = EventBus()
+        recorder = EventRecorder(bus)
+        bus.emit("a", 0.0)
+        recorder.detach()
+        bus.emit("a", 1.0)
+        assert len(recorder) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventRecorder(capacity=0)
+
+    def test_clear(self):
+        bus = EventBus()
+        recorder = EventRecorder(bus)
+        bus.emit("a", 0.0)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.counts() == {}

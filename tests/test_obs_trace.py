@@ -1,0 +1,137 @@
+"""Span tracing: parent/child integrity, bounded store, formatting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.trace import Tracer, format_trace
+
+
+class TestSpans(object):
+    def test_root_has_no_parent(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 10.0, policy="baseline")
+        assert root.parent_id is None
+        assert root.tags == {"policy": "baseline"}
+
+    def test_parent_child_integrity(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 0.0)
+        dispatch = tracer.start_span("dispatch", root, 0.0)
+        placement = tracer.start_span("placement", dispatch, 0.1)
+        assert dispatch.trace_id == root.trace_id
+        assert placement.trace_id == root.trace_id
+        assert dispatch.parent_id == root.span_id
+        assert placement.parent_id == dispatch.span_id
+        trace = tracer.trace(root.trace_id)
+        assert trace.children(root.span_id) == [dispatch]
+        assert trace.children(dispatch.span_id) == [placement]
+
+    def test_span_ids_unique_across_traces(self):
+        tracer = Tracer()
+        spans = [tracer.start_trace("a", 0.0) for _ in range(5)]
+        assert len({span.span_id for span in spans}) == 5
+        assert len({span.trace_id for span in spans}) == 5
+
+    def test_finish_and_duration(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 5.0)
+        root.finish(7.5)
+        assert root.duration == 2.5
+        assert not root.is_open
+
+    def test_double_finish_rejected(self):
+        tracer = Tracer()
+        root = tracer.start_trace("x", 0.0).finish(1.0)
+        with pytest.raises(ConfigurationError):
+            root.finish(2.0)
+
+    def test_end_before_start_rejected(self):
+        tracer = Tracer()
+        root = tracer.start_trace("x", 5.0)
+        with pytest.raises(ConfigurationError):
+            root.finish(4.0)
+
+    def test_child_needs_parent(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().start_span("child", None, 0.0)
+
+    def test_to_dict_round_trips_fields(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 1.0, zone="a")
+        root.finish(2.0)
+        payload = root.to_dict()
+        assert payload["name"] == "request"
+        assert payload["start"] == 1.0
+        assert payload["end"] == 2.0
+        assert payload["tags"] == {"zone": "a"}
+
+
+class TestTraceCompleteness(object):
+    def test_complete_only_when_every_span_finished(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 0.0)
+        child = tracer.start_span("dispatch", root, 0.0)
+        trace = tracer.trace(root.trace_id)
+        assert not trace.complete
+        child.finish(1.0)
+        assert not trace.complete
+        root.finish(1.0)
+        assert trace.complete
+
+    def test_last_trace_skips_incomplete(self):
+        tracer = Tracer()
+        done = tracer.start_trace("done", 0.0)
+        done.finish(1.0)
+        tracer.start_trace("open", 2.0)
+        assert tracer.last_trace().root is done
+        assert tracer.last_trace(complete_only=False).root.name == "open"
+
+    def test_last_trace_none_when_empty(self):
+        assert Tracer().last_trace() is None
+
+
+class TestBoundedStore(object):
+    def test_eviction_is_fifo(self):
+        tracer = Tracer(max_traces=3)
+        roots = [tracer.start_trace("t{}".format(n), float(n))
+                 for n in range(5)]
+        assert len(tracer) == 3
+        kept = [trace.root.name for trace in tracer.traces()]
+        assert kept == ["t2", "t3", "t4"]
+        with pytest.raises(ConfigurationError):
+            tracer.trace(roots[0].trace_id)
+
+    def test_cannot_extend_evicted_trace(self):
+        tracer = Tracer(max_traces=1)
+        old_root = tracer.start_trace("old", 0.0)
+        tracer.start_trace("new", 1.0)
+        with pytest.raises(ConfigurationError):
+            tracer.start_span("child", old_root, 2.0)
+
+    def test_max_traces_validated(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(max_traces=0)
+
+
+class TestFormatting(object):
+    def test_format_trace_tree(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 0.0, policy="baseline")
+        dispatch = tracer.start_span("dispatch", root, 0.0, zone="a")
+        tracer.start_span("placement", dispatch, 0.0).finish(0.010)
+        dispatch.finish(0.012)
+        root.finish(0.012)
+        text = format_trace(tracer.trace(root.trace_id))
+        lines = text.splitlines()
+        assert "complete" in lines[0]
+        assert lines[1].startswith("  request (12.0ms)")
+        assert lines[2].startswith("    dispatch")
+        assert lines[3].startswith("      placement (10.0ms)")
+        assert "[zone=a]" in lines[2]
+
+    def test_format_open_span(self):
+        tracer = Tracer()
+        tracer.start_trace("request", 0.0)
+        text = format_trace(tracer.traces()[0])
+        assert "(open)" in text
+        assert "incomplete" in text

@@ -51,6 +51,17 @@ class TestRecording(object):
         telemetry.clear()
         assert len(telemetry) == 0
 
+    def test_money_and_float_costs_record_uniformly(self):
+        telemetry = RoutingTelemetry()
+        money_request = FakeRequest(cost=0.004)
+        float_request = FakeRequest()
+        float_request.cost = 0.004  # raw float, not Money
+        telemetry.record(money_request)
+        telemetry.record(float_request)
+        rows = telemetry.rows()
+        assert rows[0]["cost_usd"] == rows[1]["cost_usd"] == 0.004
+        assert telemetry.total_cost() == Money(0.008)
+
 
 class TestAggregation(object):
     @pytest.fixture
@@ -74,6 +85,36 @@ class TestAggregation(object):
         assert zones["a"]["retries"] == 2
         assert zones["a"]["mean_latency_s"] == pytest.approx(1.5)
         assert zones["b"]["cost_usd"] == pytest.approx(0.003)
+
+    def test_latency_quantiles_in_groups(self, telemetry):
+        import numpy as np
+        zones = telemetry.by_zone()
+        # Zone "a" saw latencies [1.0, 2.0].
+        assert zones["a"]["p50_latency_s"] == pytest.approx(
+            float(np.quantile([1.0, 2.0], 0.5)))
+        assert zones["a"]["p95_latency_s"] == pytest.approx(
+            float(np.quantile([1.0, 2.0], 0.95)))
+        assert zones["a"]["p99_latency_s"] == pytest.approx(
+            float(np.quantile([1.0, 2.0], 0.99)))
+        # Single-sample group: all quantiles collapse to the value.
+        assert zones["b"]["p50_latency_s"] == 3.0
+        assert zones["b"]["p99_latency_s"] == 3.0
+
+    def test_quantiles_present_in_every_grouping(self, telemetry):
+        for grouping in (telemetry.by_zone(), telemetry.by_cpu(),
+                         telemetry.by_policy()):
+            for bucket in grouping.values():
+                assert {"p50_latency_s", "p95_latency_s",
+                        "p99_latency_s"} <= set(bucket)
+
+    def test_empty_buffer_aggregations(self):
+        telemetry = RoutingTelemetry()
+        assert telemetry.by_zone() == {}
+        assert telemetry.by_cpu() == {}
+        assert telemetry.by_policy() == {}
+        assert telemetry.total_cost() == Money(0)
+        assert telemetry.total_retries() == 0
+        assert telemetry.rows() == []
 
     def test_by_cpu(self, telemetry):
         cpus = telemetry.by_cpu()
