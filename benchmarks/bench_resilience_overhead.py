@@ -1,0 +1,144 @@
+"""Resilience overhead: the hardened path must be ~free without faults.
+
+``route_resilient`` adds breaker gates, health bookkeeping, and hedge
+threshold checks to every request.  With no faults installed (the
+``NULL_INJECTOR`` default) and breakers closed, that machinery must cost
+within 5 % of the plain ``route`` path — same contract as the disabled
+observability bus.  Run with ``pytest benchmarks/bench_resilience_overhead.py``
+for the overhead assertion, or ``--benchmark-only`` for timed variants.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro import SkyMesh, build_sky
+from repro.core import (
+    BaselinePolicy,
+    CharacterizationStore,
+    ResilienceConfig,
+    SmartRouter,
+    ZoneHealthTracker,
+)
+from repro.dynfunc import UniversalDynamicFunctionHandler
+from repro.sampling import CharacterizationBuilder
+from repro.workloads import resolve_runtime_model, workload_by_name
+
+ZONE = "eu-central-1a"
+BURST = 300
+
+
+def make_router(resilient=False):
+    cloud = build_sky(seed=421, aws_only=True)
+    account = cloud.create_account("bench", "aws")
+    mesh = SkyMesh(cloud)
+    mesh.register(cloud.deploy(
+        account, ZONE, "dynamic", 2048,
+        handler=UniversalDynamicFunctionHandler(resolve_runtime_model)))
+    store = CharacterizationStore()
+    builder = CharacterizationBuilder(ZONE)
+    builder.add_poll({"xeon-2.5": 600, "xeon-2.9": 300, "xeon-3.0": 100})
+    store.put(builder.snapshot())
+    health = ZoneHealthTracker() if resilient else None
+    resilience = ResilienceConfig() if resilient else None
+    return cloud, SmartRouter(cloud, mesh, store, BaselinePolicy(ZONE),
+                              workload_by_name("sha1_hash"), [ZONE],
+                              health=health, resilience=resilience)
+
+
+def run_plain(cloud, router):
+    requests = [router.route() for _ in range(BURST)]
+    cloud.clock.advance(900.0)  # let the burst's FIs expire between rounds
+    return requests
+
+
+def run_resilient(cloud, router):
+    outcomes = [router.route_resilient() for _ in range(BURST)]
+    cloud.clock.advance(900.0)
+    return outcomes
+
+
+def test_route_plain(benchmark):
+    """The unhardened baseline path."""
+    cloud, router = make_router()
+    requests = benchmark(lambda: run_plain(cloud, router))
+    assert len(requests) == BURST
+
+
+def test_route_resilient_no_faults(benchmark):
+    """Breakers + health + backoff machinery active, zero faults."""
+    cloud, router = make_router(resilient=True)
+    outcomes = benchmark(lambda: run_resilient(cloud, router))
+    assert len(outcomes) == BURST
+    assert all(o.attempts == 1 for o in outcomes)
+
+
+def _paired_ratio(fn_a, fn_b, rounds=17, warmup=2):
+    """Median of per-round ``time(fn_b) / time(fn_a)`` ratios.
+
+    Each round times the two functions back to back — alternating which
+    goes first — so slow machine phases (frequency scaling, background
+    load) hit both sides of a ratio equally instead of biasing whichever
+    side ran second; the median then discards rounds a scheduler hiccup
+    landed in.  gc is paused so a collection doesn't fall inside one
+    side's timing window.  Returns ``(median_ratio, best_a, best_b)``.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    ratios = []
+    best_a = best_b = float("inf")
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_index in range(rounds):
+            first, second = ((fn_a, fn_b) if round_index % 2 == 0
+                             else (fn_b, fn_a))
+            start = time.perf_counter()
+            first()
+            elapsed_first = time.perf_counter() - start
+            start = time.perf_counter()
+            second()
+            elapsed_second = time.perf_counter() - start
+            if round_index % 2 == 0:
+                elapsed_a, elapsed_b = elapsed_first, elapsed_second
+            else:
+                elapsed_a, elapsed_b = elapsed_second, elapsed_first
+            ratios.append(elapsed_b / elapsed_a)
+            best_a = min(best_a, elapsed_a)
+            best_b = min(best_b, elapsed_b)
+    finally:
+        if was_enabled:
+            gc.enable()
+    ratios.sort()
+    return ratios[len(ratios) // 2], best_a, best_b
+
+
+def test_resilient_overhead_under_5pct():
+    """The acceptance gate: route_resilient with no faults installed runs
+    within 5 % of plain route (median of interleaved round ratios squeezes
+    scheduler noise and machine drift out of the comparison)."""
+    cloud_base, router_base = make_router()
+    cloud_res, router_res = make_router(resilient=True)
+
+    ratio, baseline, hardened = _paired_ratio(
+        lambda: run_plain(cloud_base, router_base),
+        lambda: run_resilient(cloud_res, router_res))
+
+    overhead = ratio - 1.0
+    assert overhead < 0.05, (
+        "resilient-path overhead {:.1%} exceeds 5% "
+        "(best rounds: baseline {:.4f}s, hardened {:.4f}s)".format(
+            overhead, baseline, hardened))
+
+
+if __name__ == "__main__":
+    cloud_base, router_base = make_router()
+    cloud_res, router_res = make_router(resilient=True)
+    ratio, baseline, hardened = _paired_ratio(
+        lambda: run_plain(cloud_base, router_base),
+        lambda: run_resilient(cloud_res, router_res))
+    print("route plain (best): {:.4f}s".format(baseline))
+    print("route resilient, no faults (best): {:.4f}s".format(hardened))
+    print("median per-round overhead: {:+.1%}".format(ratio - 1.0))

@@ -29,8 +29,12 @@ from repro.cloudsim.catalog import EX3_ZONES, EX4_ZONES
 from repro.core import (
     BaselinePolicy,
     CharacterizationStore,
+    CircuitBreaker,
+    ExponentialBackoff,
+    HedgePolicy,
     HybridPolicy,
     RegionalPolicy,
+    ResilienceConfig,
     RetryEngine,
     RetryPolicy,
     RetryRoutingPolicy,
@@ -38,7 +42,20 @@ from repro.core import (
     SkyController,
     SmartRouter,
     WorkloadRunner,
+    ZoneHealthTracker,
     ZoneRanker,
+)
+from repro.faults import (
+    Brownout,
+    ColdStartStorm,
+    FaultInjector,
+    FaultSchedule,
+    LatencySpike,
+    NetworkPartition,
+    ThrottlingBurst,
+    TransientFaults,
+    ZoneOutage,
+    build_preset,
 )
 from repro.dynfunc import (
     DynamicFunctionRuntime,
@@ -73,17 +90,32 @@ __all__ = [
     "EX3_ZONES",
     "EX4_ZONES",
     "BaselinePolicy",
+    "Brownout",
     "CharacterizationStore",
+    "CircuitBreaker",
+    "ColdStartStorm",
+    "ExponentialBackoff",
+    "FaultInjector",
+    "FaultSchedule",
+    "HedgePolicy",
     "HybridPolicy",
+    "LatencySpike",
+    "NetworkPartition",
     "RegionalPolicy",
+    "ResilienceConfig",
     "RetryEngine",
     "RetryPolicy",
     "RetryRoutingPolicy",
     "RoutingStudy",
     "SkyController",
     "SmartRouter",
+    "ThrottlingBurst",
+    "TransientFaults",
     "WorkloadRunner",
+    "ZoneHealthTracker",
+    "ZoneOutage",
     "ZoneRanker",
+    "build_preset",
     "DynamicFunctionRuntime",
     "UniversalDynamicFunctionHandler",
     "build_payload",

@@ -33,6 +33,7 @@ from repro import (
 )
 from repro import reporting
 from repro.cloudsim.catalog import catalog_region_names, zone_spec
+from repro.faults.schedule import PRESET_NAMES
 from repro.workloads import all_workloads, resolve_runtime_model
 
 
@@ -108,6 +109,31 @@ def build_parser():
                      help="write the raw event log as JSONL")
     obs.add_argument("--csv", dest="csv_path",
                      help="write the metrics snapshot as CSV")
+
+    chaos = commands.add_parser(
+        "chaos", help="run a routed workload under a scripted fault "
+                      "schedule: resilient vs. naive routing")
+    chaos.add_argument("--preset", default="brownout",
+                       choices=PRESET_NAMES,
+                       help="fault scenario to inject (default brownout)")
+    chaos.add_argument("--workload", default="sha1_hash")
+    chaos.add_argument("--zones", default="us-west-1a,us-west-1b")
+    chaos.add_argument("--requests", type=int, default=400)
+    chaos.add_argument("--interval", type=float, default=1.0,
+                       help="sim seconds between requests (default 1.0)")
+    chaos.add_argument("--fault-start", type=float, default=60.0)
+    chaos.add_argument("--fault-duration", type=float, default=240.0)
+    chaos.add_argument("--assert-availability", type=float, default=None,
+                       metavar="FLOOR",
+                       help="exit non-zero if resilient availability "
+                            "falls below FLOOR (e.g. 0.99)")
+    chaos.add_argument("--json", dest="json_path",
+                       help="write both reports as JSON")
+    chaos.add_argument("--prom", dest="prom_path",
+                       help="write the resilient run's metrics as "
+                            "Prometheus text")
+    chaos.add_argument("--jsonl", dest="jsonl_path",
+                       help="write the resilient run's event log as JSONL")
     return parser
 
 
@@ -336,6 +362,71 @@ def cmd_obs(args, out):
     return 0
 
 
+def cmd_chaos(args, out):
+    import json as json_module
+
+    from repro.faults.harness import ChaosExperiment
+    from repro.obs import export as obs_export
+
+    zones = [z.strip() for z in args.zones.split(",") if z.strip()]
+    experiment = ChaosExperiment(zones=zones, workload=args.workload,
+                                 seed=args.seed, requests=args.requests,
+                                 interval_s=args.interval)
+    resilient, naive = experiment.run_preset(
+        args.preset, start=args.fault_start,
+        duration=args.fault_duration)
+
+    out.write("chaos preset {!r} on {} ({} requests @ {}s)\n".format(
+        args.preset, ",".join(zones), args.requests, args.interval))
+    out.write("faults injected: {}\n".format(
+        sum(resilient.fault_counts.values())))
+    row = "{:<12} {:>13} {:>9} {:>9} {:>8} {:>8} {:>7} {:>10}\n"
+    out.write(row.format("run", "availability", "p50 (s)", "p99 (s)",
+                         "retries", "hedges", "f/overs", "backoff"))
+    for report in (resilient, naive):
+        out.write(row.format(
+            report.label,
+            "{:.2%}".format(report.availability),
+            "{:.3f}".format(report.latency_percentile(0.50)),
+            "{:.3f}".format(report.latency_percentile(0.99)),
+            report.retries, report.hedges, report.failovers,
+            "{:.2f}s".format(report.backoff_s)))
+
+    if resilient.breaker_transitions:
+        out.write("\nbreaker transitions:\n")
+        for zone, when, old, new in resilient.breaker_transitions:
+            out.write("  t={:>7.1f}s  {:<14} {} -> {}\n".format(
+                when, zone, old, new))
+
+    if args.json_path:
+        reporting.write_json(args.json_path,
+                             {"preset": args.preset,
+                              "resilient": resilient.to_dict(),
+                              "naive": naive.to_dict()})
+        out.write("wrote {}\n".format(args.json_path))
+    if args.prom_path:
+        with open(args.prom_path, "w") as handle:
+            handle.write(obs_export.prometheus_text(
+                resilient.obs.registry))
+        out.write("wrote {}\n".format(args.prom_path))
+    if args.jsonl_path:
+        obs_export.write_events_jsonl(args.jsonl_path,
+                                      resilient.obs.recorder.events())
+        out.write("wrote {}\n".format(args.jsonl_path))
+
+    if args.assert_availability is not None:
+        floor = args.assert_availability
+        if resilient.availability < floor:
+            out.write("FAIL: resilient availability {:.2%} below the "
+                      "{:.2%} floor\n".format(resilient.availability,
+                                              floor))
+            return 1
+        out.write("OK: resilient availability {:.2%} >= {:.2%} floor "
+                  "(naive: {:.2%})\n".format(resilient.availability, floor,
+                                             naive.availability))
+    return 0
+
+
 _COMMANDS = {
     "catalog": cmd_catalog,
     "workloads": cmd_workloads,
@@ -344,6 +435,7 @@ _COMMANDS = {
     "advise": cmd_advise,
     "study": cmd_study,
     "obs": cmd_obs,
+    "chaos": cmd_chaos,
 }
 
 

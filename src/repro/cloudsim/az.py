@@ -34,6 +34,7 @@ from repro.common.distributions import CategoricalDistribution
 from repro.common.ids import make_id_factory
 from repro.common.rng import derive_rng
 from repro.common.units import MINUTES
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.hooks import NULL_BUS
 
 
@@ -120,6 +121,7 @@ class AvailabilityZone(object):
         self._drift = None
         self._background = None
         self._bus = NULL_BUS
+        self._faults = NULL_INJECTOR
 
     def attach_bus(self, bus):
         """Opt in to observability: placements, saturation, scaling, and
@@ -128,6 +130,12 @@ class AvailabilityZone(object):
         for pool in self.pools.values():
             pool.attach_bus(bus, self.zone_id)
         return bus
+
+    def attach_faults(self, injector):
+        """Opt in to fault injection: scheduled capacity collapses scale
+        the free placement slots this zone reports."""
+        self._faults = injector
+        return injector
 
     def attach_drift(self, drift_process):
         """Attach a :class:`~repro.cloudsim.drift.DriftProcess`; the zone
@@ -406,6 +414,10 @@ class AvailabilityZone(object):
             return counts
         pools = [p for p in self._pools_by_affinity() if p.capacity > 0]
         free = [p.free_slots(now) for p in pools]
+        if self._faults.enabled:
+            factor = self._faults.capacity_factor(self.zone_id, now)
+            if factor < 1.0:
+                free = [int(f * factor) for f in free]
         total_free = sum(free)
         if total_free <= 0:
             return counts

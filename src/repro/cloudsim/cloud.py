@@ -20,6 +20,7 @@ from repro.common.errors import (
 )
 from repro.common.ids import make_id_factory
 from repro.common.rng import derive_rng
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.hooks import NULL_BUS
 from repro.simclock import SimClock
 from repro.cloudsim.account import CloudAccount
@@ -100,6 +101,7 @@ class Cloud(object):
         self._new_request_id = make_id_factory("req")
         self._new_deployment_id = make_id_factory("dep")
         self.bus = NULL_BUS
+        self.faults = NULL_INJECTOR
 
     # -- observability ------------------------------------------------------------
     def attach_bus(self, bus):
@@ -109,6 +111,15 @@ class Cloud(object):
         for region, zone in self._zone_index.values():
             zone.attach_bus(bus)
         return bus
+
+    # -- fault injection -----------------------------------------------------------
+    def attach_faults(self, injector):
+        """Opt in to fault injection: wire ``injector`` through every zone.
+        Zones added later inherit it automatically."""
+        self.faults = injector
+        for region, zone in self._zone_index.values():
+            zone.attach_faults(injector)
+        return injector
 
     # -- topology ---------------------------------------------------------------
     def add_region(self, region):
@@ -123,6 +134,8 @@ class Cloud(object):
             self._zone_index[zone_id] = (region, zone)
             if self.bus is not NULL_BUS:
                 zone.attach_bus(self.bus)
+            if self.faults is not NULL_INJECTOR:
+                zone.attach_faults(self.faults)
         return region
 
     def region(self, name):
@@ -217,6 +230,11 @@ class Cloud(object):
         now = self.clock.now if now is None else float(now)
         zone = self.zone(deployment.zone_id)
         handler = deployment.handler
+        faults = self.faults
+        if faults.enabled:
+            faults.before_invoke(deployment.zone_id, now)
+            force_new = force_new or faults.forces_cold(deployment.zone_id,
+                                                        now)
 
         def duration_fn(cpu_key):
             return handler.duration_on(cpu_key, self.rng, payload)
@@ -225,11 +243,18 @@ class Cloud(object):
                                      now=now, force_new=force_new)
         runtime = fi.busy_until - now
         cold_start = 0.0 if reused else deployment.provider.cold_start_s
+        if faults.enabled and cold_start:
+            cold_start *= faults.cold_start_multiplier(deployment.zone_id,
+                                                       now)
         latency = runtime + cold_start
+        spike = (faults.extra_latency(deployment.zone_id, now)
+                 if faults.enabled else 0.0)
         if client is not None:
             region = self.region_of_zone(deployment.zone_id)
             latency += self.network.round_trip(client, region.geo,
-                                               rng=self.rng)
+                                               rng=self.rng, extra_s=spike)
+        else:
+            latency += spike
         bill = deployment.provider.billing.bill(
             deployment.memory_mb, runtime, deployment.arch, requests=1)
         deployment.account.record_bill(bill, category=bill_category)
@@ -297,6 +322,8 @@ class Cloud(object):
         """
         now = self.clock.now if now is None else float(now)
         zone = self.zone(deployment.zone_id)
+        if self.faults.enabled:
+            self.faults.before_batch(deployment.zone_id, now)
         admitted = deployment.account.admit_batch(n_requests)
         if window is None:
             window = deployment.provider.arrival_window(deployment.memory_mb)

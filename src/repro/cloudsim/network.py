@@ -48,16 +48,21 @@ class NetworkModel(object):
         self.ms_per_100km = float(ms_per_100km)
         self.jitter_sigma = float(jitter_sigma)
 
-    def round_trip(self, client, region_geo, rng=None):
-        """Round-trip time in seconds; deterministic when ``rng`` is None."""
+    def round_trip(self, client, region_geo, rng=None, extra_s=0.0):
+        """Round-trip time in seconds; deterministic when ``rng`` is None.
+
+        ``extra_s`` is a path-degradation surcharge (fault injection:
+        latency spikes, congested peering) added after jitter.
+        """
         km = haversine_km(client, region_geo)
         rtt = self.base_rtt + km / 100.0 * self.ms_per_100km * MILLIS
         if rng is not None and self.jitter_sigma > 0:
             rtt *= float(math.exp(rng.normal(0.0, self.jitter_sigma)))
-        return rtt
+        return rtt + extra_s
 
-    def one_way(self, client, region_geo, rng=None):
-        return self.round_trip(client, region_geo, rng=rng) / 2.0
+    def one_way(self, client, region_geo, rng=None, extra_s=0.0):
+        return self.round_trip(client, region_geo, rng=rng,
+                               extra_s=extra_s) / 2.0
 
 
 # A few handy client locations for examples and benchmarks.

@@ -38,9 +38,24 @@ class DeploymentError(ReproError):
 class InvocationError(ReproError):
     """A function invocation failed.
 
-    ``reason`` is a short machine-readable string; the cloud simulator uses
-    ``"throttled"`` (per-account concurrency quota), ``"no_capacity"``
-    (zone-wide saturation), and ``"handler_error"`` (user code raised).
+    ``reason`` is a short machine-readable string.  The full vocabulary:
+
+    * ``"handler_error"`` — user code raised inside the FI.  Not worth
+      retrying or failing over: the bug follows the request to any zone.
+    * ``"throttled"`` — the per-account concurrent-request quota was hit
+      (:class:`QuotaExceededError`).  Worth retrying after backoff, and
+      worth failing over when the account spans providers.
+    * ``"no_capacity"`` — zone-wide saturation, no free FI slots
+      (:class:`SaturationError`).  Retrying in the *same* zone is futile
+      on short timescales; fail over to another zone instead.
+    * ``"transient"`` — a short-lived platform or network fault: a
+      control-plane hiccup, a partition, injected chaos
+      (:class:`TransientFaultError`).  Worth retrying with backoff, and
+      failing over if it persists.
+
+    :data:`RETRYABLE_REASONS` and :data:`FAILOVER_REASONS` encode which
+    reasons the resilient client path may retry in place and which
+    justify dropping the zone for the current request.
     """
 
     def __init__(self, message, reason="handler_error"):
@@ -60,6 +75,21 @@ class SaturationError(InvocationError):
 
     def __init__(self, message="availability zone has no free capacity"):
         super().__init__(message, reason="no_capacity")
+
+
+class TransientFaultError(InvocationError):
+    """A short-lived invocation failure (network blip, control-plane
+    hiccup, injected chaos).  Safe to retry with backoff."""
+
+    def __init__(self, message="transient invocation fault"):
+        super().__init__(message, reason="transient")
+
+
+#: Reasons the client may retry in the same zone after backing off.
+RETRYABLE_REASONS = frozenset(("transient", "throttled"))
+
+#: Reasons that justify failing the request over to another zone.
+FAILOVER_REASONS = frozenset(("transient", "throttled", "no_capacity"))
 
 
 class PayloadError(ReproError):

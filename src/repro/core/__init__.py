@@ -16,6 +16,15 @@ This package implements the paper's contribution on top of the substrates:
 """
 
 from repro.core.characterization_store import CharacterizationStore
+from repro.core.health import ZoneHealthTracker
+from repro.core.resilience import (
+    BreakerOpenError,
+    CircuitBreaker,
+    ExponentialBackoff,
+    HedgePolicy,
+    ResilienceConfig,
+    ResilientOutcome,
+)
 from repro.core.retry import RetryPolicy, RetryEngine, RetriedInvocation
 from repro.core.slo import SLOSelector, StrategyForecast
 from repro.core.optimizer import ZoneRanker
@@ -49,7 +58,14 @@ from repro.core.metrics import (
 )
 
 __all__ = [
+    "BreakerOpenError",
     "CharacterizationStore",
+    "CircuitBreaker",
+    "ExponentialBackoff",
+    "HedgePolicy",
+    "ResilienceConfig",
+    "ResilientOutcome",
+    "ZoneHealthTracker",
     "RetryPolicy",
     "RetryEngine",
     "RetriedInvocation",

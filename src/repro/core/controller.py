@@ -34,7 +34,8 @@ class SkyController(object):
     def __init__(self, cloud, account, zones, policy=None, memory_mb=2048,
                  arch="x86_64", polls_per_refresh=6, poll_requests=1000,
                  sampling_count=10, passive=True, client=None,
-                 tracker=None, recovery_gap=None, obs=None, telemetry=None):
+                 tracker=None, recovery_gap=None, obs=None, telemetry=None,
+                 health=None, resilience=None):
         if not zones:
             raise ConfigurationError("controller needs candidate zones")
         self.cloud = cloud
@@ -59,6 +60,11 @@ class SkyController(object):
         self.obs = obs
         if obs is not None:
             obs.install(cloud)
+        # Resilience is opt-in the same way: a shared ZoneHealthTracker
+        # (breaker state survives across routers) plus a ResilienceConfig
+        # handed to every router created here.
+        self.health = health
+        self.resilience = resilience
         self.telemetry = telemetry if telemetry is not None \
             else RoutingTelemetry()
         self.mesh = SkyMesh(cloud)
@@ -139,13 +145,17 @@ class SkyController(object):
                            workload, self.zones, memory_mb=self.memory_mb,
                            arch=self.arch, client=self.client,
                            passive=self.passive, telemetry=self.telemetry,
-                           obs=self.obs)
+                           obs=self.obs, health=self.health,
+                           resilience=self.resilience)
 
     def submit(self, workload, payload=None):
         """Route one request of ``workload``; refreshes stale profiles
-        first."""
+        first.  With a health tracker attached the request takes the
+        resilient path (breakers, backoff, failover)."""
         self.refresh_due_zones()
         router = self.router_for(workload)
+        if self.health is not None:
+            return router.route_resilient(self.resilience)
         return router.route()
 
     def submit_burst(self, workload, n_requests):

@@ -46,13 +46,20 @@ class RoutingPolicy(object):
 
 
 class RoutingView(object):
-    """Everything a policy may consult when deciding."""
+    """Everything a policy may consult when deciding.
+
+    ``health`` (a :class:`~repro.core.health.ZoneHealthTracker`, or None)
+    lets policies weigh recent zone behaviour: the router already filters
+    ``candidate_zones`` through breaker state, and policies can further
+    consult :meth:`zone_error_rate` to prefer a stale characterization of
+    a healthy zone over fresh data from a browning-out one.
+    """
 
     __slots__ = ("characterizations", "factors", "base_seconds", "ranker",
-                 "candidate_zones", "client", "now")
+                 "candidate_zones", "client", "now", "health")
 
     def __init__(self, characterizations, factors, base_seconds, ranker,
-                 candidate_zones, client=None, now=0.0):
+                 candidate_zones, client=None, now=0.0, health=None):
         self.characterizations = characterizations
         self.factors = factors
         self.base_seconds = base_seconds
@@ -60,9 +67,16 @@ class RoutingView(object):
         self.candidate_zones = list(candidate_zones)
         self.client = client
         self.now = now
+        self.health = health
 
     def observed_cpus(self, zone_id):
         return self.characterizations[zone_id].cpu_keys()
+
+    def zone_error_rate(self, zone_id):
+        """Recent failure fraction for ``zone_id`` (0.0 without health)."""
+        if self.health is None:
+            return 0.0
+        return self.health.error_rate(zone_id, self.now)
 
 
 class BaselinePolicy(RoutingPolicy):

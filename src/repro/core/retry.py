@@ -13,7 +13,7 @@ Each retry costs the CPU-check runtime plus the hold — billed — so the win
 depends on the zone's CPU mix (the trade-off EX-5 quantifies).
 """
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, InvocationError
 from repro.common.units import Money
 from repro.cloudsim.cpu import fastest_cpu, slowest_cpus
 
@@ -71,23 +71,35 @@ class RetryPolicy(object):
 
 
 class RetriedInvocation(object):
-    """The outcome of an invocation run under a retry policy."""
+    """The outcome of an invocation run under a retry policy.
 
-    __slots__ = ("final", "attempts", "hold_cost", "executed")
+    When the platform fails mid-loop (saturation, throttle, injected
+    fault) the engine returns a *failed* outcome — ``executed`` False,
+    ``error`` set, ``final`` None — that still accounts every completed
+    attempt and every dollar of hold cost instead of losing them in a
+    raised exception.
+    """
 
-    def __init__(self, final, attempts, hold_cost, executed):
+    __slots__ = ("final", "attempts", "hold_cost", "executed", "error")
+
+    def __init__(self, final, attempts, hold_cost, executed, error=None):
         self.final = final
         self.attempts = list(attempts)
         self.hold_cost = hold_cost
         self.executed = executed
+        self.error = error
+
+    @property
+    def failed(self):
+        return self.error is not None
 
     @property
     def retries(self):
-        return len(self.attempts) - 1
+        return max(0, len(self.attempts) - 1)
 
     @property
     def cpu_key(self):
-        return self.final.cpu_key
+        return self.final.cpu_key if self.final is not None else None
 
     @property
     def total_cost(self):
@@ -109,6 +121,11 @@ class RetriedInvocation(object):
         return sum(inv.runtime_s for inv in self.attempts)
 
     def __repr__(self):
+        if self.failed:
+            return ("RetriedInvocation(FAILED {}, attempts={}, "
+                    "hold_cost={})".format(self.error.reason,
+                                           len(self.attempts),
+                                           self.hold_cost))
         return "RetriedInvocation(cpu={}, retries={}, cost={})".format(
             self.cpu_key, self.retries, self.total_cost)
 
@@ -126,6 +143,11 @@ class RetryEngine(object):
         If the retry budget is exhausted the final attempt executes on
         whatever CPU it got (the paper's behaviour: retries trade cost for
         placement quality but never drop work).
+
+        If the platform errors mid-loop (saturation, throttle, transient
+        fault) the engine returns a **failed** :class:`RetriedInvocation`
+        — ``error`` set, ``executed`` False — preserving the attempts and
+        hold cost already spent rather than losing them in the raise.
 
         ``tracer``/``parent`` (both optional) attach a ``placement`` child
         span per attempt and a ``retry-hold`` span per hold, timestamped
@@ -145,10 +167,18 @@ class RetryEngine(object):
             if payload is not None and hasattr(payload, "with_banned_cpus"):
                 attempt_payload = payload.with_banned_cpus(banned)
             start = self.cloud.clock.now + elapsed
-            invocation = self.cloud.invoke(
-                deployment, payload=attempt_payload,
-                force_new=attempt > 0, client=client,
-                bill_category=bill_category)
+            try:
+                invocation = self.cloud.invoke(
+                    deployment, payload=attempt_payload,
+                    force_new=attempt > 0, client=client,
+                    bill_category=bill_category)
+            except InvocationError as error:
+                if bus.enabled:
+                    bus.emit("retry.abort", self.cloud.clock.now,
+                             zone=deployment.zone_id, attempt=attempt,
+                             reason=error.reason)
+                return RetriedInvocation(None, attempts, hold_cost,
+                                         executed=False, error=error)
             attempts.append(invocation)
             elapsed += invocation.latency_s
             accepted = (last_chance

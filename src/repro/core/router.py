@@ -9,9 +9,19 @@ policy.  Optionally it feeds every observed CPU back into the store
 (*passive characterization*, the paper's future-work path).
 """
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import (
+    ConfigurationError,
+    FAILOVER_REASONS,
+    InvocationError,
+    RETRYABLE_REASONS,
+)
 from repro.core.optimizer import ZoneRanker
 from repro.core.policies import RoutingView
+from repro.core.resilience import (
+    BreakerOpenError,
+    ResilienceConfig,
+    ResilientOutcome,
+)
 from repro.core.retry import RetryEngine, RetriedInvocation
 
 
@@ -67,7 +77,7 @@ class SmartRouter(object):
     def __init__(self, cloud, mesh, store, policy, workload,
                  candidate_zones, memory_mb=2048, arch="x86_64",
                  function_name="dynamic", client=None, passive=False,
-                 telemetry=None, obs=None):
+                 telemetry=None, obs=None, health=None, resilience=None):
         self.cloud = cloud
         self.mesh = mesh
         self.store = store
@@ -83,23 +93,38 @@ class SmartRouter(object):
         self.passive = passive
         self.telemetry = telemetry
         self.obs = obs
+        self.health = health
+        self.resilience = resilience
+        if health is not None:
+            health.attach_bus(self._event_bus())
         self._ranker = ZoneRanker(store, cloud=cloud)
         self._retry_engine = RetryEngine(cloud)
         self._factors = workload.cpu_factors()
         self._payload = workload.payload()
 
+    def _event_bus(self):
+        """Where router-level events (failover, hedge, backoff) go."""
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            return obs.bus
+        return self.cloud.bus
+
     # -- views ---------------------------------------------------------------------
     def current_view(self, now=None):
         now = self.cloud.clock.now if now is None else now
+        candidates = self.candidate_zones
+        if self.health is not None:
+            candidates = self.health.routable_zones(candidates, now)
         return RoutingView(
             characterizations=self.store.view(self.candidate_zones,
                                               now=now),
             factors=self._factors,
             base_seconds=self.workload.base_seconds,
             ranker=self._ranker,
-            candidate_zones=self.candidate_zones,
+            candidate_zones=candidates,
             client=self.client,
             now=now,
+            health=self.health,
         )
 
     def decide(self, now=None):
@@ -139,14 +164,32 @@ class SmartRouter(object):
         if root is not None:
             dispatch = tracer.start_span("dispatch", root, now,
                                          zone=decision.zone_id)
-        if decision.retry_policy is not None:
-            outcome = self._retry_engine.invoke(
-                deployment, decision.retry_policy, payload=self._payload,
-                client=self.client, tracer=tracer, parent=dispatch)
-        else:
-            outcome = self.cloud.invoke(deployment, payload=self._payload,
-                                        client=self.client)
+        health = self.health
+        try:
+            if decision.retry_policy is not None:
+                outcome = self._retry_engine.invoke(
+                    deployment, decision.retry_policy, payload=self._payload,
+                    client=self.client, tracer=tracer, parent=dispatch)
+                if outcome.failed:
+                    # Surface the structured partial outcome alongside the
+                    # error so callers can account attempts and hold cost.
+                    outcome.error.partial = outcome
+                    raise outcome.error
+            else:
+                outcome = self.cloud.invoke(deployment, payload=self._payload,
+                                            client=self.client)
+        except InvocationError as error:
+            if health is not None:
+                health.record_failure(decision.zone_id, now,
+                                      reason=error.reason)
+            if root is not None:
+                dispatch.finish(now).tag(error=error.reason)
+                root.finish(now)
+            raise
         request = RoutedRequest(decision, outcome)
+        if health is not None:
+            health.record_success(decision.zone_id, now,
+                                  latency_s=request.latency_s)
         if root is not None:
             done = now + request.latency_s
             dispatch.finish(done).tag(cpu=request.cpu_key,
@@ -167,35 +210,218 @@ class SmartRouter(object):
         """Route one request, failing over across candidate zones.
 
         Sky computing's availability story: if the chosen zone is
-        saturated, drop it from this request's view and re-decide, until a
-        zone serves the request or the candidates are exhausted (the last
-        error propagates).  ``max_zones`` bounds the attempts.
+        saturated, throttled, or transiently failing
+        (:data:`~repro.common.errors.FAILOVER_REASONS`), drop it from this
+        request's view and re-decide, until a zone serves the request or
+        the candidates are exhausted (the last error propagates).  Handler
+        errors propagate immediately — the bug follows the request to any
+        zone.  ``max_zones`` bounds the attempts.
         """
-        from repro.common.errors import SaturationError
         remaining = list(self.candidate_zones)
         attempts = max_zones if max_zones is not None else len(remaining)
         last_error = None
         original = self.candidate_zones
+        bus = self._event_bus()
         try:
-            for _ in range(attempts):
+            for hop in range(attempts):
                 if not remaining:
                     break
                 self.candidate_zones = remaining
-                try:
-                    decision = self.decide()
-                except Exception:
-                    raise
+                decision = self.decide()
                 try:
                     return self.route(decision)
-                except SaturationError as error:
+                except InvocationError as error:
+                    if error.reason not in FAILOVER_REASONS:
+                        raise
                     last_error = error
                     remaining = [z for z in remaining
                                  if z != decision.zone_id]
+                    if bus.enabled:
+                        bus.emit("router.failover", self.cloud.clock.now,
+                                 zone=decision.zone_id, reason=error.reason,
+                                 hop=hop, remaining=len(remaining))
         finally:
             self.candidate_zones = original
         if last_error is not None:
             raise last_error
         raise ConfigurationError("no candidate zones left to fail over to")
+
+    def _decide_over(self, zones):
+        """Ask the policy to decide over a temporary candidate set."""
+        original = self.candidate_zones
+        self.candidate_zones = list(zones)
+        try:
+            return self.decide()
+        finally:
+            self.candidate_zones = original
+
+    # -- resilient execution ---------------------------------------------------------
+    def route_resilient(self, config=None):
+        """Route one request through the full resilience stack.
+
+        Per attempt: filter candidates through breaker state, decide, gate
+        the chosen zone through its (mutating) breaker, invoke.  On a
+        retryable error (:data:`~repro.common.errors.RETRYABLE_REASONS`)
+        accrue a full-jitter backoff delay; on any failover-worthy error
+        exclude the zone for this request and re-decide.  On success,
+        optionally hedge per ``config.hedge``.  Requires ``health`` (a
+        :class:`~repro.core.health.ZoneHealthTracker`); returns a
+        :class:`~repro.core.resilience.ResilientOutcome`.
+        """
+        health = self.health
+        if health is None:
+            raise ConfigurationError(
+                "route_resilient requires a ZoneHealthTracker; pass "
+                "health= to the router")
+        if config is None:
+            config = self.resilience
+            if config is None:
+                config = ResilienceConfig()
+        if not health.tripped_breakers:
+            # Quiescent fast path: every breaker is closed, so candidate
+            # filtering and the mutating gate are both no-ops — one
+            # decide, one route, wrap.  This is what keeps the no-fault
+            # overhead of the hardened path within the 5 % gate.
+            now = self.cloud.clock.now
+            decision = self.decide(now=now)
+            try:
+                request = self.route(decision)
+            except InvocationError as error:
+                return self._route_resilient_loop(config, error, decision)
+            if config.hedge is None:
+                return ResilientOutcome(request)
+            return self._maybe_hedge(request, config, 1, 0.0, 0, now,
+                                     self._event_bus())
+        return self._route_resilient_loop(config, None, None)
+
+    def _route_resilient_loop(self, config, error, decision):
+        """The full per-attempt loop behind :meth:`route_resilient`.
+
+        ``error``/``decision`` carry a failure the fast path already
+        suffered; it is processed as attempt 0 (its sim side effects —
+        billing, capacity — have already happened, so it must count
+        against the attempt budget, not be replayed).
+        """
+        health = self.health
+        bus = self._event_bus()
+        clock = self.cloud.clock
+        excluded = set()
+        backoff_total = 0.0
+        failovers = 0
+        last_error = None
+        attempt = 0
+        now = clock.now
+        while attempt < config.max_attempts:
+            if error is None:
+                now = clock.now
+                zones = self.candidate_zones
+                if excluded:
+                    zones = [z for z in zones if z not in excluded]
+                    if not zones:
+                        # Every candidate failed this request already;
+                        # degrade gracefully by reopening the full set
+                        # rather than giving up with attempts in budget.
+                        excluded.clear()
+                        zones = self.candidate_zones
+                routable = health.routable_zones(zones, now)
+                if routable is self.candidate_zones:
+                    decision = self.decide(now=now)
+                else:
+                    decision = self._decide_over(routable)
+                    if not health.allow(decision.zone_id, now):
+                        last_error = BreakerOpenError(decision.zone_id)
+                        excluded.add(decision.zone_id)
+                        failovers += 1
+                        if bus.enabled:
+                            bus.emit("router.failover", now,
+                                     zone=decision.zone_id,
+                                     reason="breaker_open", hop=attempt,
+                                     remaining=len(zones) - 1)
+                        attempt += 1
+                        continue
+                try:
+                    request = self.route(decision)
+                except InvocationError as caught:
+                    error = caught
+                else:
+                    if config.hedge is None:
+                        return ResilientOutcome(request,
+                                                attempts=attempt + 1,
+                                                backoff_s=backoff_total,
+                                                failovers=failovers)
+                    return self._maybe_hedge(request, config, attempt + 1,
+                                             backoff_total, failovers,
+                                             now, bus)
+            if error.reason not in FAILOVER_REASONS:
+                raise error
+            last_error = error
+            if error.reason in RETRYABLE_REASONS:
+                delay = config.backoff.delay(attempt)
+                backoff_total += delay
+                if bus.enabled:
+                    bus.emit("router.backoff", now, zone=decision.zone_id,
+                             delay_s=delay, attempt=attempt,
+                             reason=error.reason)
+            if config.failover:
+                excluded.add(decision.zone_id)
+                failovers += 1
+                if bus.enabled:
+                    bus.emit("router.failover", now, zone=decision.zone_id,
+                             reason=error.reason, hop=attempt,
+                             remaining=(len(self.candidate_zones)
+                                        - len(excluded)))
+            elif error.reason not in RETRYABLE_REASONS:
+                raise error
+            error = None
+            attempt += 1
+        assert last_error is not None
+        raise last_error
+
+    def _maybe_hedge(self, request, config, attempts, backoff_s, failovers,
+                     now, bus):
+        """Wrap ``request`` in a ResilientOutcome, hedging if warranted."""
+        hedge = config.hedge
+        threshold = (hedge.threshold(self.health, request.zone_id)
+                     if hedge is not None else None)
+        if threshold is None or request.latency_s <= threshold:
+            return ResilientOutcome(request, attempts=attempts,
+                                    backoff_s=backoff_s,
+                                    failovers=failovers)
+        alternates = [z for z in self.candidate_zones
+                      if z != request.zone_id]
+        if alternates:
+            alternates = self.health.routable_zones(alternates, now)
+        if not alternates:
+            return ResilientOutcome(request, attempts=attempts,
+                                    backoff_s=backoff_s,
+                                    failovers=failovers)
+        decision = self._decide_over(alternates)
+        try:
+            hedge_request = self.route(decision)
+        except InvocationError:
+            if bus.enabled:
+                bus.emit("router.hedge", now, zone=request.zone_id,
+                         hedge_zone=decision.zone_id, won=False,
+                         primary_latency_s=request.latency_s,
+                         hedge_latency_s=None)
+            return ResilientOutcome(request, attempts=attempts,
+                                    backoff_s=backoff_s, hedged=True,
+                                    hedge_won=False, failovers=failovers)
+        # The hedge fires only once the primary has been in flight for
+        # ``threshold`` seconds, so its effective completion time is
+        # threshold + its own latency.
+        hedge_total = threshold + hedge_request.latency_s
+        won = hedge_total < request.latency_s
+        effective = min(request.latency_s, hedge_total) + backoff_s
+        if bus.enabled:
+            bus.emit("router.hedge", now, zone=request.zone_id,
+                     hedge_zone=hedge_request.zone_id, won=won,
+                     primary_latency_s=request.latency_s,
+                     hedge_latency_s=hedge_request.latency_s)
+        return ResilientOutcome(request, hedge_request=hedge_request,
+                                attempts=attempts, backoff_s=backoff_s,
+                                hedged=True, hedge_won=won,
+                                failovers=failovers, latency_s=effective)
 
     def route_burst(self, n_requests, decide_once=True):
         """Route a burst of ``n_requests``.

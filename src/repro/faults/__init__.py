@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the simulated sky.
+
+Public surface::
+
+    from repro.faults import (
+        FaultInjector, NULL_INJECTOR, FaultSchedule, build_preset,
+        TransientFaults, ZoneOutage, Brownout, ThrottlingBurst,
+        LatencySpike, NetworkPartition, ColdStartStorm,
+    )
+
+The chaos-experiment harness lives in :mod:`repro.faults.harness` and is
+*not* re-exported here: it imports :mod:`repro.core`, which imports
+:mod:`repro.cloudsim`, which imports this package — importing it here
+would close the cycle.  Use ``from repro.faults.harness import
+ChaosExperiment`` directly.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedFault,
+    NULL_INJECTOR,
+    NullInjector,
+)
+from repro.faults.models import (
+    Brownout,
+    ColdStartStorm,
+    FaultModel,
+    LatencySpike,
+    NetworkPartition,
+    ThrottlingBurst,
+    TransientFaults,
+    ZoneOutage,
+)
+from repro.faults.schedule import FaultSchedule, PRESET_NAMES, build_preset
+
+__all__ = [
+    "Brownout",
+    "ColdStartStorm",
+    "FaultInjector",
+    "FaultModel",
+    "FaultSchedule",
+    "InjectedFault",
+    "LatencySpike",
+    "NetworkPartition",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "PRESET_NAMES",
+    "ThrottlingBurst",
+    "TransientFaults",
+    "ZoneOutage",
+    "build_preset",
+]

@@ -1,0 +1,168 @@
+"""The fault injector: deterministic chaos wired into the simulated cloud.
+
+Mirrors the opt-in pattern of :class:`repro.obs.Observability`: a cloud
+starts with the no-op :data:`NULL_INJECTOR` and pays nothing until a real
+:class:`FaultInjector` is installed via ``injector.install(cloud)``.
+
+Determinism contract: every random draw comes from a per-zone stream
+derived as ``derive_rng(seed, "faults", zone_id)``.  Two clouds driven
+with the same ``(seed, schedule)`` and the same per-zone request order
+produce identical fault timelines, independent of what happens in any
+*other* zone.
+"""
+
+from repro.common.rng import derive_rng
+from repro.faults.schedule import FaultSchedule
+
+
+class NullInjector(object):
+    """Absent-fault singleton: every hook is the cheapest possible no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def before_invoke(self, zone_id, now):
+        return None
+
+    def before_batch(self, zone_id, now):
+        return None
+
+    def extra_latency(self, zone_id, now):
+        return 0.0
+
+    def capacity_factor(self, zone_id, now):
+        return 1.0
+
+    def cold_start_multiplier(self, zone_id, now):
+        return 1.0
+
+    def forces_cold(self, zone_id, now):
+        return False
+
+    def __repr__(self):
+        return "NullInjector()"
+
+
+#: Shared no-op injector; the default value of ``Cloud.faults``.
+NULL_INJECTOR = NullInjector()
+
+
+class InjectedFault(object):
+    """One materialised fault event on the injector's timeline."""
+
+    __slots__ = ("kind", "zone_id", "timestamp", "reason")
+
+    def __init__(self, kind, zone_id, timestamp, reason):
+        self.kind = kind
+        self.zone_id = zone_id
+        self.timestamp = float(timestamp)
+        self.reason = reason
+
+    def to_dict(self):
+        return {"kind": self.kind, "zone_id": self.zone_id,
+                "timestamp": self.timestamp, "reason": self.reason}
+
+    def __repr__(self):
+        return "InjectedFault({}, {}, t={:.1f}, {})".format(
+            self.kind, self.zone_id, self.timestamp, self.reason)
+
+
+class FaultInjector(object):
+    """Injects scheduled faults into a :class:`~repro.cloudsim.cloud.Cloud`.
+
+    Parameters
+    ----------
+    schedule:
+        A :class:`~repro.faults.schedule.FaultSchedule` (or a plain list of
+        fault models, which is wrapped).
+    seed:
+        Root seed for the per-zone random streams.
+    """
+
+    enabled = True
+
+    def __init__(self, schedule, seed=0):
+        if not isinstance(schedule, FaultSchedule):
+            schedule = FaultSchedule(schedule)
+        self.schedule = schedule
+        self.seed = seed
+        self.timeline = []
+        self._rngs = {}
+        self._cloud = None
+
+    # -- wiring --------------------------------------------------------------
+    def install(self, cloud):
+        """Attach this injector to ``cloud`` (and its zones).  Returns self."""
+        cloud.attach_faults(self)
+        self._cloud = cloud
+        return self
+
+    def _rng_for(self, zone_id):
+        rng = self._rngs.get(zone_id)
+        if rng is None:
+            rng = derive_rng(self.seed, "faults", zone_id)
+            self._rngs[zone_id] = rng
+        return rng
+
+    def _emit(self, kind, zone_id, now, reason):
+        self.timeline.append(InjectedFault(kind, zone_id, now, reason))
+        cloud = self._cloud
+        if cloud is not None and cloud.bus.enabled:
+            cloud.bus.emit("fault.injected", now,
+                           zone=zone_id, kind=kind, reason=reason)
+
+    # -- hooks consulted by the simulator ------------------------------------
+    def before_invoke(self, zone_id, now):
+        """Raise the scheduled error for this invocation, if any."""
+        for model in self.schedule.active(zone_id, now):
+            error = model.invoke_error(self._rng_for(zone_id))
+            if error is not None:
+                self._emit(model.kind, zone_id, now, error.reason)
+                raise error
+
+    def before_batch(self, zone_id, now):
+        """Raise the scheduled error for this batched placement, if any."""
+        for model in self.schedule.active(zone_id, now):
+            error = model.batch_error(self._rng_for(zone_id))
+            if error is not None:
+                self._emit(model.kind, zone_id, now, error.reason)
+                raise error
+
+    def extra_latency(self, zone_id, now):
+        extra = 0.0
+        for model in self.schedule.active(zone_id, now):
+            delta = model.extra_latency(self._rng_for(zone_id))
+            if delta:
+                extra += delta
+                self._emit(model.kind, zone_id, now, "latency")
+        return extra
+
+    def capacity_factor(self, zone_id, now):
+        factor = 1.0
+        for model in self.schedule.active(zone_id, now):
+            factor *= model.capacity_factor()
+        return factor
+
+    def cold_start_multiplier(self, zone_id, now):
+        mult = 1.0
+        for model in self.schedule.active(zone_id, now):
+            mult *= model.cold_start_multiplier()
+        return mult
+
+    def forces_cold(self, zone_id, now):
+        return any(model.forces_cold()
+                   for model in self.schedule.active(zone_id, now))
+
+    # -- reporting -----------------------------------------------------------
+    def fault_counts(self):
+        """``{(kind, zone_id): count}`` over the materialised timeline."""
+        counts = {}
+        for fault in self.timeline:
+            key = (fault.kind, fault.zone_id)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __repr__(self):
+        return "FaultInjector(models={}, seed={}, injected={})".format(
+            len(self.schedule), self.seed, len(self.timeline))

@@ -1,0 +1,221 @@
+"""Composable fault models: what can go wrong, where, and when.
+
+Each model describes one failure mode real FaaS platforms exhibit —
+transient invocation faults, zone outages, brownouts (capacity collapse),
+throttling bursts, network latency spikes, partitions, and cold-start
+storms — scoped to a set of zones and a ``[start, end)`` sim-time window.
+
+Models are *pure configuration*: they hold no mutable state and draw any
+randomness from the generator the :class:`~repro.faults.injector.FaultInjector`
+hands them (a deterministic per-zone stream derived from the injector
+seed).  That keeps fault timelines a pure function of
+``(seed, zone, draw index)``, mirroring how :mod:`repro.cloudsim.drift`
+is a pure function of ``(seed, day, hour)``.
+"""
+
+import math
+
+from repro.common.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    SaturationError,
+    TransientFaultError,
+)
+
+FOREVER = float("inf")
+
+
+class FaultModel(object):
+    """Base class: a failure mode active in some zones over some window.
+
+    Subclasses override the narrow hooks the injector consults:
+    ``invoke_error`` / ``batch_error`` (an exception to raise, or None),
+    ``extra_latency`` (seconds added to the request), ``capacity_factor``
+    (multiplier on free placement slots), ``cold_start_multiplier``, and
+    ``forces_cold``.
+    """
+
+    kind = "abstract"
+
+    __slots__ = ("zones", "start", "end")
+
+    def __init__(self, zones=None, start=0.0, end=FOREVER):
+        if end <= start:
+            raise ConfigurationError(
+                "fault window must satisfy end > start")
+        self.zones = frozenset(zones) if zones is not None else None
+        self.start = float(start)
+        self.end = float(end)
+
+    def applies(self, zone_id, now):
+        """Is this fault active for ``zone_id`` at sim-time ``now``?"""
+        if not self.start <= now < self.end:
+            return False
+        return self.zones is None or zone_id in self.zones
+
+    # -- hooks (no-ops by default) -------------------------------------------
+    def invoke_error(self, rng):
+        """Exception to inject on a single invocation, or None."""
+        return None
+
+    def batch_error(self, rng):
+        """Exception to inject on a batched placement (poll), or None."""
+        return None
+
+    def extra_latency(self, rng):
+        """Seconds added to an invocation's observed latency."""
+        return 0.0
+
+    def capacity_factor(self):
+        """Multiplier on the zone's free placement slots (1.0 = intact)."""
+        return 1.0
+
+    def cold_start_multiplier(self):
+        return 1.0
+
+    def forces_cold(self):
+        """Whether warm reuse is disabled (every request cold-starts)."""
+        return False
+
+    def __repr__(self):
+        zones = sorted(self.zones) if self.zones is not None else "all"
+        return "{}(zones={}, window=[{:.0f}, {:.0f}))".format(
+            type(self).__name__, zones, self.start,
+            self.end if self.end != FOREVER else -1)
+
+
+class TransientFaults(FaultModel):
+    """Independent per-invocation transient failures at a fixed rate."""
+
+    kind = "transient"
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate=0.05, zones=None, start=0.0, end=FOREVER):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("rate must be in [0, 1]")
+        super().__init__(zones, start, end)
+        self.rate = float(rate)
+
+    def invoke_error(self, rng):
+        if rng.random() < self.rate:
+            return TransientFaultError("injected transient fault")
+        return None
+
+
+class ZoneOutage(FaultModel):
+    """Total loss of a zone: every request fails, no capacity at all."""
+
+    kind = "outage"
+
+    def invoke_error(self, rng):
+        return SaturationError("injected zone outage")
+
+    def capacity_factor(self):
+        return 0.0
+
+
+class Brownout(FaultModel):
+    """Capacity collapse for a window: most requests fail, few slots left.
+
+    The per-request ``failure_rate`` models the platform shedding load at
+    the front door; ``capacity_factor`` models the shrunken placement pool
+    the batched path sees.
+    """
+
+    kind = "brownout"
+
+    __slots__ = ("failure_rate", "_capacity_factor")
+
+    def __init__(self, failure_rate=0.85, capacity_factor=0.05, zones=None,
+                 start=0.0, end=FOREVER):
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ConfigurationError("failure_rate must be in [0, 1]")
+        if not 0.0 <= capacity_factor <= 1.0:
+            raise ConfigurationError("capacity_factor must be in [0, 1]")
+        super().__init__(zones, start, end)
+        self.failure_rate = float(failure_rate)
+        self._capacity_factor = float(capacity_factor)
+
+    def invoke_error(self, rng):
+        if rng.random() < self.failure_rate:
+            return SaturationError("injected brownout: capacity collapsed")
+        return None
+
+    def capacity_factor(self):
+        return self._capacity_factor
+
+
+class ThrottlingBurst(FaultModel):
+    """The platform throttles a fraction of requests for a window."""
+
+    kind = "throttle"
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate=0.5, zones=None, start=0.0, end=FOREVER):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("rate must be in [0, 1]")
+        super().__init__(zones, start, end)
+        self.rate = float(rate)
+
+    def invoke_error(self, rng):
+        if rng.random() < self.rate:
+            return QuotaExceededError("injected throttling burst")
+        return None
+
+
+class LatencySpike(FaultModel):
+    """Network path degradation: extra seconds on every round trip."""
+
+    kind = "latency"
+
+    __slots__ = ("extra_s", "jitter_sigma")
+
+    def __init__(self, extra_s=0.25, jitter_sigma=0.0, zones=None,
+                 start=0.0, end=FOREVER):
+        if extra_s < 0:
+            raise ConfigurationError("extra_s must be non-negative")
+        super().__init__(zones, start, end)
+        self.extra_s = float(extra_s)
+        self.jitter_sigma = float(jitter_sigma)
+
+    def extra_latency(self, rng):
+        if self.jitter_sigma > 0:
+            return self.extra_s * float(
+                math.exp(rng.normal(0.0, self.jitter_sigma)))
+        return self.extra_s
+
+
+class NetworkPartition(FaultModel):
+    """The zone's front door is unreachable: every call fails fast."""
+
+    kind = "partition"
+
+    def invoke_error(self, rng):
+        return TransientFaultError("injected network partition")
+
+    def batch_error(self, rng):
+        return TransientFaultError("injected network partition")
+
+
+class ColdStartStorm(FaultModel):
+    """Warm pools evicted: everything cold-starts, and slowly."""
+
+    kind = "coldstorm"
+
+    __slots__ = ("multiplier", "force_cold")
+
+    def __init__(self, multiplier=6.0, force_cold=True, zones=None,
+                 start=0.0, end=FOREVER):
+        if multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        super().__init__(zones, start, end)
+        self.multiplier = float(multiplier)
+        self.force_cold = bool(force_cold)
+
+    def cold_start_multiplier(self):
+        return self.multiplier
+
+    def forces_cold(self):
+        return self.force_cold

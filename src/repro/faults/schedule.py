@@ -1,0 +1,93 @@
+"""Fault schedules: which fault models run, and canned presets.
+
+A :class:`FaultSchedule` is an ordered collection of
+:class:`~repro.faults.models.FaultModel` instances; the injector asks it
+which models are active for ``(zone_id, now)``.  :func:`build_preset`
+produces the scripted scenarios the chaos CLI and CI smoke tests use.
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.faults.models import (
+    Brownout,
+    ColdStartStorm,
+    LatencySpike,
+    NetworkPartition,
+    ThrottlingBurst,
+    TransientFaults,
+    ZoneOutage,
+)
+
+
+class FaultSchedule(object):
+    """An ordered set of fault models consulted per ``(zone, time)``."""
+
+    __slots__ = ("models",)
+
+    def __init__(self, models=None):
+        self.models = list(models) if models is not None else []
+
+    def add(self, model):
+        """Append a model; returns self for chaining."""
+        self.models.append(model)
+        return self
+
+    def active(self, zone_id, now):
+        """Models whose zone/window matches ``(zone_id, now)``, in order."""
+        return [m for m in self.models if m.applies(zone_id, now)]
+
+    def __len__(self):
+        return len(self.models)
+
+    def __iter__(self):
+        return iter(self.models)
+
+    def __repr__(self):
+        return "FaultSchedule({} models)".format(len(self.models))
+
+
+#: Names accepted by :func:`build_preset` and ``repro chaos --preset``.
+PRESET_NAMES = ("brownout", "outage", "throttle", "partition",
+                "coldstorm", "chaos")
+
+
+def build_preset(name, zones, start=60.0, duration=240.0):
+    """Build a scripted fault schedule targeting ``zones[0]``.
+
+    Each preset injects one dominant failure mode into the primary zone
+    for the window ``[start, start + duration)``, leaving the remaining
+    zones healthy so resilient routing has somewhere to go.
+    """
+    if not zones:
+        raise ConfigurationError("preset needs at least one target zone")
+    if name not in PRESET_NAMES:
+        raise ConfigurationError(
+            "unknown preset {!r}; choose from {}".format(
+                name, ", ".join(PRESET_NAMES)))
+    primary = [zones[0]]
+    end = start + duration
+    schedule = FaultSchedule()
+    if name == "brownout":
+        schedule.add(Brownout(failure_rate=0.85, capacity_factor=0.05,
+                              zones=primary, start=start, end=end))
+    elif name == "outage":
+        schedule.add(ZoneOutage(zones=primary, start=start, end=end))
+    elif name == "throttle":
+        schedule.add(ThrottlingBurst(rate=0.7, zones=primary,
+                                     start=start, end=end))
+    elif name == "partition":
+        schedule.add(NetworkPartition(zones=primary, start=start, end=end))
+    elif name == "coldstorm":
+        schedule.add(ColdStartStorm(multiplier=6.0, zones=primary,
+                                    start=start, end=end))
+    else:  # "chaos": a little of everything
+        third = duration / 3.0
+        schedule.add(TransientFaults(rate=0.10, zones=primary,
+                                     start=start, end=end))
+        schedule.add(Brownout(failure_rate=0.75, capacity_factor=0.10,
+                              zones=primary, start=start, end=start + third))
+        schedule.add(ThrottlingBurst(rate=0.5, zones=primary,
+                                     start=start + third,
+                                     end=start + 2 * third))
+        schedule.add(LatencySpike(extra_s=0.20, zones=primary,
+                                  start=start + 2 * third, end=end))
+    return schedule

@@ -29,6 +29,10 @@ from repro.obs.metrics import (
 from repro.obs.trace import Span, Trace, Tracer, format_trace
 from repro.obs import export
 
+#: Numeric encoding of breaker states for the ``breaker_state`` gauge
+#: (Prometheus gauges are floats): closed=0, half_open=1, open=2.
+_BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
 
 class Observability(object):
     """One handle over the whole layer: bus + registry + tracer + recorder.
@@ -128,6 +132,31 @@ class Observability(object):
                              zone=fields["zone"]).inc()
             registry.counter("sampling_cost_usd_total",
                              zone=fields["zone"]).inc(fields["cost_usd"])
+        elif name == "retry.abort":
+            registry.counter("retry_aborts_total", zone=fields["zone"],
+                             reason=fields["reason"]).inc()
+        elif name == "fault.injected":
+            registry.counter("faults_injected_total", zone=fields["zone"],
+                             kind=fields["kind"]).inc()
+        elif name == "breaker.transition":
+            zone = fields["zone"]
+            registry.counter("breaker_transitions_total", zone=zone,
+                             to=fields["to"]).inc()
+            registry.gauge("breaker_state", zone=zone).set(
+                _BREAKER_STATE_CODES.get(fields["to"], -1))
+        elif name == "router.failover":
+            registry.counter("failovers_total", zone=fields["zone"],
+                             reason=fields["reason"]).inc()
+        elif name == "router.backoff":
+            zone = fields["zone"]
+            registry.counter("backoffs_total", zone=zone).inc()
+            registry.counter("backoff_seconds_total", zone=zone).inc(
+                fields["delay_s"])
+        elif name == "router.hedge":
+            zone = fields["zone"]
+            registry.counter("hedges_total", zone=zone).inc()
+            if fields["won"]:
+                registry.counter("hedge_wins_total", zone=zone).inc()
 
     # -- summaries ----------------------------------------------------------
     def zone_latency_summary(self):

@@ -5,7 +5,11 @@ sleep functions) and rotates through them, so back-to-back polls never share
 warm FIs — each poll observes a fresh slice of the zone's infrastructure.
 """
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import (
+    ConfigurationError,
+    InvocationError,
+    RETRYABLE_REASONS,
+)
 from repro.sampling.fanout import FanoutSpec
 
 
@@ -55,9 +59,12 @@ class PollObservation(object):
 class Poller(object):
     """Rotates polls across a zone's sampling endpoints."""
 
-    def __init__(self, cloud, endpoints, n_requests=1000, fanout=None):
+    def __init__(self, cloud, endpoints, n_requests=1000, fanout=None,
+                 transient_retries=2):
         if not endpoints:
             raise ConfigurationError("poller needs at least one endpoint")
+        if transient_retries < 0:
+            raise ConfigurationError("transient_retries must be >= 0")
         zones = {e.zone_id for e in endpoints}
         if len(zones) != 1:
             raise ConfigurationError(
@@ -67,6 +74,7 @@ class Poller(object):
         self.endpoints = list(endpoints)
         self.n_requests = int(n_requests)
         self.fanout = fanout or FanoutSpec()
+        self.transient_retries = int(transient_retries)
         self._next_endpoint = 0
 
     @property
@@ -83,15 +91,31 @@ class Poller(object):
         self._next_endpoint = 0
 
     def poll(self, now=None):
-        """Execute one poll against the next endpoint in rotation."""
+        """Execute one poll against the next endpoint in rotation.
+
+        Transient platform faults (partition, throttle) are retried up to
+        ``transient_retries`` times; if the fault persists the poll is
+        recorded as an all-failed observation rather than aborting the
+        campaign — saturation heuristics downstream already know how to
+        treat a 100 %-failure poll.
+        """
         endpoint = self.endpoints[self._next_endpoint % len(self.endpoints)]
         self._next_endpoint += 1
         duration = endpoint.handler.duration_on(None, self.cloud.rng)
         window = self.fanout.effective_window(
             self.n_requests, endpoint.provider, endpoint.memory_mb)
-        result, bill = self.cloud.place_batch(
-            endpoint, self.n_requests, duration, window=window, now=now,
-            bill_category="sampling")
+        result = bill = None
+        for attempt in range(self.transient_retries + 1):
+            try:
+                result, bill = self.cloud.place_batch(
+                    endpoint, self.n_requests, duration, window=window,
+                    now=now, bill_category="sampling")
+                break
+            except InvocationError as error:
+                if error.reason not in RETRYABLE_REASONS:
+                    raise
+                if attempt == self.transient_retries:
+                    result, bill = self._failed_poll(endpoint, duration, now)
         observation = PollObservation(
             endpoint_id=endpoint.deployment_id,
             zone_id=endpoint.zone_id,
@@ -110,3 +134,24 @@ class Poller(object):
                      unique_fis=observation.unique_fis,
                      cost_usd=float(observation.cost))
         return observation
+
+    def _failed_poll(self, endpoint, duration, now):
+        """Synthesize an all-failed observation for a persistent fault."""
+        from repro.cloudsim.az import PlacementResult
+        now = self.cloud.clock.now if now is None else float(now)
+        result = PlacementResult(
+            zone_id=endpoint.zone_id,
+            requested=self.n_requests,
+            served=0,
+            failed=self.n_requests,
+            unique_fis=0,
+            new_fi_counts={},
+            reused_fi_counts={},
+            request_cpu_counts={},
+            duration=duration,
+            timestamp=now,
+        )
+        # Nothing was served, so nothing is billed.
+        bill = endpoint.provider.billing.bill(
+            endpoint.memory_mb, duration, endpoint.arch, requests=0)
+        return result, bill

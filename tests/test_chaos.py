@@ -1,0 +1,102 @@
+"""The chaos harness and its CLI: the PR's acceptance demo as a test.
+
+Under a targeted brownout the resilient client path must hold near-full
+availability while the naive path measurably degrades, with breaker
+transitions and fault events visible through the obs exports.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cli import main
+from repro.faults.harness import ChaosExperiment
+
+
+@pytest.fixture(scope="module")
+def brownout_reports():
+    experiment = ChaosExperiment(zones=("us-west-1a", "us-west-1b"),
+                                 seed=42, requests=250)
+    return experiment.run_preset("brownout")
+
+
+class TestChaosExperiment(object):
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosExperiment(zones=("us-west-1a",))
+        with pytest.raises(ConfigurationError):
+            ChaosExperiment(requests=0)
+
+    def test_resilient_beats_naive_under_brownout(self, brownout_reports):
+        resilient, naive = brownout_reports
+        assert resilient.availability >= 0.99
+        assert naive.availability < 0.9
+        assert resilient.failovers > 0
+
+    def test_breaker_transitions_are_observable(self, brownout_reports):
+        resilient, _ = brownout_reports
+        assert resilient.breaker_transitions
+        zones = {zone for zone, _, _, _ in resilient.breaker_transitions}
+        assert "us-west-1a" in zones  # the preset targets the preferred zone
+
+    def test_faults_flow_through_the_metrics_registry(self,
+                                                      brownout_reports):
+        resilient, naive = brownout_reports
+        assert any(kind == "brownout"
+                   for kind, _ in resilient.fault_counts)
+        counter = resilient.obs.registry.get(
+            "faults_injected_total", zone="us-west-1a", kind="brownout")
+        assert counter is not None and counter.value > 0
+        assert resilient.obs.registry.get(
+            "failovers_total", zone="us-west-1a",
+            reason="no_capacity") is not None
+        # The naive run injects faults too — it just cannot dodge them.
+        assert naive.fault_counts
+
+    def test_report_serialises(self, brownout_reports):
+        resilient, _ = brownout_reports
+        payload = resilient.to_dict()
+        assert payload["label"] == "resilient"
+        assert payload["requests"] == 250
+        assert 0.0 <= payload["availability"] <= 1.0
+        assert payload["p99_latency_s"] >= payload["p50_latency_s"]
+        json.dumps(payload)  # round-trippable
+
+    def test_identical_seeds_reproduce_the_experiment(self):
+        def availability():
+            experiment = ChaosExperiment(seed=42, requests=60)
+            resilient, naive = experiment.run_preset("outage")
+            return (resilient.availability, naive.availability,
+                    [f for f in resilient.fault_counts.items()])
+
+        assert availability() == availability()
+
+
+class TestChaosCli(object):
+    def test_chaos_command_end_to_end(self, tmp_path):
+        out = io.StringIO()
+        json_path = tmp_path / "chaos.json"
+        prom_path = tmp_path / "chaos.prom"
+        code = main(["chaos", "--preset", "brownout", "--requests", "150",
+                     "--assert-availability", "0.95",
+                     "--json", str(json_path), "--prom", str(prom_path)],
+                    out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "resilient" in text and "naive" in text
+        assert "OK:" in text
+        payload = json.loads(json_path.read_text())
+        assert payload["resilient"]["availability"] >= 0.95
+        prom = prom_path.read_text()
+        assert "faults_injected_total" in prom
+        assert "breaker_state" in prom
+
+    def test_chaos_command_fails_below_the_floor(self):
+        out = io.StringIO()
+        # An impossible floor forces the failure path.
+        code = main(["chaos", "--preset", "brownout", "--requests", "40",
+                     "--assert-availability", "1.01"], out=out)
+        assert code == 1
+        assert "FAIL:" in out.getvalue()

@@ -88,12 +88,22 @@ class TestSaturatedZones(object):
         deployment = mesh.endpoint("test-1a", 2048)
         policy = RetryPolicy(["xeon-2.5", "xeon-2.9"], max_retries=50)
         # Each retry forces a new FI; the zone runs out before the budget
-        # does and the platform error propagates to the caller.
-        with pytest.raises(SaturationError):
-            for _ in range(30):
-                engine.invoke(deployment, policy,
-                              payload=workload_by_name(
-                                  "sha1_hash").payload())
+        # does.  The engine surfaces the platform error as a structured
+        # failed outcome — attempts and hold cost are not lost in a raise.
+        failed = None
+        for _ in range(30):
+            outcome = engine.invoke(deployment, policy,
+                                    payload=workload_by_name(
+                                        "sha1_hash").payload())
+            if outcome.failed:
+                failed = outcome
+                break
+        assert failed is not None
+        assert not failed.executed
+        assert failed.final is None
+        assert failed.cpu_key is None
+        assert isinstance(failed.error, SaturationError)
+        assert failed.error.reason == "no_capacity"
 
 
 class TestThrottling(object):

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SaturationError
 from repro.common.units import Money
 from repro.core import RetryEngine, RetryPolicy
 from repro.workloads import workload_by_name
-from tests.helpers import make_cloud
+from tests.helpers import drain_zone, make_cloud
 
 FACTORS = {"xeon-2.5": 1.0, "xeon-2.9": 1.25, "xeon-3.0": 0.9,
            "amd-epyc": 1.5}
@@ -119,3 +119,28 @@ class TestRetryEngine(object):
         policy = RetryPolicy(["xeon-2.5", "xeon-2.9"], max_retries=2)
         retried = engine.invoke(deployment, policy)
         assert retried.total_latency > direct.total_latency
+
+
+class TestStructuredFailure(object):
+    """Regression: platform errors mid-retry surface as a structured
+    failed outcome, not a raise that loses attempts and hold cost."""
+
+    def test_saturation_returns_a_failed_outcome(self, retry_setup):
+        cloud, _, deployment, _ = retry_setup
+        drain_zone(cloud.zone("test-1a"), duration=600.0)
+        engine = RetryEngine(cloud)
+        outcome = engine.invoke(deployment, RetryPolicy([]))
+        assert outcome.failed
+        assert not outcome.executed
+        assert outcome.final is None
+        assert outcome.cpu_key is None
+        assert outcome.retries == 0
+        assert isinstance(outcome.error, SaturationError)
+        assert "FAILED no_capacity" in repr(outcome)
+
+    def test_successful_outcomes_are_not_failed(self, retry_setup):
+        cloud, _, deployment, _ = retry_setup
+        engine = RetryEngine(cloud)
+        outcome = engine.invoke(deployment, RetryPolicy([]))
+        assert not outcome.failed
+        assert outcome.error is None
