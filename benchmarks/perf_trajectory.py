@@ -1,0 +1,203 @@
+"""Simulator perf trajectory: record hot-path timings, gate regressions.
+
+The two numbers that bound how large an experiment the library can host are
+the per-op costs of the sampling poll (``test_throughput_poll_1000``) and
+the routed invocation (``test_throughput_invoke_one``).  This script times
+exactly those loops — best-of-N, min over repeats, so background load on
+the machine inflates nothing — and appends them to ``BENCH_simulator.json``
+at the repo root, building a commit-over-commit trajectory.
+
+Cross-machine comparability comes from a calibration loop: a fixed pure
+Python workload timed the same way.  The gate compares *normalized* costs
+(metric / calibration) so a slower CI runner doesn't read as a regression.
+
+Usage::
+
+    python benchmarks/perf_trajectory.py record --label after --baseline
+    python benchmarks/perf_trajectory.py check [--max-regression 0.20]
+
+``check`` measures the current tree, records it (label ``ci-check``), and
+exits non-zero if any metric regressed more than ``--max-regression``
+against the most recent entry flagged ``"baseline": true``.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro import build_sky  # noqa: E402
+from repro.cloudsim.handlers import SleepHandler  # noqa: E402
+from repro.dynfunc import UniversalDynamicFunctionHandler  # noqa: E402
+from repro.workloads import resolve_runtime_model, workload_by_name  # noqa: E402
+
+TRAJECTORY = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_simulator.json")
+
+POLL_ITERS = 2000
+INVOKE_ITERS = 10000
+REPEATS = 5
+METRICS = ("poll_1000_us", "invoke_one_us")
+
+
+def best_of(fn, repeats=REPEATS):
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def calibration_us():
+    """A fixed pure-Python workload; measures the machine, not the code."""
+    def spin():
+        acc = 0
+        for i in range(200000):
+            acc += i * i
+        return acc
+
+    return best_of(spin) / 200000 * 1e6
+
+
+def measure():
+    cloud = build_sky(seed=191, aws_only=True)
+    account = cloud.create_account("bench", "aws")
+    sleeper = cloud.deploy(account, "eu-central-1a", "sleeper", 2048,
+                           handler=SleepHandler(0.25))
+    dynamic = cloud.deploy(
+        account, "eu-central-1a", "dynamic", 2048,
+        handler=UniversalDynamicFunctionHandler(resolve_runtime_model))
+    payload = workload_by_name("sha1_hash").payload()
+
+    def poll_loop():
+        for _ in range(POLL_ITERS):
+            cloud.poll(sleeper, 1000)
+            cloud.clock.advance(400.0)  # let the FIs expire between rounds
+
+    def invoke_loop():
+        for _ in range(INVOKE_ITERS):
+            cloud.invoke(dynamic, payload=payload)
+            cloud.clock.advance(5.0)  # warm reuse on the next round
+
+    return {
+        "poll_1000_us": best_of(poll_loop) / POLL_ITERS * 1e6,
+        "invoke_one_us": best_of(invoke_loop) / INVOKE_ITERS * 1e6,
+        "calibration_us": calibration_us(),
+    }
+
+
+def git_commit():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(TRAJECTORY),
+            stderr=subprocess.DEVNULL).decode().strip()
+    except Exception:
+        return "unknown"
+
+
+def load_trajectory():
+    if not os.path.exists(TRAJECTORY):
+        return {"schema": 1, "metrics": list(METRICS), "entries": []}
+    with open(TRAJECTORY) as fh:
+        return json.load(fh)
+
+
+def append_entry(label, numbers, baseline=False):
+    data = load_trajectory()
+    entry = {
+        "label": label,
+        "commit": git_commit(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+        "baseline": bool(baseline),
+    }
+    entry.update({k: round(v, 3) for k, v in numbers.items()})
+    data["entries"].append(entry)
+    with open(TRAJECTORY, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    return entry
+
+
+def latest_baseline(data):
+    for entry in reversed(data["entries"]):
+        if entry.get("baseline"):
+            return entry
+    return None
+
+
+def cmd_record(args):
+    numbers = measure()
+    entry = append_entry(args.label, numbers, baseline=args.baseline)
+    print("recorded {label} @ {commit}: poll_1000={poll:.2f}us "
+          "invoke_one={invoke:.2f}us (calibration {cal:.4f}us)".format(
+              label=entry["label"], commit=entry["commit"],
+              poll=numbers["poll_1000_us"],
+              invoke=numbers["invoke_one_us"],
+              cal=numbers["calibration_us"]))
+    return 0
+
+
+def cmd_check(args):
+    data = load_trajectory()
+    baseline = latest_baseline(data)
+    numbers = measure()
+    if not args.no_record:
+        append_entry(args.label, numbers)
+    if baseline is None:
+        print("no baseline entry in {}; recording only".format(
+            os.path.basename(TRAJECTORY)))
+        return 0
+    failed = False
+    for metric in METRICS:
+        base_norm = baseline[metric] / baseline["calibration_us"]
+        curr_norm = numbers[metric] / numbers["calibration_us"]
+        ratio = curr_norm / base_norm
+        verdict = "ok"
+        if ratio > 1.0 + args.max_regression:
+            verdict = "REGRESSION"
+            failed = True
+        print("{metric}: {curr:.2f}us vs baseline {base:.2f}us "
+              "(normalized ratio {ratio:.3f}) {verdict}".format(
+                  metric=metric, curr=numbers[metric],
+                  base=baseline[metric], ratio=ratio, verdict=verdict))
+    if failed:
+        print("perf gate failed: >{:.0%} regression vs baseline {} "
+              "@ {}".format(args.max_regression, baseline["label"],
+                            baseline["commit"]))
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="measure and append an entry")
+    record.add_argument("--label", default="dev")
+    record.add_argument("--baseline", action="store_true",
+                        help="mark this entry as the gate's baseline")
+    record.set_defaults(func=cmd_record)
+
+    check = sub.add_parser("check", help="measure and gate vs baseline")
+    check.add_argument("--label", default="ci-check")
+    check.add_argument("--max-regression", type=float, default=0.20)
+    check.add_argument("--no-record", action="store_true")
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

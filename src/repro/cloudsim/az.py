@@ -115,6 +115,10 @@ class AvailabilityZone(object):
         self.rng = derive_rng(rng, "az", zone_id)
         self._new_instance_id = make_id_factory("fi-" + zone_id)
         self._fi_index = {}
+        self._fi_stale = {}
+        self._pool_order = None
+        for pool in pools:
+            pool.on_release = self._bucket_released
         self._last_scale_check = clock.now
         self._surge_slots_added = 0
         self._base_shares = self.cpu_slot_shares()
@@ -158,15 +162,24 @@ class AvailabilityZone(object):
     # -- capacity views --------------------------------------------------------
     @property
     def capacity(self):
-        return sum(p.capacity for p in self.pools.values())
+        total = 0
+        for pool in self.pools.values():
+            total += pool.hosts * pool.slots_per_host
+        return total
 
     def occupied(self, now=None):
         now = self._now(now)
-        return sum(p.occupied(now) for p in self.pools.values())
+        total = 0
+        for pool in self.pools.values():
+            total += pool.occupied(now)
+        return total
 
     def free_slots(self, now=None):
         now = self._now(now)
-        return sum(p.free_slots(now) for p in self.pools.values())
+        total = 0
+        for pool in self.pools.values():
+            total += pool.free_slots(now)
+        return total
 
     def occupancy(self, now=None):
         if self.capacity == 0:
@@ -198,9 +211,7 @@ class AvailabilityZone(object):
         if duration <= 0:
             raise ConfigurationError("duration must be positive")
         self._apply_processes(now)
-        self._maybe_scale(now)
-        for pool in self.pools.values():
-            pool.expire(now)
+        self._expire_and_scale(now)
 
         if window <= 0:
             unique_needed = n_requests
@@ -215,6 +226,8 @@ class AvailabilityZone(object):
         for pool in self._pools_by_affinity():
             if remaining <= 0:
                 break
+            if not pool._warm.get(deployment):
+                continue  # no (live or stale) buckets for this deployment
             claimed = pool.claim_warm(deployment, remaining, now, duration,
                                       self.keepalive)
             if claimed:
@@ -222,13 +235,18 @@ class AvailabilityZone(object):
                 remaining -= claimed
 
         new_counts = self._place_new_fis(deployment, remaining, now, duration)
-        got_fis = sum(reused_counts.values()) + sum(new_counts.values())
+        new_total = sum(new_counts.values())
+        reused_total = sum(reused_counts.values()) if reused_counts else 0
+        got_fis = reused_total + new_total
         served = min(n_requests, int(round(got_fis * requests_per_fi)))
         failed = n_requests - served
 
-        fi_cpu_counts = dict(reused_counts)
-        for key, count in new_counts.items():
-            fi_cpu_counts[key] = fi_cpu_counts.get(key, 0) + count
+        if reused_counts:
+            fi_cpu_counts = dict(reused_counts)
+            for key, count in new_counts.items():
+                fi_cpu_counts[key] = fi_cpu_counts.get(key, 0) + count
+        else:
+            fi_cpu_counts = new_counts  # _apportion never mutates weights
         request_cpu_counts = _apportion(served, fi_cpu_counts)
 
         bus = self._bus
@@ -236,8 +254,8 @@ class AvailabilityZone(object):
             bus.emit("az.placement", now, zone=self.zone_id,
                      requested=n_requests, served=served, failed=failed,
                      unique_fis=got_fis,
-                     new_fis=sum(new_counts.values()),
-                     reused_fis=sum(reused_counts.values()),
+                     new_fis=new_total,
+                     reused_fis=reused_total,
                      occupancy=self.occupancy(now))
             if failed > 0:
                 bus.emit("az.saturation", now, zone=self.zone_id,
@@ -245,18 +263,9 @@ class AvailabilityZone(object):
                          failure_rate=failed / float(n_requests),
                          kind="batch")
 
-        return PlacementResult(
-            zone_id=self.zone_id,
-            requested=n_requests,
-            served=served,
-            failed=failed,
-            unique_fis=got_fis,
-            new_fi_counts=new_counts,
-            reused_fi_counts=reused_counts,
-            request_cpu_counts=request_cpu_counts,
-            duration=duration,
-            timestamp=now,
-        )
+        return PlacementResult(self.zone_id, n_requests, served, failed,
+                               got_fis, new_counts, reused_counts,
+                               request_cpu_counts, duration, now)
 
     # -- per-request invocation (router path) -------------------------------------
     def invoke_one(self, deployment, duration_fn, now=None, force_new=False):
@@ -274,9 +283,7 @@ class AvailabilityZone(object):
         """
         now = self._now(now)
         self._apply_processes(now)
-        self._maybe_scale(now)
-        for pool in self.pools.values():
-            pool.expire(now)
+        self._expire_and_scale(now)
 
         if not force_new:
             warm = self._find_warm_instance(deployment, now)
@@ -302,7 +309,11 @@ class AvailabilityZone(object):
         fi = pool.allocate_instance(self._new_instance_id(), host_id,
                                     deployment, now, duration, self.keepalive)
         fi.invocations = 1
-        self._fi_index.setdefault(deployment, []).append(fi)
+        index = self._fi_index.get(deployment)
+        if index is None:
+            self._fi_index[deployment] = [fi]
+        else:
+            index.append(fi)
         return fi, False
 
     def hold_instance(self, fi, hold_seconds, now=None):
@@ -330,9 +341,11 @@ class AvailabilityZone(object):
                     from repro.cloudsim.host import HostPool
                     pool = HostPool(cpu_key, hosts, slots_per_host,
                                     affinity=0.4)
+                    pool.on_release = self._bucket_released
                     if self._bus is not NULL_BUS:
                         pool.attach_bus(self._bus, self.zone_id)
                     self.pools[cpu_key] = pool
+                    self._pool_order = None
             else:
                 self.pools[cpu_key].set_hosts(hosts, now)
         for cpu_key in list(self.pools):
@@ -344,13 +357,28 @@ class AvailabilityZone(object):
         # pressure spike has passed, replenishing the surge budget.
         self._surge_slots_added = 0
 
-    def _maybe_scale(self, now):
-        """Slowly add surge capacity while the zone is under pressure."""
+    def _expire_and_scale(self, now):
+        """Zone-wide expiry sweep fused with the surge-capacity check.
+
+        Every request path needs lapsed keep-alives released before it
+        reads occupancy, so both happen in a single pass over the pools
+        (the seed code swept three times per batch).  The sweep is
+        unconditional; the scaling arm only engages when time advanced.
+        """
+        occupied = 0
+        capacity = 0
+        for pool in self.pools.values():
+            heap = pool._heap
+            if heap and heap[0][0] <= now:
+                pool.expire(now)
+            occupied += pool._occupied
+            capacity += pool.hosts * pool.slots_per_host
         elapsed = now - self._last_scale_check
         if elapsed <= 0:
             return
         self._last_scale_check = now
-        if self.occupancy(now) < self.scaling.pressure_threshold:
+        occupancy = 1.0 if capacity == 0 else occupied / float(capacity)
+        if occupancy < self.scaling.pressure_threshold:
             return
         budget = self.scaling.max_surge_slots - self._surge_slots_added
         if budget <= 0:
@@ -379,20 +407,48 @@ class AvailabilityZone(object):
         return self.clock.now if now is None else float(now)
 
     def _pools_by_affinity(self):
-        return sorted(self.pools.values(),
-                      key=lambda p: (-p.affinity, p.cpu_key))
+        order = self._pool_order
+        if order is None:
+            order = sorted(self.pools.values(),
+                           key=lambda p: (-p.affinity, p.cpu_key))
+            self._pool_order = order
+        return order
+
+    def _bucket_released(self, bucket, now):
+        """Expiry-heap callback: prune ``_fi_index`` as identified FIs die.
+
+        Per-request FIs used to linger in the index until a warm lookup for
+        the same deployment happened to rebuild the live list; ``force_new``
+        retry storms never trigger that lookup, so the index grew without
+        bound.  Releases now bump a stale counter and compact the
+        deployment's list once half of it is dead — amortized O(1) per
+        release.
+        """
+        if bucket.instance_id is None:  # anonymous FIBucket, not indexed
+            return
+        deployment = bucket.deployment
+        instances = self._fi_index.get(deployment)
+        if not instances:
+            return
+        stale = self._fi_stale.get(deployment, 0) + 1
+        if stale * 2 >= len(instances):
+            self._fi_index[deployment] = [
+                fi for fi in instances if not fi.is_expired(now)]
+            stale = 0
+        self._fi_stale[deployment] = stale
 
     def _typical_slots_per_host(self):
         pools = list(self.pools.values())
         return pools[0].slots_per_host if pools else 64
 
     def _find_warm_instance(self, deployment, now):
+        # No per-call rebuild: expired entries are compacted by the expiry
+        # heap's release callback, so this is a pure scan for the first
+        # idle FI (idleness already implies not-expired).
         instances = self._fi_index.get(deployment)
         if not instances:
             return None
-        live = [fi for fi in instances if not fi.is_expired(now)]
-        self._fi_index[deployment] = live
-        for fi in live:
+        for fi in instances:
             if fi.is_idle(now):
                 return fi
         return None
@@ -412,26 +468,41 @@ class AvailabilityZone(object):
         counts = {}
         if count <= 0:
             return counts
-        pools = [p for p in self._pools_by_affinity() if p.capacity > 0]
-        free = [p.free_slots(now) for p in pools]
+        pools = []
+        free = []
+        weights = []
+        sph = []
+        for p in self._pools_by_affinity():
+            if p.hosts <= 0:  # capacity 0: slots_per_host is always > 0
+                continue
+            heap = p._heap
+            if heap and heap[0][0] <= now:
+                p.expire(now)
+            f = p.hosts * p.slots_per_host - p._occupied
+            if f < 0:
+                f = 0
+            pools.append(p)
+            free.append(f)
+            weights.append(f * p.affinity)
+            sph.append(p.slots_per_host)
         if self._faults.enabled:
             factor = self._faults.capacity_factor(self.zone_id, now)
             if factor < 1.0:
                 free = [int(f * factor) for f in free]
+                weights = [f * p.affinity for f, p in zip(free, pools)]
         total_free = sum(free)
         if total_free <= 0:
             return counts
         take = min(count, total_free)
-        weights = [f * p.affinity for f, p in zip(free, pools)]
-        split = self._noisy_split(take, free, weights,
-                                  [p.slots_per_host for p in pools])
+        split = self._noisy_split(take, free, weights, sph)
+        keepalive = self.keepalive
         for pool, allocated in zip(pools, split):
             if allocated <= 0:
                 continue
             if materialize:
                 pool.allocate(deployment, allocated, now, duration,
-                              self.keepalive)
-            counts[pool.cpu_key] = counts.get(pool.cpu_key, 0) + allocated
+                              keepalive)
+            counts[pool.cpu_key] = allocated  # cpu keys are unique per zone
         return counts
 
     # Fraction of a host a single placement wave typically fills before the
@@ -453,23 +524,34 @@ class AvailabilityZone(object):
         mean_sph = sum(slots_per_host) / float(len(slots_per_host))
         granule = max(1.0, mean_sph * self.HOST_FILL_FRACTION)
         host_draws = max(1, int(round(take / granule)))
-        host_counts = self.rng.multinomial(host_draws, probs)
-        raw = [take * (h / float(host_draws)) for h in host_counts]
-        split = [min(int(round(r)), f) for r, f in zip(raw, free)]
+        # .tolist() converts the multinomial draw to native ints up front:
+        # the per-element arithmetic below is hot, and numpy scalars make it
+        # several times slower without changing a single bit of the result.
+        host_counts = self.rng.multinomial(host_draws, probs).tolist()
+        draws = float(host_draws)
+        split = []
+        deficit = take
+        for h, f in zip(host_counts, free):
+            s = int(round(take * (h / draws)))
+            if s > f:
+                s = f
+            split.append(s)
+            deficit -= s
         # Fix rounding drift and clamping shortfalls deterministically.
-        deficit = take - sum(split)
-        order = sorted(range(len(free)), key=lambda i: split[i] - free[i])
-        idx = 0
-        while deficit > 0 and idx < len(order):
-            i = order[idx]
-            room = free[i] - split[i]
-            grant = min(room, deficit)
-            split[i] += grant
-            deficit -= grant
-            idx += 1
+        if deficit > 0:
+            headroom = [s - f for s, f in zip(split, free)]
+            order = sorted(range(len(free)), key=headroom.__getitem__)
+            idx = 0
+            while deficit > 0 and idx < len(order):
+                i = order[idx]
+                room = free[i] - split[i]
+                grant = min(room, deficit)
+                split[i] += grant
+                deficit -= grant
+                idx += 1
         while deficit < 0:
             # Rounding overshoot: shave from the largest allocation.
-            i = max(range(len(split)), key=lambda j: split[j])
+            i = max(range(len(split)), key=split.__getitem__)
             split[i] -= 1
             deficit += 1
         return split
@@ -488,11 +570,23 @@ def _apportion(total, weights):
     if weight_sum <= 0:
         return {}
     keys = sorted(weights)
-    raw = {k: total * weights[k] / weight_sum for k in keys}
-    result = {k: int(math.floor(raw[k])) for k in keys}
-    shortfall = total - sum(result.values())
-    by_remainder = sorted(keys, key=lambda k: raw[k] - result[k],
-                          reverse=True)
-    for k in by_remainder[:shortfall]:
-        result[k] += 1
-    return {k: v for k, v in result.items() if v > 0}
+    result = {}
+    remainders = []
+    granted = 0
+    for k in keys:
+        raw = total * weights[k] / weight_sum
+        floored = int(raw)  # raw >= 0, so truncation == floor
+        result[k] = floored
+        remainders.append(raw - floored)
+        granted += floored
+    shortfall = total - granted
+    if shortfall:
+        # Stable sort on remainder; ties keep key order, as before.
+        order = sorted(range(len(keys)), key=remainders.__getitem__,
+                       reverse=True)
+        for i in order[:shortfall]:
+            result[keys[i]] += 1
+    for v in result.values():
+        if v <= 0:
+            return {k: n for k, n in result.items() if n > 0}
+    return result

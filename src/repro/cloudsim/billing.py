@@ -18,7 +18,7 @@ Rates are the providers' published on-demand prices (2024/2025 era):
 import math
 
 from repro.common.errors import ConfigurationError
-from repro.common.units import Money, gb_seconds
+from repro.common.units import Money
 
 
 class InvocationBill(object):
@@ -85,9 +85,18 @@ class BillingModel(object):
         """Bill ``requests`` invocations of ``duration_s`` each."""
         if requests < 0:
             raise ConfigurationError("requests must be non-negative")
-        billed = self.billed_duration(duration_s)
-        compute = Money(self.rate_for(arch)
-                        * gb_seconds(memory_mb, billed) * requests)
+        # billed_duration / rate_for / gb_seconds, inlined with the same
+        # operation order: this runs once per invocation and per poll.
+        granularity = self.granularity
+        if duration_s < self.min_billed_duration:
+            duration_s = self.min_billed_duration
+        billed = math.ceil(round(duration_s / granularity, 9)) * granularity
+        try:
+            rate = self.gb_second_rates[arch]
+        except KeyError:
+            raise ConfigurationError(
+                "no billing rate for architecture {!r}".format(arch))
+        compute = Money(rate * (memory_mb / 1024.0 * billed) * requests)
         request_fee = Money(self.per_request * requests)
         return InvocationBill(compute, request_fee, billed * requests,
                               requests)

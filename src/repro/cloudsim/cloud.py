@@ -30,10 +30,17 @@ from repro.cloudsim.provider import provider_by_name
 
 
 class Deployment(object):
-    """A function deployed to one availability zone."""
+    """A function deployed to one availability zone.
+
+    ``billing`` and ``arrival_window_s`` are invariants of the deployment
+    (provider pricing table, memory-dependent scheduling spread); they are
+    resolved once here so the per-request and per-poll hot paths do not
+    repeat the lookups on every call.
+    """
 
     __slots__ = ("deployment_id", "account", "provider", "region_name",
-                 "zone_id", "function_name", "memory_mb", "arch", "handler")
+                 "zone_id", "function_name", "memory_mb", "arch", "handler",
+                 "billing", "arrival_window_s")
 
     def __init__(self, deployment_id, account, provider, region_name,
                  zone_id, function_name, memory_mb, arch, handler):
@@ -46,6 +53,8 @@ class Deployment(object):
         self.memory_mb = memory_mb
         self.arch = arch
         self.handler = handler
+        self.billing = provider.billing
+        self.arrival_window_s = provider.arrival_window(memory_mb)
 
     def __repr__(self):
         return ("Deployment({!r}: {!r} @ {} {}MB {})".format(
@@ -255,7 +264,7 @@ class Cloud(object):
                                                rng=self.rng, extra_s=spike)
         else:
             latency += spike
-        bill = deployment.provider.billing.bill(
+        bill = deployment.billing.bill(
             deployment.memory_mb, runtime, deployment.arch, requests=1)
         deployment.account.record_bill(bill, category=bill_category)
         bus = self.bus
@@ -271,8 +280,8 @@ class Cloud(object):
             deployment_id=deployment.deployment_id,
             zone_id=deployment.zone_id,
             cpu_key=fi.cpu_key,
-            instance_id=getattr(fi, "instance_id", None),
-            host_id=getattr(fi, "host_id", None),
+            instance_id=fi.instance_id,
+            host_id=fi.host_id,
             reused=reused,
             cold_start_s=cold_start,
             runtime_s=runtime,
@@ -298,7 +307,7 @@ class Cloud(object):
             zone.hold_instance(fi, hold_seconds, now=now)
         # A hold extends an in-flight request, so there is no per-request
         # fee — only the extra billed compute time.
-        bill = deployment.provider.billing.bill(
+        bill = deployment.billing.bill(
             deployment.memory_mb, hold_seconds, deployment.arch, requests=1)
         bill.request.usd = 0.0
         deployment.account.record_bill(bill, category=bill_category)
@@ -326,10 +335,10 @@ class Cloud(object):
             self.faults.before_batch(deployment.zone_id, now)
         admitted = deployment.account.admit_batch(n_requests)
         if window is None:
-            window = deployment.provider.arrival_window(deployment.memory_mb)
+            window = deployment.arrival_window_s
         result = zone.place_batch(deployment.deployment_id, admitted,
                                   duration, window, now=now)
-        bill = deployment.provider.billing.bill(
+        bill = deployment.billing.bill(
             deployment.memory_mb, duration, deployment.arch,
             requests=result.served)
         if charge:

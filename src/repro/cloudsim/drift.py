@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_rng
+from repro.common.units import DAYS, HOURS
 
 
 class DriftProfile(object):
@@ -93,6 +94,7 @@ class DriftProcess(object):
                              for c in base_shares.categories}
         self._daily_cache = {}
         self._last_applied = None
+        self._next_due = float("-inf")
 
     # -- trajectory -------------------------------------------------------------
     def _daily_state(self, day):
@@ -136,9 +138,15 @@ class DriftProcess(object):
 
     # -- zone hook ------------------------------------------------------------------
     def apply_if_due(self, zone, now):
-        """Rebalance ``zone`` if the clock entered a new hour bucket."""
-        from repro.common.units import HOURS, DAYS
+        """Rebalance ``zone`` if the clock entered a new hour bucket.
+
+        The hot paths call this once per request; the cached next hour
+        boundary turns the common no-op case into a single comparison.
+        """
+        if now < self._next_due:
+            return False
         bucket = (int(now // DAYS), int((now % DAYS) // HOURS))
+        self._next_due = (bucket[0] * 24 + bucket[1] + 1) * HOURS
         if bucket == self._last_applied:
             return False
         self._last_applied = bucket

@@ -75,10 +75,16 @@ class ModeledWorkloadHandler(Handler):
         return self.base_seconds * self.factor_for(cpu_key)
 
     def duration_on(self, cpu_key, rng, payload=None):
-        noise = 1.0
+        factor = self.cpu_factors.get(cpu_key, self.default_factor)
+        if factor is None:
+            raise ConfigurationError(
+                "workload {!r} has no runtime factor for CPU {!r}".format(
+                    self.name, cpu_key))
+        mean = self.base_seconds * factor
         if rng is not None and self.noise_sigma > 0:
-            noise = float(math.exp(rng.normal(0.0, self.noise_sigma)))
-        return self.mean_duration_on(cpu_key) * noise
+            # (base * factor) * noise, same association as before.
+            return mean * float(math.exp(rng.normal(0.0, self.noise_sigma)))
+        return mean
 
     def respond(self, cpu_key, payload=None):
         return {"workload": self.name, "cpu": cpu_key}

@@ -10,7 +10,31 @@ affinity fill first; low-affinity pools (rare hardware being phased in or
 out) only receive placements once the preferred pools are under pressure.
 This is what makes "previously unseen hardware" appear late in a sampling
 campaign — the anomaly the paper observes in EX-3.
+
+Event-driven capacity accounting
+--------------------------------
+Capacity reads used to sweep every live bucket (filter expired, re-sum
+counts) on *every* call, and the sampling hot path reads capacity a dozen
+times per poll.  The pool now maintains:
+
+* ``_occupied`` — a cached slot counter, updated incrementally on
+  allocate / release / count mutation, so :meth:`occupied` and
+  :meth:`free_slots` are O(1) reads;
+* ``_heap`` — a lazily-compacted min-heap of ``(expire_at, seq, bucket)``
+  entries.  :meth:`expire` pops only lapsed entries (O(log n) amortized).
+  When a bucket's ``expire_at`` moves (warm reuse, forced release), a fresh
+  entry is pushed and the stale one is skipped on pop by comparing against
+  the bucket's current ``_heap_key``;
+* ``_warm`` — a per-deployment index of live buckets in insertion order,
+  so :meth:`claim_warm` / :meth:`idle_warm` only scan the one deployment's
+  buckets instead of every tenant's.
+
+All three structures are invisible to callers: the public API and — by
+design — every seeded placement outcome are identical to the naive
+sweep-everything implementation (see ``tests/test_capacity_equivalence``).
 """
+
+import heapq
 
 from repro.common.errors import ConfigurationError
 from repro.cloudsim.instance import FIBucket, FunctionInstance
@@ -31,6 +55,12 @@ class HostPool(object):
         self.slots_per_host = int(slots_per_host)
         self.affinity = float(affinity)
         self._buckets = []
+        self._heap = []
+        self._seq = 0
+        self._occupied = 0
+        self._dead = 0
+        self._warm = {}
+        self.on_release = None
         self.bus = NULL_BUS
         self.zone_id = ""
 
@@ -47,28 +77,60 @@ class HostPool(object):
         return self.hosts * self.slots_per_host
 
     def expire(self, now):
-        """Drop buckets whose keep-alive has lapsed, releasing their slots."""
-        if not self._buckets:
+        """Release buckets whose keep-alive has lapsed (heap pop, not sweep)."""
+        heap = self._heap
+        if not heap or heap[0][0] > now:
             return
-        live = [b for b in self._buckets if not b.is_expired(now)]
-        if self.bus.enabled and len(live) != len(self._buckets):
-            released = (sum(b.count for b in self._buckets)
-                        - sum(b.count for b in live))
+        released = 0
+        on_release = self.on_release
+        while heap and heap[0][0] <= now:
+            key, _, bucket = heapq.heappop(heap)
+            if bucket._released or key != bucket._heap_key:
+                continue  # stale entry; a fresher one is (or was) queued
+            if bucket._expire_at > now:
+                # Keep-alive was refreshed after this entry was pushed
+                # (lazy re-key): queue it again under the current expiry.
+                self._schedule_expiry(bucket)
+                continue
+            bucket._released = True
+            count = bucket._count
+            self._occupied -= count
+            self._dead += 1
+            released += count
+            if on_release is not None:
+                on_release(bucket, now)
+        if released and self.bus.enabled:
             self.bus.emit("host.expire", now, zone=self.zone_id,
                           cpu=self.cpu_key, released=released)
-        self._buckets = live
+        buckets = self._buckets
+        if self._dead >= 8 and self._dead * 2 > len(buckets):
+            # Global compaction: rebuild the bucket list and the warm index
+            # together.  Per-deployment admit order is preserved because
+            # ``_warm`` lists are always subsequences of ``_buckets``.
+            self._buckets = live = [b for b in buckets if not b._released]
+            self._dead = 0
+            warm = {}
+            for b in live:
+                lst = warm.get(b.deployment)
+                if lst is None:
+                    warm[b.deployment] = [b]
+                else:
+                    lst.append(b)
+            self._warm = warm
 
     def occupied(self, now):
-        """Slots held by live (busy or warm) FIs."""
-        self.expire(now)
-        return sum(b.count for b in self._buckets)
+        """Slots held by live (busy or warm) FIs — an O(1) cached read."""
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            self.expire(now)
+        return self._occupied
 
     def free_slots(self, now):
         return max(0, self.capacity - self.occupied(now))
 
     def live_buckets(self):
         """The pool's current FI buckets (after the last expiry sweep)."""
-        return list(self._buckets)
+        return [b for b in self._buckets if not b._released]
 
     # -- allocation ------------------------------------------------------------
     def allocate(self, deployment, count, now, duration, keepalive):
@@ -80,14 +142,31 @@ class HostPool(object):
         """
         if count <= 0:
             raise ConfigurationError("allocation count must be positive")
-        if count > self.free_slots(now):
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            self.expire(now)
+        free = self.hosts * self.slots_per_host - self._occupied
+        if count > free:
             raise ConfigurationError(
                 "pool {} over-allocated: {} requested, {} free".format(
-                    self.cpu_key, count, self.free_slots(now)))
+                    self.cpu_key, count, max(0, free)))
         bucket = FIBucket(deployment, self.cpu_key, count,
                           busy_until=now + duration,
                           expire_at=now + duration + keepalive)
+        # _admit, inlined: poll-sized campaigns allocate a bucket per pool
+        # per poll, so the batch path skips a few layers of calls.
+        bucket._pool = self
         self._buckets.append(bucket)
+        self._occupied += bucket._count
+        key = bucket._expire_at
+        bucket._heap_key = key
+        self._seq = seq = self._seq + 1
+        heapq.heappush(heap, (key, seq, bucket))
+        warm = self._warm.get(deployment)
+        if warm is None:
+            self._warm[deployment] = [bucket]
+        else:
+            warm.append(bucket)
         if self.bus.enabled:
             self.bus.emit("host.allocate", now, zone=self.zone_id,
                           cpu=self.cpu_key, count=count)
@@ -103,7 +182,7 @@ class HostPool(object):
                               created_at=now,
                               busy_until=now + duration,
                               expire_at=now + duration + keepalive)
-        self._buckets.append(fi)
+        self._admit(fi)
         if self.bus.enabled:
             self.bus.emit("host.allocate", now, zone=self.zone_id,
                           cpu=self.cpu_key, count=1)
@@ -114,18 +193,25 @@ class HostPool(object):
 
         Returns the number actually claimed.  Claimed FIs become busy for
         ``duration`` and get a refreshed keep-alive.  Buckets are split when
-        only part of them is needed.
+        only part of them is needed.  Only this deployment's warm index is
+        scanned — other tenants' buckets are never visited.
         """
         remaining = int(count)
         if remaining <= 0:
             return 0
+        warm = self._warm.get(deployment)
+        if not warm:
+            return 0
         claimed = 0
+        live = []
         new_buckets = []
-        for bucket in self._buckets:
-            if (remaining > 0 and bucket.deployment == deployment
-                    and bucket.is_idle(now)):
-                take = min(bucket.count, remaining)
-                if take == bucket.count:
+        for bucket in warm:
+            if bucket._released:
+                continue
+            live.append(bucket)
+            if remaining > 0 and bucket.is_idle(now):
+                take = min(bucket._count, remaining)
+                if take == bucket._count:
                     bucket.touch(now, duration, keepalive)
                 else:
                     bucket.count -= take
@@ -135,7 +221,9 @@ class HostPool(object):
                     new_buckets.append(reused)
                 remaining -= take
                 claimed += take
-        self._buckets.extend(new_buckets)
+        self._warm[deployment] = live
+        for bucket in new_buckets:
+            self._admit(bucket)
         if claimed and self.bus.enabled:
             self.bus.emit("host.reuse", now, zone=self.zone_id,
                           cpu=self.cpu_key, count=claimed)
@@ -143,8 +231,11 @@ class HostPool(object):
 
     def idle_warm(self, deployment, now):
         """Warm-idle FI count available to ``deployment`` right now."""
-        return sum(b.count for b in self._buckets
-                   if b.deployment == deployment and b.is_idle(now))
+        warm = self._warm.get(deployment)
+        if not warm:
+            return 0
+        return sum(b._count for b in warm
+                   if not b._released and b.is_idle(now))
 
     # -- resizing (drift & scaling) ---------------------------------------------
     def set_hosts(self, hosts, now):
@@ -165,6 +256,25 @@ class HostPool(object):
         if hosts < 0:
             raise ConfigurationError("cannot add a negative host count")
         self.hosts += int(hosts)
+
+    # -- internals ---------------------------------------------------------------
+    def _admit(self, bucket):
+        """Take ownership of ``bucket``: wire hooks, count its slots, index it."""
+        bucket._pool = self
+        self._buckets.append(bucket)
+        self._occupied += bucket._count
+        self._schedule_expiry(bucket)
+        warm = self._warm.get(bucket.deployment)
+        if warm is None:
+            self._warm[bucket.deployment] = [bucket]
+        else:
+            warm.append(bucket)
+
+    def _schedule_expiry(self, bucket):
+        key = bucket._expire_at
+        bucket._heap_key = key
+        self._seq += 1
+        heapq.heappush(self._heap, (key, self._seq, bucket))
 
     def __repr__(self):
         return "HostPool(cpu={}, hosts={}, slots/host={})".format(

@@ -13,27 +13,85 @@ The simulator tracks FIs at two granularities:
 Lifecycle: an FI is **busy** until ``busy_until`` (it is executing a
 request), then **warm-idle** until ``expire_at`` (the platform's keep-alive,
 ~5 minutes on AWS Lambda), after which its slot is released.
+
+Capacity-accounting hooks
+-------------------------
+Host pools keep an O(1) cached ``occupied`` counter and a min-heap of bucket
+expiry times instead of sweeping every bucket on every capacity read.  For
+the cache to stay exact, buckets notify their owning pool whenever the two
+accounting-relevant fields change out from under it:
+
+* ``count`` — shrunk by warm-claim splits and background-load re-targets;
+  the delta flows straight into the pool's occupancy counter;
+* ``expire_at`` — refreshed by :meth:`touch` and force-expired by the
+  background process; the pool re-keys the bucket in its expiry heap.
+
+``busy_until`` only affects idleness (never slot accounting), so it stays a
+plain attribute.  Buckets not yet admitted to a pool (``_pool is None``)
+behave exactly like the plain records they used to be.
 """
 
 
 class FIBucket(object):
     """``count`` FIs sharing a deployment, CPU, and lifecycle window."""
 
-    __slots__ = ("deployment", "cpu_key", "count", "busy_until", "expire_at")
+    __slots__ = ("deployment", "cpu_key", "busy_until",
+                 "_count", "_expire_at", "_pool", "_heap_key", "_released")
+
+    # Identity defaults: anonymous buckets answer ``instance_id is None``
+    # with a plain attribute read, so release-path type checks never pay
+    # for a raising ``getattr``.  :class:`FunctionInstance` shadows both
+    # with real slots.
+    instance_id = None
+    host_id = None
 
     def __init__(self, deployment, cpu_key, count, busy_until, expire_at):
         self.deployment = deployment
         self.cpu_key = cpu_key
-        self.count = int(count)
+        self._pool = None
+        self._heap_key = None
+        self._released = False
+        self._count = int(count)
         self.busy_until = float(busy_until)
-        self.expire_at = float(expire_at)
+        self._expire_at = float(expire_at)
 
+    # -- accounting-tracked fields ------------------------------------------
+    @property
+    def count(self):
+        return self._count
+
+    @count.setter
+    def count(self, value):
+        value = int(value)
+        pool = self._pool
+        if pool is not None and not self._released:
+            pool._occupied += value - self._count
+        self._count = value
+
+    @property
+    def expire_at(self):
+        return self._expire_at
+
+    @expire_at.setter
+    def expire_at(self, value):
+        value = float(value)
+        self._expire_at = value
+        pool = self._pool
+        # Lazy re-key: extensions (warm reuse refreshing the keep-alive) keep
+        # the old heap entry — the pool re-pushes it when it pops early.
+        # Only a *shortened* expiry must be re-keyed eagerly, or the heap
+        # would release the slot late.
+        if (pool is not None and not self._released
+                and value < self._heap_key):
+            pool._schedule_expiry(self)
+
+    # -- lifecycle ----------------------------------------------------------
     def is_expired(self, now):
-        return now >= self.expire_at
+        return now >= self._expire_at
 
     def is_idle(self, now):
         """Warm and not executing: eligible for reuse by its deployment."""
-        return self.busy_until <= now < self.expire_at
+        return self.busy_until <= now < self._expire_at
 
     def touch(self, now, duration, keepalive):
         """Serve another request: busy for ``duration``, then fresh keep-alive."""
@@ -42,9 +100,9 @@ class FIBucket(object):
 
     def __repr__(self):
         return ("FIBucket({}x {} for {!r}, busy_until={:.2f}, "
-                "expire_at={:.2f})".format(self.count, self.cpu_key,
+                "expire_at={:.2f})".format(self._count, self.cpu_key,
                                            self.deployment, self.busy_until,
-                                           self.expire_at))
+                                           self._expire_at))
 
 
 class FunctionInstance(FIBucket):

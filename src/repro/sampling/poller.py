@@ -10,6 +10,7 @@ from repro.common.errors import (
     InvocationError,
     RETRYABLE_REASONS,
 )
+from repro.cloudsim.az import PlacementResult
 from repro.sampling.fanout import FanoutSpec
 
 
@@ -76,6 +77,12 @@ class Poller(object):
         self.fanout = fanout or FanoutSpec()
         self.transient_retries = int(transient_retries)
         self._next_endpoint = 0
+        # The fan-out window is an invariant of (n_requests, endpoint):
+        # resolve it once per endpoint instead of on every poll.
+        self._windows = [
+            self.fanout.effective_window(self.n_requests, e.provider,
+                                         e.memory_mb)
+            for e in self.endpoints]
 
     @property
     def zone_id(self):
@@ -99,11 +106,11 @@ class Poller(object):
         campaign — saturation heuristics downstream already know how to
         treat a 100 %-failure poll.
         """
-        endpoint = self.endpoints[self._next_endpoint % len(self.endpoints)]
+        index = self._next_endpoint % len(self.endpoints)
+        endpoint = self.endpoints[index]
         self._next_endpoint += 1
         duration = endpoint.handler.duration_on(None, self.cloud.rng)
-        window = self.fanout.effective_window(
-            self.n_requests, endpoint.provider, endpoint.memory_mb)
+        window = self._windows[index]
         result = bill = None
         for attempt in range(self.transient_retries + 1):
             try:
@@ -137,7 +144,6 @@ class Poller(object):
 
     def _failed_poll(self, endpoint, duration, now):
         """Synthesize an all-failed observation for a persistent fault."""
-        from repro.cloudsim.az import PlacementResult
         now = self.cloud.clock.now if now is None else float(now)
         result = PlacementResult(
             zone_id=endpoint.zone_id,

@@ -1,6 +1,6 @@
 """Workload registry: name -> singleton workload instance."""
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, PayloadError
 from repro.workloads.compress import Zipper
 from repro.workloads.compute import MathService, MatrixMultiply
 from repro.workloads.disk import DiskWriteAndProcess, DiskWriter
@@ -51,15 +51,15 @@ def resolve_runtime_model(payload):
     Payloads built by :meth:`repro.workloads.base.Workload.payload` carry
     their workload name in ``args["workload"]``.
     """
-    from repro.common.errors import PayloadError
-    args = payload.args or {}
+    args = payload.args
     name = args.get("workload") if isinstance(args, dict) else None
     if name is None:
         raise PayloadError(
             "payload does not identify its workload (args['workload'])")
-    if name not in _MODEL_CACHE:
-        _MODEL_CACHE[name] = workload_by_name(name).runtime_model()
-    return _MODEL_CACHE[name]
+    model = _MODEL_CACHE.get(name)
+    if model is None:
+        model = _MODEL_CACHE[name] = workload_by_name(name).runtime_model()
+    return model
 
 
 def memory_aware_resolver(memory_mb):
