@@ -34,6 +34,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 from repro import build_sky  # noqa: E402
 from repro.cloudsim.handlers import SleepHandler  # noqa: E402
 from repro.dynfunc import UniversalDynamicFunctionHandler  # noqa: E402
+from repro.engine import CampaignTask, CloudSpec, Grid, SweepEngine  # noqa: E402
 from repro.workloads import resolve_runtime_model, workload_by_name  # noqa: E402
 
 TRAJECTORY = os.path.join(os.path.dirname(os.path.dirname(
@@ -42,7 +43,8 @@ TRAJECTORY = os.path.join(os.path.dirname(os.path.dirname(
 POLL_ITERS = 2000
 INVOKE_ITERS = 10000
 REPEATS = 5
-METRICS = ("poll_1000_us", "invoke_one_us")
+SWEEP_REPEATS = 3
+METRICS = ("poll_1000_us", "invoke_one_us", "sweep_grid24_ms")
 
 
 def best_of(fn, repeats=REPEATS):
@@ -68,6 +70,29 @@ def calibration_us():
     return best_of(spin) / 200000 * 1e6
 
 
+def sweep_grid24_tasks(root_seed=77, max_polls=400):
+    """The reference 24-cell campaign grid (shared with bench_sweep).
+
+    ``failure_threshold=1.0`` disables the early-saturation stop and a
+    long ``inter_poll_gap`` lets capacity expire between polls, so every
+    cell runs exactly ``max_polls`` full polls — fixed work per cell, the
+    shape a parallel-speedup benchmark needs.  ``summary=True`` keeps the
+    returned payload fixed-size so the benchmark times the sweep, not the
+    parent's unpickling of raw observations.
+    """
+    grid = Grid([("zone", ["us-west-1a", "us-west-1b"]),
+                 ("seed", list(range(12)))], root_seed=root_seed,
+                namespace="bench-sweep")
+    tasks = []
+    for cell in grid.cells():
+        zone = dict(cell.key)["zone"]
+        tasks.append(CampaignTask(
+            CloudSpec.for_zones([zone], seed=cell.seed), zone,
+            endpoints=30, n_requests=1000, max_polls=max_polls,
+            failure_threshold=1.0, inter_poll_gap=400.0, summary=True))
+    return tasks
+
+
 def measure():
     cloud = build_sky(seed=191, aws_only=True)
     account = cloud.create_account("bench", "aws")
@@ -88,9 +113,14 @@ def measure():
             cloud.invoke(dynamic, payload=payload)
             cloud.clock.advance(5.0)  # warm reuse on the next round
 
+    def sweep_loop():
+        SweepEngine(workers=1).run(sweep_grid24_tasks())
+
     return {
         "poll_1000_us": best_of(poll_loop) / POLL_ITERS * 1e6,
         "invoke_one_us": best_of(invoke_loop) / INVOKE_ITERS * 1e6,
+        "sweep_grid24_ms": best_of(sweep_loop,
+                                   repeats=SWEEP_REPEATS) * 1e3,
         "calibration_us": calibration_us(),
     }
 
@@ -140,10 +170,12 @@ def cmd_record(args):
     numbers = measure()
     entry = append_entry(args.label, numbers, baseline=args.baseline)
     print("recorded {label} @ {commit}: poll_1000={poll:.2f}us "
-          "invoke_one={invoke:.2f}us (calibration {cal:.4f}us)".format(
+          "invoke_one={invoke:.2f}us sweep_grid24={sweep:.1f}ms "
+          "(calibration {cal:.4f}us)".format(
               label=entry["label"], commit=entry["commit"],
               poll=numbers["poll_1000_us"],
               invoke=numbers["invoke_one_us"],
+              sweep=numbers["sweep_grid24_ms"],
               cal=numbers["calibration_us"]))
     return 0
 
@@ -160,6 +192,12 @@ def cmd_check(args):
         return 0
     failed = False
     for metric in METRICS:
+        if metric not in baseline:
+            # The metric postdates the baseline entry (e.g. sweep_grid24_ms
+            # added after the baseline was recorded): nothing to gate yet.
+            print("{}: {:.2f} (no baseline value; skipped)".format(
+                metric, numbers[metric]))
+            continue
         base_norm = baseline[metric] / baseline["calibration_us"]
         curr_norm = numbers[metric] / numbers["calibration_us"]
         ratio = curr_norm / base_norm

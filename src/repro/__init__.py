@@ -62,6 +62,17 @@ from repro.dynfunc import (
     UniversalDynamicFunctionHandler,
     build_payload,
 )
+from repro.engine import (
+    CampaignTask,
+    CloudSpec,
+    Grid,
+    ProgressiveTask,
+    StudyTask,
+    SweepEngine,
+    SweepProgress,
+    TemporalTask,
+    run_sweep,
+)
 from repro.obs import EventBus, MetricsRegistry, Observability, Tracer
 from repro.saaf import Inspector, report_from_invocation
 from repro.sampling import (
@@ -119,6 +130,15 @@ __all__ = [
     "DynamicFunctionRuntime",
     "UniversalDynamicFunctionHandler",
     "build_payload",
+    "CampaignTask",
+    "CloudSpec",
+    "Grid",
+    "ProgressiveTask",
+    "StudyTask",
+    "SweepEngine",
+    "SweepProgress",
+    "TemporalTask",
+    "run_sweep",
     "EventBus",
     "MetricsRegistry",
     "Observability",

@@ -8,9 +8,15 @@ Subcommands mirror the library's main flows::
     python -m repro profile zipper --zone us-west-1b [--repetitions 2000]
     python -m repro study zipper --zones us-west-1a,us-west-1b,sa-east-1a \
         --days 7 [--json out.json]
+    python -m repro sweep campaign --zones us-west-1a,us-west-1b \
+        --seeds 0,1,2 --workers 4 [--json out.json]
 
 Everything runs against the simulated sky; ``--seed`` makes runs
-reproducible.
+reproducible.  Grid-shaped experiments (``sweep``, multi-zone
+``characterize``, multi-workload ``study``) accept ``--workers N`` and
+fan out over a process pool; results are byte-identical to ``--workers
+1`` because every cell's seed is spawn-keyed from the root seed, never
+from scheduling order.
 """
 
 import argparse
@@ -18,7 +24,6 @@ import sys
 
 from repro import (
     BaselinePolicy,
-    CharacterizationStore,
     HybridPolicy,
     Observability,
     RetryRoutingPolicy,
@@ -32,6 +37,7 @@ from repro import (
     workload_by_name,
 )
 from repro import reporting
+from repro.common.errors import CharacterizationError
 from repro.cloudsim.catalog import catalog_region_names, zone_spec
 from repro.faults.schedule import PRESET_NAMES
 from repro.workloads import all_workloads, resolve_runtime_model
@@ -61,10 +67,15 @@ def build_parser():
 
     characterize = commands.add_parser(
         "characterize", help="sample a zone's CPU distribution")
-    characterize.add_argument("zone")
+    characterize.add_argument("zone",
+                              help="zone id (comma-separate several to "
+                                   "sweep them as independent campaigns)")
     characterize.add_argument("--polls", type=int, default=6,
                               help="polls to run (default 6; 0 = until "
                                    "saturation)")
+    characterize.add_argument("--workers", type=int, default=1,
+                              help="process-pool size for multi-zone "
+                                   "sweeps (default 1 = serial)")
     characterize.add_argument("--json", dest="json_path")
 
     profile = commands.add_parser(
@@ -85,14 +96,56 @@ def build_parser():
     study = commands.add_parser(
         "study", help="multi-day routing study (baseline vs. retry vs. "
                       "hybrid)")
-    study.add_argument("workload")
+    study.add_argument("workload",
+                       help="workload name (comma-separate several to "
+                            "sweep one independent study per workload)")
     study.add_argument("--zones",
                        default="us-west-1a,us-west-1b,sa-east-1a")
     study.add_argument("--baseline-zone", default="us-west-1b")
     study.add_argument("--days", type=int, default=7)
     study.add_argument("--burst", type=int, default=1000)
+    study.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for multi-workload sweeps "
+                            "(default 1 = serial)")
     study.add_argument("--json", dest="json_path")
     study.add_argument("--csv", dest="csv_path")
+
+    sweep = commands.add_parser(
+        "sweep", help="fan an experiment grid (zones x seeds x ...) over "
+                      "a process pool; byte-identical at any worker count")
+    sweep.add_argument("kind", choices=("campaign", "progressive",
+                                        "study"))
+    sweep.add_argument("--zones", default="us-west-1a,us-west-1b")
+    sweep.add_argument("--seeds", default="0",
+                       help="comma-separated seed tokens; each grid cell "
+                            "derives its cloud seed from --seed and its "
+                            "own (zone, seed-token) key")
+    sweep.add_argument("--polls", type=int, default=6,
+                       help="max polls per campaign cell (0 = until "
+                            "saturation)")
+    sweep.add_argument("--endpoints", type=int, default=10,
+                       help="sampling endpoints per campaign cell")
+    sweep.add_argument("--requests", type=int, default=None,
+                       help="requests per poll (default: provider quota "
+                            "capped at 1000)")
+    sweep.add_argument("--budgets", default="1,2,4,6",
+                       help="progressive: report APE at these poll "
+                            "budgets")
+    sweep.add_argument("--workloads", default="sha1_hash",
+                       help="study: comma-separated workloads (one study "
+                            "cell per workload x seed)")
+    sweep.add_argument("--baseline-zone", default=None,
+                       help="study: fixed zone for the baseline/retry "
+                            "policies (default: first of --zones)")
+    sweep.add_argument("--days", type=int, default=3)
+    sweep.add_argument("--burst", type=int, default=500)
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--chunk", type=int, default=None,
+                       help="cells per dispatch chunk (default: "
+                            "auto, ~4 chunks per worker)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print per-cell progress to stderr")
+    sweep.add_argument("--json", dest="json_path")
 
     obs = commands.add_parser(
         "obs", help="run a short routed burst with full observability and "
@@ -167,31 +220,63 @@ def cmd_workloads(args, out):
     return 0
 
 
-def cmd_characterize(args, out):
-    cloud = build_sky(seed=args.seed)
-    spec = zone_spec(args.zone)  # fail fast on unknown zones
-    region = cloud.region_of_zone(args.zone)
-    account = cloud.create_account("cli", region.provider.name)
-    mesh = SkyMesh(cloud)
-    count = max(args.polls, 1) if args.polls else 100
-    endpoints = mesh.deploy_sampling_endpoints(
-        account, args.zone, count=count,
-        memory_base_mb=min(2048, region.provider.memory_options_mb[-1]
-                           - count))
-    campaign = SamplingCampaign(
-        cloud, endpoints,
-        n_requests=min(1000, region.provider.concurrency_quota),
-        max_polls=args.polls if args.polls else None)
-    result = campaign.run()
+def _write_campaign_block(out, zone_id, result):
     profile = result.ground_truth()
-    out.write("zone {} ({} drift class)\n".format(args.zone, spec.drift))
+    out.write("zone {} ({} drift class)\n".format(
+        zone_id, zone_spec(zone_id).drift))
     out.write("observed {} FIs over {} polls, cost {}\n".format(
         result.total_fis, result.polls_run, result.total_cost))
     for cpu in profile.cpu_keys():
         out.write("  {:<18} {:6.1%}\n".format(cpu, profile.share(cpu)))
+
+
+def cmd_characterize(args, out):
+    zones = [z.strip() for z in args.zone.split(",") if z.strip()]
+    for zone_id in zones:
+        zone_spec(zone_id)  # fail fast on unknown zones
+    if len(zones) == 1:
+        cloud = build_sky(seed=args.seed)
+        region = cloud.region_of_zone(zones[0])
+        account = cloud.create_account("cli", region.provider.name)
+        mesh = SkyMesh(cloud)
+        count = max(args.polls, 1) if args.polls else 100
+        endpoints = mesh.deploy_sampling_endpoints(
+            account, zones[0], count=count,
+            memory_base_mb=min(2048, region.provider.memory_options_mb[-1]
+                               - count))
+        campaign = SamplingCampaign(
+            cloud, endpoints,
+            n_requests=min(1000, region.provider.concurrency_quota),
+            max_polls=args.polls if args.polls else None)
+        result = campaign.run()
+        _write_campaign_block(out, zones[0], result)
+        if args.json_path:
+            reporting.write_json(args.json_path,
+                                 reporting.campaign_to_dict(result))
+            out.write("wrote {}\n".format(args.json_path))
+        return 0
+    # Multi-zone: one independent campaign cell per zone, fanned out over
+    # the parallel engine.  Each cell's cloud seed is spawn-keyed from
+    # --seed and the zone id, so the output is byte-identical at any
+    # --workers setting.
+    from repro.engine import CampaignTask, CloudSpec, Grid, SweepEngine
+    grid = Grid([("zone", zones)], root_seed=args.seed,
+                namespace="characterize")
+    count = max(args.polls, 1) if args.polls else 100
+    tasks = []
+    for cell in grid.cells():
+        zone_id = dict(cell.key)["zone"]
+        tasks.append(CampaignTask(
+            CloudSpec.for_zones([zone_id], seed=cell.seed), zone_id,
+            endpoints=count,
+            max_polls=args.polls if args.polls else None))
+    results = SweepEngine(workers=args.workers).run(tasks)
+    for zone_id, result in zip(zones, results):
+        _write_campaign_block(out, zone_id, result)
     if args.json_path:
         reporting.write_json(args.json_path,
-                             reporting.campaign_to_dict(result))
+                             [reporting.campaign_to_dict(r)
+                              for r in results])
         out.write("wrote {}\n".format(args.json_path))
     return 0
 
@@ -249,41 +334,59 @@ def cmd_advise(args, out):
     return 0
 
 
-def cmd_study(args, out):
-    zones = [z.strip() for z in args.zones.split(",") if z.strip()]
-    cloud = build_sky(seed=args.seed, aws_only=True)
-    account = cloud.create_account("cli", "aws")
-    mesh = SkyMesh(cloud)
-    endpoints = {}
-    for zone in zones:
-        endpoints[zone] = mesh.deploy_sampling_endpoints(account, zone,
-                                                         count=10)
-        mesh.register(cloud.deploy(
-            account, zone, "dynamic", 2048,
-            handler=UniversalDynamicFunctionHandler(resolve_runtime_model)))
-    study = RoutingStudy(cloud, mesh, CharacterizationStore(),
-                         workload_by_name(args.workload), zones, endpoints,
-                         days=args.days, burst_size=args.burst,
-                         polls_per_day=6)
-    result = study.run([
-        BaselinePolicy(args.baseline_zone),
-        RetryRoutingPolicy(args.baseline_zone, "retry_slow"),
-        RetryRoutingPolicy(args.baseline_zone, "focus_fastest"),
-        HybridPolicy("focus_fastest"),
-    ])
+def _write_study_block(out, workload_name, args, result):
     out.write("{} over {} days, burst {} (baseline {})\n".format(
-        args.workload, args.days, args.burst, args.baseline_zone))
+        workload_name, args.days, args.burst, args.baseline_zone))
     for name, summary in sorted(result.savings_summary().items()):
         out.write("  {:<22} cumulative {:6.1f}%  best day {:6.1f}%\n"
                   .format(name, summary["cumulative_pct"],
                           summary["max_daily_pct"]))
     out.write("sampling spend: {}\n".format(result.sampling_cost))
+
+
+def cmd_study(args, out):
+    zones = [z.strip() for z in args.zones.split(",") if z.strip()]
+    workloads = [w.strip() for w in args.workload.split(",") if w.strip()]
+    for name in workloads:
+        workload_by_name(name)  # fail fast on unknown workloads
+    if len(workloads) == 1:
+        cloud = build_sky(seed=args.seed, aws_only=True)
+        study = RoutingStudy.from_names(
+            cloud, workloads[0], zones, sampling_count=10,
+            account_id="cli", days=args.days, burst_size=args.burst,
+            polls_per_day=6)
+        results = [study.run([
+            BaselinePolicy(args.baseline_zone),
+            RetryRoutingPolicy(args.baseline_zone, "retry_slow"),
+            RetryRoutingPolicy(args.baseline_zone, "focus_fastest"),
+            HybridPolicy("focus_fastest"),
+        ])]
+    else:
+        # Multi-workload: one independent study per workload, fanned out
+        # over the parallel engine with spawn-keyed cell seeds.
+        from repro.engine import CloudSpec, Grid, StudyTask, SweepEngine
+        grid = Grid([("workload", workloads)], root_seed=args.seed,
+                    namespace="study")
+        tasks = [StudyTask(
+            CloudSpec.for_zones(zones, seed=cell.seed),
+            dict(cell.key)["workload"], zones,
+            baseline_zone=args.baseline_zone, days=args.days,
+            burst_size=args.burst, polls_per_day=6)
+            for cell in grid.cells()]
+        results = SweepEngine(workers=args.workers).run(tasks)
+    for workload_name, result in zip(workloads, results):
+        _write_study_block(out, workload_name, args, result)
     if args.json_path:
-        reporting.write_json(args.json_path,
-                             reporting.study_result_to_dict(result))
+        payload = reporting.study_result_to_dict(results[0]) \
+            if len(results) == 1 else \
+            [reporting.study_result_to_dict(r) for r in results]
+        reporting.write_json(args.json_path, payload)
         out.write("wrote {}\n".format(args.json_path))
     if args.csv_path:
-        reporting.write_csv(args.csv_path, reporting.study_to_rows(result))
+        rows = []
+        for result in results:
+            rows.extend(reporting.study_to_rows(result))
+        reporting.write_csv(args.csv_path, rows)
         out.write("wrote {}\n".format(args.csv_path))
     return 0
 
@@ -427,6 +530,150 @@ def cmd_chaos(args, out):
     return 0
 
 
+def _sweep_engine(args):
+    """Build the engine (and optional stderr progress) for a sweep."""
+    from repro.engine import SweepEngine, SweepProgress
+    obs = None
+    if args.progress:
+        observability = Observability()
+
+        def on_cell(done, total):
+            sys.stderr.write("sweep: cell {}/{} done\n".format(done,
+                                                               total))
+
+        SweepProgress(observability.bus, on_cell=on_cell)
+        obs = observability
+    return SweepEngine(workers=args.workers, chunk_size=args.chunk,
+                       obs=obs)
+
+
+def cmd_sweep(args, out):
+    from repro.engine import (
+        CampaignTask,
+        CloudSpec,
+        Grid,
+        ProgressiveTask,
+        StudyTask,
+    )
+    zones = [z.strip() for z in args.zones.split(",") if z.strip()]
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    engine = _sweep_engine(args)
+    max_polls = args.polls if args.polls else None
+
+    if args.kind in ("campaign", "progressive"):
+        for zone_id in zones:
+            zone_spec(zone_id)  # fail fast on unknown zones
+        task_type = (CampaignTask if args.kind == "campaign"
+                     else ProgressiveTask)
+        grid = Grid([("zone", zones), ("seed", seeds)],
+                    root_seed=args.seed, namespace="sweep-" + args.kind)
+        tasks = []
+        for cell in grid.cells():
+            key = dict(cell.key)
+            tasks.append(task_type(
+                CloudSpec.for_zones([key["zone"]], seed=cell.seed),
+                key["zone"], endpoints=args.endpoints,
+                n_requests=args.requests, max_polls=max_polls))
+        results = engine.run(tasks)
+        out.write("{} sweep: {} cells ({} zones x {} seeds)\n".format(
+            args.kind, len(grid), len(zones), len(seeds)))
+        json_cells = []
+        if args.kind == "campaign":
+            out.write("{:<16} {:>6} {:>6} {:>6} {:>9} {:>10} {:>12}  "
+                      "{}\n".format("zone", "seed", "polls", "FIs",
+                                    "requests", "saturated", "cost ($)",
+                                    "dominant cpu"))
+            for cell, result in zip(grid.cells(), results):
+                key = dict(cell.key)
+                out.write("{:<16} {:>6} {:>6} {:>6} {:>9} {:>10} "
+                          "{:>12.6f}  {}\n".format(
+                              key["zone"], key["seed"], result.polls_run,
+                              result.total_fis, result.total_requests,
+                              "yes" if result.saturated else "no",
+                              float(result.total_cost),
+                              result.ground_truth().dominant_cpu()))
+                cell_dict = {"zone": key["zone"], "seed": key["seed"],
+                             "cell_seed": cell.seed}
+                cell_dict.update(reporting.campaign_to_dict(result))
+                json_cells.append(cell_dict)
+        else:
+            budgets = [int(b) for b in args.budgets.split(",")
+                       if b.strip()]
+            header = "{:<16} {:>6} {:>6}".format("zone", "seed", "polls")
+            header += "".join(" {:>9}".format("ape@{}".format(b))
+                              for b in budgets)
+            out.write(header + " {:>9}\n".format("to-95%"))
+            for cell, analysis in zip(grid.cells(), results):
+                key = dict(cell.key)
+                campaign = analysis.campaign
+                row = "{:<16} {:>6} {:>6}".format(key["zone"], key["seed"],
+                                                  campaign.polls_run)
+                for budget in budgets:
+                    try:
+                        ape = analysis.ape_after(
+                            min(budget, campaign.polls_run))
+                        row += " {:>9.3f}".format(ape)
+                    except CharacterizationError:
+                        row += " {:>9}".format("-")
+                polls_to = analysis.polls_to_accuracy(95.0)
+                row += " {:>9}\n".format(polls_to if polls_to is not None
+                                         else "-")
+                out.write(row)
+                json_cells.append({
+                    "zone": key["zone"], "seed": key["seed"],
+                    "cell_seed": cell.seed,
+                    "ape_curve": [[polls, fis, round(ape, 6)]
+                                  for polls, fis, ape
+                                  in analysis.ape_curve()],
+                    "polls_to_95": polls_to,
+                    "campaign": reporting.campaign_to_dict(campaign),
+                })
+    else:  # study
+        workloads = [w.strip() for w in args.workloads.split(",")
+                     if w.strip()]
+        for name in workloads:
+            workload_by_name(name)  # fail fast on unknown workloads
+        baseline_zone = args.baseline_zone or zones[0]
+        grid = Grid([("workload", workloads), ("seed", seeds)],
+                    root_seed=args.seed, namespace="sweep-study")
+        tasks = [StudyTask(
+            CloudSpec.for_zones(zones, seed=cell.seed),
+            dict(cell.key)["workload"], zones,
+            baseline_zone=baseline_zone, days=args.days,
+            burst_size=args.burst)
+            for cell in grid.cells()]
+        results = engine.run(tasks)
+        out.write("study sweep: {} cells ({} workloads x {} seeds), "
+                  "{} days, burst {}\n".format(
+                      len(grid), len(workloads), len(seeds), args.days,
+                      args.burst))
+        json_cells = []
+        for cell, result in zip(grid.cells(), results):
+            key = dict(cell.key)
+            out.write("[{} seed={}]\n".format(key["workload"],
+                                              key["seed"]))
+            for name, summary in sorted(result.savings_summary().items()):
+                out.write("  {:<22} cumulative {:6.1f}%  best day "
+                          "{:6.1f}%\n".format(name,
+                                              summary["cumulative_pct"],
+                                              summary["max_daily_pct"]))
+            out.write("  sampling spend: {}\n".format(
+                result.sampling_cost))
+            cell_dict = {"workload": key["workload"], "seed": key["seed"],
+                         "cell_seed": cell.seed}
+            cell_dict.update(reporting.study_result_to_dict(result))
+            json_cells.append(cell_dict)
+
+    if args.json_path:
+        reporting.write_json(args.json_path, {
+            "kind": args.kind,
+            "root_seed": args.seed,
+            "cells": json_cells,
+        })
+        out.write("wrote {}\n".format(args.json_path))
+    return 0
+
+
 _COMMANDS = {
     "catalog": cmd_catalog,
     "workloads": cmd_workloads,
@@ -434,6 +681,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "advise": cmd_advise,
     "study": cmd_study,
+    "sweep": cmd_sweep,
     "obs": cmd_obs,
     "chaos": cmd_chaos,
 }

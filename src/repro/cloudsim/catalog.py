@@ -308,3 +308,32 @@ def zone_spec(zone_id):
         if zone_id in specs:
             return specs[zone_id][2]
     raise UnknownZoneError(zone_id)
+
+
+def region_name_of_zone(zone_id):
+    """Map a catalog zone id to its region name (without building a sky).
+
+    The parallel engine uses this to install only the regions a grid cell
+    actually touches, keeping per-worker cloud construction cheap.
+    """
+    for name, (_, _, zones) in AWS_REGION_SPECS.items():
+        for suffix in zones:
+            if name + suffix == zone_id:
+                return name
+    for specs in (IBM_REGION_SPECS, DO_REGION_SPECS):
+        if zone_id in specs:
+            return zone_id
+    raise UnknownZoneError(zone_id)
+
+
+def provider_name_of_zone(zone_id):
+    """Map a catalog zone id to its provider name."""
+    for name, (_, _, zones) in AWS_REGION_SPECS.items():
+        for suffix in zones:
+            if name + suffix == zone_id:
+                return "aws"
+    if zone_id in IBM_REGION_SPECS:
+        return "ibm"
+    if zone_id in DO_REGION_SPECS:
+        return "do"
+    raise UnknownZoneError(zone_id)

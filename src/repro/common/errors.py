@@ -98,3 +98,20 @@ class PayloadError(ReproError):
 
 class CharacterizationError(ReproError):
     """A CPU characterization is empty, stale, or otherwise unusable."""
+
+
+class SweepError(ReproError):
+    """One or more cells of a parallel experiment sweep failed.
+
+    ``failures`` is a list of ``(cell_index, error_type, message)`` tuples
+    ordered by cell index, so the report is deterministic regardless of
+    which worker hit the failure first.
+    """
+
+    def __init__(self, failures):
+        self.failures = sorted(failures)
+        lines = ["{} sweep cell(s) failed:".format(len(self.failures))]
+        for index, error_type, message in self.failures:
+            lines.append("  cell {}: {}: {}".format(index, error_type,
+                                                    message))
+        super().__init__("\n".join(lines))

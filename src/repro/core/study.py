@@ -89,6 +89,42 @@ class RoutingStudy(object):
         self.client = client
         self._runner = WorkloadRunner(cloud)
 
+    @classmethod
+    def from_names(cls, cloud, workload_name, candidate_zones,
+                   sampling_count=10, account_id="study", memory_mb=2048,
+                   **kwargs):
+        """Build a study from primitive names on a fresh ``cloud``.
+
+        Creates the account, the per-zone sampling endpoint sets, and the
+        dynamic-function mesh the CLI's ``study`` subcommand always built
+        by hand — and which the parallel engine's :class:`StudyTask` needs
+        to rebuild *inside* a worker process, where only names and numbers
+        arrive.  ``kwargs`` pass through to the constructor (``days``,
+        ``burst_size``, ``polls_per_day``, ...).
+        """
+        from repro.core.characterization_store import CharacterizationStore
+        from repro.dynfunc import UniversalDynamicFunctionHandler
+        from repro.skymesh import SkyMesh
+        from repro.workloads import resolve_runtime_model, workload_by_name
+
+        candidate_zones = list(candidate_zones)
+        if not candidate_zones:
+            raise ConfigurationError("study needs candidate zones")
+        provider = cloud.region_of_zone(candidate_zones[0]).provider.name
+        account = cloud.create_account(account_id, provider)
+        mesh = SkyMesh(cloud)
+        endpoints = {}
+        for zone_id in candidate_zones:
+            endpoints[zone_id] = mesh.deploy_sampling_endpoints(
+                account, zone_id, count=sampling_count)
+            mesh.register(cloud.deploy(
+                account, zone_id, "dynamic", memory_mb,
+                handler=UniversalDynamicFunctionHandler(
+                    resolve_runtime_model)))
+        return cls(cloud, mesh, CharacterizationStore(),
+                   workload_by_name(workload_name), candidate_zones,
+                   endpoints, memory_mb=memory_mb, **kwargs)
+
     def _refresh_characterizations(self, result):
         for zone_id in self.candidate_zones:
             campaign = SamplingCampaign(

@@ -1,0 +1,58 @@
+"""repro.engine — the deterministic parallel experiment engine.
+
+The paper's evaluation is a grid of embarrassingly-parallel runs: sampling
+campaigns per AZ (EX-1), progressive-sampling accuracy curves (EX-3),
+multi-day temporal series (EX-4), and routing studies (EX-5).  This
+package fans such grids out over a ``ProcessPoolExecutor`` while keeping
+the results **byte-identical to a serial run**:
+
+* :class:`CloudSpec` — a picklable recipe for a private simulated sky;
+  each grid cell's worker builds its own cloud, so no live simulator
+  object crosses a process boundary;
+* :class:`Grid` / :class:`Cell` — deterministic enumeration of axis cross
+  products, with per-cell seeds spawn-keyed from the root seed
+  (:func:`repro.common.rng.spawn_seed`) independent of worker count and
+  scheduling order;
+* task adapters (:class:`CampaignTask`, :class:`ProgressiveTask`,
+  :class:`TemporalTask`, :class:`StudyTask`) wrapping the existing
+  experiment entry points as picklable value objects;
+* :class:`SweepEngine` — chunked process-pool dispatch with ordered
+  result merging, serial fallback, and obs integration;
+* :class:`SweepProgress` — an event-bus progress aggregator.
+
+See ``python -m repro sweep --help`` for the CLI front end.
+"""
+
+from repro.engine.executor import SweepEngine, run_sweep
+from repro.engine.grid import Cell, Grid
+from repro.engine.progress import SweepProgress
+from repro.engine.spec import CloudSpec
+from repro.engine.tasks import (
+    DEFAULT_POLICY_SPECS,
+    CampaignSummary,
+    CampaignTask,
+    ProgressiveTask,
+    StudyTask,
+    SweepTask,
+    TemporalTask,
+    build_policy,
+    run_task,
+)
+
+__all__ = [
+    "Cell",
+    "CloudSpec",
+    "Grid",
+    "SweepEngine",
+    "SweepProgress",
+    "SweepTask",
+    "CampaignSummary",
+    "CampaignTask",
+    "ProgressiveTask",
+    "TemporalTask",
+    "StudyTask",
+    "DEFAULT_POLICY_SPECS",
+    "build_policy",
+    "run_task",
+    "run_sweep",
+]

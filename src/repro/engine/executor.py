@@ -1,0 +1,214 @@
+"""Deterministic sweep execution: serial reference and process-pool fan-out.
+
+The engine's contract is simple and strict: for any task list, the result
+list returned by ``workers=N`` is **identical** to the ``workers=1``
+serial reference, element for element.  Three properties make that hold:
+
+1. tasks never share state — each builds its own cloud from a
+   :class:`~repro.engine.spec.CloudSpec` whose seed was spawn-keyed from
+   the cell identity, not from enumeration order;
+2. workers return ``(index, result)`` pairs and the parent merges them
+   back into task order, so completion order is irrelevant;
+3. the only parallel machinery is the stdlib ``ProcessPoolExecutor`` —
+   no shared RNGs, no shared clocks, no shared buses cross the boundary.
+
+Small cells are batched into chunks (one pickle/IPC round-trip per chunk,
+not per cell) and the engine degrades gracefully to the serial path when
+the platform cannot give it a process pool.
+
+Observability is parent-side only: per-cell ``sweep.cell`` events and the
+worker-utilization gauge are emitted as results arrive, on wall-clock
+timestamps (a sweep spans many independent sim clocks, so there is no
+single sim time to stamp).
+"""
+
+import os
+import time
+
+from repro.common.errors import SweepError
+from repro.engine.tasks import run_task
+
+
+def _run_chunk(chunk):
+    """Worker-side loop: run each (index, task) pair, never raise.
+
+    Failures travel back as ``(error_type_name, message)`` payloads so one
+    bad cell cannot poison its chunk-mates, and the parent can report every
+    failing cell (deterministically, by index) instead of just the first.
+    """
+    out = []
+    pid = os.getpid()
+    for index, task in chunk:
+        start = time.perf_counter()
+        try:
+            payload, ok = run_task(task), True
+        except Exception as error:  # noqa: BLE001 — transported, re-raised
+            payload, ok = (type(error).__name__, str(error)), False
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        out.append((index, ok, payload, wall_ms, pid))
+    return out
+
+
+def _chunk(pairs, chunk_size):
+    return [pairs[i:i + chunk_size]
+            for i in range(0, len(pairs), chunk_size)]
+
+
+class SweepEngine(object):
+    """Fans a task list over a process pool; falls back to serial.
+
+    ``workers=1`` (the default) is the in-process serial reference
+    executor.  ``obs`` is an optional
+    :class:`~repro.obs.Observability`; when given, the engine emits
+    ``sweep.start`` / ``sweep.cell`` / ``sweep.fallback`` / ``sweep.done``
+    events and maintains ``sweep_cells_inflight`` and
+    ``sweep_worker_utilization`` gauges.
+    """
+
+    def __init__(self, workers=1, chunk_size=None, obs=None,
+                 start_method=None):
+        self.workers = max(1, int(workers))
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = int(chunk_size) if chunk_size else None
+        self.obs = obs
+        self.start_method = start_method
+        #: How the last run actually executed: "serial", "pool", or
+        #: "serial-fallback" (pool requested but unavailable).
+        self.last_mode = None
+
+    # -- observability helpers ------------------------------------------------
+    def _emit(self, name, started, **fields):
+        if self.obs is not None and self.obs.bus.enabled:
+            self.obs.bus.emit(name, time.perf_counter() - started, **fields)
+
+    def _gauge(self, name):
+        if self.obs is None:
+            return None
+        return self.obs.registry.gauge(name)
+
+    def _resolve_chunk_size(self, n_tasks, workers):
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # Small cells amortize IPC; ~4 chunks per worker keeps the tail
+        # short without a pickle round-trip per cell.
+        return max(1, -(-n_tasks // (workers * 4)))
+
+    # -- execution ------------------------------------------------------------
+    def run(self, tasks):
+        """Execute ``tasks``; returns their results in task order.
+
+        Raises :class:`~repro.common.errors.SweepError` listing every
+        failed cell (by index) once all cells have been attempted.
+        """
+        tasks = list(tasks)
+        started = time.perf_counter()
+        workers = min(self.workers, max(1, len(tasks)))
+        self._emit("sweep.start", started, cells=len(tasks),
+                   workers=workers)
+        if not tasks:
+            self.last_mode = "serial"
+            self._emit("sweep.done", started, cells=0, workers=workers,
+                       mode="serial", wall_s=0.0, utilization=0.0)
+            return []
+        if workers <= 1:
+            return self._run_serial(tasks, started, mode="serial")
+        pool = self._make_pool(workers)
+        if pool is None:
+            self._emit("sweep.fallback", started, cells=len(tasks),
+                       reason="process pool unavailable")
+            return self._run_serial(tasks, started, mode="serial-fallback")
+        with pool:
+            return self._run_pool(pool, tasks, workers, started)
+
+    def _make_pool(self, workers):
+        try:
+            import concurrent.futures
+            import multiprocessing
+
+            method = self.start_method
+            if method is None:
+                # Fork shares the already-imported library with workers;
+                # spawn works too (tasks are picklable) but pays a fresh
+                # interpreter per worker.
+                available = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in available else None
+            context = (multiprocessing.get_context(method)
+                       if method is not None else None)
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=context)
+        except (ImportError, NotImplementedError, OSError, ValueError):
+            return None
+
+    def _run_serial(self, tasks, started, mode):
+        self.last_mode = mode
+        results = [None] * len(tasks)
+        failures = []
+        busy_ms = 0.0
+        for index, task in enumerate(tasks):
+            for record in _run_chunk([(index, task)]):
+                busy_ms += self._absorb(record, results, failures, started)
+        return self._finish(results, failures, started, workers=1,
+                            mode=mode, busy_ms=busy_ms)
+
+    def _run_pool(self, pool, tasks, workers, started):
+        import concurrent.futures
+
+        self.last_mode = "pool"
+        pairs = list(enumerate(tasks))
+        chunks = _chunk(pairs, self._resolve_chunk_size(len(pairs),
+                                                        workers))
+        inflight = self._gauge("sweep_cells_inflight")
+        if inflight is not None:
+            inflight.set(len(pairs))
+        futures = {pool.submit(_run_chunk, chunk): chunk
+                   for chunk in chunks}
+        results = [None] * len(tasks)
+        failures = []
+        busy_ms = 0.0
+        for future in concurrent.futures.as_completed(futures):
+            chunk = futures[future]
+            try:
+                records = future.result()
+            except Exception as error:  # noqa: BLE001 — per-cell report
+                # The whole chunk is lost (e.g. its results failed to
+                # pickle, or a worker died); blame every cell in it.
+                records = [(index, False,
+                            (type(error).__name__, str(error)), 0.0, -1)
+                           for index, _ in chunk]
+            for record in records:
+                busy_ms += self._absorb(record, results, failures, started)
+            if inflight is not None:
+                inflight.dec(len(chunk))
+        return self._finish(results, failures, started, workers=workers,
+                            mode="pool", busy_ms=busy_ms)
+
+    def _absorb(self, record, results, failures, started):
+        index, ok, payload, wall_ms, pid = record
+        if ok:
+            results[index] = payload
+        else:
+            failures.append((index, payload[0], payload[1]))
+        self._emit("sweep.cell", started, index=index, ok=ok,
+                   wall_ms=wall_ms, worker_pid=pid)
+        return wall_ms
+
+    def _finish(self, results, failures, started, workers, mode, busy_ms):
+        wall_s = time.perf_counter() - started
+        utilization = (busy_ms / 1000.0) / (workers * wall_s) \
+            if wall_s > 0 else 0.0
+        gauge = self._gauge("sweep_worker_utilization")
+        if gauge is not None:
+            gauge.set(utilization)
+        self._emit("sweep.done", started, cells=len(results),
+                   workers=workers, mode=mode, wall_s=wall_s,
+                   utilization=utilization)
+        if failures:
+            raise SweepError(failures)
+        return results
+
+
+def run_sweep(tasks, workers=1, chunk_size=None, obs=None):
+    """One-shot convenience wrapper around :class:`SweepEngine`."""
+    return SweepEngine(workers=workers, chunk_size=chunk_size,
+                       obs=obs).run(tasks)

@@ -1,0 +1,92 @@
+"""Experiment grids: deterministic enumeration of sweep cells.
+
+A :class:`Grid` is an ordered cross product of named axes — for example
+``zone × seed × policy × poll_budget``.  Each cell gets:
+
+* a stable **index** (its position in row-major axis order);
+* a **key**: the tuple of ``(axis, value)`` pairs identifying it;
+* a **seed** derived from the grid's root seed and the key via the
+  spawn-key scheme (:func:`repro.common.rng.spawn_seed`).
+
+Because the seed depends only on the root seed and the cell's own key —
+never on enumeration order, worker count, or scheduling — a sweep's
+results are identical however its cells are distributed across processes.
+"""
+
+import collections
+import itertools
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import spawn_seed
+
+Cell = collections.namedtuple("Cell", ["index", "key", "seed"])
+Cell.__doc__ = """One grid cell: ``index`` (row-major position), ``key``
+(tuple of ``(axis, value)`` pairs), ``seed`` (spawn-keyed cloud seed)."""
+
+
+class Grid(object):
+    """An ordered cross product of named experiment axes."""
+
+    def __init__(self, axes, root_seed=0, namespace="sweep"):
+        """``axes`` is a sequence of ``(name, values)`` pairs (or an
+        ordered mapping).  ``namespace`` partitions seed streams between
+        unrelated sweeps sharing a root seed."""
+        if isinstance(axes, dict):
+            axes = list(axes.items())
+        self.axes = [(str(name), list(values)) for name, values in axes]
+        if not self.axes:
+            raise ConfigurationError("grid needs at least one axis")
+        names = [name for name, _ in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                "duplicate axis names: {}".format(names))
+        for name, values in self.axes:
+            if not values:
+                raise ConfigurationError(
+                    "axis {!r} has no values".format(name))
+        self.root_seed = int(root_seed)
+        self.namespace = str(namespace)
+
+    @property
+    def axis_names(self):
+        return [name for name, _ in self.axes]
+
+    def __len__(self):
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+    def cell_seed(self, key):
+        """The spawn-keyed seed for a cell key (order-independent)."""
+        tokens = [self.namespace]
+        tokens.extend("{}={}".format(name, value) for name, value in key)
+        return spawn_seed(self.root_seed, *tokens)
+
+    def cells(self):
+        """Enumerate every cell in deterministic row-major order."""
+        names = self.axis_names
+        value_lists = [values for _, values in self.axes]
+        for index, combo in enumerate(itertools.product(*value_lists)):
+            key = tuple(zip(names, combo))
+            yield Cell(index=index, key=key, seed=self.cell_seed(key))
+
+    def cell(self, index):
+        """Random access by index (same cell the iterator would yield)."""
+        size = len(self)
+        if not 0 <= index < size:
+            raise ConfigurationError(
+                "cell index {} out of range [0, {})".format(index, size))
+        combo = []
+        remainder = index
+        for _, values in reversed(self.axes):
+            remainder, position = divmod(remainder, len(values))
+            combo.append(values[position])
+        combo.reverse()
+        key = tuple(zip(self.axis_names, combo))
+        return Cell(index=index, key=key, seed=self.cell_seed(key))
+
+    def __repr__(self):
+        shape = "x".join(str(len(values)) for _, values in self.axes)
+        return "Grid({} [{}], root_seed={})".format(
+            ",".join(self.axis_names), shape, self.root_seed)

@@ -1,0 +1,85 @@
+"""Sweep progress aggregation over the observability event stream.
+
+:class:`SweepProgress` subscribes to an :class:`~repro.obs.EventBus` and
+folds the engine's ``sweep.*`` events into a live summary — cells done
+vs. total, failures, busy milliseconds, the execution mode, and final
+worker utilization.  The CLI uses it for ``--progress`` output; tests use
+it to assert the engine's instrumentation without scraping raw events.
+"""
+
+
+class SweepProgress(object):
+    """Live sweep counters fed by ``sweep.*`` events."""
+
+    def __init__(self, bus, on_cell=None):
+        """``on_cell(done, total)`` is an optional per-cell callback
+        (e.g. a progress printer)."""
+        self.total = 0
+        self.done = 0
+        self.failed = 0
+        self.busy_ms = 0.0
+        self.workers = 1
+        self.mode = None
+        self.wall_s = 0.0
+        self.utilization = 0.0
+        self.fallback_reason = None
+        self._on_cell = on_cell
+        self._unsubscribes = [
+            bus.subscribe(self._on_start, "sweep.start"),
+            bus.subscribe(self._on_cell_event, "sweep.cell"),
+            bus.subscribe(self._on_fallback, "sweep.fallback"),
+            bus.subscribe(self._on_done, "sweep.done"),
+        ]
+
+    # -- event handlers -------------------------------------------------------
+    def _on_start(self, event):
+        self.total = event.fields["cells"]
+        self.workers = event.fields["workers"]
+        self.done = 0
+        self.failed = 0
+        self.busy_ms = 0.0
+
+    def _on_cell_event(self, event):
+        self.done += 1
+        self.busy_ms += event.fields["wall_ms"]
+        if not event.fields["ok"]:
+            self.failed += 1
+        if self._on_cell is not None:
+            self._on_cell(self.done, self.total)
+
+    def _on_fallback(self, event):
+        self.fallback_reason = event.fields["reason"]
+
+    def _on_done(self, event):
+        self.mode = event.fields["mode"]
+        self.wall_s = event.fields["wall_s"]
+        self.utilization = event.fields["utilization"]
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def remaining(self):
+        return max(0, self.total - self.done)
+
+    def summary(self):
+        """JSON-safe snapshot of the sweep's progress."""
+        return {
+            "cells": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "workers": self.workers,
+            "mode": self.mode,
+            "wall_s": round(self.wall_s, 6),
+            "busy_ms": round(self.busy_ms, 3),
+            "utilization": round(self.utilization, 4),
+            "fallback_reason": self.fallback_reason,
+        }
+
+    def detach(self):
+        """Stop observing the bus (keeps accumulated counters)."""
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes = []
+
+    def __repr__(self):
+        return "SweepProgress({}/{} done, {} failed, mode={})".format(
+            self.done, self.total, self.failed, self.mode)

@@ -157,6 +157,18 @@ class Observability(object):
             registry.counter("hedges_total", zone=zone).inc()
             if fields["won"]:
                 registry.counter("hedge_wins_total", zone=zone).inc()
+        elif name == "sweep.cell":
+            registry.counter("sweep_cells_total").inc()
+            registry.histogram("sweep_cell_wall_ms").observe(
+                fields["wall_ms"])
+            if not fields["ok"]:
+                registry.counter("sweep_cell_failures_total").inc()
+        elif name == "sweep.fallback":
+            registry.counter("sweep_fallbacks_total").inc()
+        elif name == "sweep.done":
+            registry.gauge("sweep_workers").set(fields["workers"])
+            registry.gauge("sweep_worker_utilization").set(
+                fields["utilization"])
 
     # -- summaries ----------------------------------------------------------
     def zone_latency_summary(self):

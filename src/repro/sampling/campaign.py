@@ -40,19 +40,33 @@ class CampaignResult(object):
 
     # -- characterizations --------------------------------------------------------
     def characterization_after(self, polls):
-        """Characterization built from the first ``polls`` polls."""
+        """Characterization built from the first ``polls`` polls.
+
+        Raises :class:`CharacterizationError` when none of those polls
+        served a request — the message names exactly which polls in the
+        prefix were all-failed, so a caller sweeping poll budgets (the
+        progressive analyses, the parallel engine) can tell a saturated
+        prefix from a misconfigured one.
+        """
         if polls < 1 or polls > self.polls_run:
             raise ConfigurationError(
                 "polls must be in [1, {}]".format(self.polls_run))
         builder = CharacterizationBuilder(self.zone_id)
-        for obs in self.observations[:polls]:
+        failed_polls = []
+        for number, obs in enumerate(self.observations[:polls], start=1):
             if obs.served > 0:
                 builder.add_poll(obs.cpu_counts, cost=obs.cost,
                                  timestamp=obs.timestamp)
+            else:
+                failed_polls.append(number)
         if builder.is_empty():
             raise CharacterizationError(
-                "first {} polls in {} observed nothing".format(
-                    polls, self.zone_id))
+                "first {} poll(s) in {} observed nothing: poll(s) "
+                "{} were all-failed ({} failed requests in the "
+                "prefix)".format(
+                    polls, self.zone_id,
+                    ", ".join(str(n) for n in failed_polls),
+                    sum(obs.failed for obs in self.observations[:polls])))
         return builder.snapshot()
 
     def ground_truth(self):

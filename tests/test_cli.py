@@ -164,3 +164,80 @@ class TestModuleEntryPoint(object):
             [sys.executable, "-m", "repro", "frobnicate"],
             capture_output=True, text=True)
         assert completed.returncode != 0
+
+
+class TestSweep(object):
+    def _campaign_args(self, *extra):
+        return ("--seed", "5", "sweep", "campaign",
+                "--zones", "us-west-1a,us-west-1b", "--seeds", "0,1",
+                "--polls", "2", "--endpoints", "3",
+                "--requests", "150") + extra
+
+    def test_campaign_sweep_table(self):
+        code, output = run_cli(*self._campaign_args())
+        assert code == 0
+        assert "campaign sweep: 4 cells (2 zones x 2 seeds)" in output
+        assert output.count("us-west-1a") >= 2
+
+    def test_workers_do_not_change_output(self, tmp_path):
+        serial_json = str(tmp_path / "serial.json")
+        pooled_json = str(tmp_path / "pooled.json")
+        code1, out1 = run_cli(*self._campaign_args(
+            "--workers", "1", "--json", serial_json))
+        code2, out2 = run_cli(*self._campaign_args(
+            "--workers", "2", "--json", pooled_json))
+        assert code1 == code2 == 0
+        # Identical table (the trailing "wrote <path>" line differs only
+        # by the path we chose).
+        strip = lambda text: [line for line in text.splitlines()  # noqa: E731
+                              if not line.startswith("wrote ")]
+        assert strip(out1) == strip(out2)
+        with open(serial_json) as f1, open(pooled_json) as f2:
+            assert f1.read() == f2.read()
+
+    def test_progressive_sweep(self):
+        code, output = run_cli("--seed", "2", "sweep", "progressive",
+                               "--zones", "us-west-1a", "--seeds", "0",
+                               "--endpoints", "4", "--requests", "150",
+                               "--budgets", "1,2")
+        assert code == 0
+        assert "ape@1" in output
+
+    def test_study_sweep(self):
+        code, output = run_cli("--seed", "4", "sweep", "study",
+                               "--zones", "us-west-1a,us-west-1b",
+                               "--workloads", "sha1_hash", "--seeds", "0",
+                               "--days", "1", "--burst", "50")
+        assert code == 0
+        assert "sha1_hash" in output
+
+    def test_json_payload_shape(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        code, _ = run_cli(*self._campaign_args("--json", path))
+        assert code == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["kind"] == "campaign"
+        assert payload["root_seed"] == 5
+        assert len(payload["cells"]) == 4
+        assert all("cell_seed" in cell for cell in payload["cells"])
+
+
+class TestMultiZoneCharacterize(object):
+    def test_comma_separated_zones(self):
+        code, output = run_cli("--seed", "3", "characterize",
+                               "us-east-2a,us-west-1a", "--polls", "2",
+                               "--workers", "2")
+        assert code == 0
+        assert "us-east-2a" in output
+        assert "us-west-1a" in output
+
+
+class TestMultiWorkloadStudy(object):
+    def test_comma_separated_workloads(self):
+        code, output = run_cli("--seed", "6", "study",
+                               "sha1_hash,zipper", "--days", "1",
+                               "--burst", "50", "--workers", "2")
+        assert code == 0
+        assert "sha1_hash" in output
+        assert "zipper" in output

@@ -1,0 +1,335 @@
+"""The deterministic parallel experiment engine.
+
+The headline contract is verified here: for a mixed grid of campaign,
+progressive, and routing-study cells, ``workers=4`` produces output
+byte-identical to the serial reference executor.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro import reporting
+from repro.common.errors import ConfigurationError, SweepError
+from repro.engine import (
+    CampaignTask,
+    CloudSpec,
+    Grid,
+    ProgressiveTask,
+    StudyTask,
+    SweepEngine,
+    SweepProgress,
+    SweepTask,
+    TemporalTask,
+    run_sweep,
+)
+from repro.obs import Observability
+
+
+# -- CloudSpec ----------------------------------------------------------------
+
+class TestCloudSpec(object):
+    def test_build_restricted_regions(self):
+        spec = CloudSpec.for_zones(["us-west-1a", "eu-north-1a"], seed=3)
+        cloud = spec.build()
+        assert sorted(cloud.regions) == ["eu-north-1", "us-west-1"]
+        assert cloud.seed == 3
+
+    def test_for_zones_infers_provider(self):
+        assert CloudSpec.for_zones(["us-west-1a"]).aws_only
+        assert not CloudSpec.for_zones(["us-west-1a", "lon1"]).aws_only
+
+    def test_with_seed_is_a_fresh_value(self):
+        spec = CloudSpec.for_zones(["us-west-1a"], seed=1)
+        other = spec.with_seed(9)
+        assert other.seed == 9 and spec.seed == 1
+        assert other.regions == spec.regions
+
+    def test_value_semantics_and_dict_round_trip(self):
+        spec = CloudSpec(seed=5, aws_only=False, regions=("us-west-1",))
+        assert spec == CloudSpec.from_dict(spec.to_dict())
+        assert spec != spec.with_seed(6)
+        assert len({spec, CloudSpec.from_dict(spec.to_dict())}) == 1
+
+    def test_build_with_account_matches_zone_provider(self):
+        cloud, account = CloudSpec.for_zones(["lon1"]).build_with_account(
+            "lon1")
+        assert account.provider.name == "do"
+        assert "lon1" in cloud.regions
+
+    def test_for_zones_needs_zones(self):
+        with pytest.raises(ConfigurationError):
+            CloudSpec.for_zones([])
+
+
+# -- Grid ---------------------------------------------------------------------
+
+class TestGrid(object):
+    def test_row_major_enumeration(self):
+        grid = Grid([("zone", ["a", "b"]), ("seed", [0, 1, 2])])
+        cells = list(grid.cells())
+        assert len(grid) == 6 == len(cells)
+        assert [c.index for c in cells] == list(range(6))
+        assert cells[0].key == (("zone", "a"), ("seed", 0))
+        assert cells[3].key == (("zone", "b"), ("seed", 0))
+
+    def test_random_access_matches_iteration(self):
+        grid = Grid([("zone", ["a", "b", "c"]), ("seed", [0, 1]),
+                     ("policy", ["x", "y"])], root_seed=7)
+        for cell in grid.cells():
+            assert grid.cell(cell.index) == cell
+        with pytest.raises(ConfigurationError):
+            grid.cell(len(grid))
+
+    def test_seed_depends_on_key_not_order(self):
+        forward = Grid([("zone", ["a", "b"]), ("seed", [0, 1])],
+                       root_seed=42)
+        seeds = {cell.key: cell.seed for cell in forward.cells()}
+        # The same key yields the same seed regardless of where it falls
+        # in the enumeration (axis values reordered).
+        shuffled = Grid([("zone", ["b", "a"]), ("seed", [1, 0])],
+                        root_seed=42)
+        for cell in shuffled.cells():
+            key = tuple(sorted(cell.key))
+            match = next(k for k in seeds if tuple(sorted(k)) == key)
+            assert seeds[match] == cell.seed
+
+    def test_namespace_partitions_seed_streams(self):
+        a = Grid([("zone", ["a"])], root_seed=1, namespace="x")
+        b = Grid([("zone", ["a"])], root_seed=1, namespace="y")
+        assert a.cell(0).seed != b.cell(0).seed
+
+    def test_distinct_cells_distinct_seeds(self):
+        grid = Grid([("zone", ["a", "b", "c", "d"]),
+                     ("seed", list(range(50)))])
+        seeds = [cell.seed for cell in grid.cells()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Grid([])
+        with pytest.raises(ConfigurationError):
+            Grid([("zone", [])])
+        with pytest.raises(ConfigurationError):
+            Grid([("zone", ["a"]), ("zone", ["b"])])
+
+
+# -- tasks --------------------------------------------------------------------
+
+def _tiny_campaign_task(seed=0, zone="us-west-1a"):
+    return CampaignTask(CloudSpec.for_zones([zone], seed=seed), zone,
+                        endpoints=3, n_requests=150, max_polls=2)
+
+
+class TestTasks(object):
+    def test_tasks_pickle(self):
+        tasks = [
+            _tiny_campaign_task(),
+            ProgressiveTask(CloudSpec.for_zones(["us-west-1b"], seed=1),
+                            "us-west-1b", endpoints=3, n_requests=100),
+            TemporalTask(CloudSpec.for_zones(["us-west-1a"], seed=2),
+                         "us-west-1a", mode="hourly", periods=2,
+                         polls_per_period=2, endpoints=3, n_requests=100),
+            StudyTask(CloudSpec.for_zones(["us-west-1a", "us-west-1b"],
+                                          seed=3),
+                      "sha1_hash", ("us-west-1a", "us-west-1b"), days=1,
+                      burst_size=50, sampling_count=3),
+        ]
+        clones = pickle.loads(pickle.dumps(tasks))
+        assert [t.kind for t in clones] == ["campaign", "progressive",
+                                            "temporal", "study"]
+
+    def test_campaign_task_runs_in_process(self):
+        result = _tiny_campaign_task(seed=11).run()
+        assert result.polls_run == 2
+        assert result.total_requests == 300
+
+    def test_auto_requests_respects_quota(self):
+        # DigitalOcean's quota is far below 1000; auto must clamp to it.
+        task = CampaignTask(CloudSpec.for_zones(["lon1"], seed=0), "lon1",
+                            endpoints=2, max_polls=1)
+        result = task.run()
+        cloud = CloudSpec.for_zones(["lon1"]).build()
+        quota = cloud.region_of_zone("lon1").provider.concurrency_quota
+        assert result.total_requests == min(1000, quota)
+
+    def test_temporal_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            TemporalTask(CloudSpec.for_zones(["us-west-1a"]), "us-west-1a",
+                         mode="weekly")
+
+    def test_study_task_needs_zones(self):
+        with pytest.raises(ConfigurationError):
+            StudyTask(CloudSpec(seed=0), "sha1_hash", ())
+
+    def test_task_rejects_raw_seed(self):
+        with pytest.raises(ConfigurationError):
+            SweepTask(42)
+
+
+# -- engine determinism -------------------------------------------------------
+
+def _mixed_tasks(root_seed=21):
+    grid = Grid([("zone", ["us-west-1a", "us-west-1b"]),
+                 ("seed", [0, 1])], root_seed=root_seed, namespace="mixed")
+    cells = list(grid.cells())
+    spec = lambda cell, zones: CloudSpec.for_zones(zones, seed=cell.seed)  # noqa: E731
+    zone_of = lambda cell: dict(cell.key)["zone"]  # noqa: E731
+    return [
+        CampaignTask(spec(cells[0], [zone_of(cells[0])]),
+                     zone_of(cells[0]), endpoints=3, n_requests=150,
+                     max_polls=2),
+        ProgressiveTask(spec(cells[1], [zone_of(cells[1])]),
+                        zone_of(cells[1]), endpoints=4, n_requests=150),
+        CampaignTask(spec(cells[2], [zone_of(cells[2])]),
+                     zone_of(cells[2]), endpoints=3, n_requests=150,
+                     max_polls=2),
+        StudyTask(spec(cells[3], ["us-west-1a", "us-west-1b"]),
+                  "sha1_hash", ("us-west-1a", "us-west-1b"), days=1,
+                  burst_size=50, sampling_count=3),
+    ]
+
+
+def _serialize(results):
+    payload = []
+    for result in results:
+        if hasattr(result, "savings_summary"):
+            payload.append(reporting.study_result_to_dict(result))
+        elif hasattr(result, "ape_curve"):
+            payload.append({
+                "campaign": reporting.campaign_to_dict(result.campaign),
+                "curve": result.ape_curve(),
+            })
+        else:
+            payload.append(reporting.campaign_to_dict(result))
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class TestEngineDeterminism(object):
+    def test_mixed_grid_workers4_byte_identical_to_serial(self):
+        serial = SweepEngine(workers=1).run(_mixed_tasks())
+        pooled = SweepEngine(workers=4).run(_mixed_tasks())
+        assert _serialize(serial) == _serialize(pooled)
+
+    def test_chunk_size_does_not_change_results(self):
+        baseline = _serialize(SweepEngine(workers=1).run(_mixed_tasks()))
+        for chunk_size in (1, 2, 10):
+            engine = SweepEngine(workers=2, chunk_size=chunk_size)
+            assert _serialize(engine.run(_mixed_tasks())) == baseline
+
+    def test_results_keep_task_order(self):
+        tasks = [_tiny_campaign_task(seed=s) for s in range(6)]
+        expected = [t.run().ground_truth().shares() for t in tasks]
+        pooled = SweepEngine(workers=3).run(tasks)
+        assert [r.ground_truth().shares() for r in pooled] == expected
+
+
+# -- engine mechanics ---------------------------------------------------------
+
+class FailingTask(SweepTask):
+    kind = "failing"
+
+    def __init__(self, message="boom"):
+        super().__init__(CloudSpec(seed=0))
+        self.message = message
+
+    def run(self):
+        raise ValueError(self.message)
+
+
+class TestEngineMechanics(object):
+    def test_empty_sweep(self):
+        assert SweepEngine(workers=4).run([]) == []
+
+    def test_serial_mode_reported(self):
+        engine = SweepEngine(workers=1)
+        engine.run([_tiny_campaign_task()])
+        assert engine.last_mode == "serial"
+
+    def test_pool_mode_reported(self):
+        engine = SweepEngine(workers=2)
+        engine.run([_tiny_campaign_task(s) for s in (0, 1)])
+        assert engine.last_mode == "pool"
+
+    def test_graceful_fallback_without_pool(self):
+        engine = SweepEngine(workers=2, start_method="no-such-method")
+        results = engine.run([_tiny_campaign_task(s) for s in (0, 1)])
+        assert engine.last_mode == "serial-fallback"
+        assert _serialize(results) == _serialize(
+            SweepEngine(workers=1).run(
+                [_tiny_campaign_task(s) for s in (0, 1)]))
+
+    def test_failures_collected_deterministically(self):
+        tasks = [FailingTask("second"), _tiny_campaign_task(),
+                 FailingTask("first-by-index")]
+        tasks[0].message = "a"
+        tasks[2].message = "b"
+        with pytest.raises(SweepError) as excinfo:
+            SweepEngine(workers=2).run(tasks)
+        failures = excinfo.value.failures
+        assert [index for index, _, _ in failures] == [0, 2]
+        assert failures[0][1] == "ValueError"
+
+    def test_serial_also_raises_sweep_error(self):
+        with pytest.raises(SweepError):
+            SweepEngine(workers=1).run([FailingTask()])
+
+    def test_run_sweep_wrapper(self):
+        results = run_sweep([_tiny_campaign_task()], workers=1)
+        assert results[0].polls_run == 2
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            SweepEngine(workers=2, chunk_size=0)
+
+
+# -- observability integration ------------------------------------------------
+
+class TestEngineObservability(object):
+    def test_events_metrics_and_progress(self):
+        obs = Observability()
+        seen = []
+        progress = SweepProgress(obs.bus,
+                                 on_cell=lambda d, t: seen.append((d, t)))
+        tasks = [_tiny_campaign_task(s) for s in range(3)]
+        SweepEngine(workers=2, obs=obs).run(tasks)
+        assert progress.total == 3
+        assert progress.done == 3
+        assert progress.failed == 0
+        assert progress.mode == "pool"
+        assert 0.0 < progress.utilization <= 1.0
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+        registry = obs.registry
+        assert registry.counter("sweep_cells_total").value == 3
+        assert registry.gauge("sweep_workers").value == 2
+        assert 0.0 < registry.gauge("sweep_worker_utilization").value <= 1.0
+        assert registry.histogram("sweep_cell_wall_ms").count == 3
+        summary = progress.summary()
+        assert summary["cells"] == 3 and summary["mode"] == "pool"
+
+    def test_fallback_event_recorded(self):
+        obs = Observability()
+        progress = SweepProgress(obs.bus)
+        engine = SweepEngine(workers=2, obs=obs,
+                             start_method="no-such-method")
+        engine.run([_tiny_campaign_task(s) for s in (0, 1)])
+        assert progress.fallback_reason == "process pool unavailable"
+        assert progress.mode == "serial-fallback"
+        assert obs.registry.counter("sweep_fallbacks_total").value == 1
+
+    def test_failure_counted(self):
+        obs = Observability()
+        progress = SweepProgress(obs.bus)
+        with pytest.raises(SweepError):
+            SweepEngine(workers=1, obs=obs).run([FailingTask()])
+        assert progress.failed == 1
+        assert obs.registry.counter(
+            "sweep_cell_failures_total").value == 1
+
+    def test_progress_detach(self):
+        obs = Observability()
+        progress = SweepProgress(obs.bus)
+        progress.detach()
+        SweepEngine(workers=1, obs=obs).run([_tiny_campaign_task()])
+        assert progress.done == 0

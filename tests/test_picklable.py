@@ -1,0 +1,112 @@
+"""Pickle-ability audit for everything that crosses a process boundary.
+
+The parallel engine ships :class:`CloudSpec`-style recipes *into* workers
+and result objects *out of* them.  These tests pin the contract: specs,
+campaign results, poll observations, characterization snapshots, and
+study results all round-trip through pickle — at the default protocol and
+at ``HIGHEST_PROTOCOL`` — without losing state.
+"""
+
+import pickle
+
+import pytest
+
+from repro import reporting
+from repro.common.units import Money
+from repro.engine import (
+    CampaignTask,
+    CloudSpec,
+    Grid,
+    ProgressiveTask,
+    StudyTask,
+    TemporalTask,
+)
+
+PROTOCOLS = (pickle.DEFAULT_PROTOCOL, pickle.HIGHEST_PROTOCOL)
+
+
+def round_trip(obj, protocol):
+    return pickle.loads(pickle.dumps(obj, protocol=protocol))
+
+
+def _campaign_result():
+    task = CampaignTask(CloudSpec.for_zones(["us-west-1a"], seed=5),
+                        "us-west-1a", endpoints=3, n_requests=150,
+                        max_polls=2)
+    return task.run()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestPicklable(object):
+    def test_cloud_spec(self, protocol):
+        spec = CloudSpec(seed=9, aws_only=False, regions=("us-west-1",))
+        clone = round_trip(spec, protocol)
+        assert clone == spec
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_grid_and_cells(self, protocol):
+        grid = Grid([("zone", ["a", "b"]), ("seed", [0, 1])], root_seed=4)
+        clone = round_trip(grid, protocol)
+        assert list(clone.cells()) == list(grid.cells())
+        cell = grid.cell(3)
+        assert round_trip(cell, protocol) == cell
+
+    def test_campaign_result(self, protocol):
+        result = _campaign_result()
+        clone = round_trip(result, protocol)
+        assert reporting.campaign_to_dict(clone) == \
+            reporting.campaign_to_dict(result)
+        assert clone.total_cost == result.total_cost
+        assert isinstance(clone.total_cost, Money)
+
+    def test_poll_observation(self, protocol):
+        result = _campaign_result()
+        obs = result.observations[0]
+        clone = round_trip(obs, protocol)
+        assert clone.served == obs.served
+        assert clone.failed == obs.failed
+        assert clone.cpu_counts == obs.cpu_counts
+        assert clone.cost == obs.cost
+        assert clone.timestamp == obs.timestamp
+
+    def test_characterization_snapshot(self, protocol):
+        profile = _campaign_result().ground_truth()
+        clone = round_trip(profile, protocol)
+        assert reporting.characterization_to_dict(clone) == \
+            reporting.characterization_to_dict(profile)
+        assert clone.shares() == profile.shares()
+
+    def test_study_result(self, protocol):
+        task = StudyTask(
+            CloudSpec.for_zones(["us-west-1a", "us-west-1b"], seed=6),
+            "sha1_hash", ("us-west-1a", "us-west-1b"), days=1,
+            burst_size=50, sampling_count=3)
+        result = task.run()
+        clone = round_trip(result, protocol)
+        assert reporting.study_result_to_dict(clone) == \
+            reporting.study_result_to_dict(result)
+
+    def test_tasks(self, protocol):
+        spec = CloudSpec.for_zones(["us-west-1a"], seed=0)
+        tasks = [
+            CampaignTask(spec, "us-west-1a", endpoints=3, n_requests=100,
+                         max_polls=1),
+            ProgressiveTask(spec, "us-west-1a", endpoints=3,
+                            n_requests=100),
+            TemporalTask(spec, "us-west-1a", mode="daily", periods=1,
+                         polls_per_period=1, endpoints=3, n_requests=100),
+        ]
+        for task in tasks:
+            clone = round_trip(task, protocol)
+            assert clone.kind == task.kind
+            assert clone.spec == task.spec
+            assert clone.zone_id == task.zone_id
+
+
+def test_round_trip_preserves_determinism():
+    """A pickled task's run() output equals the original's, byte for byte."""
+    task = CampaignTask(CloudSpec.for_zones(["us-west-1b"], seed=13),
+                        "us-west-1b", endpoints=3, n_requests=150,
+                        max_polls=2)
+    clone = pickle.loads(pickle.dumps(task))
+    assert pickle.dumps(task.run()) == pickle.dumps(clone.run())

@@ -2,13 +2,17 @@
 
 import pytest
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import (
+    CharacterizationError,
+    ConfigurationError,
+)
 from repro.common.units import Money
 from repro.sampling import (
     Poller,
     ProgressiveAnalysis,
     SamplingCampaign,
 )
+from repro.sampling.campaign import CampaignResult
 from repro.sampling.cost import (
     campaign_cost_summary,
     characterization_cost,
@@ -185,3 +189,71 @@ class TestCostAccounting(object):
                                     max_polls=1).run() for _ in range(2)]
         assert series_cost(results) == (results[0].total_cost
                                         + results[1].total_cost)
+
+
+class FakePoll(object):
+    """Minimal stand-in for PollObservation: lets tests compose exact
+    served/failed prefixes that a live campaign can't reliably produce."""
+
+    def __init__(self, served, failed, cpu_counts=None, timestamp=0.0):
+        self.served = served
+        self.failed = failed
+        self.cpu_counts = cpu_counts or {}
+        self.cost = Money(10)
+        self.timestamp = timestamp
+        self.unique_fis = len(self.cpu_counts)
+
+
+def _ok_poll(n=5):
+    return FakePoll(served=n, failed=0, cpu_counts={"E5-2670": n})
+
+
+def _dead_poll(failed=7):
+    return FakePoll(served=0, failed=failed)
+
+
+class TestCharacterizationAfterEdgeCases(object):
+    def test_single_all_failed_poll(self):
+        result = CampaignResult("test-1a", [_dead_poll(failed=3)],
+                                saturated=True)
+        with pytest.raises(CharacterizationError) as excinfo:
+            result.characterization_after(1)
+        message = str(excinfo.value)
+        assert "first 1 poll(s) in test-1a" in message
+        assert "poll(s) 1 were all-failed" in message
+        assert "3 failed requests" in message
+
+    def test_all_failed_prefix_lists_every_poll(self):
+        result = CampaignResult(
+            "test-1a", [_dead_poll(2), _dead_poll(4), _ok_poll()],
+            saturated=False)
+        with pytest.raises(CharacterizationError) as excinfo:
+            result.characterization_after(2)
+        message = str(excinfo.value)
+        assert "poll(s) 1, 2 were all-failed" in message
+        assert "6 failed requests" in message
+        # One more poll reaches the serving one: no error.
+        assert result.characterization_after(3).samples == 5
+
+    def test_full_run_prefix_equals_ground_truth(self):
+        result = CampaignResult(
+            "test-1a", [_ok_poll(3), _dead_poll(), _ok_poll(4)],
+            saturated=True)
+        full = result.characterization_after(result.polls_run)
+        assert full.samples == 7
+        assert full.polls == 2  # the dead poll contributes nothing
+        assert full.shares() == result.ground_truth().shares()
+
+    def test_every_poll_dead_at_full_length(self):
+        result = CampaignResult(
+            "test-1a", [_dead_poll(1), _dead_poll(1), _dead_poll(1)],
+            saturated=True)
+        with pytest.raises(CharacterizationError) as excinfo:
+            result.ground_truth()
+        assert "poll(s) 1, 2, 3 were all-failed" in str(excinfo.value)
+
+    def test_mixed_prefix_skips_dead_polls_silently(self):
+        result = CampaignResult(
+            "test-1a", [_dead_poll(), _ok_poll(2)], saturated=False)
+        profile = result.characterization_after(2)
+        assert profile.samples == 2
