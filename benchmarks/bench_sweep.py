@@ -1,20 +1,28 @@
-"""Parallel sweep benchmark: 24-cell campaign grid, serial vs. pool.
+"""Parallel sweep benchmark: 24-cell campaign grid, serial vs. pool/remote.
 
 Runs the reference 24-cell grid (2 zones x 12 seeds, fixed work per cell)
-through :class:`repro.engine.SweepEngine` once serially and once with a
-worker pool, then reports wall times, speedup, and — always — verifies the
-headline guarantee: the pooled results are byte-identical to the serial
-reference.
+through :class:`repro.engine.SweepEngine` once serially and once with the
+chosen parallel backend, then reports wall times, speedup, and — always —
+verifies the headline guarantee: the parallel results are byte-identical
+to the serial reference.
 
 Usage::
 
     python benchmarks/bench_sweep.py [--workers 4] [--polls 800] [--check]
+    python benchmarks/bench_sweep.py --backend remote --workers 4 --check
+
+``--backend local`` (default) uses the in-box process pool;
+``--backend remote`` stands up the socket coordinator on a loopback port
+and spawns ``--workers`` ``sweep-worker`` subprocesses against it — the
+distributed data path, minus the network.
 
 ``--check`` turns the speedup into a gate.  The threshold is hardware
-aware — the target is 2.5x, but a pool can't beat the core count, so on
-machines with fewer than 4 usable cores the requirement scales down
-(and on a single-core box the gate is skipped outright, pass reported
-informationally): byte-equality is still enforced everywhere.
+aware — the target is 2.5x for the pool and 2.0x for the remote backend
+(socket framing and worker start-up cost real time), but a backend can't
+beat the core count, so on machines with fewer than 4 usable cores the
+requirement scales down (and on a single-core box the gate is skipped
+outright, pass reported informationally): byte-equality is still
+enforced everywhere.
 """
 
 import argparse
@@ -30,7 +38,8 @@ from repro.engine import SweepEngine  # noqa: E402
 
 from perf_trajectory import sweep_grid24_tasks  # noqa: E402
 
-TARGET_SPEEDUP = 2.5
+#: Speedup targets per backend at 4+ usable cores.
+TARGET_SPEEDUP = {"local": 2.5, "remote": 2.0}
 
 
 def usable_cores():
@@ -41,22 +50,26 @@ def usable_cores():
         return os.cpu_count() or 1
 
 
-def required_speedup(workers, cores):
-    """Scale the 2.5x target to what the hardware can deliver.
+def required_speedup(workers, cores, target):
+    """Scale the speedup target to what the hardware can deliver.
 
     With ``min(workers, cores)`` effective lanes the ideal speedup is the
-    lane count; we require half of it, capped at the 2.5x target (so 4+
-    cores must hit the full target, 2 cores must hit 1.0x+, 1 core gates
-    nothing).
+    lane count; we require half of it, capped at the backend's target (so
+    4+ cores must hit the full target, 2 cores must hit 1.0x+, 1 core
+    gates nothing).
     """
     lanes = min(workers, cores)
     if lanes < 2:
         return None
-    return min(TARGET_SPEEDUP, lanes / 2.0)
+    return min(target, lanes / 2.0)
 
 
-def timed_run(workers, polls):
-    engine = SweepEngine(workers=workers)
+def timed_run(workers, polls, backend="local"):
+    if backend == "remote":
+        engine = SweepEngine(workers=workers, backend="remote",
+                             remote_workers=workers, join_timeout_s=60.0)
+    else:
+        engine = SweepEngine(workers=workers)
     start = time.perf_counter()
     results = engine.run(sweep_grid24_tasks(max_polls=polls))
     return time.perf_counter() - start, results, engine.last_mode
@@ -67,34 +80,47 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--polls", type=int, default=800,
                         help="polls per cell (sets per-cell work)")
+    parser.add_argument("--backend", choices=("local", "remote"),
+                        default="local",
+                        help="parallel backend to race against serial "
+                             "(remote = loopback socket workers)")
     parser.add_argument("--check", action="store_true",
                         help="gate: fail below the hardware-scaled "
                              "speedup threshold")
     args = parser.parse_args(argv)
 
     cores = usable_cores()
-    print("bench_sweep: 24 cells, {} polls/cell, {} workers, {} usable "
-          "core(s)".format(args.polls, args.workers, cores))
+    print("bench_sweep: 24 cells, {} polls/cell, {} workers "
+          "({} backend), {} usable core(s)".format(
+              args.polls, args.workers, args.backend, cores))
 
     serial_s, serial_results, _ = timed_run(1, args.polls)
-    pool_s, pool_results, mode = timed_run(args.workers, args.polls)
+    parallel_s, parallel_results, mode = timed_run(
+        args.workers, args.polls, backend=args.backend)
+
+    if args.backend == "remote" and mode != "remote":
+        print("FAIL: remote backend degraded to {!r}".format(mode))
+        return 1
 
     # Compare cell by cell: pickling the whole list at once would also
     # compare pickle's memo structure (object sharing across cells), which
     # legitimately differs between in-process and round-tripped results.
-    identical = len(serial_results) == len(pool_results) and all(
+    identical = len(serial_results) == len(parallel_results) and all(
         pickle.dumps(a) == pickle.dumps(b)
-        for a, b in zip(serial_results, pool_results))
-    speedup = serial_s / pool_s if pool_s else float("inf")
-    print("serial: {:.0f} ms   pool[{}]: {:.0f} ms   speedup: {:.2f}x   "
-          "byte-identical: {}".format(serial_s * 1e3, mode, pool_s * 1e3,
-                                      speedup, identical))
+        for a, b in zip(serial_results, parallel_results))
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print("serial: {:.0f} ms   {}[{}]: {:.0f} ms   speedup: {:.2f}x   "
+          "byte-identical: {}".format(serial_s * 1e3, args.backend, mode,
+                                      parallel_s * 1e3, speedup,
+                                      identical))
 
     if not identical:
-        print("FAIL: pooled results differ from the serial reference")
+        print("FAIL: {} results differ from the serial reference".format(
+            args.backend))
         return 1
 
-    threshold = required_speedup(args.workers, cores)
+    threshold = required_speedup(args.workers, cores,
+                                 TARGET_SPEEDUP[args.backend])
     if threshold is None:
         print("speedup gate skipped: single usable core (determinism "
               "still verified)")

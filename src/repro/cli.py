@@ -10,6 +10,11 @@ Subcommands mirror the library's main flows::
         --days 7 [--json out.json]
     python -m repro sweep campaign --zones us-west-1a,us-west-1b \
         --seeds 0,1,2 --workers 4 [--json out.json]
+    python -m repro sweep temporal --zones us-west-1b --seeds 0 \
+        --temporal-mode hourly --periods 6
+    python -m repro sweep campaign ... --backend remote --bind 0.0.0.0:7077 \
+        --remote-workers 0   # serve external sweep-worker peers
+    python -m repro sweep-worker --connect coordinator-host:7077
 
 Everything runs against the simulated sky; ``--seed`` makes runs
 reproducible.  Grid-shaped experiments (``sweep``, multi-zone
@@ -112,9 +117,10 @@ def build_parser():
 
     sweep = commands.add_parser(
         "sweep", help="fan an experiment grid (zones x seeds x ...) over "
-                      "a process pool; byte-identical at any worker count")
+                      "a process pool or socket workers; byte-identical "
+                      "at any worker count")
     sweep.add_argument("kind", choices=("campaign", "progressive",
-                                        "study"))
+                                        "study", "temporal"))
     sweep.add_argument("--zones", default="us-west-1a,us-west-1b")
     sweep.add_argument("--seeds", default="0",
                        help="comma-separated seed tokens; each grid cell "
@@ -139,13 +145,51 @@ def build_parser():
                             "policies (default: first of --zones)")
     sweep.add_argument("--days", type=int, default=3)
     sweep.add_argument("--burst", type=int, default=500)
+    sweep.add_argument("--temporal-mode", default="daily",
+                       choices=("daily", "hourly"),
+                       help="temporal: daily campaign series or hourly "
+                            "characterizations (default daily)")
+    sweep.add_argument("--periods", type=int, default=3,
+                       help="temporal: days (daily mode) or hours "
+                            "(hourly mode) per cell (default 3)")
     sweep.add_argument("--workers", type=int, default=1)
     sweep.add_argument("--chunk", type=int, default=None,
                        help="cells per dispatch chunk (default: "
                             "auto, ~4 chunks per worker)")
+    sweep.add_argument("--backend", default="local",
+                       choices=("local", "remote"),
+                       help="executor backend: local process pool, or a "
+                            "socket coordinator serving sweep-worker "
+                            "processes (default local)")
+    sweep.add_argument("--bind", default="127.0.0.1:0",
+                       help="remote: coordinator listen address "
+                            "(default 127.0.0.1:0 = loopback, any port)")
+    sweep.add_argument("--remote-workers", type=int, default=None,
+                       help="remote: loopback worker processes to spawn "
+                            "(default: --workers; 0 = spawn none and "
+                            "wait for external sweep-worker connects)")
+    sweep.add_argument("--join-timeout", type=float, default=30.0,
+                       help="remote: seconds to wait for the first "
+                            "worker before degrading to the local pool "
+                            "(default 30)")
     sweep.add_argument("--progress", action="store_true",
                        help="print per-cell progress to stderr")
     sweep.add_argument("--json", dest="json_path")
+
+    worker = commands.add_parser(
+        "sweep-worker", help="serve a sweep coordinator: run task chunks "
+                             "received over a socket until told to stop")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to dial")
+    worker.add_argument("--id", dest="worker_id", default=None,
+                        help="worker name in events/gauges "
+                             "(default worker-<pid>)")
+    worker.add_argument("--heartbeat", type=float, default=1.0,
+                        help="seconds between liveness heartbeats "
+                             "(default 1.0)")
+    worker.add_argument("--max-reconnects", type=int, default=8,
+                        help="consecutive connection failures before "
+                             "giving up (default 8)")
 
     obs = commands.add_parser(
         "obs", help="run a short routed burst with full observability and "
@@ -543,8 +587,32 @@ def _sweep_engine(args):
 
         SweepProgress(observability.bus, on_cell=on_cell)
         obs = observability
+    remote_workers = None
+    if args.backend == "remote":
+        # Default to spawning --workers loopback processes; 0 means
+        # "serve whoever connects" (external sweep-worker peers).
+        remote_workers = (args.workers if args.remote_workers is None
+                          else args.remote_workers)
     return SweepEngine(workers=args.workers, chunk_size=args.chunk,
-                       obs=obs)
+                       obs=obs, backend=args.backend, bind=args.bind,
+                       remote_workers=remote_workers,
+                       join_timeout_s=args.join_timeout)
+
+
+def cmd_sweep_worker(args, out):
+    from repro.common.errors import TransportError
+    from repro.engine import run_worker
+    from repro.engine.protocol import parse_address
+    host, port = parse_address(args.connect)
+    try:
+        chunks = run_worker(host, port, worker_id=args.worker_id,
+                            heartbeat_s=args.heartbeat,
+                            max_reconnects=args.max_reconnects)
+    except TransportError as error:
+        out.write("sweep-worker: {}\n".format(error))
+        return 1
+    out.write("sweep-worker: done ({} chunk(s) served)\n".format(chunks))
+    return 0
 
 
 def cmd_sweep(args, out):
@@ -554,6 +622,7 @@ def cmd_sweep(args, out):
         Grid,
         ProgressiveTask,
         StudyTask,
+        TemporalTask,
     )
     zones = [z.strip() for z in args.zones.split(",") if z.strip()]
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
@@ -628,6 +697,55 @@ def cmd_sweep(args, out):
                     "polls_to_95": polls_to,
                     "campaign": reporting.campaign_to_dict(campaign),
                 })
+    elif args.kind == "temporal":
+        for zone_id in zones:
+            zone_spec(zone_id)  # fail fast on unknown zones
+        grid = Grid([("zone", zones), ("seed", seeds)],
+                    root_seed=args.seed, namespace="sweep-temporal")
+        tasks = []
+        for cell in grid.cells():
+            key = dict(cell.key)
+            tasks.append(TemporalTask(
+                CloudSpec.for_zones([key["zone"]], seed=cell.seed),
+                key["zone"], mode=args.temporal_mode,
+                periods=args.periods,
+                polls_per_period=max(args.polls, 1),
+                endpoints=args.endpoints, n_requests=args.requests))
+        results = engine.run(tasks)
+        out.write("temporal sweep ({}): {} cells ({} zones x {} seeds), "
+                  "{} periods\n".format(args.temporal_mode, len(grid),
+                                        len(zones), len(seeds),
+                                        args.periods))
+        json_cells = []
+        for cell, series in zip(grid.cells(), results):
+            key = dict(cell.key)
+            out.write("[{} seed={}]\n".format(key["zone"], key["seed"]))
+            if args.temporal_mode == "daily":
+                out.write("  {:>4} {:>6} {:>6} {:>10} {:>12}  {}\n"
+                          .format("day", "polls", "FIs", "saturated",
+                                  "cost ($)", "dominant cpu"))
+                for day, result in enumerate(series, start=1):
+                    out.write("  {:>4} {:>6} {:>6} {:>10} {:>12.6f}  "
+                              "{}\n".format(
+                                  day, result.polls_run,
+                                  result.total_fis,
+                                  "yes" if result.saturated else "no",
+                                  float(result.total_cost),
+                                  result.ground_truth().dominant_cpu()))
+                payload = [reporting.campaign_to_dict(r) for r in series]
+            else:
+                out.write("  {:>4} {:>8} {:>6}  {}\n".format(
+                    "hour", "samples", "polls", "dominant cpu"))
+                for hour, profile in enumerate(series):
+                    out.write("  {:>4} {:>8} {:>6}  {}\n".format(
+                        hour, profile.samples, profile.polls,
+                        profile.dominant_cpu()))
+                payload = [reporting.characterization_to_dict(p)
+                           for p in series]
+            json_cells.append({"zone": key["zone"], "seed": key["seed"],
+                               "cell_seed": cell.seed,
+                               "mode": args.temporal_mode,
+                               "series": payload})
     else:  # study
         workloads = [w.strip() for w in args.workloads.split(",")
                      if w.strip()]
@@ -682,6 +800,7 @@ _COMMANDS = {
     "advise": cmd_advise,
     "study": cmd_study,
     "sweep": cmd_sweep,
+    "sweep-worker": cmd_sweep_worker,
     "obs": cmd_obs,
     "chaos": cmd_chaos,
 }

@@ -100,18 +100,75 @@ class CharacterizationError(ReproError):
     """A CPU characterization is empty, stale, or otherwise unusable."""
 
 
+class TransportError(ReproError):
+    """A distributed-sweep transport failed (socket error, truncated
+    frame, lost peer).  Raised by :mod:`repro.engine.protocol` and
+    :mod:`repro.engine.remote`; always an infrastructure fault, never a
+    task bug."""
+
+
+class TransportTimeout(TransportError):
+    """A transport receive timed out (no frame, no heartbeat)."""
+
+
+class SweepFailure(tuple):
+    """One failed sweep cell: unpacks as ``(index, error_type, message)``.
+
+    ``chunk_failure`` marks failures where the *infrastructure* lost the
+    whole chunk (a dead worker, a broken pool, a dropped connection)
+    rather than the cell's own code raising — reports use it to separate
+    platform loss from task bugs.
+    """
+
+    def __new__(cls, index, error_type, message, chunk_failure=False):
+        self = tuple.__new__(cls, (index, error_type, message))
+        self.chunk_failure = bool(chunk_failure)
+        return self
+
+    @property
+    def index(self):
+        return self[0]
+
+    @property
+    def error_type(self):
+        return self[1]
+
+    @property
+    def message(self):
+        return self[2]
+
+    def __reduce__(self):
+        return (SweepFailure, (self[0], self[1], self[2],
+                               self.chunk_failure))
+
+
 class SweepError(ReproError):
     """One or more cells of a parallel experiment sweep failed.
 
-    ``failures`` is a list of ``(cell_index, error_type, message)`` tuples
-    ordered by cell index, so the report is deterministic regardless of
-    which worker hit the failure first.
+    ``failures`` is a list of :class:`SweepFailure` entries (each unpacks
+    as a ``(cell_index, error_type, message)`` tuple) ordered by cell
+    index, so the report is deterministic regardless of which worker hit
+    the failure first.  Entries with ``chunk_failure=True`` were lost to
+    infrastructure (dead worker, broken pool, dropped transport), not to
+    the cell's own code.
     """
 
     def __init__(self, failures):
-        self.failures = sorted(failures)
+        normalized = [failure if isinstance(failure, SweepFailure)
+                      else SweepFailure(*failure) for failure in failures]
+        self.failures = sorted(normalized)
         lines = ["{} sweep cell(s) failed:".format(len(self.failures))]
-        for index, error_type, message in self.failures:
-            lines.append("  cell {}: {}: {}".format(index, error_type,
-                                                    message))
+        for failure in self.failures:
+            suffix = "  [chunk lost]" if failure.chunk_failure else ""
+            lines.append("  cell {}: {}: {}{}".format(
+                failure.index, failure.error_type, failure.message,
+                suffix))
         super().__init__("\n".join(lines))
+
+    def chunk_failures(self):
+        """The subset of failures caused by infrastructure loss."""
+        return [f for f in self.failures if f.chunk_failure]
+
+    def task_failures(self):
+        """The subset of failures raised by the cells' own code."""
+        return [f for f in self.failures if not f.chunk_failure]

@@ -16,16 +16,28 @@ the results **byte-identical to a serial run**:
 * task adapters (:class:`CampaignTask`, :class:`ProgressiveTask`,
   :class:`TemporalTask`, :class:`StudyTask`) wrapping the existing
   experiment entry points as picklable value objects;
-* :class:`SweepEngine` — chunked process-pool dispatch with ordered
-  result merging, serial fallback, and obs integration;
+* :class:`SweepEngine` — chunked dispatch with ordered result merging,
+  obs integration, and graceful degradation across backends
+  (remote coordinator → local process pool → serial);
+* :class:`SweepCoordinator` / :class:`SweepWorker` — the socket-based
+  distributed backend (:mod:`repro.engine.remote`), speaking the
+  length-prefixed protocol of :mod:`repro.engine.protocol` and serving
+  ``python -m repro sweep-worker --connect host:port`` peers;
 * :class:`SweepProgress` — an event-bus progress aggregator.
 
 See ``python -m repro sweep --help`` for the CLI front end.
 """
 
-from repro.engine.executor import SweepEngine, run_sweep
+from repro.engine.executor import BACKENDS, SweepEngine, run_sweep
 from repro.engine.grid import Cell, Grid
 from repro.engine.progress import SweepProgress
+from repro.engine.protocol import FaultyTransport, Transport
+from repro.engine.remote import (
+    SweepCoordinator,
+    SweepWorker,
+    run_worker,
+    spawn_local_workers,
+)
 from repro.engine.spec import CloudSpec
 from repro.engine.tasks import (
     DEFAULT_POLICY_SPECS,
@@ -40,12 +52,17 @@ from repro.engine.tasks import (
 )
 
 __all__ = [
+    "BACKENDS",
     "Cell",
     "CloudSpec",
+    "FaultyTransport",
     "Grid",
+    "SweepCoordinator",
     "SweepEngine",
     "SweepProgress",
     "SweepTask",
+    "SweepWorker",
+    "Transport",
     "CampaignSummary",
     "CampaignTask",
     "ProgressiveTask",
@@ -55,4 +72,6 @@ __all__ = [
     "build_policy",
     "run_task",
     "run_sweep",
+    "run_worker",
+    "spawn_local_workers",
 ]

@@ -1,4 +1,4 @@
-"""Deterministic sweep execution: serial reference and process-pool fan-out.
+"""Deterministic sweep execution: serial, process-pool, and remote backends.
 
 The engine's contract is simple and strict: for any task list, the result
 list returned by ``workers=N`` is **identical** to the ``workers=1``
@@ -7,14 +7,18 @@ serial reference, element for element.  Three properties make that hold:
 1. tasks never share state — each builds its own cloud from a
    :class:`~repro.engine.spec.CloudSpec` whose seed was spawn-keyed from
    the cell identity, not from enumeration order;
-2. workers return ``(index, result)`` pairs and the parent merges them
-   back into task order, so completion order is irrelevant;
-3. the only parallel machinery is the stdlib ``ProcessPoolExecutor`` —
-   no shared RNGs, no shared clocks, no shared buses cross the boundary.
+2. workers return ``(index, ok, payload, wall_ms, pid)`` records and the
+   parent merges them back into task order, so completion order is
+   irrelevant;
+3. no shared RNGs, no shared clocks, no shared buses cross a process
+   boundary — workers are either stdlib ``ProcessPoolExecutor`` children
+   or socket peers speaking the same record contract
+   (:mod:`repro.engine.remote`).
 
 Small cells are batched into chunks (one pickle/IPC round-trip per chunk,
-not per cell) and the engine degrades gracefully to the serial path when
-the platform cannot give it a process pool.
+not per cell) and the engine degrades gracefully:
+``remote coordinator → local pool → serial``, emitting a
+``sweep.fallback`` event at each step down.
 
 Observability is parent-side only: per-cell ``sweep.cell`` events and the
 worker-utilization gauge are emitted as results arrive, on wall-clock
@@ -25,8 +29,16 @@ single sim time to stamp).
 import os
 import time
 
-from repro.common.errors import SweepError
+from repro.common.errors import (
+    ConfigurationError,
+    SweepError,
+    SweepFailure,
+    TransportError,
+)
 from repro.engine.tasks import run_task
+
+#: Executor backends, in degradation order.
+BACKENDS = ("local", "remote")
 
 
 def _run_chunk(chunk):
@@ -55,26 +67,51 @@ def _chunk(pairs, chunk_size):
 
 
 class SweepEngine(object):
-    """Fans a task list over a process pool; falls back to serial.
+    """Fans a task list over a process pool or socket workers.
 
     ``workers=1`` (the default) is the in-process serial reference
-    executor.  ``obs`` is an optional
-    :class:`~repro.obs.Observability`; when given, the engine emits
-    ``sweep.start`` / ``sweep.cell`` / ``sweep.fallback`` / ``sweep.done``
-    events and maintains ``sweep_cells_inflight`` and
-    ``sweep_worker_utilization`` gauges.
+    executor.  ``backend="remote"`` serves chunks over TCP instead of a
+    local pool: workers either connect on their own (``python -m repro
+    sweep-worker --connect host:port``) or, with ``remote_workers=N``,
+    are spawned as loopback subprocesses.  Remote execution degrades
+    gracefully — coordinator → local pool → serial — and results stay
+    byte-identical across every backend and worker count.
+
+    ``obs`` is an optional :class:`~repro.obs.Observability`; when
+    given, the engine emits ``sweep.start`` / ``sweep.cell`` /
+    ``sweep.fallback`` / ``sweep.done`` events (plus
+    ``sweep.worker_joined`` / ``sweep.worker_lost`` /
+    ``sweep.chunk_requeued`` on the remote backend) and maintains
+    ``sweep_cells_inflight``, ``sweep_worker_utilization``, and
+    per-worker ``sweep_remote_worker_utilization`` gauges.
     """
 
     def __init__(self, workers=1, chunk_size=None, obs=None,
-                 start_method=None):
+                 start_method=None, backend="local", bind="127.0.0.1:0",
+                 remote_workers=None, heartbeat_s=1.0,
+                 chunk_deadline_s=None, join_timeout_s=10.0,
+                 max_requeues=1):
         self.workers = max(1, int(workers))
         if chunk_size is not None and int(chunk_size) < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = int(chunk_size) if chunk_size else None
         self.obs = obs
         self.start_method = start_method
-        #: How the last run actually executed: "serial", "pool", or
-        #: "serial-fallback" (pool requested but unavailable).
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                "unknown backend {!r}; pick one of {}".format(backend,
+                                                              BACKENDS))
+        self.backend = backend
+        self.bind = bind
+        self.remote_workers = (int(remote_workers)
+                               if remote_workers else None)
+        self.heartbeat_s = float(heartbeat_s)
+        self.chunk_deadline_s = chunk_deadline_s
+        self.join_timeout_s = float(join_timeout_s)
+        self.max_requeues = int(max_requeues)
+        #: How the last run actually executed: "serial", "pool",
+        #: "remote", or "serial-fallback" (parallel backend requested
+        #: but unavailable).
         self.last_mode = None
 
     # -- observability helpers ------------------------------------------------
@@ -104,13 +141,26 @@ class SweepEngine(object):
         tasks = list(tasks)
         started = time.perf_counter()
         workers = min(self.workers, max(1, len(tasks)))
+        if self.backend == "remote":
+            lanes = self.remote_workers or self.workers
+            method = "remote"
+        else:
+            lanes = workers
+            method = (self._resolve_start_method() if workers > 1
+                      else "serial")
         self._emit("sweep.start", started, cells=len(tasks),
-                   workers=workers)
+                   workers=lanes, backend=self.backend,
+                   start_method=method or "default")
         if not tasks:
             self.last_mode = "serial"
-            self._emit("sweep.done", started, cells=0, workers=workers,
+            self._emit("sweep.done", started, cells=0, workers=lanes,
                        mode="serial", wall_s=0.0, utilization=0.0)
             return []
+        if self.backend == "remote":
+            outcome = self._run_remote(tasks, lanes, started)
+            if outcome is not None:
+                return outcome
+            # Degrade to the local pool (then serial) below.
         if workers <= 1:
             return self._run_serial(tasks, started, mode="serial")
         pool = self._make_pool(workers)
@@ -121,18 +171,33 @@ class SweepEngine(object):
         with pool:
             return self._run_pool(pool, tasks, workers, started)
 
+    def _resolve_start_method(self):
+        """The multiprocessing start method a pool run would use.
+
+        ``forkserver`` is preferred: plain ``fork`` is unsafe when the
+        parent holds live threads (obs exporters, remote coordinator
+        handlers) and is deprecated as a threaded-parent default from
+        Python 3.12.  The fallback order is forkserver → fork → spawn;
+        None means "whatever the platform default is".
+        """
+        if self.start_method is not None:
+            return self.start_method
+        try:
+            import multiprocessing
+            available = multiprocessing.get_all_start_methods()
+        except ImportError:
+            return None
+        for method in ("forkserver", "fork", "spawn"):
+            if method in available:
+                return method
+        return None
+
     def _make_pool(self, workers):
         try:
             import concurrent.futures
             import multiprocessing
 
-            method = self.start_method
-            if method is None:
-                # Fork shares the already-imported library with workers;
-                # spawn works too (tasks are picklable) but pays a fresh
-                # interpreter per worker.
-                available = multiprocessing.get_all_start_methods()
-                method = "fork" if "fork" in available else None
+            method = self._resolve_start_method()
             context = (multiprocessing.get_context(method)
                        if method is not None else None)
             return concurrent.futures.ProcessPoolExecutor(
@@ -172,9 +237,14 @@ class SweepEngine(object):
                 records = future.result()
             except Exception as error:  # noqa: BLE001 — per-cell report
                 # The whole chunk is lost (e.g. its results failed to
-                # pickle, or a worker died); blame every cell in it.
+                # pickle, or a worker died): infrastructure loss, not a
+                # task bug — the third payload element marks it so
+                # reports can tell the two apart, and the root cause
+                # (BrokenProcessPool, PicklingError, ...) rides along as
+                # the error type.
                 records = [(index, False,
-                            (type(error).__name__, str(error)), 0.0, -1)
+                            (type(error).__name__, str(error), True),
+                            0.0, -1)
                            for index, _ in chunk]
             for record in records:
                 busy_ms += self._absorb(record, results, failures, started)
@@ -183,14 +253,101 @@ class SweepEngine(object):
         return self._finish(results, failures, started, workers=workers,
                             mode="pool", busy_ms=busy_ms)
 
+    def _run_remote(self, tasks, lanes, started):
+        """Serve chunks to socket workers; None = degrade to the pool."""
+        from repro.engine.protocol import parse_address
+        from repro.engine.remote import SweepCoordinator, spawn_local_workers
+
+        host, port = parse_address(self.bind)
+        coordinator = SweepCoordinator(
+            host=host, port=port, heartbeat_s=self.heartbeat_s,
+            chunk_deadline_s=self.chunk_deadline_s,
+            join_timeout_s=self.join_timeout_s,
+            max_requeues=self.max_requeues,
+            emit=lambda name, **fields: self._emit(name, started,
+                                                   **fields))
+        spawned = []
+        try:
+            try:
+                coordinator.start()
+            except TransportError as error:
+                self._emit("sweep.fallback", started, cells=len(tasks),
+                           reason="coordinator unavailable: "
+                                  "{}".format(error))
+                return None
+            if self.remote_workers:
+                try:
+                    # Workers must beat at least as often as the
+                    # coordinator's silence window expects.
+                    spawned = spawn_local_workers(
+                        coordinator.address, self.remote_workers,
+                        extra_args=("--heartbeat",
+                                    str(self.heartbeat_s)))
+                except OSError as error:
+                    self._emit("sweep.fallback", started,
+                               cells=len(tasks),
+                               reason="cannot spawn workers: "
+                                      "{}".format(error))
+                    return None
+            self.last_mode = "remote"
+            pairs = list(enumerate(tasks))
+            chunks = _chunk(pairs, self._resolve_chunk_size(len(pairs),
+                                                            lanes))
+            inflight = self._gauge("sweep_cells_inflight")
+            if inflight is not None:
+                inflight.set(len(pairs))
+            results = [None] * len(tasks)
+            failures = []
+            busy_ms = 0.0
+            try:
+                for record in coordinator.run(chunks):
+                    busy_ms += self._absorb(record, results, failures,
+                                            started)
+                    if inflight is not None:
+                        inflight.dec(1)
+            except TransportError as error:
+                # Nothing was absorbed (the coordinator only raises
+                # before the first worker joins), so the pool rerun
+                # starts clean.
+                self._emit("sweep.fallback", started, cells=len(tasks),
+                           reason=str(error))
+                return None
+            self._set_worker_gauges(coordinator, started)
+            return self._finish(results, failures, started,
+                                workers=max(1, coordinator.workers_seen),
+                                mode="remote", busy_ms=busy_ms)
+        finally:
+            coordinator.close()
+            for process in spawned:
+                process.terminate()
+            for process in spawned:
+                try:
+                    process.wait(timeout=5.0)
+                except Exception:  # noqa: BLE001 — best-effort reap
+                    process.kill()
+
+    def _set_worker_gauges(self, coordinator, started):
+        if self.obs is None:
+            return
+        wall_s = max(time.perf_counter() - started, 1e-9)
+        for stats in coordinator.worker_stats():
+            gauge = self.obs.registry.gauge(
+                "sweep_remote_worker_utilization",
+                worker=stats["worker"])
+            gauge.set(min(1.0, (stats["busy_ms"] / 1000.0) / wall_s))
+
     def _absorb(self, record, results, failures, started):
         index, ok, payload, wall_ms, pid = record
+        chunk_failure = False
         if ok:
             results[index] = payload
         else:
-            failures.append((index, payload[0], payload[1]))
+            chunk_failure = len(payload) > 2 and bool(payload[2])
+            failures.append(SweepFailure(index, payload[0], payload[1],
+                                         chunk_failure=chunk_failure))
         self._emit("sweep.cell", started, index=index, ok=ok,
-                   wall_ms=wall_ms, worker_pid=pid)
+                   wall_ms=wall_ms, worker_pid=pid,
+                   chunk_failure=chunk_failure)
         return wall_ms
 
     def _finish(self, results, failures, started, workers, mode, busy_ms):
@@ -208,7 +365,11 @@ class SweepEngine(object):
         return results
 
 
-def run_sweep(tasks, workers=1, chunk_size=None, obs=None):
-    """One-shot convenience wrapper around :class:`SweepEngine`."""
+def run_sweep(tasks, workers=1, chunk_size=None, obs=None, **options):
+    """One-shot convenience wrapper around :class:`SweepEngine`.
+
+    Extra keyword ``options`` (``backend``, ``remote_workers``, ...)
+    pass straight through to the engine constructor.
+    """
     return SweepEngine(workers=workers, chunk_size=chunk_size,
-                       obs=obs).run(tasks)
+                       obs=obs, **options).run(tasks)

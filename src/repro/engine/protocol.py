@@ -1,0 +1,244 @@
+"""Wire protocol for the distributed sweep backend.
+
+One frame = a 4-byte big-endian length prefix followed by a pickled
+message.  Messages are plain tuples whose first element names the kind:
+
+* ``("hello", worker_id, pid)`` — worker → coordinator, once per
+  connection;
+* ``("task", chunk_id, chunk)`` — coordinator → worker; ``chunk`` is a
+  list of ``(index, task)`` pairs, exactly what the local pool's
+  ``_run_chunk`` consumes;
+* ``("result", chunk_id, records)`` — worker → coordinator; ``records``
+  is the ``(index, ok, payload, wall_ms, pid)`` list ``_run_chunk``
+  produced, so results merge through the engine's normal absorb path;
+* ``("heartbeat", worker_id)`` — worker → coordinator, periodic
+  liveness while a chunk is (or isn't) running;
+* ``("bye",)`` — coordinator → worker: no more work, disconnect
+  cleanly.
+
+:class:`Transport` wraps a connected socket with thread-safe framed
+``send``/``recv`` (the worker's heartbeat thread shares the socket with
+its result sends).  All socket-level failures surface as
+:class:`~repro.common.errors.TransportError`; receive timeouts as the
+:class:`~repro.common.errors.TransportTimeout` subclass so callers can
+tell "peer is slow or dead" from "peer hung up".
+
+:class:`FaultyTransport` is the seeded chaos double: it wraps a real
+transport and injects message drops, delivery delays, and forced
+disconnects from a deterministic RNG — the distributed engine's
+equivalent of :mod:`repro.faults`.
+"""
+
+import pickle
+import random
+import socket
+import struct
+import threading
+import time
+
+from repro.common.errors import (
+    ConfigurationError,
+    TransportError,
+    TransportTimeout,
+)
+
+#: Frame header: one unsigned 32-bit big-endian payload length.
+HEADER = struct.Struct(">I")
+
+#: Refuse frames beyond this size — a corrupt header must not make the
+#: receiver try to allocate gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(message):
+    """Pickle ``message`` and prepend the length header."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            "frame of {} bytes exceeds the {} byte limit".format(
+                len(payload), MAX_FRAME_BYTES))
+    return HEADER.pack(len(payload)) + payload
+
+
+class Transport(object):
+    """Framed, thread-safe messaging over one connected socket.
+
+    ``send`` may be called from several threads (a worker's heartbeat
+    thread races its result sends); ``recv`` is single-consumer.
+    """
+
+    def __init__(self, sock):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self.closed = False
+
+    # -- sending -----------------------------------------------------------
+    def send(self, message):
+        frame = encode_frame(message)
+        with self._send_lock:
+            if self.closed:
+                raise TransportError("send on closed transport")
+            try:
+                self._sock.sendall(frame)
+            except (OSError, ValueError) as error:
+                self.close()
+                raise TransportError(
+                    "send failed: {}".format(error)) from error
+
+    # -- receiving ---------------------------------------------------------
+    def _read_exact(self, n_bytes):
+        chunks = []
+        remaining = n_bytes
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as error:
+                raise TransportTimeout("receive timed out") from error
+            except (OSError, ValueError) as error:
+                self.close()
+                raise TransportError(
+                    "receive failed: {}".format(error)) from error
+            if not chunk:
+                self.close()
+                raise TransportError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout=None):
+        """Receive one message; ``timeout`` in seconds (None = block)."""
+        if self.closed:
+            raise TransportError("recv on closed transport")
+        try:
+            self._sock.settimeout(timeout)
+        except OSError as error:
+            self.close()
+            raise TransportError(str(error)) from error
+        (length,) = HEADER.unpack(self._read_exact(HEADER.size))
+        if length > MAX_FRAME_BYTES:
+            self.close()
+            raise TransportError(
+                "peer announced a {} byte frame (limit {})".format(
+                    length, MAX_FRAME_BYTES))
+        payload = self._read_exact(length)
+        try:
+            return pickle.loads(payload)
+        except Exception as error:  # noqa: BLE001 — corrupt frame
+            self.close()
+            raise TransportError(
+                "undecodable frame: {}".format(error)) from error
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self):
+        self.closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return "Transport(closed={})".format(self.closed)
+
+
+def connect(host, port, timeout=10.0):
+    """Dial ``host:port`` and return a :class:`Transport`."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+    except OSError as error:
+        raise TransportError(
+            "cannot connect to {}:{}: {}".format(host, port,
+                                                 error)) from error
+    return Transport(sock)
+
+
+def parse_address(address):
+    """``"host:port"`` → ``(host, port)`` (IPv4/hostname form)."""
+    host, _, port = str(address).rpartition(":")
+    if not host or not port:
+        raise ConfigurationError(
+            "address must look like host:port, got {!r}".format(address))
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ConfigurationError(
+            "port must be an integer, got {!r}".format(port))
+
+
+class FaultyTransport(object):
+    """Seeded chaos wrapper around a :class:`Transport`.
+
+    Every ``send`` and ``recv`` consults a private deterministic RNG:
+
+    * with probability ``disconnect`` the transport closes itself and
+      raises :class:`TransportError` (a vanished peer);
+    * with probability ``drop`` the message silently disappears (sends
+      return, receives keep waiting for the next frame);
+    * with ``delay_s > 0`` delivery sleeps a uniform ``[0, delay_s)``
+      first (a congested link).
+
+    The fault sequence is a pure function of ``seed`` and call order, so
+    chaos tests replay the same misbehaviour every run.
+    """
+
+    def __init__(self, inner, seed=0, drop=0.0, delay_s=0.0,
+                 disconnect=0.0):
+        for name, probability in (("drop", drop),
+                                  ("disconnect", disconnect)):
+            if not 0.0 <= float(probability) <= 1.0:
+                raise ConfigurationError(
+                    "{} must be a probability, got {}".format(
+                        name, probability))
+        self._inner = inner
+        self._rng = random.Random(seed)
+        self.drop = float(drop)
+        self.delay_s = float(delay_s)
+        self.disconnect = float(disconnect)
+        self.faults_injected = 0
+
+    @property
+    def closed(self):
+        return self._inner.closed
+
+    def _maybe_disconnect(self, action):
+        if self.disconnect and self._rng.random() < self.disconnect:
+            self.faults_injected += 1
+            self.close()
+            raise TransportError(
+                "injected disconnect during {}".format(action))
+
+    def _maybe_delay(self):
+        if self.delay_s:
+            time.sleep(self._rng.uniform(0.0, self.delay_s))
+
+    def send(self, message):
+        self._maybe_disconnect("send")
+        if self.drop and self._rng.random() < self.drop:
+            self.faults_injected += 1
+            return  # swallowed by the network
+        self._maybe_delay()
+        self._inner.send(message)
+
+    def recv(self, timeout=None):
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            self._maybe_disconnect("recv")
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            message = self._inner.recv(timeout=remaining)
+            if self.drop and self._rng.random() < self.drop:
+                self.faults_injected += 1
+                continue  # lost on the wire; wait for the next frame
+            self._maybe_delay()
+            return message
+
+    def close(self):
+        self._inner.close()
+
+    def __repr__(self):
+        return ("FaultyTransport(drop={}, delay_s={}, disconnect={}, "
+                "injected={})".format(self.drop, self.delay_s,
+                                      self.disconnect,
+                                      self.faults_injected))

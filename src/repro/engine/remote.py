@@ -1,0 +1,471 @@
+"""Distributed sweep backend: a socket coordinator and its workers.
+
+The local pool backend tops out at one machine.  This module fans the
+same chunked ``(index, task)`` work units over TCP instead:
+
+* :class:`SweepCoordinator` listens on a socket, hands chunks to
+  whichever workers connect, and streams back the exact
+  ``(index, ok, payload, wall_ms, pid)`` records the in-process
+  ``_run_chunk`` produces — so the engine merges remote results through
+  its normal absorb path and the output stays byte-identical to
+  ``workers=1`` at any worker count and any disconnect pattern;
+* :class:`SweepWorker` (``python -m repro sweep-worker --connect
+  host:port``) dials in, heartbeats, runs chunks, and reconnects with
+  :class:`~repro.core.resilience.ExponentialBackoff` when the link
+  drops;
+* :func:`spawn_local_workers` launches loopback worker subprocesses for
+  single-box scale-out (the benchmark's remote mode) and CI smoke runs.
+
+Robustness model: every worker heartbeats while connected; the
+coordinator treats a silent or disconnected worker as lost, requeues its
+in-flight chunk (once per loss, ``max_requeues`` total), and only after
+the requeue budget is spent converts the chunk into deterministic
+``chunk_failure`` records.  Re-executed chunks are harmless — tasks are
+pure functions of their spec, and the coordinator deduplicates results
+by chunk id, first finisher wins.  The lifecycle is observable through
+``sweep.worker_joined`` / ``sweep.worker_lost`` /
+``sweep.chunk_requeued`` events and per-worker utilization gauges.
+"""
+
+import os
+import queue
+import socket
+import threading
+import time
+import zlib
+
+from repro.common.errors import (
+    ConfigurationError,
+    TransportError,
+    TransportTimeout,
+)
+from repro.engine.protocol import Transport, connect
+
+#: recv windows tolerate this many missed heartbeats before a worker is
+#: declared silent.
+HEARTBEAT_TOLERANCE = 3.0
+
+_HELLO_TIMEOUT_FLOOR_S = 5.0
+
+
+class _WorkerStats(object):
+    """Cumulative per-worker accounting across reconnects."""
+
+    __slots__ = ("worker_id", "pid", "busy_ms", "chunks_done", "connects",
+                 "losses")
+
+    def __init__(self, worker_id):
+        self.worker_id = worker_id
+        self.pid = None
+        self.busy_ms = 0.0
+        self.chunks_done = 0
+        self.connects = 0
+        self.losses = 0
+
+    def to_dict(self):
+        return {"worker": self.worker_id, "pid": self.pid,
+                "busy_ms": round(self.busy_ms, 3),
+                "chunks_done": self.chunks_done,
+                "connects": self.connects, "losses": self.losses}
+
+
+class SweepCoordinator(object):
+    """Serves task chunks to socket workers and collects their records.
+
+    ``emit(name, **fields)`` is an optional observability callback (the
+    engine binds its own event emitter); it fires from worker-handler
+    threads.  ``chunk_deadline_s=None`` disables the per-chunk runtime
+    deadline — heartbeat loss and disconnects still detect dead workers.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, heartbeat_s=1.0,
+                 chunk_deadline_s=None, join_timeout_s=10.0,
+                 max_requeues=1, emit=None):
+        if heartbeat_s <= 0:
+            raise ConfigurationError("heartbeat_s must be positive")
+        if max_requeues < 0:
+            raise ConfigurationError("max_requeues must be >= 0")
+        self.host = host
+        self.port = int(port)
+        self.heartbeat_s = float(heartbeat_s)
+        self.chunk_deadline_s = (float(chunk_deadline_s)
+                                 if chunk_deadline_s is not None else None)
+        self.join_timeout_s = float(join_timeout_s)
+        self.max_requeues = int(max_requeues)
+        self._emit_callback = emit
+        self.address = None
+        self._server = None
+        self._accept_thread = None
+        self._handlers = []
+        self._pending = queue.Queue()
+        self._results = queue.Queue()
+        self._attempts = {}
+        self._lock = threading.Lock()
+        self._connected = set()
+        self._stats = {}
+        self._done = threading.Event()
+        self._drained = threading.Event()
+
+    # -- observability -----------------------------------------------------
+    def _emit(self, name, **fields):
+        if self._emit_callback is not None:
+            self._emit_callback(name, **fields)
+
+    def worker_stats(self):
+        """Per-worker accounting, sorted by worker id."""
+        with self._lock:
+            return [self._stats[key].to_dict()
+                    for key in sorted(self._stats)]
+
+    @property
+    def workers_seen(self):
+        with self._lock:
+            return len(self._stats)
+
+    @property
+    def workers_connected(self):
+        with self._lock:
+            return len(self._connected)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self):
+        """Bind, listen, and start accepting workers.  Returns self."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind((self.host, self.port))
+            server.listen(64)
+        except OSError as error:
+            server.close()
+            raise TransportError(
+                "cannot listen on {}:{}: {}".format(self.host, self.port,
+                                                    error)) from error
+        server.settimeout(0.2)
+        self._server = server
+        self.address = server.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="sweep-coordinator-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def close(self):
+        """Stop accepting, disconnect workers, join handler threads."""
+        self._done.set()
+        self._drained.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        for thread in list(self._handlers):
+            thread.join(timeout=2.0)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- accept / handler threads ------------------------------------------
+    def _accept_loop(self):
+        while not self._done.is_set():
+            try:
+                sock, addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # server socket closed
+            sock.settimeout(None)
+            thread = threading.Thread(
+                target=self._serve_worker, args=(Transport(sock), addr),
+                name="sweep-coordinator-worker", daemon=True)
+            self._handlers.append(thread)
+            thread.start()
+
+    def _register(self, worker_id, pid):
+        with self._lock:
+            stats = self._stats.setdefault(worker_id,
+                                           _WorkerStats(worker_id))
+            stats.pid = pid
+            stats.connects += 1
+            self._connected.add(worker_id)
+            return stats
+
+    def _serve_worker(self, transport, addr):
+        hello_timeout = max(_HELLO_TIMEOUT_FLOOR_S,
+                            self.heartbeat_s * HEARTBEAT_TOLERANCE)
+        try:
+            hello = transport.recv(timeout=hello_timeout)
+        except TransportError:
+            transport.close()
+            return
+        if not (isinstance(hello, tuple) and len(hello) == 3
+                and hello[0] == "hello"):
+            transport.close()
+            return
+        _, worker_id, pid = hello
+        stats = self._register(worker_id, pid)
+        self._emit("sweep.worker_joined", worker=worker_id, pid=pid,
+                   addr="{}:{}".format(*addr))
+        assignment = None
+        try:
+            while not self._done.is_set():
+                try:
+                    assignment = self._pending.get(timeout=0.05)
+                except queue.Empty:
+                    if self._drained.is_set():
+                        break
+                    continue
+                chunk_id, chunk = assignment
+                transport.send(("task", chunk_id, chunk))
+                records = self._await_result(transport, chunk_id)
+                assignment = None
+                stats.busy_ms += sum(record[3] for record in records)
+                stats.chunks_done += 1
+                self._results.put((chunk_id, records, worker_id))
+            try:
+                transport.send(("bye",))
+            except TransportError:
+                pass
+        except TransportError as error:
+            stats.losses += 1
+            self._emit("sweep.worker_lost", worker=worker_id,
+                       reason=str(error))
+            if assignment is not None:
+                self._requeue_or_fail(assignment, worker_id, error)
+        finally:
+            transport.close()
+            with self._lock:
+                self._connected.discard(worker_id)
+
+    def _await_result(self, transport, chunk_id):
+        """Wait for ``chunk_id``'s records, absorbing heartbeats.
+
+        Raises :class:`TransportError` when the worker disconnects, goes
+        silent past the heartbeat tolerance, or blows the chunk deadline.
+        """
+        sent_at = time.monotonic()
+        while True:
+            window = self.heartbeat_s * HEARTBEAT_TOLERANCE
+            if self.chunk_deadline_s is not None:
+                remaining = (self.chunk_deadline_s
+                             - (time.monotonic() - sent_at))
+                if remaining <= 0.0:
+                    raise TransportError(
+                        "chunk {} exceeded its {:.1f}s deadline".format(
+                            chunk_id, self.chunk_deadline_s))
+                window = min(window, remaining)
+            try:
+                message = transport.recv(timeout=window)
+            except TransportTimeout:
+                raise TransportError(
+                    "worker went silent (no heartbeat within "
+                    "{:.1f}s)".format(window))
+            kind = message[0] if isinstance(message, tuple) else None
+            if kind == "heartbeat":
+                continue
+            if kind == "result":
+                if message[1] == chunk_id:
+                    return message[2]
+                continue  # stale result from a requeued chunk
+            raise TransportError(
+                "unexpected message kind {!r}".format(kind))
+
+    def _requeue_or_fail(self, assignment, worker_id, error):
+        chunk_id, chunk = assignment
+        with self._lock:
+            self._attempts[chunk_id] = self._attempts.get(chunk_id, 0) + 1
+            losses = self._attempts[chunk_id]
+        if losses <= self.max_requeues:
+            self._emit("sweep.chunk_requeued", chunk=chunk_id,
+                       cells=len(chunk), worker=worker_id)
+            self._pending.put((chunk_id, chunk))
+        else:
+            self._results.put((chunk_id,
+                               _chunk_failure_records(chunk, error),
+                               worker_id))
+
+    # -- the driving loop (engine side) ------------------------------------
+    def run(self, chunks):
+        """Yield records for every cell of ``chunks``, in arrival order.
+
+        Chunk results are deduplicated by id (requeued chunks may finish
+        twice; tasks are deterministic so either copy is correct).
+        Raises :class:`TransportError` if no worker ever joins within
+        ``join_timeout_s`` — the engine catches that and degrades to the
+        local pool.  Once any worker has joined, loss of *every* worker
+        drains the remaining chunks as ``chunk_failure`` records instead,
+        so partial progress is never thrown away.
+        """
+        chunks = list(chunks)
+        expected = set(range(len(chunks)))
+        for chunk_id, chunk in enumerate(chunks):
+            self._pending.put((chunk_id, chunk))
+        started = time.monotonic()
+        last_progress = started
+        try:
+            while expected:
+                try:
+                    chunk_id, records, _ = self._results.get(timeout=0.1)
+                except queue.Empty:
+                    now = time.monotonic()
+                    if self.workers_seen == 0:
+                        if now - started > self.join_timeout_s:
+                            raise TransportError(
+                                "no workers joined within "
+                                "{:.1f}s".format(self.join_timeout_s))
+                    elif (self.workers_connected == 0
+                          and now - last_progress > self.join_timeout_s):
+                        self._fail_remaining(expected, chunks)
+                    continue
+                if chunk_id not in expected:
+                    continue  # duplicate completion after a requeue
+                expected.discard(chunk_id)
+                last_progress = time.monotonic()
+                for record in records:
+                    yield record
+        finally:
+            self._drained.set()
+
+    def _fail_remaining(self, expected, chunks):
+        """All workers gone for good: fail what's left, deterministically."""
+        while True:
+            try:
+                self._pending.get_nowait()
+            except queue.Empty:
+                break
+        error = TransportError("all sweep workers lost; chunk abandoned")
+        for chunk_id in sorted(expected):
+            self._results.put((chunk_id,
+                               _chunk_failure_records(chunks[chunk_id],
+                                                      error),
+                               None))
+
+
+def _chunk_failure_records(chunk, error):
+    """Deterministic failure records for a chunk lost to infrastructure."""
+    return [(index, False,
+             (type(error).__name__, str(error), True), 0.0, -1)
+            for index, _ in chunk]
+
+
+class SweepWorker(object):
+    """A sweep worker: connect, heartbeat, run chunks, reconnect.
+
+    ``transport_factory(host, port)`` lets tests interpose a
+    :class:`~repro.engine.protocol.FaultyTransport`; the default dials a
+    plain TCP :class:`~repro.engine.protocol.Transport`.
+    """
+
+    def __init__(self, host, port, worker_id=None, heartbeat_s=1.0,
+                 max_reconnects=8, backoff=None, transport_factory=None,
+                 run_chunk=None):
+        from repro.core.resilience import ExponentialBackoff
+        from repro.engine.executor import _run_chunk
+        self.host = host
+        self.port = int(port)
+        self.worker_id = worker_id or "worker-{}".format(os.getpid())
+        self.heartbeat_s = float(heartbeat_s)
+        self.max_reconnects = int(max_reconnects)
+        self.backoff = backoff or ExponentialBackoff(
+            base_s=0.05, cap_s=2.0,
+            seed=zlib.crc32(self.worker_id.encode("utf-8")))
+        self._transport_factory = transport_factory or connect
+        self._run_chunk = run_chunk or _run_chunk
+        self.chunks_done = 0
+
+    def run(self, stop=None):
+        """Serve until the coordinator says bye; returns chunks done.
+
+        Reconnects through the backoff schedule when the link drops;
+        after ``max_reconnects`` consecutive failures it gives up —
+        raising :class:`TransportError` if it never managed to join,
+        returning normally if it did (a vanished coordinator after a
+        completed sweep is the expected shutdown path).
+        """
+        ever_connected = False
+        failures = 0
+        while stop is None or not stop.is_set():
+            try:
+                transport = self._transport_factory(self.host, self.port)
+                transport.send(("hello", self.worker_id, os.getpid()))
+                ever_connected = True
+                failures = 0
+                if self._session(transport):
+                    return self.chunks_done
+            except TransportError as error:
+                failures += 1
+                if failures > self.max_reconnects:
+                    if ever_connected:
+                        return self.chunks_done
+                    raise TransportError(
+                        "could not join coordinator at {}:{} after {} "
+                        "attempts: {}".format(self.host, self.port,
+                                              failures, error)) from error
+                time.sleep(self.backoff.delay(failures - 1))
+        return self.chunks_done
+
+    def _session(self, transport):
+        """One connected session.  True = clean bye, reconnect otherwise."""
+        stop_heartbeat = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(transport, stop_heartbeat),
+            name="sweep-worker-heartbeat", daemon=True)
+        heartbeat.start()
+        try:
+            while True:
+                message = transport.recv(timeout=None)
+                kind = message[0] if isinstance(message, tuple) else None
+                if kind == "task":
+                    _, chunk_id, chunk = message
+                    records = self._run_chunk(chunk)
+                    transport.send(("result", chunk_id, records))
+                    self.chunks_done += 1
+                elif kind == "bye":
+                    return True
+                else:
+                    raise TransportError(
+                        "unexpected message kind {!r}".format(kind))
+        finally:
+            stop_heartbeat.set()
+            transport.close()
+
+    def _heartbeat_loop(self, transport, stop):
+        while not stop.wait(self.heartbeat_s):
+            try:
+                transport.send(("heartbeat", self.worker_id))
+            except TransportError:
+                return
+
+
+def run_worker(host, port, **kwargs):
+    """Blocking convenience wrapper: serve one coordinator, return the
+    number of chunks completed."""
+    return SweepWorker(host, port, **kwargs).run()
+
+
+def spawn_local_workers(address, count, python=None, extra_args=()):
+    """Launch ``count`` loopback ``sweep-worker`` subprocesses.
+
+    Returns the ``subprocess.Popen`` handles; callers own their
+    lifecycle.  ``PYTHONPATH`` is extended so the children can import
+    ``repro`` from a source checkout without installation.
+    """
+    import subprocess
+    import sys
+
+    host, port = address
+    src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    command = [python or sys.executable, "-m", "repro", "sweep-worker",
+               "--connect", "{}:{}".format(host, port)]
+    command.extend(extra_args)
+    return [subprocess.Popen(command, env=env,
+                             stdout=subprocess.DEVNULL,
+                             stderr=subprocess.DEVNULL)
+            for _ in range(count)]

@@ -165,6 +165,12 @@ class Observability(object):
                 registry.counter("sweep_cell_failures_total").inc()
         elif name == "sweep.fallback":
             registry.counter("sweep_fallbacks_total").inc()
+        elif name == "sweep.worker_joined":
+            registry.counter("sweep_workers_joined_total").inc()
+        elif name == "sweep.worker_lost":
+            registry.counter("sweep_workers_lost_total").inc()
+        elif name == "sweep.chunk_requeued":
+            registry.counter("sweep_chunks_requeued_total").inc()
         elif name == "sweep.done":
             registry.gauge("sweep_workers").set(fields["workers"])
             registry.gauge("sweep_worker_utilization").set(

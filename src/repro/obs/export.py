@@ -18,12 +18,27 @@ from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM
 
 
 # -- JSONL events ------------------------------------------------------------
+def _json_default(value):
+    """Last-resort encoder for non-JSON-native event field values.
+
+    Events are open dicts: a ``Money``, ``Decimal``, set, or exception
+    leaking into a field must degrade to its string form, not crash the
+    whole export.
+    """
+    return str(value)
+
+
 def events_to_jsonl(events):
-    """Serialize events (``Event`` objects or dicts) to JSONL text."""
+    """Serialize events (``Event`` objects or dicts) to JSONL text.
+
+    Field values outside JSON's native types are rendered via ``str``
+    so one odd field can never lose an entire event log.
+    """
     lines = []
     for event in events:
         payload = event.to_dict() if hasattr(event, "to_dict") else event
-        lines.append(json.dumps(payload, sort_keys=True))
+        lines.append(json.dumps(payload, sort_keys=True,
+                                default=_json_default))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -54,9 +69,16 @@ def _format_labels(labels):
 
 
 def _format_value(value):
+    # Prometheus exposition spells the specials +Inf / -Inf / NaN;
+    # Python's repr ("inf", "-inf", "nan") is not a valid token.
+    value = float(value)
     if value == float("inf"):
         return "+Inf"
-    return repr(float(value))
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    return repr(value)
 
 
 def prometheus_text(registry):
@@ -109,9 +131,19 @@ def parse_prometheus_text(text):
                 key, _, raw = item.partition("=")
                 pairs.append((key, raw.strip('"')))
             labels = tuple(sorted(pairs))
-        samples[(name,) + labels] = (float("inf") if value == "+Inf"
-                                     else float(value))
+        samples[(name,) + labels] = _parse_value(value)
     return samples
+
+
+def _parse_value(token):
+    """Inverse of :func:`_format_value`, specials included."""
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    return float(token)
 
 
 # -- CSV rows ----------------------------------------------------------------

@@ -222,6 +222,77 @@ class TestSweep(object):
         assert len(payload["cells"]) == 4
         assert all("cell_seed" in cell for cell in payload["cells"])
 
+    def test_remote_backend_matches_serial(self, tmp_path):
+        serial_json = str(tmp_path / "serial.json")
+        remote_json = str(tmp_path / "remote.json")
+        code1, _ = run_cli(*self._campaign_args(
+            "--workers", "1", "--json", serial_json))
+        code2, _ = run_cli(*self._campaign_args(
+            "--workers", "2", "--backend", "remote",
+            "--json", remote_json))
+        assert code1 == code2 == 0
+        with open(serial_json) as f1, open(remote_json) as f2:
+            assert f1.read() == f2.read()
+
+
+class TestTemporalSweep(object):
+    def _args(self, mode, *extra):
+        return ("--seed", "9", "sweep", "temporal",
+                "--zones", "us-west-1a", "--seeds", "0",
+                "--temporal-mode", mode, "--periods", "2",
+                "--polls", "2", "--endpoints", "3",
+                "--requests", "100") + extra
+
+    def test_hourly_table(self):
+        code, output = run_cli(*self._args("hourly"))
+        assert code == 0
+        assert ("temporal sweep (hourly): 1 cells (1 zones x 1 seeds), "
+                "2 periods") in output
+        assert "dominant cpu" in output
+        assert "[us-west-1a seed=0]" in output
+
+    def test_daily_table_and_json(self, tmp_path):
+        path = str(tmp_path / "temporal.json")
+        code, output = run_cli(*self._args("daily", "--json", path))
+        assert code == 0
+        assert "cost ($)" in output
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["kind"] == "temporal"
+        cell = payload["cells"][0]
+        assert cell["mode"] == "daily"
+        assert len(cell["series"]) == 2
+
+    def test_workers_do_not_change_temporal_output(self, tmp_path):
+        serial_json = str(tmp_path / "serial.json")
+        pooled_json = str(tmp_path / "pooled.json")
+        code1, _ = run_cli(*self._args("daily", "--workers", "1",
+                                       "--json", serial_json))
+        code2, _ = run_cli(*self._args("daily", "--workers", "2",
+                                       "--json", pooled_json))
+        assert code1 == code2 == 0
+        with open(serial_json) as f1, open(pooled_json) as f2:
+            assert f1.read() == f2.read()
+
+
+class TestSweepWorkerCommand(object):
+    def test_unreachable_coordinator_fails_cleanly(self):
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        code, output = run_cli("sweep-worker", "--connect",
+                               "127.0.0.1:{}".format(port),
+                               "--max-reconnects", "0")
+        assert code == 1
+        assert "could not join coordinator" in output
+
+    def test_malformed_address_rejected(self):
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            run_cli("sweep-worker", "--connect", "nonsense")
+
 
 class TestMultiZoneCharacterize(object):
     def test_comma_separated_zones(self):

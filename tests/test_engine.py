@@ -11,7 +11,11 @@ import pickle
 import pytest
 
 from repro import reporting
-from repro.common.errors import ConfigurationError, SweepError
+from repro.common.errors import (
+    ConfigurationError,
+    SweepError,
+    SweepFailure,
+)
 from repro.engine import (
     CampaignTask,
     CloudSpec,
@@ -238,6 +242,19 @@ class FailingTask(SweepTask):
         raise ValueError(self.message)
 
 
+class UnpicklableResultTask(SweepTask):
+    """Runs fine, but its result cannot travel back across a process
+    boundary — the pool loses the whole chunk, not just the cell."""
+
+    kind = "unpicklable-result"
+
+    def __init__(self):
+        super().__init__(CloudSpec(seed=0))
+
+    def run(self):
+        return lambda: None
+
+
 class TestEngineMechanics(object):
     def test_empty_sweep(self):
         assert SweepEngine(workers=4).run([]) == []
@@ -282,6 +299,86 @@ class TestEngineMechanics(object):
     def test_chunk_size_validation(self):
         with pytest.raises(ValueError):
             SweepEngine(workers=2, chunk_size=0)
+
+
+# -- start-method selection -----------------------------------------------------
+
+class TestStartMethod(object):
+    def test_forkserver_preferred_when_available(self):
+        import multiprocessing
+        engine = SweepEngine(workers=2)
+        resolved = engine._resolve_start_method()
+        available = multiprocessing.get_all_start_methods()
+        if "forkserver" in available:
+            assert resolved == "forkserver"
+        else:
+            assert resolved in available
+
+    def test_explicit_start_method_wins(self):
+        engine = SweepEngine(workers=2, start_method="spawn")
+        assert engine._resolve_start_method() == "spawn"
+
+    def test_start_method_surfaced_in_sweep_start_event(self):
+        obs = Observability()
+        engine = SweepEngine(workers=2, obs=obs)
+        engine.run([_tiny_campaign_task(s) for s in (0, 1)])
+        start = obs.recorder.events("sweep.start")[0]
+        assert start.fields["backend"] == "local"
+        assert start.fields["start_method"] == \
+            engine._resolve_start_method()
+
+    def test_serial_runs_report_serial_start_method(self):
+        obs = Observability()
+        SweepEngine(workers=1, obs=obs).run([_tiny_campaign_task()])
+        start = obs.recorder.events("sweep.start")[0]
+        assert start.fields["start_method"] == "serial"
+
+
+# -- chunk-loss vs task-bug failures --------------------------------------------
+
+class TestChunkFailureMarker(object):
+    def test_pool_chunk_loss_is_tagged(self):
+        tasks = [UnpicklableResultTask(), _tiny_campaign_task(seed=1)]
+        with pytest.raises(SweepError) as excinfo:
+            SweepEngine(workers=2, chunk_size=1).run(tasks)
+        error = excinfo.value
+        assert len(error.chunk_failures()) == 1
+        assert error.task_failures() == []
+        failure = error.chunk_failures()[0]
+        assert failure.index == 0 and failure.chunk_failure
+        assert "[chunk lost]" in str(error)
+
+    def test_task_bug_is_not_tagged(self):
+        tasks = [FailingTask(), _tiny_campaign_task()]
+        with pytest.raises(SweepError) as excinfo:
+            SweepEngine(workers=2, chunk_size=1).run(tasks)
+        error = excinfo.value
+        assert error.chunk_failures() == []
+        assert [f.error_type for f in error.task_failures()] == \
+            ["ValueError"]
+        assert "[chunk lost]" not in str(error)
+
+    def test_sweep_failure_unpacks_as_a_plain_triple(self):
+        failure = SweepFailure(3, "ValueError", "boom", chunk_failure=True)
+        index, error_type, message = failure
+        assert (index, error_type, message) == (3, "ValueError", "boom")
+        assert failure == (3, "ValueError", "boom")
+        assert failure.chunk_failure
+
+    def test_sweep_failure_pickle_keeps_the_marker(self):
+        failure = SweepFailure(1, "E", "m", chunk_failure=True)
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone == (1, "E", "m")
+        assert clone.chunk_failure
+
+    def test_chunk_failure_flag_rides_the_cell_event(self):
+        obs = Observability()
+        with pytest.raises(SweepError):
+            SweepEngine(workers=2, chunk_size=1, obs=obs).run(
+                [UnpicklableResultTask(), _tiny_campaign_task(seed=1)])
+        flags = {c.fields["index"]: c.fields["chunk_failure"]
+                 for c in obs.recorder.events("sweep.cell")}
+        assert flags == {0: True, 1: False}
 
 
 # -- observability integration ------------------------------------------------

@@ -1,5 +1,9 @@
 """Exporters: JSONL round trips, Prometheus text, CSV rows."""
 
+import json
+import math
+from decimal import Decimal
+
 import pytest
 
 from repro import reporting
@@ -52,6 +56,20 @@ class TestJsonl(object):
     def test_empty_stream(self):
         assert events_to_jsonl([]) == ""
 
+    def test_non_native_field_values_degrade_to_strings(self):
+        # Regression: a Money or Decimal leaking into an event field used
+        # to raise TypeError and lose the whole export.
+        from repro.common.units import Money
+        bus = EventBus()
+        recorder = EventRecorder(bus)
+        bus.emit("billing.charge", 1.0, zone="a", amount=Money(0.125),
+                 precise=Decimal("0.5"), tags={"x", "y"})
+        text = events_to_jsonl(recorder.events())
+        loaded = json.loads(text)
+        assert loaded["amount"] == str(Money(0.125))
+        assert loaded["precise"] == "0.5"
+        assert loaded["zone"] == "a"  # native values stay native
+
 
 class TestPrometheus(object):
     def test_snapshot_parses_back(self):
@@ -80,6 +98,25 @@ class TestPrometheus(object):
 
     def test_empty_registry(self):
         assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_special_values_round_trip(self):
+        # Prometheus spells them +Inf / -Inf / NaN; Python's repr does
+        # not produce valid exposition tokens for any of the three.
+        registry = MetricsRegistry()
+        registry.gauge("watermark", kind="hi").set(float("inf"))
+        registry.gauge("watermark", kind="lo").set(float("-inf"))
+        registry.gauge("watermark", kind="flat").set(float("nan"))
+        text = prometheus_text(registry)
+        values = {line.rsplit(" ", 1)[0]: line.rsplit(" ", 1)[1]
+                  for line in text.splitlines()
+                  if not line.startswith("#")}
+        assert values['watermark{kind="hi"}'] == "+Inf"
+        assert values['watermark{kind="lo"}'] == "-Inf"
+        assert values['watermark{kind="flat"}'] == "NaN"
+        samples = parse_prometheus_text(text)
+        assert samples[("watermark", ("kind", "hi"))] == float("inf")
+        assert samples[("watermark", ("kind", "lo"))] == float("-inf")
+        assert math.isnan(samples[("watermark", ("kind", "flat"))])
 
 
 class TestCsvRows(object):
