@@ -15,6 +15,11 @@ Subcommands mirror the library's main flows::
     python -m repro sweep campaign ... --backend remote --bind 0.0.0.0:7077 \
         --remote-workers 0   # serve external sweep-worker peers
     python -m repro sweep-worker --connect coordinator-host:7077
+    python -m repro sweep campaign ... --telemetry --serve 9100 \
+        --record runs/today        # merged worker telemetry + live
+                                   # /metrics + flight recorder
+    python -m repro obs serve --port 9100 --rounds 3
+    python -m repro obs tail --connect 127.0.0.1:9100
 
 Everything runs against the simulated sky; ``--seed`` makes runs
 reproducible.  Grid-shaped experiments (``sweep``, multi-zone
@@ -82,6 +87,9 @@ def build_parser():
                               help="process-pool size for multi-zone "
                                    "sweeps (default 1 = serial)")
     characterize.add_argument("--json", dest="json_path")
+    characterize.add_argument("--record", metavar="DIR",
+                              help="write a run manifest + artifacts "
+                                   "(flight recorder) to DIR")
 
     profile = commands.add_parser(
         "profile", help="per-CPU runtime profile of a workload in a zone")
@@ -174,6 +182,17 @@ def build_parser():
                             "(default 30)")
     sweep.add_argument("--progress", action="store_true",
                        help="print per-cell progress to stderr")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="ship worker-side events/metrics/spans back "
+                            "to the coordinator (merged trace + "
+                            "worker-labeled series)")
+    sweep.add_argument("--serve", type=int, default=None, metavar="PORT",
+                       help="expose live /metrics, /healthz, /runs on "
+                            "this port while the sweep runs (0 = any "
+                            "free port)")
+    sweep.add_argument("--record", metavar="DIR",
+                       help="write a run manifest + events/metrics/trace "
+                            "artifacts (flight recorder) to DIR")
     sweep.add_argument("--json", dest="json_path")
 
     worker = commands.add_parser(
@@ -193,7 +212,30 @@ def build_parser():
 
     obs = commands.add_parser(
         "obs", help="run a short routed burst with full observability and "
-                    "print the metrics/trace summary")
+                    "print the metrics/trace summary; 'serve' exposes a "
+                    "live Prometheus endpoint, 'tail' renders a running "
+                    "sweep's /metrics")
+    obs.add_argument("mode", nargs="?", default="demo",
+                     choices=("demo", "serve", "tail"),
+                     help="demo: one burst + summary (default); serve: "
+                          "keep a live /metrics endpoint up across "
+                          "--rounds bursts; tail: scrape --connect and "
+                          "render sweep progress")
+    obs.add_argument("--port", type=int, default=0,
+                     help="serve: listen port (default 0 = any free "
+                          "port)")
+    obs.add_argument("--rounds", type=int, default=1,
+                     help="serve/tail: bursts to run / scrapes to render "
+                          "(default 1)")
+    obs.add_argument("--interval", type=float, default=1.0,
+                     help="serve/tail: seconds between rounds "
+                          "(default 1.0)")
+    obs.add_argument("--connect", metavar="URL",
+                     help="tail: endpoint to scrape (host:port or full "
+                          "/metrics URL)")
+    obs.add_argument("--record", metavar="DIR",
+                     help="demo/serve: write a run manifest + artifacts "
+                          "(flight recorder) to DIR")
     obs.add_argument("--workload", default="sha1_hash")
     obs.add_argument("--zones", default="us-west-1a,us-west-1b")
     obs.add_argument("--requests", type=int, default=60)
@@ -231,6 +273,9 @@ def build_parser():
                             "Prometheus text")
     chaos.add_argument("--jsonl", dest="jsonl_path",
                        help="write the resilient run's event log as JSONL")
+    chaos.add_argument("--record", metavar="DIR",
+                       help="write a run manifest + the resilient run's "
+                            "artifacts (flight recorder) to DIR")
     return parser
 
 
@@ -278,8 +323,19 @@ def cmd_characterize(args, out):
     zones = [z.strip() for z in args.zone.split(",") if z.strip()]
     for zone_id in zones:
         zone_spec(zone_id)  # fail fast on unknown zones
+    record = None
+    observability = None
+    if args.record:
+        from repro.obs.manifest import RunManifest
+        observability = Observability()
+        record = RunManifest.begin(
+            args.record, "characterize", seed=args.seed,
+            config={"zones": args.zone, "polls": args.polls,
+                    "workers": args.workers})
     if len(zones) == 1:
         cloud = build_sky(seed=args.seed)
+        if observability is not None:
+            observability.install(cloud)
         region = cloud.region_of_zone(zones[0])
         account = cloud.create_account("cli", region.provider.name)
         mesh = SkyMesh(cloud)
@@ -298,6 +354,11 @@ def cmd_characterize(args, out):
             reporting.write_json(args.json_path,
                                  reporting.campaign_to_dict(result))
             out.write("wrote {}\n".format(args.json_path))
+        if record is not None:
+            record.finalize(obs=observability,
+                            summary={"zones": 1,
+                                     "polls_run": result.polls_run})
+            out.write("recorded {}\n".format(record.directory))
         return 0
     # Multi-zone: one independent campaign cell per zone, fanned out over
     # the parallel engine.  Each cell's cloud seed is spawn-keyed from
@@ -314,7 +375,8 @@ def cmd_characterize(args, out):
             CloudSpec.for_zones([zone_id], seed=cell.seed), zone_id,
             endpoints=count,
             max_polls=args.polls if args.polls else None))
-    results = SweepEngine(workers=args.workers).run(tasks)
+    results = SweepEngine(workers=args.workers,
+                          obs=observability).run(tasks)
     for zone_id, result in zip(zones, results):
         _write_campaign_block(out, zone_id, result)
     if args.json_path:
@@ -322,6 +384,11 @@ def cmd_characterize(args, out):
                              [reporting.campaign_to_dict(r)
                               for r in results])
         out.write("wrote {}\n".format(args.json_path))
+    if record is not None:
+        record.update(grid_hash=grid.content_hash())
+        record.finalize(obs=observability,
+                        summary={"zones": len(zones)})
+        out.write("recorded {}\n".format(record.directory))
     return 0
 
 
@@ -435,9 +502,8 @@ def cmd_study(args, out):
     return 0
 
 
-def cmd_obs(args, out):
-    from repro.obs import export as obs_export
-    from repro.obs.trace import format_trace
+def _obs_controller(args):
+    """Build the routed-burst fixture the obs modes share."""
     zones = [z.strip() for z in args.zones.split(",") if z.strip()]
     cloud = build_sky(seed=args.seed, aws_only=True)
     account = cloud.create_account("cli", "aws")
@@ -447,6 +513,88 @@ def cmd_obs(args, out):
         poll_requests=args.poll_requests,
         sampling_count=max(args.polls, 2), obs=observability)
     workload = workload_by_name(args.workload)
+    return observability, controller, workload, zones
+
+
+def _obs_record(args, observability, kind, summary=None):
+    """Begin + finalize a flight-recorder directory for a finished run."""
+    from repro.obs.manifest import RunManifest
+    record = RunManifest.begin(
+        args.record, kind, seed=args.seed,
+        config={"workload": args.workload, "zones": args.zones,
+                "requests": args.requests})
+    record.finalize(obs=observability, summary=summary)
+    return record
+
+
+def cmd_obs(args, out):
+    if args.mode == "serve":
+        return _obs_serve(args, out)
+    if args.mode == "tail":
+        return _obs_tail(args, out)
+    return _obs_demo(args, out)
+
+
+def _obs_serve(args, out):
+    """Run routed bursts while serving live /metrics, /healthz, /runs."""
+    import time as time_module
+
+    from repro.obs.serve import ObsServer
+    observability, controller, workload, _ = _obs_controller(args)
+    with ObsServer(observability, port=args.port) as server:
+        out.write("obs: serving {} (/metrics /healthz /runs)\n".format(
+            server.url("/")))
+        for round_index in range(max(args.rounds, 1)):
+            for _ in range(args.requests):
+                controller.submit(workload)
+            out.write("round {}/{}: {} events, {} metrics, {} traces\n"
+                      .format(round_index + 1, max(args.rounds, 1),
+                              len(observability.recorder),
+                              len(observability.registry),
+                              len(observability.tracer)))
+            if round_index + 1 < args.rounds and args.interval > 0:
+                time_module.sleep(args.interval)
+        if args.record:
+            record = _obs_record(
+                args, observability, "obs-serve",
+                summary={"rounds": max(args.rounds, 1),
+                         "requests_per_round": args.requests})
+            out.write("recorded {}\n".format(record.directory))
+    return 0
+
+
+def _obs_tail(args, out):
+    """Scrape a live /metrics endpoint and render sweep progress."""
+    import time as time_module
+
+    from repro.obs.export import parse_prometheus_text
+    from repro.obs.serve import render_tail, scrape
+    if not args.connect:
+        out.write("obs tail: --connect HOST:PORT (or a /metrics URL) is "
+                  "required\n")
+        return 2
+    url = args.connect
+    if "://" not in url:
+        url = "http://" + url
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    for round_index in range(max(args.rounds, 1)):
+        try:
+            body = scrape(url)
+        except OSError as error:
+            out.write("obs tail: scrape of {} failed: {}\n".format(
+                url, error))
+            return 1
+        out.write(render_tail(parse_prometheus_text(body)) + "\n")
+        if round_index + 1 < args.rounds and args.interval > 0:
+            time_module.sleep(args.interval)
+    return 0
+
+
+def _obs_demo(args, out):
+    from repro.obs import export as obs_export
+    from repro.obs.trace import format_trace
+    observability, controller, workload, zones = _obs_controller(args)
     for _ in range(args.requests):
         controller.submit(workload)
 
@@ -506,6 +654,10 @@ def cmd_obs(args, out):
                             obs_export.metrics_to_rows(
                                 observability.registry))
         out.write("wrote {}\n".format(args.csv_path))
+    if args.record:
+        record = _obs_record(args, observability, "obs-demo",
+                             summary={"requests": args.requests})
+        out.write("recorded {}\n".format(record.directory))
     return 0
 
 
@@ -560,6 +712,17 @@ def cmd_chaos(args, out):
         obs_export.write_events_jsonl(args.jsonl_path,
                                       resilient.obs.recorder.events())
         out.write("wrote {}\n".format(args.jsonl_path))
+    if args.record:
+        from repro.obs.manifest import RunManifest
+        record = RunManifest.begin(
+            args.record, "chaos-" + args.preset, seed=args.seed,
+            config={"zones": args.zones, "workload": args.workload,
+                    "requests": args.requests})
+        record.finalize(
+            obs=resilient.obs,
+            summary={"availability": resilient.availability,
+                     "faults": sum(resilient.fault_counts.values())})
+        out.write("recorded {}\n".format(record.directory))
 
     if args.assert_availability is not None:
         floor = args.assert_availability
@@ -575,15 +738,23 @@ def cmd_chaos(args, out):
 
 
 def _sweep_engine(args):
-    """Build the engine (and optional stderr progress) for a sweep."""
+    """Build the engine (and optional stderr progress) for a sweep.
+
+    An observability facade is attached whenever anything will consume
+    it — progress printing, telemetry merging, the live endpoint, or
+    the flight recorder.
+    """
     from repro.engine import SweepEngine, SweepProgress
     obs = None
-    if args.progress:
+    telemetry = getattr(args, "telemetry", False)
+    if (args.progress or telemetry or getattr(args, "record", None)
+            or getattr(args, "serve", None) is not None):
         observability = Observability()
-
-        def on_cell(done, total):
-            sys.stderr.write("sweep: cell {}/{} done\n".format(done,
-                                                               total))
+        on_cell = None
+        if args.progress:
+            def on_cell(done, total):
+                sys.stderr.write("sweep: cell {}/{} done\n".format(done,
+                                                                   total))
 
         SweepProgress(observability.bus, on_cell=on_cell)
         obs = observability
@@ -596,7 +767,8 @@ def _sweep_engine(args):
     return SweepEngine(workers=args.workers, chunk_size=args.chunk,
                        obs=obs, backend=args.backend, bind=args.bind,
                        remote_workers=remote_workers,
-                       join_timeout_s=args.join_timeout)
+                       join_timeout_s=args.join_timeout,
+                       telemetry=telemetry)
 
 
 def cmd_sweep_worker(args, out):
@@ -616,6 +788,40 @@ def cmd_sweep_worker(args, out):
 
 
 def cmd_sweep(args, out):
+    engine = _sweep_engine(args)
+    record = None
+    server = None
+    if args.record:
+        from repro.obs.manifest import RunManifest
+        record = RunManifest.begin(
+            args.record, "sweep-" + args.kind, seed=args.seed,
+            config={"zones": args.zones, "seeds": args.seeds,
+                    "workers": args.workers, "backend": args.backend})
+    if args.serve is not None:
+        from repro.obs.serve import ObsServer
+        server = ObsServer(engine.obs, port=args.serve).start()
+        out.write("obs: serving {} (/metrics /healthz /runs)\n".format(
+            server.url("/")))
+    try:
+        grid, json_cells = _run_sweep(args, out, engine)
+    except BaseException:
+        if record is not None:
+            record.finalize(obs=engine.obs, status="failed")
+        raise
+    finally:
+        if server is not None:
+            server.close()
+    if record is not None:
+        record.update(grid_hash=grid.content_hash())
+        record.finalize(obs=engine.obs,
+                        summary={"kind": args.kind,
+                                 "cells": len(json_cells)})
+        out.write("recorded {}\n".format(record.directory))
+    return 0
+
+
+def _run_sweep(args, out, engine):
+    """Dispatch one sweep kind; returns ``(grid, json_cells)``."""
     from repro.engine import (
         CampaignTask,
         CloudSpec,
@@ -626,7 +832,6 @@ def cmd_sweep(args, out):
     )
     zones = [z.strip() for z in args.zones.split(",") if z.strip()]
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
-    engine = _sweep_engine(args)
     max_polls = args.polls if args.polls else None
 
     if args.kind in ("campaign", "progressive"):
@@ -789,7 +994,7 @@ def cmd_sweep(args, out):
             "cells": json_cells,
         })
         out.write("wrote {}\n".format(args.json_path))
-    return 0
+    return grid, json_cells
 
 
 _COMMANDS = {

@@ -61,6 +61,48 @@ def _run_chunk(chunk):
     return out
 
 
+def _run_chunk_captured(chunk, worker_id=None, flush=None):
+    """``_run_chunk`` with telemetry shipping: same records, plus payloads.
+
+    A :class:`~repro.obs.ship.TelemetryCapture` is activated around the
+    chunk so any cloud the tasks build attaches the capture bus.  After
+    each cell the capture is drained; payloads are either handed to
+    ``flush`` (the remote worker streams them as ``TELEMETRY`` frames) or
+    accumulated and returned (the pool pickles them with the records).
+
+    The records themselves are computed exactly as ``_run_chunk`` does —
+    telemetry must never perturb results.
+    """
+    from repro.obs.ship import TelemetryCapture
+
+    capture = TelemetryCapture(worker_id=worker_id)
+    out = []
+    payloads = []
+    pid = os.getpid()
+    with capture:
+        for index, task in chunk:
+            capture.begin_cell(index, task)
+            start = time.perf_counter()
+            try:
+                payload, ok = run_task(task), True
+            except Exception as error:  # noqa: BLE001 — transported
+                payload, ok = (type(error).__name__, str(error)), False
+            wall_ms = (time.perf_counter() - start) * 1000.0
+            capture.end_cell(ok, wall_ms)
+            out.append((index, ok, payload, wall_ms, pid))
+            shipped = capture.drain(cell=index)
+            if flush is not None:
+                flush(shipped)
+            else:
+                payloads.append(shipped)
+    return out, payloads
+
+
+def _run_chunk_shipped(chunk):
+    """Pool entry point (module-level so it pickles): records + payloads."""
+    return _run_chunk_captured(chunk)
+
+
 def _chunk(pairs, chunk_size):
     return [pairs[i:i + chunk_size]
             for i in range(0, len(pairs), chunk_size)]
@@ -90,7 +132,7 @@ class SweepEngine(object):
                  start_method=None, backend="local", bind="127.0.0.1:0",
                  remote_workers=None, heartbeat_s=1.0,
                  chunk_deadline_s=None, join_timeout_s=10.0,
-                 max_requeues=1):
+                 max_requeues=1, telemetry=False):
         self.workers = max(1, int(workers))
         if chunk_size is not None and int(chunk_size) < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -109,10 +151,15 @@ class SweepEngine(object):
         self.chunk_deadline_s = chunk_deadline_s
         self.join_timeout_s = float(join_timeout_s)
         self.max_requeues = int(max_requeues)
+        #: Ship worker-side events/metrics/spans home and merge them onto
+        #: ``obs`` (see :mod:`repro.obs.ship`).  Requires ``obs``;
+        #: results stay byte-identical with shipping on or off.
+        self.telemetry = bool(telemetry)
         #: How the last run actually executed: "serial", "pool",
         #: "remote", or "serial-fallback" (parallel backend requested
         #: but unavailable).
         self.last_mode = None
+        self._merge = None
 
     # -- observability helpers ------------------------------------------------
     def _emit(self, name, started, **fields):
@@ -156,20 +203,39 @@ class SweepEngine(object):
             self._emit("sweep.done", started, cells=0, workers=lanes,
                        mode="serial", wall_s=0.0, utilization=0.0)
             return []
-        if self.backend == "remote":
-            outcome = self._run_remote(tasks, lanes, started)
-            if outcome is not None:
-                return outcome
-            # Degrade to the local pool (then serial) below.
-        if workers <= 1:
-            return self._run_serial(tasks, started, mode="serial")
-        pool = self._make_pool(workers)
-        if pool is None:
-            self._emit("sweep.fallback", started, cells=len(tasks),
-                       reason="process pool unavailable")
-            return self._run_serial(tasks, started, mode="serial-fallback")
-        with pool:
-            return self._run_pool(pool, tasks, workers, started)
+        self._merge = self._make_merge(started, len(tasks))
+        try:
+            if self.backend == "remote":
+                outcome = self._run_remote(tasks, lanes, started)
+                if outcome is not None:
+                    return outcome
+                # Degrade to the local pool (then serial) below.
+            if workers <= 1:
+                return self._run_serial(tasks, started, mode="serial")
+            pool = self._make_pool(workers)
+            if pool is None:
+                self._emit("sweep.fallback", started, cells=len(tasks),
+                           reason="process pool unavailable")
+                return self._run_serial(tasks, started,
+                                        mode="serial-fallback")
+            with pool:
+                return self._run_pool(pool, tasks, workers, started)
+        finally:
+            merge, self._merge = self._merge, None
+            if merge is not None:
+                merge.finish()
+
+    def _make_merge(self, started, cells):
+        """The telemetry merge for this run (None when shipping is off)."""
+        if not self.telemetry or self.obs is None:
+            return None
+        from repro.obs.ship import TelemetryMerge
+
+        root = self.obs.tracer.start_trace("sweep", 0.0, cells=cells,
+                                           backend=self.backend)
+        return TelemetryMerge(
+            self.obs, clock=lambda: time.perf_counter() - started,
+            root_span=root)
 
     def _resolve_start_method(self):
         """The multiprocessing start method a pool run would use.
@@ -211,7 +277,14 @@ class SweepEngine(object):
         failures = []
         busy_ms = 0.0
         for index, task in enumerate(tasks):
-            for record in _run_chunk([(index, task)]):
+            if self._merge is not None:
+                records, payloads = _run_chunk_captured(
+                    [(index, task)], worker_id="serial")
+                for payload in payloads:
+                    self._merge.merge(payload, chunk=index)
+            else:
+                records = _run_chunk([(index, task)])
+            for record in records:
                 busy_ms += self._absorb(record, results, failures, started)
         return self._finish(results, failures, started, workers=1,
                             mode=mode, busy_ms=busy_ms)
@@ -226,15 +299,19 @@ class SweepEngine(object):
         inflight = self._gauge("sweep_cells_inflight")
         if inflight is not None:
             inflight.set(len(pairs))
-        futures = {pool.submit(_run_chunk, chunk): chunk
-                   for chunk in chunks}
+        runner = _run_chunk if self._merge is None else _run_chunk_shipped
+        futures = {pool.submit(runner, chunk): (chunk_id, chunk)
+                   for chunk_id, chunk in enumerate(chunks)}
         results = [None] * len(tasks)
         failures = []
         busy_ms = 0.0
         for future in concurrent.futures.as_completed(futures):
-            chunk = futures[future]
+            chunk_id, chunk = futures[future]
+            payloads = []
             try:
                 records = future.result()
+                if self._merge is not None:
+                    records, payloads = records
             except Exception as error:  # noqa: BLE001 — per-cell report
                 # The whole chunk is lost (e.g. its results failed to
                 # pickle, or a worker died): infrastructure loss, not a
@@ -248,6 +325,8 @@ class SweepEngine(object):
                            for index, _ in chunk]
             for record in records:
                 busy_ms += self._absorb(record, results, failures, started)
+            for payload in payloads:
+                self._merge.merge(payload, chunk=chunk_id)
             if inflight is not None:
                 inflight.dec(len(chunk))
         return self._finish(results, failures, started, workers=workers,
@@ -265,7 +344,10 @@ class SweepEngine(object):
             join_timeout_s=self.join_timeout_s,
             max_requeues=self.max_requeues,
             emit=lambda name, **fields: self._emit(name, started,
-                                                   **fields))
+                                                   **fields),
+            telemetry=self._merge is not None,
+            telemetry_sink=(self._merge_remote
+                            if self._merge is not None else None))
         spawned = []
         try:
             try:
@@ -325,6 +407,16 @@ class SweepEngine(object):
                     process.wait(timeout=5.0)
                 except Exception:  # noqa: BLE001 — best-effort reap
                     process.kill()
+
+    def _merge_remote(self, worker_id, chunk_id, payloads):
+        """Coordinator sink: merge an accepted chunk's shipped payloads.
+
+        Called from the engine thread (inside ``coordinator.run``'s
+        consumption loop), so the parent registry is never mutated from a
+        handler thread.
+        """
+        for payload in payloads:
+            self._merge.merge(payload, worker=worker_id, chunk=chunk_id)
 
     def _set_worker_gauges(self, coordinator, started):
         if self.obs is None:

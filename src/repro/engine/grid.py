@@ -14,6 +14,7 @@ results are identical however its cells are distributed across processes.
 """
 
 import collections
+import hashlib
 import itertools
 
 from repro.common.errors import ConfigurationError
@@ -85,6 +86,19 @@ class Grid(object):
         combo.reverse()
         key = tuple(zip(self.axis_names, combo))
         return Cell(index=index, key=key, seed=self.cell_seed(key))
+
+    def content_hash(self):
+        """A short stable digest of the grid's identity.
+
+        Covers namespace, root seed, and every axis name/value (via
+        ``repr``, which is stable for the plain values grids carry) —
+        two runs with the same hash enumerate the same cells with the
+        same seeds.  Recorded in run manifests for replay/diff forensics.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr((self.namespace, self.root_seed,
+                            self.axes)).encode("utf-8"))
+        return digest.hexdigest()[:16]
 
     def __repr__(self):
         shape = "x".join(str(len(values)) for _, values in self.axes)

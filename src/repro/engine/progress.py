@@ -2,10 +2,14 @@
 
 :class:`SweepProgress` subscribes to an :class:`~repro.obs.EventBus` and
 folds the engine's ``sweep.*`` events into a live summary — cells done
-vs. total, failures, busy milliseconds, the execution mode, and final
-worker utilization.  The CLI uses it for ``--progress`` output; tests use
+vs. total, failures, busy milliseconds, fleet lifecycle (workers joined
+and lost, chunks requeued, telemetry shipped/dropped), per-cell
+wall-time percentiles, the execution mode, and final worker utilization.
+The CLI uses it for ``--progress`` output and ``obs tail``; tests use
 it to assert the engine's instrumentation without scraping raw events.
 """
+
+from repro.obs.metrics import quantile
 
 
 class SweepProgress(object):
@@ -23,12 +27,25 @@ class SweepProgress(object):
         self.wall_s = 0.0
         self.utilization = 0.0
         self.fallback_reason = None
+        self.workers_joined = 0
+        self.workers_lost = 0
+        self.chunks_requeued = 0
+        self.shipped_chunks = 0
+        self.shipped_events = 0
+        self.shipped_spans = 0
+        self.telemetry_dropped = 0
+        self._cell_wall_ms = []
         self._on_cell = on_cell
         self._unsubscribes = [
             bus.subscribe(self._on_start, "sweep.start"),
             bus.subscribe(self._on_cell_event, "sweep.cell"),
             bus.subscribe(self._on_fallback, "sweep.fallback"),
             bus.subscribe(self._on_done, "sweep.done"),
+            bus.subscribe(self._on_worker_joined, "sweep.worker_joined"),
+            bus.subscribe(self._on_worker_lost, "sweep.worker_lost"),
+            bus.subscribe(self._on_requeued, "sweep.chunk_requeued"),
+            bus.subscribe(self._on_telemetry, "sweep.telemetry"),
+            bus.subscribe(self._on_dropped, "sweep.telemetry_dropped"),
         ]
 
     # -- event handlers -------------------------------------------------------
@@ -38,10 +55,12 @@ class SweepProgress(object):
         self.done = 0
         self.failed = 0
         self.busy_ms = 0.0
+        del self._cell_wall_ms[:]
 
     def _on_cell_event(self, event):
         self.done += 1
         self.busy_ms += event.fields["wall_ms"]
+        self._cell_wall_ms.append(event.fields["wall_ms"])
         if not event.fields["ok"]:
             self.failed += 1
         if self._on_cell is not None:
@@ -55,6 +74,29 @@ class SweepProgress(object):
         self.wall_s = event.fields["wall_s"]
         self.utilization = event.fields["utilization"]
 
+    def _on_worker_joined(self, event):
+        self.workers_joined += 1
+
+    def _on_worker_lost(self, event):
+        self.workers_lost += 1
+
+    def _on_requeued(self, event):
+        self.chunks_requeued += 1
+
+    def _on_telemetry(self, event):
+        self.shipped_chunks += 1
+        self.shipped_events += event.fields.get("events", 0)
+        self.shipped_spans += event.fields.get("spans", 0)
+
+    def _on_dropped(self, event):
+        self.telemetry_dropped += event.fields.get("dropped", 0)
+
+    def cell_wall_ms_quantile(self, q):
+        """Wall-time quantile over the cells absorbed so far (or None)."""
+        if not self._cell_wall_ms:
+            return None
+        return quantile(sorted(self._cell_wall_ms), q)
+
     # -- views ----------------------------------------------------------------
     @property
     def remaining(self):
@@ -62,6 +104,9 @@ class SweepProgress(object):
 
     def summary(self):
         """JSON-safe snapshot of the sweep's progress."""
+        p50 = self.cell_wall_ms_quantile(0.50)
+        p95 = self.cell_wall_ms_quantile(0.95)
+        p99 = self.cell_wall_ms_quantile(0.99)
         return {
             "cells": self.total,
             "done": self.done,
@@ -72,6 +117,16 @@ class SweepProgress(object):
             "busy_ms": round(self.busy_ms, 3),
             "utilization": round(self.utilization, 4),
             "fallback_reason": self.fallback_reason,
+            "workers_joined": self.workers_joined,
+            "workers_lost": self.workers_lost,
+            "chunks_requeued": self.chunks_requeued,
+            "shipped_chunks": self.shipped_chunks,
+            "shipped_events": self.shipped_events,
+            "shipped_spans": self.shipped_spans,
+            "telemetry_dropped": self.telemetry_dropped,
+            "p50_cell_wall_ms": round(p50, 3) if p50 is not None else None,
+            "p95_cell_wall_ms": round(p95, 3) if p95 is not None else None,
+            "p99_cell_wall_ms": round(p99, 3) if p99 is not None else None,
         }
 
     def detach(self):

@@ -5,12 +5,20 @@ message.  Messages are plain tuples whose first element names the kind:
 
 * ``("hello", worker_id, pid)`` — worker → coordinator, once per
   connection;
-* ``("task", chunk_id, chunk)`` — coordinator → worker; ``chunk`` is a
-  list of ``(index, task)`` pairs, exactly what the local pool's
-  ``_run_chunk`` consumes;
+* ``("task", chunk_id, chunk[, want_telemetry])`` — coordinator →
+  worker; ``chunk`` is a list of ``(index, task)`` pairs, exactly what
+  the local pool's ``_run_chunk`` consumes.  The optional fourth element
+  (absent = false, so old peers interoperate) asks the worker to capture
+  and ship telemetry for the chunk;
 * ``("result", chunk_id, records)`` — worker → coordinator; ``records``
   is the ``(index, ok, payload, wall_ms, pid)`` list ``_run_chunk``
   produced, so results merge through the engine's normal absorb path;
+* ``("telemetry", chunk_id, payload)`` — worker → coordinator; one
+  drained :class:`~repro.obs.ship.TelemetryCapture` payload (events +
+  metric deltas + spans for a finished cell).  Flushed opportunistically
+  by the heartbeat thread and always before the chunk's result frame,
+  so the coordinator holds a chunk's full telemetry by the time it
+  accepts the chunk's records;
 * ``("heartbeat", worker_id)`` — worker → coordinator, periodic
   liveness while a chunk is (or isn't) running;
 * ``("bye",)`` — coordinator → worker: no more work, disconnect

@@ -80,7 +80,8 @@ class SweepCoordinator(object):
 
     def __init__(self, host="127.0.0.1", port=0, heartbeat_s=1.0,
                  chunk_deadline_s=None, join_timeout_s=10.0,
-                 max_requeues=1, emit=None):
+                 max_requeues=1, emit=None, telemetry=False,
+                 telemetry_sink=None):
         if heartbeat_s <= 0:
             raise ConfigurationError("heartbeat_s must be positive")
         if max_requeues < 0:
@@ -93,6 +94,15 @@ class SweepCoordinator(object):
         self.join_timeout_s = float(join_timeout_s)
         self.max_requeues = int(max_requeues)
         self._emit_callback = emit
+        #: When true, task frames ask workers to capture and ship
+        #: telemetry; payloads are buffered per ``(chunk, worker)`` and
+        #: handed to ``telemetry_sink(worker_id, chunk_id, payloads)``
+        #: from the engine thread when that worker's result is accepted
+        #: — requeue losers and duplicate finishers are discarded, so
+        #: merged telemetry matches the accepted results exactly.
+        self.telemetry = bool(telemetry)
+        self._telemetry_sink = telemetry_sink
+        self._telemetry = {}
         self.address = None
         self._server = None
         self._accept_thread = None
@@ -210,6 +220,7 @@ class SweepCoordinator(object):
         self._emit("sweep.worker_joined", worker=worker_id, pid=pid,
                    addr="{}:{}".format(*addr))
         assignment = None
+        dispatched_at = None
         try:
             while not self._done.is_set():
                 try:
@@ -219,8 +230,13 @@ class SweepCoordinator(object):
                         break
                     continue
                 chunk_id, chunk = assignment
-                transport.send(("task", chunk_id, chunk))
-                records = self._await_result(transport, chunk_id)
+                dispatched_at = time.monotonic()
+                if self.telemetry:
+                    transport.send(("task", chunk_id, chunk, True))
+                else:
+                    transport.send(("task", chunk_id, chunk))
+                records = self._await_result(transport, chunk_id,
+                                             worker_id)
                 assignment = None
                 stats.busy_ms += sum(record[3] for record in records)
                 stats.chunks_done += 1
@@ -231,6 +247,13 @@ class SweepCoordinator(object):
                 pass
         except TransportError as error:
             stats.losses += 1
+            if assignment is not None and dispatched_at is not None:
+                # The worker burned real time on a chunk that never
+                # completed; count it so utilization doesn't under-report
+                # flaky workers (successful chunks use the workers' own
+                # per-cell wall times instead).
+                stats.busy_ms += (time.monotonic() - dispatched_at) \
+                    * 1000.0
             self._emit("sweep.worker_lost", worker=worker_id,
                        reason=str(error))
             if assignment is not None:
@@ -240,8 +263,9 @@ class SweepCoordinator(object):
             with self._lock:
                 self._connected.discard(worker_id)
 
-    def _await_result(self, transport, chunk_id):
-        """Wait for ``chunk_id``'s records, absorbing heartbeats.
+    def _await_result(self, transport, chunk_id, worker_id):
+        """Wait for ``chunk_id``'s records, absorbing heartbeats (and
+        buffering telemetry frames).
 
         Raises :class:`TransportError` when the worker disconnects, goes
         silent past the heartbeat tolerance, or blows the chunk deadline.
@@ -266,12 +290,36 @@ class SweepCoordinator(object):
             kind = message[0] if isinstance(message, tuple) else None
             if kind == "heartbeat":
                 continue
+            if kind == "telemetry":
+                self._buffer_telemetry(message[1], worker_id, message[2])
+                continue
             if kind == "result":
                 if message[1] == chunk_id:
                     return message[2]
                 continue  # stale result from a requeued chunk
             raise TransportError(
                 "unexpected message kind {!r}".format(kind))
+
+    # -- telemetry buffering -------------------------------------------------
+    def _buffer_telemetry(self, chunk_id, worker_id, payload):
+        """Hold a shipped payload until its chunk's result is accepted.
+
+        Buffered per ``(chunk, worker)`` so a requeued chunk's payloads
+        from the losing worker never mix with the winner's.
+        """
+        if not self.telemetry:
+            return
+        with self._lock:
+            per_worker = self._telemetry.setdefault(chunk_id, {})
+            per_worker.setdefault(worker_id, []).append(payload)
+
+    def _take_telemetry(self, chunk_id, worker_id):
+        """Pop the accepted worker's payloads; drop every other worker's."""
+        with self._lock:
+            per_worker = self._telemetry.pop(chunk_id, None)
+        if per_worker is None or worker_id is None:
+            return []
+        return per_worker.get(worker_id, [])
 
     def _requeue_or_fail(self, assignment, worker_id, error):
         chunk_id, chunk = assignment
@@ -283,9 +331,13 @@ class SweepCoordinator(object):
                        cells=len(chunk), worker=worker_id)
             self._pending.put((chunk_id, chunk))
         else:
+            # Failure records carry no accepting worker: any telemetry
+            # partially shipped for the chunk is discarded at acceptance
+            # (its cells report as failed, so merging success telemetry
+            # for them would lie).
             self._results.put((chunk_id,
                                _chunk_failure_records(chunk, error),
-                               worker_id))
+                               None))
 
     # -- the driving loop (engine side) ------------------------------------
     def run(self, chunks):
@@ -308,7 +360,8 @@ class SweepCoordinator(object):
         try:
             while expected:
                 try:
-                    chunk_id, records, _ = self._results.get(timeout=0.1)
+                    chunk_id, records, worker_id = \
+                        self._results.get(timeout=0.1)
                 except queue.Empty:
                     now = time.monotonic()
                     if self.workers_seen == 0:
@@ -321,9 +374,17 @@ class SweepCoordinator(object):
                         self._fail_remaining(expected, chunks)
                     continue
                 if chunk_id not in expected:
-                    continue  # duplicate completion after a requeue
+                    # Duplicate completion after a requeue: drop its
+                    # late-arriving telemetry along with its records.
+                    self._take_telemetry(chunk_id, None)
+                    continue
                 expected.discard(chunk_id)
                 last_progress = time.monotonic()
+                # First finisher wins telemetry too: take the accepted
+                # worker's payloads, discard the rest of the chunk's.
+                payloads = self._take_telemetry(chunk_id, worker_id)
+                if payloads and self._telemetry_sink is not None:
+                    self._telemetry_sink(worker_id, chunk_id, payloads)
                 for record in records:
                     yield record
         finally:
@@ -351,6 +412,35 @@ def _chunk_failure_records(chunk, error):
             for index, _ in chunk]
 
 
+class _TelemetryOutbox(object):
+    """Pending telemetry frames shared by a worker's two threads.
+
+    The chunk runner ``put``\\ s a payload per finished cell; both the
+    heartbeat thread (between beats) and the session thread (just before
+    the result) ``flush``.  Sends happen inside the outbox lock so every
+    telemetry frame for a chunk hits the socket before its result frame —
+    the coordinator can therefore attribute payloads at result
+    acceptance without a second round trip.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def put(self, chunk_id, payload):
+        with self._lock:
+            self._pending.append((chunk_id, payload))
+
+    def flush(self, transport, result=None):
+        """Send pending frames (+ an optional ``("result", ...)`` last)."""
+        with self._lock:
+            for chunk_id, payload in self._pending:
+                transport.send(("telemetry", chunk_id, payload))
+            del self._pending[:]
+            if result is not None:
+                transport.send(result)
+
+
 class SweepWorker(object):
     """A sweep worker: connect, heartbeat, run chunks, reconnect.
 
@@ -374,6 +464,9 @@ class SweepWorker(object):
             seed=zlib.crc32(self.worker_id.encode("utf-8")))
         self._transport_factory = transport_factory or connect
         self._run_chunk = run_chunk or _run_chunk
+        # Telemetry capture wraps the stock runner only; a custom
+        # run_chunk (test double) keeps its exact behavior.
+        self._default_runner = run_chunk is None
         self.chunks_done = 0
 
     def run(self, stop=None):
@@ -410,9 +503,10 @@ class SweepWorker(object):
     def _session(self, transport):
         """One connected session.  True = clean bye, reconnect otherwise."""
         stop_heartbeat = threading.Event()
+        outbox = _TelemetryOutbox()
         heartbeat = threading.Thread(
             target=self._heartbeat_loop,
-            args=(transport, stop_heartbeat),
+            args=(transport, stop_heartbeat, outbox),
             name="sweep-worker-heartbeat", daemon=True)
         heartbeat.start()
         try:
@@ -420,9 +514,20 @@ class SweepWorker(object):
                 message = transport.recv(timeout=None)
                 kind = message[0] if isinstance(message, tuple) else None
                 if kind == "task":
-                    _, chunk_id, chunk = message
-                    records = self._run_chunk(chunk)
-                    transport.send(("result", chunk_id, records))
+                    chunk_id, chunk = message[1], message[2]
+                    want_telemetry = len(message) > 3 and bool(message[3])
+                    if want_telemetry and self._default_runner:
+                        from repro.engine.executor import \
+                            _run_chunk_captured
+                        records, _ = _run_chunk_captured(
+                            chunk, worker_id=self.worker_id,
+                            flush=lambda payload:
+                                outbox.put(chunk_id, payload))
+                        outbox.flush(transport,
+                                     result=("result", chunk_id, records))
+                    else:
+                        records = self._run_chunk(chunk)
+                        transport.send(("result", chunk_id, records))
                     self.chunks_done += 1
                 elif kind == "bye":
                     return True
@@ -433,9 +538,10 @@ class SweepWorker(object):
             stop_heartbeat.set()
             transport.close()
 
-    def _heartbeat_loop(self, transport, stop):
+    def _heartbeat_loop(self, transport, stop, outbox):
         while not stop.wait(self.heartbeat_s):
             try:
+                outbox.flush(transport)
                 transport.send(("heartbeat", self.worker_id))
             except TransportError:
                 return

@@ -18,6 +18,7 @@ from repro.cloudsim.catalog import (
     region_name_of_zone,
 )
 from repro.cloudsim.cloud import Cloud
+from repro.obs.ship import current_capture
 
 
 class CloudSpec(object):
@@ -62,9 +63,18 @@ class CloudSpec(object):
                          regions=self.regions)
 
     def build(self):
-        """Materialize the spec into a fresh :class:`Cloud`."""
+        """Materialize the spec into a fresh :class:`Cloud`.
+
+        When a :class:`~repro.obs.ship.TelemetryCapture` is ambiently
+        active on this thread (a sweep worker running a shipped chunk),
+        the capture bus is attached so the cell's events are buffered for
+        shipping — task code needs no telemetry-aware parameters.
+        """
         cloud = Cloud(seed=self.seed)
         install_catalog(cloud, aws_only=self.aws_only, regions=self.regions)
+        capture = current_capture()
+        if capture is not None:
+            capture.install(cloud)
         return cloud
 
     def build_with_account(self, zone_id, account_id="sweep"):

@@ -28,6 +28,9 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import Span, Trace, Tracer, format_trace
 from repro.obs import export
+from repro.obs.ship import TelemetryCapture, TelemetryMerge, current_capture
+from repro.obs.manifest import DEFAULT_REGISTRY, RunManifest, RunRegistry
+from repro.obs.serve import ObsServer, render_tail, scrape
 
 #: Numeric encoding of breaker states for the ``breaker_state`` gauge
 #: (Prometheus gauges are floats): closed=0, half_open=1, open=2.
@@ -175,6 +178,18 @@ class Observability(object):
             registry.gauge("sweep_workers").set(fields["workers"])
             registry.gauge("sweep_worker_utilization").set(
                 fields["utilization"])
+        elif name == "sweep.telemetry":
+            worker = fields.get("worker", "unknown")
+            registry.counter("sweep_shipped_chunks_total",
+                             worker=worker).inc()
+            registry.counter("sweep_shipped_events_total",
+                             worker=worker).inc(fields.get("events", 0))
+            registry.counter("sweep_shipped_spans_total",
+                             worker=worker).inc(fields.get("spans", 0))
+        elif name == "sweep.telemetry_dropped":
+            registry.counter("sweep_telemetry_dropped_total",
+                             worker=fields.get("worker", "unknown")).inc(
+                fields.get("dropped", 0))
 
     # -- summaries ----------------------------------------------------------
     def zone_latency_summary(self):
@@ -192,6 +207,7 @@ class Observability(object):
             bucket = merged.setdefault(labels[label], [])
             bucket.append(histogram)
         summary = {}
+        empty = float("nan")
         for key, histograms in sorted(merged.items()):
             values = []
             for histogram in histograms:
@@ -199,12 +215,15 @@ class Observability(object):
             values.sort()
             count = sum(h.count for h in histograms)
             total = sum(h.sum for h in histograms)
+            # A cold series (touch-created or merged-empty histograms)
+            # reports NaN quantiles rather than crashing — or lying with
+            # 0.0 — about latencies nobody measured.
             summary[key] = {
                 "requests": count,
-                "mean_latency_s": total / count if count else 0.0,
-                "p50_latency_s": quantile(values, 0.50) if values else 0.0,
-                "p95_latency_s": quantile(values, 0.95) if values else 0.0,
-                "p99_latency_s": quantile(values, 0.99) if values else 0.0,
+                "mean_latency_s": total / count if count else empty,
+                "p50_latency_s": quantile(values, 0.50) if values else empty,
+                "p95_latency_s": quantile(values, 0.95) if values else empty,
+                "p99_latency_s": quantile(values, 0.99) if values else empty,
             }
         return summary
 
@@ -231,4 +250,13 @@ __all__ = [
     "Tracer",
     "format_trace",
     "export",
+    "TelemetryCapture",
+    "TelemetryMerge",
+    "current_capture",
+    "RunManifest",
+    "RunRegistry",
+    "DEFAULT_REGISTRY",
+    "ObsServer",
+    "scrape",
+    "render_tail",
 ]

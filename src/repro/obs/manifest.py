@@ -1,0 +1,224 @@
+"""Run flight recorder: durable per-run artifact directories.
+
+A :class:`RunManifest` turns one sweep / campaign / chaos run into a
+directory of deterministic replay-and-diff artifacts:
+
+* ``manifest.json`` — kind, seed, grid hash, config, git describe,
+  wall-clock bounds, status, and artifact inventory;
+* ``events.jsonl`` — the run's recorded event stream (one JSON object
+  per line, via the standard JSONL exporter);
+* ``metrics.prom`` — the final registry snapshot in Prometheus text;
+* ``trace.json`` — every retained trace as span dicts.
+
+Lifecycle: :meth:`RunManifest.begin` writes a ``status: "running"``
+manifest immediately (a crashed run leaves evidence), the run proceeds,
+and :meth:`RunManifest.finalize` writes the artifacts and flips the
+status.  :meth:`RunManifest.load` reads a directory back;
+:meth:`events` / :meth:`metrics` / :meth:`traces` reload the artifacts
+for forensics, so a recorded run round-trips without the process that
+produced it.
+
+Every manifest also joins a :class:`RunRegistry` (module default:
+:data:`DEFAULT_REGISTRY`) which backs the live endpoint's ``/runs``
+route.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+from repro.common.errors import ConfigurationError
+from repro.obs.export import (
+    events_to_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+    read_events_jsonl,
+)
+
+MANIFEST_VERSION = 1
+MANIFEST_FILE = "manifest.json"
+EVENTS_FILE = "events.jsonl"
+METRICS_FILE = "metrics.prom"
+TRACE_FILE = "trace.json"
+
+
+def git_describe(cwd=None):
+    """``git describe --always --dirty`` of the source tree, or None.
+
+    Best-effort provenance: a missing git binary, a non-repo install, or
+    a timeout all degrade to None rather than failing the run.
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd, capture_output=True, text=True, timeout=5.0)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+class RunRegistry(object):
+    """An in-process index of the manifests this process has begun."""
+
+    def __init__(self):
+        self._runs = []
+
+    def register(self, manifest):
+        self._runs.append(manifest)
+        return manifest
+
+    def rows(self):
+        """JSON-safe descriptions, oldest first (feeds ``/runs``)."""
+        return [manifest.describe() for manifest in self._runs]
+
+    def __len__(self):
+        return len(self._runs)
+
+    def __repr__(self):
+        return "RunRegistry(runs={})".format(len(self))
+
+
+#: The registry ``RunManifest.begin`` joins by default; served by
+#: :class:`~repro.obs.serve.ObsServer` at ``/runs``.
+DEFAULT_REGISTRY = RunRegistry()
+
+
+class RunManifest(object):
+    """One run's artifact directory (see the module docstring)."""
+
+    def __init__(self, directory, data):
+        self.directory = directory
+        self.data = data
+
+    # -- lifecycle -----------------------------------------------------------
+    @classmethod
+    def begin(cls, directory, kind, seed=None, config=None, grid_hash=None,
+              registry=DEFAULT_REGISTRY):
+        """Create the run directory and its ``status: "running"`` manifest."""
+        directory = os.path.abspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        manifest = cls(directory, {
+            "version": MANIFEST_VERSION,
+            "kind": str(kind),
+            "seed": seed,
+            "config": dict(config) if config else {},
+            "grid_hash": grid_hash,
+            "git": git_describe(),
+            "started_unix": time.time(),
+            "finished_unix": None,
+            "status": "running",
+            "summary": None,
+            "artifacts": {},
+        })
+        manifest._write()
+        if registry is not None:
+            registry.register(manifest)
+        return manifest
+
+    def update(self, **fields):
+        """Merge fields into the manifest and rewrite it."""
+        self.data.update(fields)
+        self._write()
+        return self
+
+    def finalize(self, obs=None, summary=None, status="complete"):
+        """Write the artifact files and close the manifest.
+
+        ``obs`` supplies the artifacts (recorder → events, registry →
+        metrics, tracer → traces); pass None to finalize metadata only.
+        """
+        artifacts = {}
+        if obs is not None:
+            events = obs.recorder.events()
+            with open(self.path(EVENTS_FILE), "w") as handle:
+                handle.write(events_to_jsonl(events))
+            artifacts[EVENTS_FILE] = len(events)
+            with open(self.path(METRICS_FILE), "w") as handle:
+                handle.write(prometheus_text(obs.registry))
+            artifacts[METRICS_FILE] = len(obs.registry)
+            traces = [[span.to_dict() for span in trace.spans]
+                      for trace in obs.tracer.traces()]
+            with open(self.path(TRACE_FILE), "w") as handle:
+                json.dump({"traces": traces}, handle, sort_keys=True)
+            artifacts[TRACE_FILE] = sum(len(spans) for spans in traces)
+        self.data["artifacts"].update(artifacts)
+        self.data["finished_unix"] = time.time()
+        self.data["status"] = str(status)
+        if summary is not None:
+            self.data["summary"] = summary
+        self._write()
+        return self
+
+    # -- persistence ---------------------------------------------------------
+    def path(self, name):
+        return os.path.join(self.directory, name)
+
+    def _write(self):
+        with open(self.path(MANIFEST_FILE), "w") as handle:
+            json.dump(self.data, handle, indent=2, sort_keys=True,
+                      default=str)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, directory):
+        """Read a run directory back (raises on a missing manifest)."""
+        directory = os.path.abspath(directory)
+        manifest_path = os.path.join(directory, MANIFEST_FILE)
+        try:
+            with open(manifest_path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(
+                "cannot load run manifest from {}: {}".format(
+                    directory, error)) from error
+        return cls(directory, data)
+
+    # -- artifact readers ----------------------------------------------------
+    def events(self):
+        """The recorded event dicts (empty if never finalized with obs)."""
+        path = self.path(EVENTS_FILE)
+        if not os.path.exists(path):
+            return []
+        return read_events_jsonl(path)
+
+    def metrics_text(self):
+        path = self.path(METRICS_FILE)
+        if not os.path.exists(path):
+            return ""
+        with open(path) as handle:
+            return handle.read()
+
+    def metrics(self):
+        """The final metric samples, parsed back from ``metrics.prom``."""
+        return parse_prometheus_text(self.metrics_text())
+
+    def traces(self):
+        """Retained traces as lists of span dicts."""
+        path = self.path(TRACE_FILE)
+        if not os.path.exists(path):
+            return []
+        with open(path) as handle:
+            return json.load(handle)["traces"]
+
+    # -- views ---------------------------------------------------------------
+    def describe(self):
+        """One JSON-safe row for the run registry / ``/runs``."""
+        return {
+            "directory": self.directory,
+            "kind": self.data.get("kind"),
+            "status": self.data.get("status"),
+            "seed": self.data.get("seed"),
+            "grid_hash": self.data.get("grid_hash"),
+            "started_unix": self.data.get("started_unix"),
+            "finished_unix": self.data.get("finished_unix"),
+        }
+
+    def __repr__(self):
+        return "RunManifest(kind={!r}, status={!r}, dir={!r})".format(
+            self.data.get("kind"), self.data.get("status"),
+            self.directory)

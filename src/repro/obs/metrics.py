@@ -16,6 +16,9 @@ import random
 
 from repro.common.errors import ConfigurationError
 
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_NO_DEFAULT = object()
+
 
 def quantile(sorted_values, q):
     """Linear-interpolation quantile of an ascending list (numpy's default
@@ -134,9 +137,16 @@ class Histogram(object):
             return 0.0
         return self.sum / self.count
 
-    def quantile(self, q):
-        """Reservoir quantile; exact while count <= reservoir_size."""
-        if self.count == 0:
+    def quantile(self, q, default=_NO_DEFAULT):
+        """Reservoir quantile; exact while count <= reservoir_size.
+
+        An empty histogram raises unless ``default`` is supplied —
+        summary paths that aggregate many series pass ``default`` so one
+        cold series cannot crash the whole report.
+        """
+        if self.count == 0 or not self._reservoir:
+            if default is not _NO_DEFAULT:
+                return default
             raise ConfigurationError("quantile of an empty histogram")
         return quantile(sorted(self._reservoir), q)
 
@@ -151,6 +161,55 @@ class Histogram(object):
     @property
     def p99(self):
         return self.quantile(0.99)
+
+    # -- cross-process shipping ---------------------------------------------
+    def state(self, max_reservoir=None):
+        """A picklable snapshot for shipping across process boundaries.
+
+        ``max_reservoir`` caps the shipped sample (evenly strided) so a
+        telemetry frame stays bounded; bucket counts always carry the full
+        distribution.  Pairs with :meth:`merge_state`.
+        """
+        reservoir = self._reservoir
+        if max_reservoir is not None and len(reservoir) > max_reservoir:
+            step = len(reservoir) / float(max_reservoir)
+            reservoir = [reservoir[int(i * step)]
+                         for i in range(int(max_reservoir))]
+        return {
+            "buckets": self.buckets,
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "reservoir": list(reservoir),
+        }
+
+    def merge_state(self, state):
+        """Fold a :meth:`state` snapshot from another process into this
+        histogram.
+
+        Bucket counts, count, sum, and min/max merge exactly.  The
+        reservoir is appended then truncated to capacity — a deterministic
+        (slightly existing-biased) sample; quantiles stay estimates, the
+        buckets stay authoritative.
+        """
+        if tuple(state["buckets"]) != self.buckets:
+            raise ConfigurationError(
+                "cannot merge histograms with different buckets")
+        self.count += int(state["count"])
+        self.sum += float(state["sum"])
+        for index, bucket_count in enumerate(state["bucket_counts"]):
+            self.bucket_counts[index] += bucket_count
+        if state["min"] is not None:
+            if self.min is None or state["min"] < self.min:
+                self.min = state["min"]
+        if state["max"] is not None:
+            if self.max is None or state["max"] > self.max:
+                self.max = state["max"]
+        self._reservoir.extend(state["reservoir"])
+        del self._reservoir[self._reservoir_size:]
+        return self
 
     def cumulative_buckets(self):
         """Prometheus-style ``[(le, cumulative_count), ..., ('+Inf', n)]``."""

@@ -1,0 +1,289 @@
+"""Live observability endpoint over the stdlib HTTP server.
+
+:class:`ObsServer` exposes a running :class:`~repro.obs.Observability`
+facade on three routes, scrape-compatible and dependency-free:
+
+* ``/metrics`` — the registry in Prometheus text exposition (the same
+  :func:`~repro.obs.export.prometheus_text` the file exporters use);
+* ``/healthz`` — a small JSON liveness document (enabled flag, event /
+  metric / trace counts, uptime);
+* ``/runs`` — the JSON run registry (see :mod:`repro.obs.manifest`).
+
+The server runs on a daemon thread beside the sweep, so ``/metrics`` is
+scrapeable *mid-run*; the sweep thread writes the registry while scrapes
+read it, and rather than locking the engine's hot path the renderer
+simply retries the rare iteration race.
+
+The module also powers ``python -m repro obs tail``: :func:`scrape` +
+:func:`render_tail` turn one ``/metrics`` snapshot into a human sweep
+status line-set (cells done, workers joined/lost, requeues, utilization,
+p50/p95/p99 cell wall times), with :func:`bucket_quantile` estimating
+percentiles from the histogram's cumulative buckets.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.common.errors import ConfigurationError
+from repro.obs.export import parse_prometheus_text, prometheus_text
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsServer(object):
+    """Serve an :class:`~repro.obs.Observability` facade over HTTP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` (or
+    :meth:`url`) after :meth:`start`.  ``runs`` is an optional
+    :class:`~repro.obs.manifest.RunRegistry`; by default the module-level
+    registry every :class:`~repro.obs.manifest.RunManifest` joins is
+    served.
+    """
+
+    def __init__(self, obs, host="127.0.0.1", port=0, runs=None):
+        self.obs = obs
+        self.host = host
+        self.port = int(port)
+        self.runs = runs
+        self.address = None
+        self._server = None
+        self._thread = None
+        self._started = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self):
+        """Bind and serve on a daemon thread.  Returns self."""
+        owner = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # noqa: D102 — silence stderr
+                pass
+
+            def do_GET(self):
+                try:
+                    owner._handle(self)
+                except Exception:  # noqa: BLE001 — a scrape must not
+                    # take the server thread down with it
+                    try:
+                        self.send_error(500)
+                    except Exception:  # noqa: BLE001 — peer gone
+                        pass
+
+        try:
+            server = ThreadingHTTPServer((self.host, self.port), Handler)
+        except OSError as error:
+            raise ConfigurationError(
+                "cannot serve observability on {}:{}: {}".format(
+                    self.host, self.port, error)) from error
+        server.daemon_threads = True
+        self._server = server
+        self.address = server.server_address[:2]
+        self._started = time.monotonic()
+        self._thread = threading.Thread(target=server.serve_forever,
+                                        name="obs-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self):
+        """Stop serving and release the port."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def url(self, path="/metrics"):
+        if self.address is None:
+            raise ConfigurationError("server not started")
+        return "http://{}:{}{}".format(self.address[0], self.address[1],
+                                       path)
+
+    # -- payloads ------------------------------------------------------------
+    def metrics_text(self):
+        """The registry as Prometheus text; retries mid-run mutation races."""
+        for _ in range(4):
+            try:
+                return prometheus_text(self.obs.registry)
+            except RuntimeError:
+                # The sweep thread added a metric while we iterated;
+                # snapshot again rather than lock the engine's hot path.
+                time.sleep(0.005)
+        return prometheus_text(self.obs.registry)
+
+    def healthz(self):
+        return {
+            "status": "ok",
+            "enabled": bool(self.obs.enabled),
+            "events": len(self.obs.recorder),
+            "metrics": len(self.obs.registry),
+            "traces": len(self.obs.tracer),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    def runs_payload(self):
+        registry = self.runs
+        if registry is None:
+            from repro.obs.manifest import DEFAULT_REGISTRY
+            registry = DEFAULT_REGISTRY
+        return {"runs": registry.rows()}
+
+    # -- request handling ----------------------------------------------------
+    def _handle(self, request):
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = self.metrics_text().encode("utf-8")
+            content_type = _PROM_CONTENT_TYPE
+        elif path == "/healthz":
+            body = json.dumps(self.healthz(), sort_keys=True).encode()
+            content_type = "application/json"
+        elif path == "/runs":
+            body = json.dumps(self.runs_payload(), sort_keys=True,
+                              default=str).encode()
+            content_type = "application/json"
+        else:
+            request.send_error(404, "unknown path {!r}".format(path))
+            return
+        request.send_response(200)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+    def __repr__(self):
+        return "ObsServer(address={}, running={})".format(
+            self.address, self._server is not None)
+
+
+# -- tail: one scrape -> a human status block --------------------------------
+def scrape(url, timeout=5.0):
+    """Fetch a URL's body as text (stdlib only)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def bucket_quantile(buckets, q):
+    """Estimate a quantile from cumulative ``(upper, count)`` buckets.
+
+    ``buckets`` are ascending with ``float("inf")`` last (the parsed form
+    of a Prometheus histogram's ``le`` series).  Linear interpolation
+    inside the winning bucket; the +Inf bucket degrades to the last
+    finite upper bound.  Returns None for an empty histogram.
+    """
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    previous_upper = 0.0
+    previous_count = 0.0
+    for upper, count in buckets:
+        if count >= target:
+            if upper == float("inf"):
+                return previous_upper
+            span = count - previous_count
+            if span <= 0:
+                return float(upper)
+            fraction = (target - previous_count) / span
+            return previous_upper + (float(upper) - previous_upper) \
+                * fraction
+        if upper != float("inf"):
+            previous_upper = float(upper)
+        previous_count = count
+    return previous_upper
+
+
+def _series(samples, name):
+    """``[(labels_dict, value)]`` for every sample of ``name``."""
+    out = []
+    for key, value in samples.items():
+        if key[0] == name:
+            out.append((dict(key[1:]), value))
+    return out
+
+
+def _scalar(samples, name, default=None):
+    value = samples.get((name,))
+    return default if value is None else value
+
+
+def _histogram_buckets(samples, name):
+    buckets = []
+    for labels, value in _series(samples, name + "_bucket"):
+        token = labels.get("le")
+        if token is None:
+            continue
+        upper = float("inf") if token == "+Inf" else float(token)
+        buckets.append((upper, value))
+    buckets.sort(key=lambda pair: pair[0])
+    return buckets
+
+
+def render_tail(samples):
+    """Render one parsed ``/metrics`` snapshot as sweep status lines.
+
+    ``samples`` is :func:`~repro.obs.export.parse_prometheus_text`
+    output.  Returns a newline-joined block; degrades gracefully when a
+    sweep hasn't started (or the endpoint serves a non-sweep facade).
+    """
+    lines = []
+    done = _scalar(samples, "sweep_cells_total")
+    inflight_now = _scalar(samples, "sweep_cells_inflight")
+    if done is None and inflight_now is not None:
+        done = 0.0  # sweep started, first cell still in flight
+    if done is not None:
+        inflight = _scalar(samples, "sweep_cells_inflight", 0.0)
+        failed = _scalar(samples, "sweep_cell_failures_total", 0.0)
+        requeued = _scalar(samples, "sweep_chunks_requeued_total", 0.0)
+        lines.append(
+            "cells: {:.0f} done ({:.0f} failed), {:.0f} in flight, "
+            "{:.0f} chunks requeued".format(done, failed, max(0.0,
+                                            inflight), requeued))
+    joined = _scalar(samples, "sweep_workers_joined_total")
+    utilization = _scalar(samples, "sweep_worker_utilization")
+    if joined is not None or utilization is not None:
+        lost = _scalar(samples, "sweep_workers_lost_total", 0.0)
+        parts = []
+        if joined is not None:
+            parts.append("{:.0f} joined, {:.0f} lost".format(joined, lost))
+        if utilization is not None:
+            parts.append("utilization {:.0%}".format(utilization))
+        lines.append("workers: " + ", ".join(parts))
+    buckets = _histogram_buckets(samples, "sweep_cell_wall_ms")
+    if buckets and buckets[-1][1] > 0:
+        quantiles = []
+        for q, tag in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+            estimate = bucket_quantile(buckets, q)
+            if estimate is not None:
+                quantiles.append("{} {:.0f}ms".format(tag, estimate))
+        if quantiles:
+            lines.append("cell wall: " + "  ".join(quantiles))
+    shipped = _series(samples, "sweep_shipped_events_total")
+    if shipped:
+        dropped = {labels.get("worker"): value for labels, value
+                   in _series(samples, "sweep_telemetry_dropped_total")}
+        parts = []
+        for labels, value in sorted(shipped,
+                                    key=lambda s: s[0].get("worker", "")):
+            worker = labels.get("worker", "?")
+            note = "{}={:.0f}ev".format(worker, value)
+            if dropped.get(worker):
+                note += "(+{:.0f} dropped)".format(dropped[worker])
+            parts.append(note)
+        lines.append("shipped: " + ", ".join(parts))
+    if not lines:
+        return "no sweep metrics yet"
+    return "\n".join(lines)

@@ -158,6 +158,38 @@ class Tracer(object):
         trace.add(span)
         return span
 
+    def graft(self, span_dicts, parent, shift=0.0):
+        """Re-home exported span dicts (``Span.to_dict()``) under ``parent``.
+
+        Used by telemetry merging: a sweep worker's spans arrive as plain
+        dicts and are re-created in this tracer's id space, attached to the
+        live trace that owns ``parent``.  Foreign parent links are remapped
+        through the new ids; spans whose parent is unknown (the foreign
+        roots) attach directly to ``parent``.  ``shift`` rebases the
+        foreign clock onto this tracer's timeline — durations are
+        preserved exactly.  Returns the new spans in input order.
+        """
+        if parent is None:
+            raise ConfigurationError("graft needs a live parent span")
+        trace = self._by_id.get(parent.trace_id)
+        if trace is None:
+            raise ConfigurationError(
+                "trace {} was evicted; cannot graft onto it".format(
+                    parent.trace_id))
+        id_map = {}
+        grafted = []
+        for payload in span_dicts:
+            parent_id = id_map.get(payload.get("parent_id"), parent.span_id)
+            span = Span(parent.trace_id, next(self._next_span_id), parent_id,
+                        payload["name"], float(payload["start"]) + shift,
+                        dict(payload.get("tags") or {}))
+            if payload.get("end") is not None:
+                span.end = float(payload["end"]) + shift
+            id_map[payload["span_id"]] = span.span_id
+            trace.add(span)
+            grafted.append(span)
+        return grafted
+
     # -- retrieval ----------------------------------------------------------
     def traces(self, complete_only=False):
         traces = list(self._traces)

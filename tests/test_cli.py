@@ -312,3 +312,125 @@ class TestMultiWorkloadStudy(object):
         assert code == 0
         assert "sha1_hash" in output
         assert "zipper" in output
+
+
+class TestTelemetryAndRecorder(object):
+    def _campaign_args(self, *extra):
+        return ("--seed", "5", "sweep", "campaign",
+                "--zones", "us-west-1a,us-west-1b", "--seeds", "0,1",
+                "--polls", "2", "--endpoints", "3",
+                "--requests", "150") + extra
+
+    def test_telemetry_and_record_do_not_change_output(self, tmp_path):
+        serial_json = str(tmp_path / "serial.json")
+        shipped_json = str(tmp_path / "shipped.json")
+        record_dir = str(tmp_path / "run")
+        code1, _ = run_cli(*self._campaign_args(
+            "--workers", "1", "--json", serial_json))
+        code2, output = run_cli(*self._campaign_args(
+            "--workers", "2", "--telemetry", "--record", record_dir,
+            "--json", shipped_json))
+        assert code1 == code2 == 0
+        assert "recorded {}".format(record_dir) in output
+        with open(serial_json) as f1, open(shipped_json) as f2:
+            assert f1.read() == f2.read()
+
+    def test_record_artifacts_round_trip(self, tmp_path):
+        from repro.obs.manifest import RunManifest
+        record_dir = str(tmp_path / "run")
+        code, _ = run_cli(*self._campaign_args(
+            "--workers", "2", "--telemetry", "--record", record_dir))
+        assert code == 0
+        manifest = RunManifest.load(record_dir)
+        assert manifest.data["status"] == "complete"
+        assert manifest.data["kind"] == "sweep-campaign"
+        assert manifest.data["seed"] == 5
+        assert manifest.data["grid_hash"]
+        assert manifest.data["summary"] == {"kind": "campaign",
+                                            "cells": 4}
+        events = {event["event"] for event in manifest.events()}
+        assert "sweep.start" in events
+        assert "sweep.cell" in events
+        assert "sweep.telemetry" in events
+        metrics = manifest.metrics()
+        assert metrics[("sweep_cells_total",)] == 4.0
+        traces = manifest.traces()
+        roots = [spans[0]["name"] for spans in traces if spans]
+        assert "sweep" in roots
+
+    def test_sweep_serve_flag_announces_endpoint(self):
+        code, output = run_cli(*self._campaign_args("--serve", "0"))
+        assert code == 0
+        assert "obs: serving http://127.0.0.1:" in output
+
+    def test_record_on_failure_is_marked_failed(self, tmp_path):
+        from repro.obs.manifest import RunManifest
+        record_dir = str(tmp_path / "run")
+        with pytest.raises(Exception):
+            run_cli("--seed", "5", "sweep", "campaign",
+                    "--zones", "no-such-zone", "--seeds", "0",
+                    "--record", record_dir)
+        manifest = RunManifest.load(record_dir)
+        assert manifest.data["status"] == "failed"
+
+    def test_characterize_record(self, tmp_path):
+        from repro.obs.manifest import RunManifest
+        record_dir = str(tmp_path / "run")
+        code, output = run_cli("--seed", "3", "characterize",
+                               "us-east-2a", "--polls", "2",
+                               "--record", record_dir)
+        assert code == 0
+        assert "recorded" in output
+        manifest = RunManifest.load(record_dir)
+        assert manifest.data["kind"] == "characterize"
+        assert manifest.data["status"] == "complete"
+        # The single-zone path installs the facade on the cloud, so the
+        # recorded event log holds the campaign's cloudsim activity.
+        assert manifest.events()
+
+
+class TestObsModes(object):
+    def test_demo_record(self, tmp_path):
+        from repro.obs.manifest import RunManifest
+        record_dir = str(tmp_path / "run")
+        code, output = run_cli("--seed", "7", "obs", "--requests", "10",
+                               "--polls", "2", "--record", record_dir)
+        assert code == 0
+        assert "recorded {}".format(record_dir) in output
+        manifest = RunManifest.load(record_dir)
+        assert manifest.data["kind"] == "obs-demo"
+        assert manifest.data["status"] == "complete"
+        assert manifest.events()
+        assert manifest.traces()
+
+    def test_serve_runs_rounds_and_exits(self):
+        code, output = run_cli("--seed", "7", "obs", "serve",
+                               "--port", "0", "--rounds", "2",
+                               "--interval", "0", "--requests", "5",
+                               "--polls", "2")
+        assert code == 0
+        assert "obs: serving http://127.0.0.1:" in output
+        assert "round 1/2" in output
+        assert "round 2/2" in output
+
+    def test_tail_renders_live_endpoint(self):
+        from repro.obs import Observability, ObsServer
+        obs = Observability()
+        obs.registry.counter("sweep_cells_total").inc(3)
+        with ObsServer(obs, port=0) as server:
+            address = "{}:{}".format(*server.address)
+            code, output = run_cli("obs", "tail", "--connect", address,
+                                   "--rounds", "1")
+        assert code == 0
+        assert "cells: 3 done" in output
+
+    def test_tail_requires_connect(self):
+        code, output = run_cli("obs", "tail")
+        assert code == 2
+        assert "--connect" in output
+
+    def test_tail_unreachable_endpoint_fails_cleanly(self):
+        code, output = run_cli("obs", "tail", "--connect",
+                               "127.0.0.1:9", "--rounds", "1")
+        assert code == 1
+        assert "scrape" in output

@@ -1,0 +1,127 @@
+"""The run flight recorder: manifests, artifacts, round trips."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.engine import Grid
+from repro.obs import Observability
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    RunManifest,
+    RunRegistry,
+)
+
+
+def _facade():
+    obs = Observability()
+    obs.bus.emit("demo.event", 0.1, zone="z1")
+    obs.bus.emit("demo.event", 0.2, zone="z2")
+    obs.registry.counter("demo_total", kind="x").inc(4)
+    root = obs.tracer.start_trace("run", 0.0)
+    obs.tracer.start_span("step", root, 0.1).finish(0.4)
+    root.finish(0.5)
+    return obs
+
+
+class TestRunManifest(object):
+    def test_begin_writes_a_running_manifest(self, tmp_path):
+        registry = RunRegistry()
+        manifest = RunManifest.begin(
+            str(tmp_path / "run"), "sweep-campaign", seed=7,
+            config={"zones": "us-west-1a"}, grid_hash="abc",
+            registry=registry)
+        on_disk = json.load(open(manifest.path("manifest.json")))
+        assert on_disk["version"] == MANIFEST_VERSION
+        assert on_disk["kind"] == "sweep-campaign"
+        assert on_disk["seed"] == 7
+        assert on_disk["status"] == "running"
+        assert on_disk["grid_hash"] == "abc"
+        assert on_disk["config"] == {"zones": "us-west-1a"}
+        assert on_disk["finished_unix"] is None
+        assert len(registry) == 1
+
+    def test_finalize_and_load_round_trip(self, tmp_path):
+        obs = _facade()
+        manifest = RunManifest.begin(str(tmp_path / "run"), "sweep",
+                                     seed=3, registry=None)
+        manifest.update(grid_hash="feed")
+        manifest.finalize(obs=obs, summary={"cells": 4})
+
+        loaded = RunManifest.load(str(tmp_path / "run"))
+        assert loaded.data["status"] == "complete"
+        assert loaded.data["grid_hash"] == "feed"
+        assert loaded.data["summary"] == {"cells": 4}
+        assert loaded.data["finished_unix"] >= loaded.data["started_unix"]
+        assert loaded.data["artifacts"] == {"events.jsonl": 2,
+                                            "metrics.prom": 1,
+                                            "trace.json": 2}
+
+        events = loaded.events()
+        assert [event["event"] for event in events] == ["demo.event"] * 2
+        assert events[0]["zone"] == "z1"
+        metrics = loaded.metrics()
+        assert metrics[("demo_total", ("kind", "x"))] == 4.0
+        traces = loaded.traces()
+        assert len(traces) == 1
+        assert [span["name"] for span in traces[0]] == ["run", "step"]
+
+    def test_failed_status(self, tmp_path):
+        manifest = RunManifest.begin(str(tmp_path / "run"), "sweep",
+                                     registry=None)
+        manifest.finalize(status="failed")
+        loaded = RunManifest.load(str(tmp_path / "run"))
+        assert loaded.data["status"] == "failed"
+        # Metadata-only finalize: the artifact readers degrade to empty.
+        assert loaded.events() == []
+        assert loaded.metrics() == {}
+        assert loaded.traces() == []
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunManifest.load(str(tmp_path / "nope"))
+
+    def test_load_corrupt_manifest_raises(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            RunManifest.load(str(run_dir))
+
+    def test_describe_rows_are_json_safe(self, tmp_path):
+        registry = RunRegistry()
+        RunManifest.begin(str(tmp_path / "a"), "sweep", seed=1,
+                          registry=registry)
+        RunManifest.begin(str(tmp_path / "b"), "chaos", seed=2,
+                          registry=registry)
+        rows = registry.rows()
+        assert [row["kind"] for row in rows] == ["sweep", "chaos"]
+        json.dumps(rows)  # must not raise
+
+    def test_directory_is_created_recursively(self, tmp_path):
+        nested = str(tmp_path / "deep" / "run")
+        RunManifest.begin(nested, "sweep", registry=None)
+        assert os.path.exists(os.path.join(nested, "manifest.json"))
+
+
+class TestGridHash(object):
+    def test_stable_across_instances(self):
+        axes = [("zone", ["a", "b"]), ("seed", [0, 1])]
+        assert Grid(axes, root_seed=7).content_hash() == \
+            Grid(axes, root_seed=7).content_hash()
+
+    def test_sensitive_to_identity(self):
+        base = Grid([("zone", ["a", "b"])], root_seed=7).content_hash()
+        assert Grid([("zone", ["a", "b"])],
+                    root_seed=8).content_hash() != base
+        assert Grid([("zone", ["a", "c"])],
+                    root_seed=7).content_hash() != base
+        assert Grid([("zone", ["a", "b"])], root_seed=7,
+                    namespace="other").content_hash() != base
+
+    def test_short_hex_digest(self):
+        digest = Grid([("zone", ["a"])], root_seed=0).content_hash()
+        assert len(digest) == 16
+        int(digest, 16)  # must be hex

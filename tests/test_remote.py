@@ -408,3 +408,100 @@ class TestEngineRemoteBackend(object):
         assert obs.registry.counter("sweep_fallbacks_total").value == 1
         fallback = obs.recorder.events("sweep.fallback")[0]
         assert "no workers joined" in fallback.fields["reason"]
+
+
+# -- telemetry shipping over the wire ------------------------------------------
+
+class TestRemoteTelemetry(object):
+    def test_remote_telemetry_byte_identical_and_merged(self):
+        reference = _serial_reference(4)
+        obs = Observability()
+        engine = SweepEngine(workers=2, backend="remote", remote_workers=2,
+                             chunk_size=1, heartbeat_s=0.5,
+                             join_timeout_s=30.0, obs=obs, telemetry=True)
+        results = engine.run(_task_grid(4))
+        assert engine.last_mode == "remote"
+        assert _dumps(results) == reference
+        assert obs.recorder.count("sweep.telemetry") == 4
+        # Shipped series land under the shipping worker's label.
+        workers = {labels["worker"] for labels in
+                   obs.registry.labels_of("sweep_worker_cells_total")}
+        assert workers
+        assert all(worker.startswith("worker-") for worker in workers)
+        # One coherent trace: sweep -> per-chunk -> per-cell, all closed.
+        trace = obs.tracer.last_trace()
+        assert trace.root.name == "sweep"
+        assert trace.complete
+        names = [span.name for span in trace.spans]
+        assert names.count("cell") == 4
+        assert names.count("chunk") == 4
+        # Worker events replayed onto the parent bus with attribution.
+        polls = obs.recorder.events("sampling.poll")
+        assert polls
+        assert all("worker" in event.fields and "chunk" in event.fields
+                   for event in polls)
+
+    def test_worker_kill_telemetry_attributed_to_accepting_worker(self):
+        reference = _serial_reference(6)
+        tasks = _task_grid(6)
+        merged = []
+        coordinator = SweepCoordinator(
+            heartbeat_s=0.3, join_timeout_s=30.0, max_requeues=2,
+            telemetry=True,
+            telemetry_sink=lambda worker, chunk, payloads:
+                merged.append((worker, chunk, payloads)))
+        with coordinator:
+            processes = spawn_local_workers(
+                coordinator.address, 2, extra_args=("--heartbeat", "0.1"))
+            try:
+                results = [None] * len(tasks)
+                pids = [None] * len(tasks)
+                chunks = _chunk(list(enumerate(tasks)), 1)
+                killed = False
+                for index, ok, payload, _, pid in coordinator.run(chunks):
+                    assert ok, payload
+                    results[index] = payload
+                    pids[index] = pid
+                    if not killed:
+                        processes[0].kill()  # SIGKILL, mid-sweep
+                        killed = True
+                assert killed
+            finally:
+                for process in processes:
+                    process.kill()
+                for process in processes:
+                    process.wait(timeout=10.0)
+        assert _dumps(results) == reference
+        # Every chunk's telemetry merged exactly once — requeue losers and
+        # the killed worker's half-shipped chunks are discarded.
+        assert sorted(chunk for _, chunk, _ in merged) == list(range(6))
+        # With chunk_size=1, chunk ids equal cell indexes: telemetry for a
+        # chunk must come from the worker whose records were accepted.
+        for worker_id, chunk_id, payloads in merged:
+            assert payloads
+            assert worker_id == "worker-{}".format(pids[chunk_id])
+            assert all(payload["worker"] == worker_id
+                       for payload in payloads)
+            assert all(payload["cell"] == chunk_id
+                       for payload in payloads)
+
+    def test_plain_peers_interoperate_without_telemetry(self):
+        # A coordinator not asked for telemetry sends 3-tuple task frames;
+        # a default worker must not ship TELEMETRY frames back.
+        coordinator = SweepCoordinator(heartbeat_s=0.5, join_timeout_s=10.0)
+        chunks = _chunk(list(enumerate([_tiny_task()])), 1)
+        records = []
+        with coordinator:
+            driver = threading.Thread(
+                target=lambda: records.extend(coordinator.run(chunks)),
+                daemon=True)
+            driver.start()
+            worker = SweepWorker(*coordinator.address, worker_id="plain",
+                                 heartbeat_s=0.1)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            driver.join(timeout=15.0)
+            assert not driver.is_alive()
+            thread.join(timeout=10.0)
+        assert [record[1] for record in records] == [True]
+        assert coordinator._telemetry == {}
