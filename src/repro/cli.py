@@ -30,6 +30,7 @@ from scheduling order.
 """
 
 import argparse
+import os
 import sys
 
 from repro import (
@@ -192,7 +193,23 @@ def build_parser():
                             "free port)")
     sweep.add_argument("--record", metavar="DIR",
                        help="write a run manifest + events/metrics/trace "
-                            "artifacts (flight recorder) to DIR")
+                            "artifacts (flight recorder) to DIR, plus a "
+                            "crash-safe chunks.jsonl journal")
+    sweep.add_argument("--resume", metavar="DIR",
+                       help="replay DIR's chunks.jsonl journal and run "
+                            "only the chunks it is missing (same grid "
+                            "flags required; output byte-identical to "
+                            "an uninterrupted run)")
+    sweep.add_argument("--auth-token", default=None,
+                       help="remote: shared secret for the HMAC "
+                            "handshake; unauthenticated peers are "
+                            "rejected before any pickle is read "
+                            "(default: $REPRO_SWEEP_TOKEN, else "
+                            "anonymous loopback mode)")
+    sweep.add_argument("--worker-log-dir", metavar="DIR", default=None,
+                       help="remote: write spawned workers' output to "
+                            "worker-<n>.log under DIR instead of "
+                            "discarding it")
     sweep.add_argument("--json", dest="json_path")
 
     worker = commands.add_parser(
@@ -209,6 +226,14 @@ def build_parser():
     worker.add_argument("--max-reconnects", type=int, default=8,
                         help="consecutive connection failures before "
                              "giving up (default 8)")
+    worker.add_argument("--auth-token", default=None,
+                        help="shared secret for the HMAC handshake "
+                             "(default: $REPRO_SWEEP_TOKEN, else "
+                             "anonymous)")
+    worker.add_argument("--spool", metavar="DIR", default=None,
+                        help="persist undeliverable results to DIR and "
+                             "replay them on reconnect (survives "
+                             "coordinator restarts)")
 
     obs = commands.add_parser(
         "obs", help="run a short routed burst with full observability and "
@@ -768,26 +793,61 @@ def _sweep_engine(args):
                        obs=obs, backend=args.backend, bind=args.bind,
                        remote_workers=remote_workers,
                        join_timeout_s=args.join_timeout,
-                       telemetry=telemetry)
+                       telemetry=telemetry,
+                       auth_token=_sweep_token(args),
+                       journal=getattr(args, "record", None),
+                       resume=getattr(args, "resume", None),
+                       worker_log_dir=getattr(args, "worker_log_dir",
+                                              None))
+
+
+def _sweep_token(args):
+    """The shared sweep secret: --auth-token, else $REPRO_SWEEP_TOKEN."""
+    from repro.engine.remote import TOKEN_ENV
+    return (getattr(args, "auth_token", None)
+            or os.environ.get(TOKEN_ENV) or None)
 
 
 def cmd_sweep_worker(args, out):
+    import signal
+    import threading
+
     from repro.common.errors import TransportError
-    from repro.engine import run_worker
     from repro.engine.protocol import parse_address
+    from repro.engine.remote import SweepWorker
     host, port = parse_address(args.connect)
+    worker = SweepWorker(host, port, worker_id=args.worker_id,
+                         heartbeat_s=args.heartbeat,
+                         max_reconnects=args.max_reconnects,
+                         token=_sweep_token(args), spool=args.spool)
+    # SIGTERM = graceful drain: finish the chunk in hand, send a leave
+    # frame, exit 0.  Elastic fleets (autoscalers, spot reclaims with
+    # notice) shrink without burning the coordinator's requeue budget.
+    drain = threading.Event()
     try:
-        chunks = run_worker(host, port, worker_id=args.worker_id,
-                            heartbeat_s=args.heartbeat,
-                            max_reconnects=args.max_reconnects)
+        signal.signal(signal.SIGTERM,
+                      lambda signum, frame: drain.set())
+    except (ValueError, OSError):
+        pass  # not the main thread; drain stays manual
+    try:
+        chunks = worker.run(drain=drain)
     except TransportError as error:
         out.write("sweep-worker: {}\n".format(error))
         return 1
-    out.write("sweep-worker: done ({} chunk(s) served)\n".format(chunks))
+    if drain.is_set():
+        out.write("sweep-worker: drained ({} chunk(s) "
+                  "served)\n".format(chunks))
+    else:
+        out.write("sweep-worker: done ({} chunk(s) "
+                  "served)\n".format(chunks))
     return 0
 
 
 def cmd_sweep(args, out):
+    if args.resume and not args.record:
+        # Resuming a recorded run continues recording into the same
+        # directory (fresh manifest attempt, same chunk journal).
+        args.record = args.resume
     engine = _sweep_engine(args)
     record = None
     server = None
@@ -797,6 +857,10 @@ def cmd_sweep(args, out):
             args.record, "sweep-" + args.kind, seed=args.seed,
             config={"zones": args.zones, "seeds": args.seeds,
                     "workers": args.workers, "backend": args.backend})
+        # Ctrl-C / SIGTERM stamp the manifest "interrupted" (a SIGKILL
+        # leaves "running"); either way the chunk journal makes the run
+        # resumable with --resume.
+        record.install_guard()
     if args.serve is not None:
         from repro.obs.serve import ObsServer
         server = ObsServer(engine.obs, port=args.serve).start()
@@ -848,7 +912,7 @@ def _run_sweep(args, out, engine):
                 CloudSpec.for_zones([key["zone"]], seed=cell.seed),
                 key["zone"], endpoints=args.endpoints,
                 n_requests=args.requests, max_polls=max_polls))
-        results = engine.run(tasks)
+        results = engine.run(tasks, grid_hash=grid.content_hash())
         out.write("{} sweep: {} cells ({} zones x {} seeds)\n".format(
             args.kind, len(grid), len(zones), len(seeds)))
         json_cells = []
@@ -916,7 +980,7 @@ def _run_sweep(args, out, engine):
                 periods=args.periods,
                 polls_per_period=max(args.polls, 1),
                 endpoints=args.endpoints, n_requests=args.requests))
-        results = engine.run(tasks)
+        results = engine.run(tasks, grid_hash=grid.content_hash())
         out.write("temporal sweep ({}): {} cells ({} zones x {} seeds), "
                   "{} periods\n".format(args.temporal_mode, len(grid),
                                         len(zones), len(seeds),
@@ -965,7 +1029,7 @@ def _run_sweep(args, out, engine):
             baseline_zone=baseline_zone, days=args.days,
             burst_size=args.burst)
             for cell in grid.cells()]
-        results = engine.run(tasks)
+        results = engine.run(tasks, grid_hash=grid.content_hash())
         out.write("study sweep: {} cells ({} workloads x {} seeds), "
                   "{} days, burst {}\n".format(
                       len(grid), len(workloads), len(seeds), args.days,

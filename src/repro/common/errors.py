@@ -111,6 +111,12 @@ class TransportTimeout(TransportError):
     """A transport receive timed out (no frame, no heartbeat)."""
 
 
+class AuthenticationError(TransportError):
+    """A sweep peer failed the HMAC challenge-response handshake (wrong
+    or missing shared token, bad magic, unsupported protocol version).
+    Raised before any pickled frame from the peer is deserialized."""
+
+
 class SweepFailure(tuple):
     """One failed sweep cell: unpacks as ``(index, error_type, message)``.
 

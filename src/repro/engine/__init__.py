@@ -30,8 +30,15 @@ See ``python -m repro sweep --help`` for the CLI front end.
 
 from repro.engine.executor import BACKENDS, SweepEngine, run_sweep
 from repro.engine.grid import Cell, Grid
+from repro.engine.journal import ChunkJournal, guard_hash_for_tasks
 from repro.engine.progress import SweepProgress
-from repro.engine.protocol import FaultyTransport, Transport
+from repro.engine.protocol import (
+    FaultyTransport,
+    Transport,
+    client_auth,
+    connect,
+    server_auth,
+)
 from repro.engine.remote import (
     SweepCoordinator,
     SweepWorker,
@@ -54,6 +61,7 @@ from repro.engine.tasks import (
 __all__ = [
     "BACKENDS",
     "Cell",
+    "ChunkJournal",
     "CloudSpec",
     "FaultyTransport",
     "Grid",
@@ -70,8 +78,12 @@ __all__ = [
     "StudyTask",
     "DEFAULT_POLICY_SPECS",
     "build_policy",
+    "client_auth",
+    "connect",
+    "guard_hash_for_tasks",
     "run_task",
     "run_sweep",
     "run_worker",
+    "server_auth",
     "spawn_local_workers",
 ]

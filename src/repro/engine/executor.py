@@ -132,7 +132,9 @@ class SweepEngine(object):
                  start_method=None, backend="local", bind="127.0.0.1:0",
                  remote_workers=None, heartbeat_s=1.0,
                  chunk_deadline_s=None, join_timeout_s=10.0,
-                 max_requeues=1, telemetry=False):
+                 max_requeues=1, telemetry=False, auth_token=None,
+                 journal=None, resume=None, chunk_hook=None,
+                 worker_log_dir=None):
         self.workers = max(1, int(workers))
         if chunk_size is not None and int(chunk_size) < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -155,11 +157,31 @@ class SweepEngine(object):
         #: ``obs`` (see :mod:`repro.obs.ship`).  Requires ``obs``;
         #: results stay byte-identical with shipping on or off.
         self.telemetry = bool(telemetry)
+        #: Shared secret for the remote backend's HMAC handshake
+        #: (:func:`repro.engine.protocol.server_auth`).  None keeps the
+        #: explicit anonymous loopback mode.
+        self.auth_token = auth_token
+        #: ``journal=DIR`` appends every accepted chunk to an
+        #: append-only ``chunks.jsonl`` under DIR (crash evidence);
+        #: ``resume=DIR`` additionally *replays* DIR's journal first and
+        #: dispatches only the missing chunks — output byte-identical to
+        #: an uninterrupted run.  See :mod:`repro.engine.journal`.
+        self.journal = journal
+        self.resume = resume
+        #: ``chunk_hook(chunk_id, records)`` fires after each freshly
+        #: accepted (non-replayed) chunk is absorbed and journaled —
+        #: the :class:`~repro.faults.fleet.FleetChaos` injection point.
+        #: Exceptions propagate and abort the sweep (a simulated crash).
+        self.chunk_hook = chunk_hook
+        #: Directory for per-worker log files when the engine spawns
+        #: loopback workers (None keeps them silent).
+        self.worker_log_dir = worker_log_dir
         #: How the last run actually executed: "serial", "pool",
         #: "remote", or "serial-fallback" (parallel backend requested
         #: but unavailable).
         self.last_mode = None
         self._merge = None
+        self._journal = None
 
     # -- observability helpers ------------------------------------------------
     def _emit(self, name, started, **fields):
@@ -179,8 +201,12 @@ class SweepEngine(object):
         return max(1, -(-n_tasks // (workers * 4)))
 
     # -- execution ------------------------------------------------------------
-    def run(self, tasks):
+    def run(self, tasks, grid_hash=None):
         """Execute ``tasks``; returns their results in task order.
+
+        ``grid_hash`` (the grid's ``content_hash``) pins the journal's
+        resume guard when journaling is on; without it the guard falls
+        back to a hash of the pickled task list.
 
         Raises :class:`~repro.common.errors.SweepError` listing every
         failed cell (by index) once all cells have been attempted.
@@ -204,26 +230,112 @@ class SweepEngine(object):
                        mode="serial", wall_s=0.0, utilization=0.0)
             return []
         self._merge = self._make_merge(started, len(tasks))
+        plan = state = None
         try:
+            if self.journal or self.resume:
+                plan, state = self._open_journal(tasks, lanes, grid_hash,
+                                                 started)
             if self.backend == "remote":
-                outcome = self._run_remote(tasks, lanes, started)
+                outcome = self._run_remote(tasks, lanes, started,
+                                           plan=plan, state=state)
                 if outcome is not None:
                     return outcome
-                # Degrade to the local pool (then serial) below.
+                # Degrade to the local pool (then serial) below.  With a
+                # resume in flight the replayed results live in ``state``
+                # and survive the downgrade untouched.
             if workers <= 1:
+                if plan is not None:
+                    return self._run_serial_chunks(tasks, started,
+                                                   mode="serial",
+                                                   plan=plan, state=state)
                 return self._run_serial(tasks, started, mode="serial")
             pool = self._make_pool(workers)
             if pool is None:
                 self._emit("sweep.fallback", started, cells=len(tasks),
                            reason="process pool unavailable")
+                if plan is not None:
+                    return self._run_serial_chunks(
+                        tasks, started, mode="serial-fallback",
+                        plan=plan, state=state)
                 return self._run_serial(tasks, started,
                                         mode="serial-fallback")
             with pool:
-                return self._run_pool(pool, tasks, workers, started)
+                return self._run_pool(pool, tasks, workers, started,
+                                      plan=plan, state=state)
         finally:
             merge, self._merge = self._merge, None
             if merge is not None:
                 merge.finish()
+            journal, self._journal = self._journal, None
+            if journal is not None:
+                journal.close()
+
+    # -- journal / resume -----------------------------------------------------
+    def _open_journal(self, tasks, lanes, grid_hash, started):
+        """Open (or resume) the chunk journal; returns ``(plan, state)``.
+
+        ``plan`` is the list of ``(chunk_id, chunk)`` pairs still to run;
+        ``state`` carries the shared results/failures/busy-time that the
+        replay already populated.  Chunk ids always come from chunking
+        the *full* task list with the journal's chunk size, so a resumed
+        run dispatches the missing chunks under their original ids — a
+        worker that spooled chunk 7 across the crash still matches.
+        """
+        from repro.engine.journal import ChunkJournal, guard_hash_for_tasks
+
+        directory = self.resume or self.journal
+        journal = ChunkJournal(directory)
+        guard = grid_hash or guard_hash_for_tasks(tasks)
+        pairs = list(enumerate(tasks))
+        if self.resume:
+            if not journal.exists():
+                raise ConfigurationError(
+                    "cannot resume: no chunk journal at "
+                    "{}".format(journal.path))
+            journal.load(guard=guard, cells=len(tasks))
+            chunk_size = journal.header["chunk_size"]
+            journal.reopen_for_append()
+        else:
+            chunk_size = self._resolve_chunk_size(len(pairs), lanes)
+            chunks = _chunk(pairs, chunk_size)
+            journal.begin(guard, len(tasks), chunk_size, len(chunks))
+        all_chunks = list(enumerate(_chunk(pairs, chunk_size)))
+        plan = [(chunk_id, chunk) for chunk_id, chunk in all_chunks
+                if chunk_id not in journal.replayed]
+        state = {"results": [None] * len(tasks), "failures": [],
+                 "busy_ms": 0.0}
+        self._journal = journal
+        if journal.replayed:
+            replayed_cells = 0
+            for chunk_id in sorted(journal.replayed):
+                _, records = journal.replayed[chunk_id]
+                for record in records:
+                    state["busy_ms"] += self._absorb(
+                        record, state["results"], state["failures"],
+                        started, replayed=True)
+                replayed_cells += len(records)
+            self._emit("sweep.resumed", started,
+                       chunks=len(journal.replayed),
+                       cells=replayed_cells, remaining=len(plan))
+        return plan, state
+
+    def _journal_chunk(self, chunk_id, chunk, records, worker=None):
+        """Durably record one freshly accepted chunk, then fire the hook.
+
+        Infrastructure-loss placeholder records (a dead worker or broken
+        pool after max requeues) are *not* journaled — a resume should
+        retry those chunks, not replay their failure.  The chaos hook
+        fires for every accepted chunk; its exceptions propagate (that is
+        the point — a simulated coordinator crash).
+        """
+        infra_loss = records and all(
+            (not ok) and pid == -1 and len(payload) > 2 and payload[2]
+            for _, ok, payload, _, pid in records)
+        if self._journal is not None and not infra_loss:
+            self._journal.append(chunk_id, [index for index, _ in chunk],
+                                 records, worker=worker)
+        if self.chunk_hook is not None and not infra_loss:
+            self.chunk_hook(chunk_id, records)
 
     def _make_merge(self, started, cells):
         """The telemetry merge for this run (None when shipping is off)."""
@@ -289,22 +401,49 @@ class SweepEngine(object):
         return self._finish(results, failures, started, workers=1,
                             mode=mode, busy_ms=busy_ms)
 
-    def _run_pool(self, pool, tasks, workers, started):
+    def _run_serial_chunks(self, tasks, started, mode, plan, state):
+        """Serial execution over an explicit chunk plan (journaled runs).
+
+        Identical records to :meth:`_run_serial` — chunk boundaries only
+        decide journal granularity, never results.
+        """
+        self.last_mode = mode
+        for chunk_id, chunk in plan:
+            if self._merge is not None:
+                records, payloads = _run_chunk_captured(
+                    chunk, worker_id="serial")
+                for payload in payloads:
+                    self._merge.merge(payload, chunk=chunk_id)
+            else:
+                records = _run_chunk(chunk)
+            for record in records:
+                state["busy_ms"] += self._absorb(
+                    record, state["results"], state["failures"], started)
+            self._journal_chunk(chunk_id, chunk, records, worker="serial")
+        return self._finish(state["results"], state["failures"], started,
+                            workers=1, mode=mode,
+                            busy_ms=state["busy_ms"])
+
+    def _run_pool(self, pool, tasks, workers, started, plan=None,
+                  state=None):
         import concurrent.futures
 
         self.last_mode = "pool"
-        pairs = list(enumerate(tasks))
-        chunks = _chunk(pairs, self._resolve_chunk_size(len(pairs),
-                                                        workers))
+        if plan is None:
+            pairs = list(enumerate(tasks))
+            plan = list(enumerate(_chunk(
+                pairs, self._resolve_chunk_size(len(pairs), workers))))
+        if state is None:
+            state = {"results": [None] * len(tasks), "failures": [],
+                     "busy_ms": 0.0}
         inflight = self._gauge("sweep_cells_inflight")
         if inflight is not None:
-            inflight.set(len(pairs))
+            inflight.set(sum(len(chunk) for _, chunk in plan))
         runner = _run_chunk if self._merge is None else _run_chunk_shipped
         futures = {pool.submit(runner, chunk): (chunk_id, chunk)
-                   for chunk_id, chunk in enumerate(chunks)}
-        results = [None] * len(tasks)
-        failures = []
-        busy_ms = 0.0
+                   for chunk_id, chunk in plan}
+        results = state["results"]
+        failures = state["failures"]
         for future in concurrent.futures.as_completed(futures):
             chunk_id, chunk = futures[future]
             payloads = []
@@ -324,15 +463,17 @@ class SweepEngine(object):
                             0.0, -1)
                            for index, _ in chunk]
             for record in records:
-                busy_ms += self._absorb(record, results, failures, started)
+                state["busy_ms"] += self._absorb(record, results,
+                                                 failures, started)
+            self._journal_chunk(chunk_id, chunk, records, worker="pool")
             for payload in payloads:
                 self._merge.merge(payload, chunk=chunk_id)
             if inflight is not None:
                 inflight.dec(len(chunk))
         return self._finish(results, failures, started, workers=workers,
-                            mode="pool", busy_ms=busy_ms)
+                            mode="pool", busy_ms=state["busy_ms"])
 
-    def _run_remote(self, tasks, lanes, started):
+    def _run_remote(self, tasks, lanes, started, plan=None, state=None):
         """Serve chunks to socket workers; None = degrade to the pool."""
         from repro.engine.protocol import parse_address
         from repro.engine.remote import SweepCoordinator, spawn_local_workers
@@ -343,6 +484,7 @@ class SweepEngine(object):
             chunk_deadline_s=self.chunk_deadline_s,
             join_timeout_s=self.join_timeout_s,
             max_requeues=self.max_requeues,
+            auth_token=self.auth_token,
             emit=lambda name, **fields: self._emit(name, started,
                                                    **fields),
             telemetry=self._merge is not None,
@@ -364,7 +506,9 @@ class SweepEngine(object):
                     spawned = spawn_local_workers(
                         coordinator.address, self.remote_workers,
                         extra_args=("--heartbeat",
-                                    str(self.heartbeat_s)))
+                                    str(self.heartbeat_s)),
+                        log_dir=self.worker_log_dir,
+                        token=self.auth_token)
                 except OSError as error:
                     self._emit("sweep.fallback", started,
                                cells=len(tasks),
@@ -372,32 +516,39 @@ class SweepEngine(object):
                                       "{}".format(error))
                     return None
             self.last_mode = "remote"
-            pairs = list(enumerate(tasks))
-            chunks = _chunk(pairs, self._resolve_chunk_size(len(pairs),
-                                                            lanes))
+            if plan is None:
+                pairs = list(enumerate(tasks))
+                plan = list(enumerate(_chunk(
+                    pairs, self._resolve_chunk_size(len(pairs), lanes))))
+            if state is None:
+                state = {"results": [None] * len(tasks), "failures": [],
+                         "busy_ms": 0.0}
             inflight = self._gauge("sweep_cells_inflight")
             if inflight is not None:
-                inflight.set(len(pairs))
-            results = [None] * len(tasks)
-            failures = []
-            busy_ms = 0.0
+                inflight.set(sum(len(chunk) for _, chunk in plan))
+            results = state["results"]
+            failures = state["failures"]
             try:
-                for record in coordinator.run(chunks):
-                    busy_ms += self._absorb(record, results, failures,
-                                            started)
-                    if inflight is not None:
-                        inflight.dec(1)
+                for chunk_id, chunk, worker_id, records \
+                        in coordinator.run_chunks(plan):
+                    for record in records:
+                        state["busy_ms"] += self._absorb(
+                            record, results, failures, started)
+                        if inflight is not None:
+                            inflight.dec(1)
+                    self._journal_chunk(chunk_id, chunk, records,
+                                        worker=worker_id)
             except TransportError as error:
                 # Nothing was absorbed (the coordinator only raises
                 # before the first worker joins), so the pool rerun
-                # starts clean.
+                # starts clean — replayed journal state is untouched.
                 self._emit("sweep.fallback", started, cells=len(tasks),
                            reason=str(error))
                 return None
             self._set_worker_gauges(coordinator, started)
             return self._finish(results, failures, started,
                                 workers=max(1, coordinator.workers_seen),
-                                mode="remote", busy_ms=busy_ms)
+                                mode="remote", busy_ms=state["busy_ms"])
         finally:
             coordinator.close()
             for process in spawned:
@@ -428,7 +579,7 @@ class SweepEngine(object):
                 worker=stats["worker"])
             gauge.set(min(1.0, (stats["busy_ms"] / 1000.0) / wall_s))
 
-    def _absorb(self, record, results, failures, started):
+    def _absorb(self, record, results, failures, started, replayed=False):
         index, ok, payload, wall_ms, pid = record
         chunk_failure = False
         if ok:
@@ -437,9 +588,11 @@ class SweepEngine(object):
             chunk_failure = len(payload) > 2 and bool(payload[2])
             failures.append(SweepFailure(index, payload[0], payload[1],
                                          chunk_failure=chunk_failure))
-        self._emit("sweep.cell", started, index=index, ok=ok,
-                   wall_ms=wall_ms, worker_pid=pid,
-                   chunk_failure=chunk_failure)
+        fields = dict(index=index, ok=ok, wall_ms=wall_ms,
+                      worker_pid=pid, chunk_failure=chunk_failure)
+        if replayed:
+            fields["replayed"] = True
+        self._emit("sweep.cell", started, **fields)
         return wall_ms
 
     def _finish(self, results, failures, started, workers, mode, busy_ms):

@@ -29,7 +29,10 @@ class SweepProgress(object):
         self.fallback_reason = None
         self.workers_joined = 0
         self.workers_lost = 0
+        self.workers_left = 0
         self.chunks_requeued = 0
+        self.cells_replayed = 0
+        self.auth_rejected = 0
         self.shipped_chunks = 0
         self.shipped_events = 0
         self.shipped_spans = 0
@@ -44,6 +47,9 @@ class SweepProgress(object):
             bus.subscribe(self._on_worker_joined, "sweep.worker_joined"),
             bus.subscribe(self._on_worker_lost, "sweep.worker_lost"),
             bus.subscribe(self._on_requeued, "sweep.chunk_requeued"),
+            bus.subscribe(self._on_worker_left, "sweep.worker_left"),
+            bus.subscribe(self._on_resumed, "sweep.resumed"),
+            bus.subscribe(self._on_auth_rejected, "sweep.auth_rejected"),
             bus.subscribe(self._on_telemetry, "sweep.telemetry"),
             bus.subscribe(self._on_dropped, "sweep.telemetry_dropped"),
         ]
@@ -83,6 +89,15 @@ class SweepProgress(object):
     def _on_requeued(self, event):
         self.chunks_requeued += 1
 
+    def _on_worker_left(self, event):
+        self.workers_left += 1
+
+    def _on_resumed(self, event):
+        self.cells_replayed += event.fields.get("cells", 0)
+
+    def _on_auth_rejected(self, event):
+        self.auth_rejected += 1
+
     def _on_telemetry(self, event):
         self.shipped_chunks += 1
         self.shipped_events += event.fields.get("events", 0)
@@ -119,7 +134,10 @@ class SweepProgress(object):
             "fallback_reason": self.fallback_reason,
             "workers_joined": self.workers_joined,
             "workers_lost": self.workers_lost,
+            "workers_left": self.workers_left,
             "chunks_requeued": self.chunks_requeued,
+            "cells_replayed": self.cells_replayed,
+            "auth_rejected": self.auth_rejected,
             "shipped_chunks": self.shipped_chunks,
             "shipped_events": self.shipped_events,
             "shipped_spans": self.shipped_spans,

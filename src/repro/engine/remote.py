@@ -24,10 +24,25 @@ the requeue budget is spent converts the chunk into deterministic
 pure functions of their spec, and the coordinator deduplicates results
 by chunk id, first finisher wins.  The lifecycle is observable through
 ``sweep.worker_joined`` / ``sweep.worker_lost`` /
-``sweep.chunk_requeued`` events and per-worker utilization gauges.
+``sweep.worker_left`` / ``sweep.chunk_requeued`` events and per-worker
+utilization gauges.
+
+Fleet hardening on top of that baseline:
+
+* ``auth_token`` arms the HMAC challenge-response handshake
+  (:func:`repro.engine.protocol.server_auth`) — unauthenticated peers
+  are rejected **before any pickle is deserialized**;
+* workers drain gracefully on request (``drain`` event, SIGTERM in the
+  CLI): they finish the chunk in hand, send a ``("leave", ...)`` frame,
+  and deregister without burning a requeue;
+* workers given a ``spool`` directory persist results they cannot
+  deliver (coordinator unreachable) and replay them on reconnect; the
+  coordinator accepts replayed results at any point and deduplicates by
+  chunk id, so a coordinator restart plus ``--resume`` loses nothing.
 """
 
 import os
+import pickle
 import queue
 import socket
 import threading
@@ -35,11 +50,16 @@ import time
 import zlib
 
 from repro.common.errors import (
+    AuthenticationError,
     ConfigurationError,
     TransportError,
     TransportTimeout,
 )
-from repro.engine.protocol import Transport, connect
+from repro.engine.protocol import Transport, connect, server_auth
+
+#: Environment variable carrying the shared sweep secret (never put it
+#: on a command line, where ``ps`` would leak it).
+TOKEN_ENV = "REPRO_SWEEP_TOKEN"
 
 #: recv windows tolerate this many missed heartbeats before a worker is
 #: declared silent.
@@ -81,13 +101,17 @@ class SweepCoordinator(object):
     def __init__(self, host="127.0.0.1", port=0, heartbeat_s=1.0,
                  chunk_deadline_s=None, join_timeout_s=10.0,
                  max_requeues=1, emit=None, telemetry=False,
-                 telemetry_sink=None):
+                 telemetry_sink=None, auth_token=None):
         if heartbeat_s <= 0:
             raise ConfigurationError("heartbeat_s must be positive")
         if max_requeues < 0:
             raise ConfigurationError("max_requeues must be >= 0")
         self.host = host
         self.port = int(port)
+        #: Shared secret; None keeps the explicit anonymous loopback
+        #: mode.  With a token set, every accepted socket must pass the
+        #: HMAC handshake before its first pickled frame is read.
+        self.auth_token = auth_token
         self.heartbeat_s = float(heartbeat_s)
         self.chunk_deadline_s = (float(chunk_deadline_s)
                                  if chunk_deadline_s is not None else None)
@@ -160,7 +184,7 @@ class SweepCoordinator(object):
         return self
 
     def close(self):
-        """Stop accepting, disconnect workers, join handler threads."""
+        """Stop accepting, disconnect workers, join all threads."""
         self._done.set()
         self._drained.set()
         if self._server is not None:
@@ -168,8 +192,12 @@ class SweepCoordinator(object):
                 self._server.close()
             except OSError:
                 pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
         for thread in list(self._handlers):
             thread.join(timeout=2.0)
+        self._handlers = [t for t in self._handlers if t.is_alive()]
 
     def __enter__(self):
         return self.start()
@@ -187,12 +215,39 @@ class SweepCoordinator(object):
                 continue
             except OSError:
                 return  # server socket closed
-            sock.settimeout(None)
             thread = threading.Thread(
-                target=self._serve_worker, args=(Transport(sock), addr),
+                target=self._handshake_and_serve, args=(sock, addr),
                 name="sweep-coordinator-worker", daemon=True)
+            # Finished handlers would otherwise pile up for the whole
+            # sweep (every reconnect adds one); prune the dead here, on
+            # the only thread that appends.
+            self._handlers = [t for t in self._handlers if t.is_alive()]
             self._handlers.append(thread)
             thread.start()
+
+    def _handshake_and_serve(self, sock, addr):
+        """Authenticate the raw socket (token mode), then serve it.
+
+        The handshake runs on raw ``struct``-framed bytes — a peer that
+        fails it is disconnected before :class:`Transport` ever calls
+        ``pickle.loads`` on its data.
+        """
+        if self.auth_token is not None:
+            try:
+                server_auth(sock, self.auth_token,
+                            timeout=max(_HELLO_TIMEOUT_FLOOR_S,
+                                        self.heartbeat_s
+                                        * HEARTBEAT_TOLERANCE))
+            except AuthenticationError as error:
+                self._emit("sweep.auth_rejected",
+                           addr="{}:{}".format(*addr), reason=str(error))
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
+        sock.settimeout(None)
+        self._serve_worker(Transport(sock), addr)
 
     def _register(self, worker_id, pid):
         with self._lock:
@@ -223,6 +278,12 @@ class SweepCoordinator(object):
         dispatched_at = None
         try:
             while not self._done.is_set():
+                # Absorb frames the worker sends while unassigned —
+                # heartbeats, spool-replayed results from a previous
+                # incarnation, or a graceful leave.
+                if not self._poll_idle(transport, worker_id, stats):
+                    self._emit("sweep.worker_left", worker=worker_id)
+                    return
                 try:
                     assignment = self._pending.get(timeout=0.05)
                 except queue.Empty:
@@ -236,7 +297,7 @@ class SweepCoordinator(object):
                 else:
                     transport.send(("task", chunk_id, chunk))
                 records = self._await_result(transport, chunk_id,
-                                             worker_id)
+                                             worker_id, stats)
                 assignment = None
                 stats.busy_ms += sum(record[3] for record in records)
                 stats.chunks_done += 1
@@ -245,6 +306,14 @@ class SweepCoordinator(object):
                 transport.send(("bye",))
             except TransportError:
                 pass
+        except _WorkerLeft:
+            # Graceful departure mid-assignment (the worker drained
+            # before taking the task off the wire): requeue for free —
+            # this is elasticity, not a failure, so no attempt is
+            # charged against the chunk's requeue budget.
+            self._emit("sweep.worker_left", worker=worker_id)
+            if assignment is not None:
+                self._pending.put(assignment)
         except TransportError as error:
             stats.losses += 1
             if assignment is not None and dispatched_at is not None:
@@ -263,12 +332,51 @@ class SweepCoordinator(object):
             with self._lock:
                 self._connected.discard(worker_id)
 
-    def _await_result(self, transport, chunk_id, worker_id):
+    def _poll_idle(self, transport, worker_id, stats):
+        """Drain ready frames from an unassigned worker.
+
+        Returns False when the worker announced a graceful leave.
+        Raises :class:`TransportError` on a real disconnect.
+        """
+        while True:
+            try:
+                message = transport.recv(timeout=0.01)
+            except TransportTimeout:
+                return True  # nothing waiting; go look for work
+            kind = message[0] if isinstance(message, tuple) else None
+            if kind == "heartbeat":
+                continue
+            if kind == "telemetry":
+                self._buffer_telemetry(message[1], worker_id, message[2])
+                continue
+            if kind == "result":
+                # A spool replay from before a disconnect: accept it —
+                # the run loop deduplicates by chunk id.
+                self._accept_offline_result(message, worker_id, stats)
+                continue
+            if kind == "leave":
+                try:
+                    transport.send(("bye",))
+                except TransportError:
+                    pass
+                return False
+            raise TransportError(
+                "unexpected message kind {!r}".format(kind))
+
+    def _accept_offline_result(self, message, worker_id, stats):
+        chunk_id, records = message[1], message[2]
+        stats.busy_ms += sum(record[3] for record in records)
+        stats.chunks_done += 1
+        self._results.put((chunk_id, records, worker_id))
+
+    def _await_result(self, transport, chunk_id, worker_id, stats):
         """Wait for ``chunk_id``'s records, absorbing heartbeats (and
         buffering telemetry frames).
 
         Raises :class:`TransportError` when the worker disconnects, goes
-        silent past the heartbeat tolerance, or blows the chunk deadline.
+        silent past the heartbeat tolerance, or blows the chunk deadline;
+        :class:`_WorkerLeft` when it announces a graceful drain instead
+        of taking the task.
         """
         sent_at = time.monotonic()
         while True:
@@ -293,10 +401,16 @@ class SweepCoordinator(object):
             if kind == "telemetry":
                 self._buffer_telemetry(message[1], worker_id, message[2])
                 continue
+            if kind == "leave":
+                raise _WorkerLeft()
             if kind == "result":
                 if message[1] == chunk_id:
                     return message[2]
-                continue  # stale result from a requeued chunk
+                # A result for some other chunk: a spool replay that
+                # raced the task frame (or a duplicate from a requeue).
+                # Accept it; the run loop deduplicates by chunk id.
+                self._accept_offline_result(message, worker_id, stats)
+                continue
             raise TransportError(
                 "unexpected message kind {!r}".format(kind))
 
@@ -343,18 +457,32 @@ class SweepCoordinator(object):
     def run(self, chunks):
         """Yield records for every cell of ``chunks``, in arrival order.
 
-        Chunk results are deduplicated by id (requeued chunks may finish
-        twice; tasks are deterministic so either copy is correct).
-        Raises :class:`TransportError` if no worker ever joins within
-        ``join_timeout_s`` — the engine catches that and degrades to the
-        local pool.  Once any worker has joined, loss of *every* worker
-        drains the remaining chunks as ``chunk_failure`` records instead,
-        so partial progress is never thrown away.
+        Record-level convenience wrapper around :meth:`run_chunks` for
+        callers that chunk implicitly (ids are enumeration order).
         """
-        chunks = list(chunks)
-        expected = set(range(len(chunks)))
-        for chunk_id, chunk in enumerate(chunks):
-            self._pending.put((chunk_id, chunk))
+        for _, _, _, records in self.run_chunks(list(enumerate(chunks))):
+            for record in records:
+                yield record
+
+    def run_chunks(self, plan):
+        """Serve ``plan`` — ``(chunk_id, chunk)`` pairs — and yield each
+        accepted chunk as ``(chunk_id, chunk, worker_id, records)``.
+
+        Chunk ids are the caller's (a resumed sweep dispatches only the
+        journal's missing ids, so spool replays from before the crash
+        still match).  Results are deduplicated by id (requeued chunks
+        may finish twice; tasks are deterministic so either copy is
+        correct).  Raises :class:`TransportError` if no worker ever
+        joins within ``join_timeout_s`` — the engine catches that and
+        degrades to the local pool.  Once any worker has joined, loss of
+        *every* worker drains the remaining chunks as ``chunk_failure``
+        records instead, so partial progress is never thrown away.
+        """
+        plan = list(plan)
+        by_id = dict(plan)
+        expected = set(by_id)
+        for assignment in plan:
+            self._pending.put(assignment)
         started = time.monotonic()
         last_progress = started
         try:
@@ -371,10 +499,11 @@ class SweepCoordinator(object):
                                 "{:.1f}s".format(self.join_timeout_s))
                     elif (self.workers_connected == 0
                           and now - last_progress > self.join_timeout_s):
-                        self._fail_remaining(expected, chunks)
+                        self._fail_remaining(expected, by_id)
                     continue
                 if chunk_id not in expected:
-                    # Duplicate completion after a requeue: drop its
+                    # Duplicate completion after a requeue (or a spool
+                    # replay of an already-journaled chunk): drop its
                     # late-arriving telemetry along with its records.
                     self._take_telemetry(chunk_id, None)
                     continue
@@ -385,12 +514,11 @@ class SweepCoordinator(object):
                 payloads = self._take_telemetry(chunk_id, worker_id)
                 if payloads and self._telemetry_sink is not None:
                     self._telemetry_sink(worker_id, chunk_id, payloads)
-                for record in records:
-                    yield record
+                yield chunk_id, by_id[chunk_id], worker_id, records
         finally:
             self._drained.set()
 
-    def _fail_remaining(self, expected, chunks):
+    def _fail_remaining(self, expected, by_id):
         """All workers gone for good: fail what's left, deterministically."""
         while True:
             try:
@@ -400,9 +528,13 @@ class SweepCoordinator(object):
         error = TransportError("all sweep workers lost; chunk abandoned")
         for chunk_id in sorted(expected):
             self._results.put((chunk_id,
-                               _chunk_failure_records(chunks[chunk_id],
+                               _chunk_failure_records(by_id[chunk_id],
                                                       error),
                                None))
+
+
+class _WorkerLeft(Exception):
+    """Internal: a worker announced a graceful drain (not a failure)."""
 
 
 def _chunk_failure_records(chunk, error):
@@ -446,12 +578,19 @@ class SweepWorker(object):
 
     ``transport_factory(host, port)`` lets tests interpose a
     :class:`~repro.engine.protocol.FaultyTransport`; the default dials a
-    plain TCP :class:`~repro.engine.protocol.Transport`.
+    plain TCP :class:`~repro.engine.protocol.Transport` (running the
+    HMAC client handshake first when ``token`` is set).
+
+    ``spool`` names a directory for results the worker cannot deliver —
+    a result computed while the coordinator is unreachable is written to
+    ``chunk-<id>.pkl`` there (atomically) and replayed on the next
+    successful connect, so elasticity and coordinator restarts lose no
+    completed work.
     """
 
     def __init__(self, host, port, worker_id=None, heartbeat_s=1.0,
                  max_reconnects=8, backoff=None, transport_factory=None,
-                 run_chunk=None):
+                 run_chunk=None, token=None, spool=None):
         from repro.core.resilience import ExponentialBackoff
         from repro.engine.executor import _run_chunk
         self.host = host
@@ -462,14 +601,21 @@ class SweepWorker(object):
         self.backoff = backoff or ExponentialBackoff(
             base_s=0.05, cap_s=2.0,
             seed=zlib.crc32(self.worker_id.encode("utf-8")))
-        self._transport_factory = transport_factory or connect
+        self.token = token
+        self.spool = os.path.abspath(spool) if spool else None
+        self._transport_factory = transport_factory
         self._run_chunk = run_chunk or _run_chunk
         # Telemetry capture wraps the stock runner only; a custom
         # run_chunk (test double) keeps its exact behavior.
         self._default_runner = run_chunk is None
         self.chunks_done = 0
 
-    def run(self, stop=None):
+    def _dial(self):
+        if self._transport_factory is not None:
+            return self._transport_factory(self.host, self.port)
+        return connect(self.host, self.port, token=self.token)
+
+    def run(self, stop=None, drain=None):
         """Serve until the coordinator says bye; returns chunks done.
 
         Reconnects through the backoff schedule when the link drops;
@@ -477,17 +623,27 @@ class SweepWorker(object):
         raising :class:`TransportError` if it never managed to join,
         returning normally if it did (a vanished coordinator after a
         completed sweep is the expected shutdown path).
+
+        ``drain`` is an optional :class:`threading.Event` (the CLI sets
+        it on SIGTERM): once set, the worker finishes the chunk in hand,
+        sends a ``("leave", ...)`` frame, and returns cleanly.
         """
         ever_connected = False
         failures = 0
         while stop is None or not stop.is_set():
+            if drain is not None and drain.is_set() \
+                    and not self._spooled_chunks():
+                return self.chunks_done
             try:
-                transport = self._transport_factory(self.host, self.port)
+                transport = self._dial()
                 transport.send(("hello", self.worker_id, os.getpid()))
                 ever_connected = True
                 failures = 0
-                if self._session(transport):
+                if self._session(transport, drain=drain):
                     return self.chunks_done
+            except AuthenticationError:
+                # Wrong/missing token never heals with a retry.
+                raise
             except TransportError as error:
                 failures += 1
                 if failures > self.max_reconnects:
@@ -500,8 +656,8 @@ class SweepWorker(object):
                 time.sleep(self.backoff.delay(failures - 1))
         return self.chunks_done
 
-    def _session(self, transport):
-        """One connected session.  True = clean bye, reconnect otherwise."""
+    def _session(self, transport, drain=None):
+        """One connected session.  True = clean exit, reconnect otherwise."""
         stop_heartbeat = threading.Event()
         outbox = _TelemetryOutbox()
         heartbeat = threading.Thread(
@@ -510,25 +666,24 @@ class SweepWorker(object):
             name="sweep-worker-heartbeat", daemon=True)
         heartbeat.start()
         try:
+            self._replay_spool(transport)
+            leaving = False
             while True:
-                message = transport.recv(timeout=None)
+                if drain is not None and drain.is_set() and not leaving:
+                    transport.send(("leave", self.worker_id))
+                    leaving = True
+                try:
+                    message = transport.recv(
+                        timeout=max(0.05, self.heartbeat_s))
+                except TransportTimeout:
+                    continue
                 kind = message[0] if isinstance(message, tuple) else None
                 if kind == "task":
-                    chunk_id, chunk = message[1], message[2]
-                    want_telemetry = len(message) > 3 and bool(message[3])
-                    if want_telemetry and self._default_runner:
-                        from repro.engine.executor import \
-                            _run_chunk_captured
-                        records, _ = _run_chunk_captured(
-                            chunk, worker_id=self.worker_id,
-                            flush=lambda payload:
-                                outbox.put(chunk_id, payload))
-                        outbox.flush(transport,
-                                     result=("result", chunk_id, records))
-                    else:
-                        records = self._run_chunk(chunk)
-                        transport.send(("result", chunk_id, records))
-                    self.chunks_done += 1
+                    if leaving:
+                        # Raced our leave frame; the coordinator
+                        # requeues the chunk when it processes it.
+                        continue
+                    self._serve_task(transport, message, outbox)
                 elif kind == "bye":
                     return True
                 else:
@@ -537,6 +692,84 @@ class SweepWorker(object):
         finally:
             stop_heartbeat.set()
             transport.close()
+
+    def _serve_task(self, transport, message, outbox):
+        chunk_id, chunk = message[1], message[2]
+        want_telemetry = len(message) > 3 and bool(message[3])
+        if want_telemetry and self._default_runner:
+            from repro.engine.executor import _run_chunk_captured
+            records, _ = _run_chunk_captured(
+                chunk, worker_id=self.worker_id,
+                flush=lambda payload: outbox.put(chunk_id, payload))
+            try:
+                outbox.flush(transport,
+                             result=("result", chunk_id, records))
+            except TransportError:
+                self._spool_result(chunk_id, records)
+                raise
+        else:
+            records = self._run_chunk(chunk)
+            try:
+                transport.send(("result", chunk_id, records))
+            except TransportError:
+                # The work is done and deterministic — persist it and
+                # let the reconnect loop replay it instead of burning a
+                # requeue on the coordinator side.
+                self._spool_result(chunk_id, records)
+                raise
+        self.chunks_done += 1
+
+    # -- result spooling ---------------------------------------------------
+    def _spool_path(self, chunk_id):
+        return os.path.join(self.spool, "chunk-{}.pkl".format(chunk_id))
+
+    def _spooled_chunks(self):
+        if self.spool is None or not os.path.isdir(self.spool):
+            return []
+        names = []
+        for name in os.listdir(self.spool):
+            if name.startswith("chunk-") and name.endswith(".pkl"):
+                try:
+                    names.append(int(name[len("chunk-"):-len(".pkl")]))
+                except ValueError:
+                    continue
+        return sorted(names)
+
+    def _spool_result(self, chunk_id, records):
+        if self.spool is None:
+            return
+        os.makedirs(self.spool, exist_ok=True)
+        path = self._spool_path(chunk_id)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(records, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _replay_spool(self, transport):
+        """Deliver results spooled while the coordinator was away.
+
+        Sent before anything else in the session (right after hello), so
+        the coordinator can credit completed chunks before assigning new
+        work.  Each file is deleted only once its frame went out; the
+        coordinator deduplicates, so a crash between send and delete
+        costs nothing.
+        """
+        for chunk_id in self._spooled_chunks():
+            path = self._spool_path(chunk_id)
+            try:
+                with open(path, "rb") as handle:
+                    records = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ValueError):
+                continue  # corrupt spool entry; the chunk just reruns
+            transport.send(("result", chunk_id, records))
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
     def _heartbeat_loop(self, transport, stop, outbox):
         while not stop.wait(self.heartbeat_s):
@@ -553,12 +786,17 @@ def run_worker(host, port, **kwargs):
     return SweepWorker(host, port, **kwargs).run()
 
 
-def spawn_local_workers(address, count, python=None, extra_args=()):
+def spawn_local_workers(address, count, python=None, extra_args=(),
+                        log_dir=None, token=None):
     """Launch ``count`` loopback ``sweep-worker`` subprocesses.
 
     Returns the ``subprocess.Popen`` handles; callers own their
     lifecycle.  ``PYTHONPATH`` is extended so the children can import
     ``repro`` from a source checkout without installation.
+
+    ``log_dir`` redirects each worker's stdout+stderr to
+    ``worker-<n>.log`` there (the default keeps them silent); ``token``
+    travels via :data:`TOKEN_ENV`, never the command line.
     """
     import subprocess
     import sys
@@ -568,10 +806,24 @@ def spawn_local_workers(address, count, python=None, extra_args=()):
         os.path.abspath(__file__))))
     env = dict(os.environ)
     env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    if token is not None:
+        env[TOKEN_ENV] = token
     command = [python or sys.executable, "-m", "repro", "sweep-worker",
                "--connect", "{}:{}".format(host, port)]
     command.extend(extra_args)
-    return [subprocess.Popen(command, env=env,
-                             stdout=subprocess.DEVNULL,
-                             stderr=subprocess.DEVNULL)
-            for _ in range(count)]
+    if log_dir is not None:
+        os.makedirs(log_dir, exist_ok=True)
+    workers = []
+    for n in range(count):
+        if log_dir is None:
+            stdout = subprocess.DEVNULL
+            workers.append(subprocess.Popen(command, env=env,
+                                            stdout=stdout,
+                                            stderr=subprocess.DEVNULL))
+        else:
+            log_path = os.path.join(log_dir, "worker-{}.log".format(n))
+            with open(log_path, "ab") as log:
+                workers.append(subprocess.Popen(command, env=env,
+                                                stdout=log,
+                                                stderr=subprocess.STDOUT))
+    return workers

@@ -6,7 +6,13 @@ Public surface::
         FaultInjector, NULL_INJECTOR, FaultSchedule, build_preset,
         TransientFaults, ZoneOutage, Brownout, ThrottlingBurst,
         LatencySpike, NetworkPartition, ColdStartStorm,
+        FleetChaos, FleetEvent, CoordinatorCrash,
     )
+
+Cloud-level models perturb the *simulated* platform inside a task;
+:class:`~repro.faults.fleet.FleetChaos` perturbs the *real* fleet
+running the tasks (worker kills, netsplits, coordinator crashes) on a
+seeded, progress-keyed schedule.
 
 The chaos-experiment harness lives in :mod:`repro.faults.harness` and is
 *not* re-exported here: it imports :mod:`repro.core`, which imports
@@ -31,14 +37,24 @@ from repro.faults.models import (
     TransientFaults,
     ZoneOutage,
 )
+from repro.faults.fleet import (
+    CoordinatorCrash,
+    FleetChaos,
+    FleetEvent,
+    FLEET_EVENTS,
+)
 from repro.faults.schedule import FaultSchedule, PRESET_NAMES, build_preset
 
 __all__ = [
     "Brownout",
     "ColdStartStorm",
+    "CoordinatorCrash",
     "FaultInjector",
     "FaultModel",
     "FaultSchedule",
+    "FleetChaos",
+    "FleetEvent",
+    "FLEET_EVENTS",
     "InjectedFault",
     "LatencySpike",
     "NetworkPartition",

@@ -1,0 +1,215 @@
+"""Fleet-level chaos for the distributed sweep backend.
+
+:mod:`repro.faults.models` perturbs the *simulated* cloud inside a task;
+this module perturbs the *real* fleet running the tasks — worker
+processes, the coordinator, the links between them.  A
+:class:`FleetChaos` is a seeded, deterministic schedule of fleet events
+keyed on sweep progress (the count of accepted chunks), so a chaos test
+kills worker 1 at chunk 3 on every run, not "sometime around the
+middle":
+
+* ``kill_worker`` — SIGKILL a worker subprocess (crash, no drain);
+* ``term_worker`` — SIGTERM a worker (graceful drain path);
+* ``netsplit`` — SIGSTOP a worker for ``duration_s`` then SIGCONT it
+  (alive but unreachable: heartbeats stop, the coordinator requeues,
+  the worker spools results it computed during the split);
+* ``slow_worker`` — same mechanism with a short pause (a straggler that
+  recovers inside the heartbeat tolerance);
+* ``coordinator_crash`` — raise :class:`CoordinatorCrash` *in the
+  engine thread*, right after the chunk is journaled (the in-process
+  stand-in for ``kill -9`` on the coordinator; CI does the real thing).
+
+Wire it up through ``SweepEngine(chunk_hook=chaos.chunk_hook)`` plus a
+worker-registry callback, or drive it manually from a test.  The
+schedule is data (:meth:`FleetChaos.plan`), so tests can assert what
+*will* happen before making it happen.
+"""
+
+import random
+import signal
+
+from repro.common.errors import ConfigurationError, ReproError
+
+#: Event kinds a :class:`FleetChaos` schedule may contain.
+FLEET_EVENTS = ("kill_worker", "term_worker", "netsplit", "slow_worker",
+                "coordinator_crash")
+
+
+class CoordinatorCrash(ReproError):
+    """Injected coordinator death (the in-process ``kill -9`` stand-in).
+
+    Deliberately *not* a :class:`~repro.common.errors.SweepError` or
+    ``TransportError`` subclass: nothing in the engine catches it, so it
+    unwinds ``SweepEngine.run`` exactly the way a real crash would —
+    after the journal append, before any further dispatch.
+    """
+
+    def __init__(self, after_chunks):
+        super().__init__(
+            "injected coordinator crash after {} accepted "
+            "chunk(s)".format(after_chunks))
+        self.after_chunks = after_chunks
+
+
+class FleetEvent(object):
+    """One scheduled fleet perturbation."""
+
+    __slots__ = ("at_chunk", "kind", "target", "duration_s", "fired")
+
+    def __init__(self, at_chunk, kind, target=None, duration_s=0.0):
+        if kind not in FLEET_EVENTS:
+            raise ConfigurationError(
+                "unknown fleet event {!r}; pick one of {}".format(
+                    kind, FLEET_EVENTS))
+        self.at_chunk = int(at_chunk)
+        self.kind = kind
+        self.target = target
+        self.duration_s = float(duration_s)
+        self.fired = False
+
+    def to_dict(self):
+        return {"at_chunk": self.at_chunk, "kind": self.kind,
+                "target": self.target, "duration_s": self.duration_s,
+                "fired": self.fired}
+
+    def __repr__(self):
+        return "FleetEvent(at_chunk={}, kind={!r}, target={!r})".format(
+            self.at_chunk, self.kind, self.target)
+
+
+class FleetChaos(object):
+    """A seeded, progress-keyed schedule of fleet perturbations.
+
+    ``events`` is an explicit list of :class:`FleetEvent`; alternatively
+    :meth:`seeded` derives one deterministically from ``(seed, chunks,
+    workers)``.  The object is used as the engine's ``chunk_hook``:
+    every accepted chunk advances the progress counter and fires every
+    event scheduled at that count.
+
+    Process-touching events need to know the fleet: ``register(name,
+    process)`` maps logical worker names (``"worker-0"``, ...) to
+    ``subprocess.Popen``-like handles (anything with ``pid``).  Events
+    targeting an unregistered or already-dead worker are skipped, not
+    errors — chaos against an elastic fleet must tolerate the fleet
+    having shrunk on its own.
+    """
+
+    def __init__(self, events=(), on_event=None):
+        self.events = list(events)
+        self.accepted = 0
+        self.on_event = on_event
+        self._processes = {}
+        self._stopped = []
+
+    @classmethod
+    def seeded(cls, seed, chunks, workers, intensity=0.3, on_event=None):
+        """Derive a deterministic schedule from a seed.
+
+        ``intensity`` scales how many events are planted (roughly
+        ``intensity * chunks`` candidate points, capped at one event per
+        chunk).  The same ``(seed, chunks, workers, intensity)`` always
+        yields the same schedule.
+        """
+        if chunks < 1 or workers < 1:
+            raise ConfigurationError(
+                "seeded chaos needs at least one chunk and one worker")
+        rng = random.Random(("fleet-chaos", int(seed), int(chunks),
+                             int(workers)).__repr__())
+        count = max(1, min(chunks, int(round(intensity * chunks))))
+        points = sorted(rng.sample(range(1, chunks + 1),
+                                   min(count, chunks)))
+        kinds = ("kill_worker", "term_worker", "netsplit", "slow_worker")
+        events = []
+        for at_chunk in points:
+            kind = kinds[rng.randrange(len(kinds))]
+            target = "worker-{}".format(rng.randrange(workers))
+            duration = {"netsplit": rng.uniform(0.5, 1.5),
+                        "slow_worker": rng.uniform(0.05, 0.2)}.get(kind,
+                                                                   0.0)
+            events.append(FleetEvent(at_chunk, kind, target=target,
+                                     duration_s=duration))
+        return cls(events, on_event=on_event)
+
+    # -- fleet wiring --------------------------------------------------------
+    def register(self, name, process):
+        """Attach a worker handle (``.pid``) under a logical name."""
+        self._processes[name] = process
+        return process
+
+    def register_spawned(self, processes):
+        """Register ``spawn_local_workers`` output as worker-0..n-1."""
+        for n, process in enumerate(processes):
+            self.register("worker-{}".format(n), process)
+        return processes
+
+    # -- schedule ------------------------------------------------------------
+    def plan(self):
+        """The schedule as plain data (for asserting before running)."""
+        return [event.to_dict() for event in self.events]
+
+    def pending(self):
+        return [event for event in self.events if not event.fired]
+
+    def chunk_hook(self, chunk_id, records):
+        """``SweepEngine(chunk_hook=...)`` entry point."""
+        del chunk_id, records
+        self.heal()  # end any partition whose duration has elapsed
+        self.accepted += 1
+        for event in self.events:
+            if not event.fired and event.at_chunk == self.accepted:
+                self._fire(event)
+
+    # -- executors -----------------------------------------------------------
+    def _fire(self, event):
+        event.fired = True
+        if self.on_event is not None:
+            self.on_event(event)
+        if event.kind == "coordinator_crash":
+            raise CoordinatorCrash(self.accepted)
+        process = self._processes.get(event.target)
+        if process is None or getattr(process, "poll", lambda: 0)() \
+                is not None:
+            return  # fleet already shrank; nothing to perturb
+        if event.kind == "kill_worker":
+            self._signal(process, signal.SIGKILL)
+        elif event.kind == "term_worker":
+            self._signal(process, signal.SIGTERM)
+        elif event.kind in ("netsplit", "slow_worker"):
+            if self._signal(process, signal.SIGSTOP):
+                import time
+                self._stopped.append((process, event, time.monotonic()))
+
+    @staticmethod
+    def _signal(process, signum):
+        try:
+            process.send_signal(signum)
+            return True
+        except (OSError, ProcessLookupError, AttributeError):
+            return False
+
+    def heal(self):
+        """SIGCONT every stopped worker whose split/slowdown elapsed.
+
+        Chaos never owns a timer thread — call this from the test's (or
+        engine's) loop; :meth:`release_all` unconditionally resumes
+        everyone regardless of remaining duration.
+        """
+        import time
+
+        now = time.monotonic()
+        still_stopped = []
+        for process, event, stopped_at in self._stopped:
+            if now - stopped_at >= event.duration_s:
+                self._signal(process, signal.SIGCONT)
+            else:
+                still_stopped.append((process, event, stopped_at))
+        self._stopped = still_stopped
+
+    def release_all(self):
+        while self._stopped:
+            process, _, _ = self._stopped.pop()
+            self._signal(process, signal.SIGCONT)
+
+    def __repr__(self):
+        return "FleetChaos(events={}, accepted={})".format(
+            len(self.events), self.accepted)

@@ -174,6 +174,15 @@ class Observability(object):
             registry.counter("sweep_workers_lost_total").inc()
         elif name == "sweep.chunk_requeued":
             registry.counter("sweep_chunks_requeued_total").inc()
+        elif name == "sweep.worker_left":
+            registry.counter("sweep_workers_left_total").inc()
+        elif name == "sweep.auth_rejected":
+            registry.counter("sweep_auth_rejected_total").inc()
+        elif name == "sweep.resumed":
+            registry.counter("sweep_chunks_replayed_total").inc(
+                fields.get("chunks", 0))
+            registry.counter("sweep_cells_replayed_total").inc(
+                fields.get("cells", 0))
         elif name == "sweep.done":
             registry.gauge("sweep_workers").set(fields["workers"])
             registry.gauge("sweep_worker_utilization").set(

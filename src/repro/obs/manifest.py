@@ -41,6 +41,10 @@ MANIFEST_FILE = "manifest.json"
 EVENTS_FILE = "events.jsonl"
 METRICS_FILE = "metrics.prom"
 TRACE_FILE = "trace.json"
+#: The sweep engine's crash-safe chunk journal lives in the same run
+#: directory (see :mod:`repro.engine.journal`); named here so manifest
+#: consumers know the full artifact inventory.
+CHUNKS_FILE = "chunks.jsonl"
 
 
 def git_describe(cwd=None):
@@ -124,6 +128,49 @@ class RunManifest(object):
         """Merge fields into the manifest and rewrite it."""
         self.data.update(fields)
         self._write()
+        return self
+
+    def install_guard(self):
+        """Stamp the run ``status: "interrupted"`` if it never finalizes.
+
+        Installs an :mod:`atexit` hook plus a chaining SIGINT/SIGTERM
+        handler; whichever fires first while the manifest still says
+        ``running`` rewrites it as ``interrupted`` — so a Ctrl-C'd or
+        killed (catchable-signal) run is distinguishable from a crashed
+        one (``running``) and from a clean one (``complete``).  A
+        ``kill -9`` leaves ``running``, which is itself the evidence.
+        Finalizing disarms the guard.  Returns self.
+        """
+        import atexit
+        import signal
+
+        def stamp():
+            if self.data.get("status") == "running":
+                self.data["status"] = "interrupted"
+                self.data["finished_unix"] = time.time()
+                try:
+                    self._write()
+                except OSError:
+                    pass
+
+        atexit.register(stamp)
+        self._guard = stamp
+        previous_handlers = {}
+
+        def handler(signum, frame):
+            stamp()
+            previous = previous_handlers.get(signum)
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                signal.signal(signum, signal.SIG_DFL)
+                signal.raise_signal(signum)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):
+                continue  # not the main thread, or unsupported
         return self
 
     def finalize(self, obs=None, summary=None, status="complete"):
