@@ -32,7 +32,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
 from repro import build_sky  # noqa: E402
-from repro.cloudsim.handlers import SleepHandler  # noqa: E402
+from repro.cloudsim.handlers import ModeledWorkloadHandler, SleepHandler  # noqa: E402
+from repro.cloudsim.provider import provider_by_name  # noqa: E402
 from repro.dynfunc import UniversalDynamicFunctionHandler  # noqa: E402
 from repro.engine import CampaignTask, CloudSpec, Grid, SweepEngine  # noqa: E402
 from repro.workloads import resolve_runtime_model, workload_by_name  # noqa: E402
@@ -42,9 +43,19 @@ TRAJECTORY = os.path.join(os.path.dirname(os.path.dirname(
 
 POLL_ITERS = 2000
 INVOKE_ITERS = 10000
+BATCH_100K = 100000
+BATCH_10K = 10000
+#: Lifted AWS concurrency quota for the 100k batch benchmarks — the
+#: catalog default (1000) would cap the burst and time a 1k batch.
+BATCH_QUOTA = 200000
 REPEATS = 5
 SWEEP_REPEATS = 3
-METRICS = ("poll_1000_us", "invoke_one_us", "sweep_grid24_ms")
+BATCH_REPEATS = 3
+#: The vectorized path must beat the looped executable spec by at least
+#: this factor at n=100k, or recording aborts (the fast path rotted).
+MIN_BATCH_SPEEDUP = 5.0
+METRICS = ("poll_1000_us", "invoke_one_us", "sweep_grid24_ms",
+           "poll_100k_ms", "batch_invoke_10k_us", "cloud_build_ms")
 
 
 def best_of(fn, repeats=REPEATS):
@@ -93,6 +104,81 @@ def sweep_grid24_tasks(root_seed=77, max_polls=400):
     return tasks
 
 
+def _batch_cloud(seed=311):
+    """A fresh one-deployment cloud for the batch benchmarks."""
+    cloud = build_sky(seed=seed, aws_only=True)
+    account = cloud.create_account("bench-batch", "aws")
+    deployment = cloud.deploy(
+        account, "eu-central-1a", "modeled", 2048,
+        handler=ModeledWorkloadHandler("bench", 0.3, {}, noise_sigma=0.05,
+                                       default_factor=1.0))
+    return cloud, deployment
+
+
+def _batch_keys(vectorize, polls=2, n_requests=BATCH_100K):
+    """Seeded aggregate keys for the byte-equality guarantee."""
+    cloud, deployment = _batch_cloud()
+    keys = []
+    for _ in range(polls):
+        result = cloud.poll_batch(deployment, n_requests,
+                                  vectorize=vectorize)
+        keys.append(result.aggregate_key())
+        cloud.clock.advance(120.0)
+    return keys
+
+
+def measure_batch():
+    """poll_100k_ms / batch_invoke_10k_us, plus the equality+speedup gate.
+
+    Runs under a lifted AWS concurrency quota so the full 100k burst is
+    actually admitted (restored afterwards).  Aborts with
+    :class:`AssertionError` if the vectorized and looped paths diverge
+    on seeded aggregates, or if the speedup fell below
+    ``MIN_BATCH_SPEEDUP`` — both are the PR's documented guarantees, so
+    a bench that silently recorded numbers for a broken fast path would
+    be worse than no bench.
+    """
+    aws = provider_by_name("aws")
+    saved_quota = aws.concurrency_quota
+    aws.concurrency_quota = BATCH_QUOTA
+    try:
+        assert _batch_keys(True) == _batch_keys(False), \
+            "vectorized poll_batch diverged from the looped spec"
+
+        def time_path(vectorize, n_requests):
+            cloud, deployment = _batch_cloud()
+
+            def one_poll():
+                cloud.poll_batch(deployment, n_requests,
+                                 vectorize=vectorize)
+                cloud.clock.advance(3600.0)  # expire capacity between
+
+            return best_of(one_poll, repeats=BATCH_REPEATS)
+
+        vectorized_s = time_path(True, BATCH_100K)
+        looped_s = time_path(False, BATCH_100K)
+        speedup = looped_s / vectorized_s
+        assert speedup >= MIN_BATCH_SPEEDUP, \
+            "vectorized poll_batch only {:.1f}x faster than looped at " \
+            "n={} (need >= {}x)".format(speedup, BATCH_100K,
+                                        MIN_BATCH_SPEEDUP)
+        return {
+            "poll_100k_ms": vectorized_s * 1e3,
+            "poll_100k_loop_ms": looped_s * 1e3,
+            "batch_invoke_10k_us": time_path(True, BATCH_10K) * 1e6,
+        }
+    finally:
+        aws.concurrency_quota = saved_quota
+
+
+def measure_build():
+    """Full-catalog CloudSpec.build, exercising the shared plan memo."""
+    def build():
+        CloudSpec(seed=17, aws_only=False).build()
+
+    return {"cloud_build_ms": best_of(build) * 1e3}
+
+
 def measure():
     cloud = build_sky(seed=191, aws_only=True)
     account = cloud.create_account("bench", "aws")
@@ -116,13 +202,16 @@ def measure():
     def sweep_loop():
         SweepEngine(workers=1).run(sweep_grid24_tasks())
 
-    return {
+    numbers = {
         "poll_1000_us": best_of(poll_loop) / POLL_ITERS * 1e6,
         "invoke_one_us": best_of(invoke_loop) / INVOKE_ITERS * 1e6,
         "sweep_grid24_ms": best_of(sweep_loop,
                                    repeats=SWEEP_REPEATS) * 1e3,
         "calibration_us": calibration_us(),
     }
+    numbers.update(measure_batch())
+    numbers.update(measure_build())
+    return numbers
 
 
 def git_commit():
@@ -171,11 +260,19 @@ def cmd_record(args):
     entry = append_entry(args.label, numbers, baseline=args.baseline)
     print("recorded {label} @ {commit}: poll_1000={poll:.2f}us "
           "invoke_one={invoke:.2f}us sweep_grid24={sweep:.1f}ms "
+          "poll_100k={batch:.2f}ms (loop {loop:.1f}ms, {speed:.1f}x) "
+          "batch_10k={b10k:.1f}us build={build:.2f}ms "
           "(calibration {cal:.4f}us)".format(
               label=entry["label"], commit=entry["commit"],
               poll=numbers["poll_1000_us"],
               invoke=numbers["invoke_one_us"],
               sweep=numbers["sweep_grid24_ms"],
+              batch=numbers["poll_100k_ms"],
+              loop=numbers["poll_100k_loop_ms"],
+              speed=numbers["poll_100k_loop_ms"]
+              / numbers["poll_100k_ms"],
+              b10k=numbers["batch_invoke_10k_us"],
+              build=numbers["cloud_build_ms"],
               cal=numbers["calibration_us"]))
     return 0
 
@@ -205,7 +302,7 @@ def cmd_check(args):
         if ratio > 1.0 + args.max_regression:
             verdict = "REGRESSION"
             failed = True
-        print("{metric}: {curr:.2f}us vs baseline {base:.2f}us "
+        print("{metric}: {curr:.2f} vs baseline {base:.2f} "
               "(normalized ratio {ratio:.3f}) {verdict}".format(
                   metric=metric, curr=numbers[metric],
                   base=baseline[metric], ratio=ratio, verdict=verdict))

@@ -31,7 +31,12 @@ from repro.cloudsim.background import BackgroundLoad, BackgroundProfile
 from repro.cloudsim.drift import DriftProfile
 from repro.cloudsim.network import NetworkModel, GeoPoint
 from repro.cloudsim.account import CloudAccount
-from repro.cloudsim.cloud import Cloud, Invocation
+from repro.cloudsim.cloud import (
+    BatchInvocation,
+    BatchPollResult,
+    Cloud,
+    Invocation,
+)
 from repro.cloudsim.catalog import (
     build_global_catalog,
     catalog_region_names,
@@ -59,6 +64,8 @@ __all__ = [
     "CloudAccount",
     "Cloud",
     "Invocation",
+    "BatchInvocation",
+    "BatchPollResult",
     "build_global_catalog",
     "catalog_region_names",
     "zone_spec",

@@ -115,6 +115,7 @@ class AvailabilityZone(object):
         self.rng = derive_rng(rng, "az", zone_id)
         self._new_instance_id = make_id_factory("fi-" + zone_id)
         self._fi_index = {}
+        self._fi_by_id = {}
         self._fi_stale = {}
         self._pool_order = None
         for pool in pools:
@@ -196,9 +197,17 @@ class AvailabilityZone(object):
         return sorted(self.pools)
 
     # -- batched placement (sampling hot path) -----------------------------------
-    def place_batch(self, deployment, n_requests, duration, window,
-                    now=None):
+    def invoke_batch(self, deployment, n_requests, duration, window,
+                     now=None):
         """Place ``n_requests`` parallel requests arriving over ``window`` s.
+
+        The batch invocation core: demand is resolved *columnarly* — one
+        warm claim per pool (in affinity order) and a single host-granular
+        multinomial draw for the new-FI split — so cost scales with the
+        zone's pool count, never with ``n_requests``.
+        :meth:`~repro.cloudsim.Cloud.poll_batch` builds its per-request
+        duration/billing/cold-start layer on top of the
+        :class:`PlacementResult` this returns.
 
         Each request occupies an FI for ``duration`` seconds.  Peak
         concurrency — hence the number of unique FIs required — is
@@ -267,6 +276,12 @@ class AvailabilityZone(object):
                                got_fis, new_counts, reused_counts,
                                request_cpu_counts, duration, now)
 
+    def place_batch(self, deployment, n_requests, duration, window,
+                    now=None):
+        """Historic name for :meth:`invoke_batch` (identical semantics)."""
+        return self.invoke_batch(deployment, n_requests, duration, window,
+                                 now=now)
+
     # -- per-request invocation (router path) -------------------------------------
     def invoke_one(self, deployment, duration_fn, now=None, force_new=False):
         """Serve a single request; returns ``(FunctionInstance, reused)``.
@@ -314,7 +329,17 @@ class AvailabilityZone(object):
             self._fi_index[deployment] = [fi]
         else:
             index.append(fi)
+        self._fi_by_id[fi.instance_id] = fi
         return fi, False
+
+    def find_instance(self, instance_id):
+        """The live identified FI with ``instance_id``, or None.
+
+        O(1) dict lookup; released instances are pruned by the expiry
+        heap's callback, so a dead FI resolves to None instead of a
+        stale object.
+        """
+        return self._fi_by_id.get(instance_id)
 
     def hold_instance(self, fi, hold_seconds, now=None):
         """Keep ``fi`` busy for ``hold_seconds`` (retry strategies do this
@@ -426,6 +451,7 @@ class AvailabilityZone(object):
         """
         if bucket.instance_id is None:  # anonymous FIBucket, not indexed
             return
+        self._fi_by_id.pop(bucket.instance_id, None)
         deployment = bucket.deployment
         instances = self._fi_index.get(deployment)
         if not instances:

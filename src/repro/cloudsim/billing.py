@@ -17,8 +17,27 @@ Rates are the providers' published on-demand prices (2024/2025 era):
 
 import math
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.common.units import Money
+
+
+def duration_ticks(durations_s, granularity, min_billed_duration=0.0):
+    """Billed granularity ticks per duration, as exact integers.
+
+    Vectorized form of the ``ceil(round(d / g, 9))`` quantization inside
+    :meth:`BillingModel.bill`.  Works elementwise on arrays *and* scalars
+    through the same numpy ufuncs, so a per-request loop calling this on
+    scalars produces bit-identical ticks to one call on the full array —
+    the contract that lets the batch poll path aggregate billing as an
+    integer tick total (exact summation, no float ordering effects)
+    while the looped executable spec quantizes request by request.
+    """
+    d = np.asarray(durations_s, dtype=np.float64)
+    if min_billed_duration > 0.0:
+        d = np.maximum(d, min_billed_duration)
+    return np.ceil(np.round(d / granularity, 9)).astype(np.int64)
 
 
 class InvocationBill(object):
@@ -100,6 +119,28 @@ class BillingModel(object):
         request_fee = Money(self.per_request * requests)
         return InvocationBill(compute, request_fee, billed * requests,
                               requests)
+
+    def bill_ticks(self, memory_mb, ticks, arch="x86_64", requests=1):
+        """Bill an aggregate of ``ticks`` granularity ticks over
+        ``requests`` invocations (see :func:`duration_ticks`).
+
+        The batch poll path sums per-request integer ticks — an exact
+        sum regardless of order — and converts to money once, so its
+        total is bit-identical whether the ticks were accumulated by a
+        vectorized reduction or a per-request loop.
+        """
+        if requests < 0 or ticks < 0:
+            raise ConfigurationError(
+                "ticks and requests must be non-negative")
+        billed = int(ticks) * self.granularity
+        try:
+            rate = self.gb_second_rates[arch]
+        except KeyError:
+            raise ConfigurationError(
+                "no billing rate for architecture {!r}".format(arch))
+        compute = Money(rate * (memory_mb / 1024.0 * billed))
+        request_fee = Money(self.per_request * requests)
+        return InvocationBill(compute, request_fee, billed, requests)
 
 
 AWS_LAMBDA_BILLING = BillingModel(

@@ -217,28 +217,56 @@ def _default_affinity(cpu_key, share, overrides):
     return 1.0
 
 
-def _build_zone(zone_id, spec, provider, clock, seed):
+def zone_recipe(zone_id, spec, provider):
+    """Resolve a :class:`ZoneSpec` into a pure-data build recipe.
+
+    The recipe is everything :func:`zone_from_recipe` needs to construct
+    the zone — pool sizes, affinities, scaling envelope, drift class — as
+    plain tuples/dicts.  Recipes are picklable and immutable in practice,
+    which is what lets the sweep engine compute the full catalog's plan
+    once and share it across workers (:mod:`repro.cloudsim.shared_catalog`)
+    instead of re-deriving it from the spec tables per cell.
+    """
     pools = []
     slots_per_host = provider.slots_per_host
     for cpu_key, share in sorted(spec.mix.items()):
         hosts = max(1, int(round(spec.slots * share / slots_per_host)))
         affinity = _default_affinity(cpu_key, share, spec.affinity)
-        pools.append(HostPool(cpu_key, hosts, slots_per_host,
-                              affinity=affinity))
+        pools.append((cpu_key, hosts, slots_per_host, affinity))
+    return {
+        "zone_id": zone_id,
+        "pools": tuple(pools),
+        "keepalive": provider.keepalive,
+        "scaling": (0.85, 8, max(256, spec.slots // 12)),
+        "drift": spec.drift,
+    }
+
+
+def zone_from_recipe(recipe, clock, seed):
+    """Construct a live :class:`AvailabilityZone` from a build recipe."""
+    pools = [HostPool(cpu_key, hosts, slots_per_host, affinity=affinity)
+             for cpu_key, hosts, slots_per_host, affinity
+             in recipe["pools"]]
+    pressure, per_minute, max_surge = recipe["scaling"]
     scaling = ScalingPolicy(
-        pressure_threshold=0.85,
-        slots_per_minute=8,
-        max_surge_slots=max(256, spec.slots // 12),
+        pressure_threshold=pressure,
+        slots_per_minute=per_minute,
+        max_surge_slots=max_surge,
     )
-    zone = AvailabilityZone(zone_id, pools, clock,
-                            keepalive=provider.keepalive,
+    zone = AvailabilityZone(recipe["zone_id"], pools, clock,
+                            keepalive=recipe["keepalive"],
                             scaling=scaling, rng=seed)
-    profile = _DRIFT_FACTORIES[spec.drift]()
+    profile = _DRIFT_FACTORIES[recipe["drift"]]()
     total_hosts = sum(p.hosts for p in pools)
-    drift = DriftProcess(zone_id, zone.cpu_slot_shares(), total_hosts,
-                         profile, seed=seed)
+    drift = DriftProcess(recipe["zone_id"], zone.cpu_slot_shares(),
+                         total_hosts, profile, seed=seed)
     zone.attach_drift(drift)
     return zone
+
+
+def _build_zone(zone_id, spec, provider, clock, seed):
+    return zone_from_recipe(zone_recipe(zone_id, spec, provider), clock,
+                            seed)
 
 
 def build_global_catalog(seed=0, clock=None, aws_only=False):
@@ -298,16 +326,33 @@ def catalog_region_names(provider=None):
     return names
 
 
+#: zone_id -> (region_name, provider_name, ZoneSpec), built lazily once.
+#: The spec tables are module constants, so a single memoized pass
+#: replaces the O(catalog) scans the per-zone lookups used to do.
+_ZONE_TABLE = None
+
+
+def _zone_table():
+    global _ZONE_TABLE
+    if _ZONE_TABLE is None:
+        table = {}
+        for name, (_, _, zones) in AWS_REGION_SPECS.items():
+            for suffix, spec in zones.items():
+                table[name + suffix] = (name, "aws", spec)
+        for provider_name, specs in (("ibm", IBM_REGION_SPECS),
+                                     ("do", DO_REGION_SPECS)):
+            for name, (_, _, spec) in specs.items():
+                table[name] = (name, provider_name, spec)
+        _ZONE_TABLE = table
+    return _ZONE_TABLE
+
+
 def zone_spec(zone_id):
     """Return the declarative :class:`ZoneSpec` behind a zone id."""
-    for name, (_, _, zones) in AWS_REGION_SPECS.items():
-        for suffix, spec in zones.items():
-            if name + suffix == zone_id:
-                return spec
-    for specs in (IBM_REGION_SPECS, DO_REGION_SPECS):
-        if zone_id in specs:
-            return specs[zone_id][2]
-    raise UnknownZoneError(zone_id)
+    try:
+        return _zone_table()[zone_id][2]
+    except KeyError:
+        raise UnknownZoneError(zone_id)
 
 
 def region_name_of_zone(zone_id):
@@ -316,24 +361,15 @@ def region_name_of_zone(zone_id):
     The parallel engine uses this to install only the regions a grid cell
     actually touches, keeping per-worker cloud construction cheap.
     """
-    for name, (_, _, zones) in AWS_REGION_SPECS.items():
-        for suffix in zones:
-            if name + suffix == zone_id:
-                return name
-    for specs in (IBM_REGION_SPECS, DO_REGION_SPECS):
-        if zone_id in specs:
-            return zone_id
-    raise UnknownZoneError(zone_id)
+    try:
+        return _zone_table()[zone_id][0]
+    except KeyError:
+        raise UnknownZoneError(zone_id)
 
 
 def provider_name_of_zone(zone_id):
     """Map a catalog zone id to its provider name."""
-    for name, (_, _, zones) in AWS_REGION_SPECS.items():
-        for suffix in zones:
-            if name + suffix == zone_id:
-                return "aws"
-    if zone_id in IBM_REGION_SPECS:
-        return "ibm"
-    if zone_id in DO_REGION_SPECS:
-        return "do"
-    raise UnknownZoneError(zone_id)
+    try:
+        return _zone_table()[zone_id][1]
+    except KeyError:
+        raise UnknownZoneError(zone_id)

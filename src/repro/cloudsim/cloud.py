@@ -12,6 +12,9 @@ talks to the cloud exclusively through:
   must land elsewhere.
 """
 
+import numpy as np
+
+from repro.common.distributions import CategoricalDistribution
 from repro.common.errors import (
     ConfigurationError,
     DeploymentError,
@@ -20,6 +23,7 @@ from repro.common.errors import (
 )
 from repro.common.ids import make_id_factory
 from repro.common.rng import derive_rng
+from repro.cloudsim.billing import duration_ticks
 from repro.faults.injector import NULL_INJECTOR
 from repro.obs.hooks import NULL_BUS
 from repro.simclock import SimClock
@@ -93,6 +97,129 @@ class Invocation(object):
     def __repr__(self):
         return "Invocation({} on {} cpu={} {:.3f}s)".format(
             self.request_id, self.zone_id, self.cpu_key, self.runtime_s)
+
+
+def _request_order_total(chunks):
+    """Sum float64 chunks in request order with numpy's pairwise reduction.
+
+    Both ``poll_batch`` paths feed this the same values in the same order
+    (one chunk per CPU group), so the result is bit-identical no matter
+    how the chunks were produced.
+    """
+    if not chunks:
+        return 0.0
+    if len(chunks) == 1:
+        return float(np.sum(chunks[0]))
+    return float(np.sum(np.concatenate(chunks)))
+
+
+class BatchInvocation(object):
+    """Per-request record from the looped ``poll_batch`` spec path.
+
+    Deliberately minimal — the vectorized path never materializes these;
+    they exist so the executable spec stays inspectable in tests.
+    """
+
+    __slots__ = ("cpu_key", "reused", "runtime_s", "cold_start_s",
+                 "latency_s", "billed_ticks")
+
+    def __init__(self, cpu_key, reused, runtime_s, cold_start_s, latency_s,
+                 billed_ticks):
+        self.cpu_key = cpu_key
+        self.reused = reused
+        self.runtime_s = runtime_s
+        self.cold_start_s = cold_start_s
+        self.latency_s = latency_s
+        self.billed_ticks = billed_ticks
+
+    @property
+    def is_cold(self):
+        return not self.reused
+
+    def __repr__(self):
+        return "BatchInvocation(cpu={} reused={} {:.3f}s)".format(
+            self.cpu_key, self.reused, self.runtime_s)
+
+
+class BatchPollResult(object):
+    """Aggregated outcome of one :meth:`Cloud.poll_batch` burst.
+
+    One object per batch regardless of ``n_requests``: counts, per-CPU
+    request/cold maps, exact integer billing ticks, and float64 totals.
+    ``records`` is None on the vectorized path and the list of
+    :class:`BatchInvocation` on the looped spec path.
+    """
+
+    __slots__ = ("deployment_id", "zone_id", "requested", "served",
+                 "failed", "cold_starts", "request_cpu_counts",
+                 "cold_cpu_counts", "billed_ticks", "runtime_total_s",
+                 "latency_total_s", "bill", "duration", "timestamp",
+                 "placement", "records")
+
+    def __init__(self, deployment_id, zone_id, requested, served, failed,
+                 cold_starts, request_cpu_counts, cold_cpu_counts,
+                 billed_ticks, runtime_total_s, latency_total_s, bill,
+                 duration, timestamp, placement, records=None):
+        self.deployment_id = deployment_id
+        self.zone_id = zone_id
+        self.requested = requested
+        self.served = served
+        self.failed = failed
+        self.cold_starts = cold_starts
+        self.request_cpu_counts = request_cpu_counts
+        self.cold_cpu_counts = cold_cpu_counts
+        self.billed_ticks = billed_ticks
+        self.runtime_total_s = runtime_total_s
+        self.latency_total_s = latency_total_s
+        self.bill = bill
+        self.duration = duration
+        self.timestamp = timestamp
+        self.placement = placement
+        self.records = records
+
+    @property
+    def failure_rate(self):
+        if self.requested == 0:
+            return 0.0
+        return self.failed / float(self.requested)
+
+    @property
+    def mean_runtime_s(self):
+        return self.runtime_total_s / self.served if self.served else 0.0
+
+    @property
+    def mean_latency_s(self):
+        return self.latency_total_s / self.served if self.served else 0.0
+
+    def cpu_distribution(self):
+        """Served requests per CPU as a categorical distribution."""
+        return CategoricalDistribution(self.request_cpu_counts)
+
+    def aggregate_key(self):
+        """Bit-exact fingerprint of every aggregate.
+
+        Floats are rendered with ``float.hex`` so two results compare
+        equal only when each total matches to the last bit — the form the
+        vectorized-vs-looped equivalence tests and the benchmark's
+        byte-equality gate compare.
+        """
+        return (
+            self.requested, self.served, self.failed, self.cold_starts,
+            tuple(sorted(self.request_cpu_counts.items())),
+            tuple(sorted(self.cold_cpu_counts.items())),
+            int(self.billed_ticks),
+            float(self.runtime_total_s).hex(),
+            float(self.latency_total_s).hex(),
+            float(self.bill.compute).hex(),
+            float(self.bill.total).hex(),
+            self.bill.requests,
+        )
+
+    def __repr__(self):
+        return ("BatchPollResult({} served={}/{} cold={} "
+                "ticks={})".format(self.zone_id, self.served,
+                                   self.requested, self.cold_starts,
+                                   self.billed_ticks))
 
 
 class Cloud(object):
@@ -353,13 +480,161 @@ class Cloud(object):
         return self.place_batch(deployment, n_requests, duration,
                                 now=now, bill_category=bill_category)
 
+    def poll_batch(self, deployment, n_requests=1000, now=None,
+                   bill_category="poll", vectorize=True):
+        """Resolve an ``n_requests`` burst columnarly: one
+        :class:`BatchPollResult`, one aggregated bill, no per-request
+        objects.
+
+        This is the vectorized successor to :meth:`poll` for hot loops
+        that only consume aggregates.  Placement is the zone's batch core
+        (:meth:`~repro.cloudsim.az.AvailabilityZone.invoke_batch`); on top
+        of it this method classifies cold/warm requests with one
+        multinomial per mixed CPU group, draws all runtimes through the
+        handler's vectorized :meth:`~repro.cloudsim.handlers.Handler.durations_on`,
+        quantizes billing as exact integer ticks, and reduces with numpy.
+
+        **RNG stream contract.**  ``vectorize=False`` runs the looped
+        executable spec — per-request records, scalar tick quantization —
+        but consumes the cloud RNG identically: (1) one scalar occupancy
+        draw, (2) the zone's placement draw, (3) per CPU group in sorted
+        order, one cold/warm split then one ``durations_on`` call.  Both
+        paths therefore produce **bit-identical** aggregates for the same
+        seed (``BatchPollResult.aggregate_key()`` compares equal), which
+        the property tests and the benchmark's byte-equality check
+        enforce.
+        """
+        now = self.clock.now if now is None else float(now)
+        zone = self.zone(deployment.zone_id)
+        handler = deployment.handler
+        if self.faults.enabled:
+            self.faults.before_batch(deployment.zone_id, now)
+        # Draw order step 1: the occupancy duration, exactly like poll().
+        duration = handler.duration_on(None, self.rng)
+        admitted = deployment.account.admit_batch(n_requests)
+        # Draw order step 2: the zone's placement multinomial.
+        placement = zone.invoke_batch(
+            deployment.deployment_id, admitted, duration,
+            deployment.arrival_window_s, now=now)
+
+        billing = deployment.billing
+        granularity = billing.granularity
+        min_billed = billing.min_billed_duration
+        cold_start_s = deployment.provider.cold_start_s
+        cpu_counts = placement.request_cpu_counts
+        rng = self.rng
+
+        cold_cpu_counts = {}
+        ticks_total = 0
+        records = None if vectorize else []
+        runtime_chunks = []
+        latency_chunks = []
+        # Draw order step 3: per CPU group in sorted order — one cold/warm
+        # split, then one batched runtime draw.
+        for cpu_key in sorted(cpu_counts):
+            served_c = cpu_counts[cpu_key]
+            cold_c = self._cold_split(cpu_key, served_c,
+                                      placement.new_fi_counts,
+                                      placement.reused_fi_counts, rng)
+            if cold_c:
+                cold_cpu_counts[cpu_key] = cold_c
+            runtimes = handler.durations_on(cpu_key, rng, served_c)
+            if vectorize:
+                ticks_total += int(duration_ticks(
+                    runtimes, granularity, min_billed).sum())
+                latencies = runtimes.copy()
+                if cold_c and cold_start_s:
+                    latencies[:cold_c] += cold_start_s
+                runtime_chunks.append(runtimes)
+                latency_chunks.append(latencies)
+            else:
+                # Looped executable spec: request by request, scalar
+                # quantization, one record object each.
+                group_runtimes = []
+                group_latencies = []
+                for i, runtime in enumerate(runtimes.tolist()):
+                    reused = i >= cold_c
+                    cold = 0.0 if reused else cold_start_s
+                    latency = runtime + cold
+                    ticks = int(duration_ticks(runtime, granularity,
+                                               min_billed))
+                    ticks_total += ticks
+                    group_runtimes.append(runtime)
+                    group_latencies.append(latency)
+                    records.append(BatchInvocation(
+                        cpu_key, reused, runtime, cold, latency, ticks))
+                runtime_chunks.append(
+                    np.asarray(group_runtimes, dtype=np.float64))
+                latency_chunks.append(
+                    np.asarray(group_latencies, dtype=np.float64))
+
+        # Totals reduce the identical request-ordered float64 array in
+        # both paths, so numpy's pairwise summation yields the same bits.
+        runtime_total = _request_order_total(runtime_chunks)
+        latency_total = _request_order_total(latency_chunks)
+        served = placement.served
+        bill = billing.bill_ticks(deployment.memory_mb, ticks_total,
+                                  deployment.arch, requests=served)
+        deployment.account.record_bill(bill, category=bill_category)
+        cold_total = sum(cold_cpu_counts.values())
+        bus = self.bus
+        if bus.enabled:
+            bus.emit("cloud.poll_batch", now,
+                     zone=deployment.zone_id,
+                     requested=placement.requested, served=served,
+                     failed=placement.failed, cold_starts=cold_total,
+                     runtime_total_s=runtime_total,
+                     cost_usd=float(bill.total),
+                     deployment=deployment.deployment_id,
+                     category=bill_category)
+        return BatchPollResult(
+            deployment_id=deployment.deployment_id,
+            zone_id=deployment.zone_id,
+            requested=placement.requested,
+            served=served,
+            failed=placement.failed,
+            cold_starts=cold_total,
+            request_cpu_counts=dict(cpu_counts),
+            cold_cpu_counts=cold_cpu_counts,
+            billed_ticks=ticks_total,
+            runtime_total_s=runtime_total,
+            latency_total_s=latency_total,
+            bill=bill,
+            duration=duration,
+            timestamp=now,
+            placement=placement,
+            records=records,
+        )
+
     # -- internals ------------------------------------------------------------------------
     @staticmethod
+    def _cold_split(cpu_key, served_c, new_fi_counts, reused_fi_counts, rng):
+        """Cold-request count for one CPU's request group.
+
+        Requests landing on freshly-placed FIs pay the cold start.  When
+        a CPU has both new and reused FIs, the split over ``served_c``
+        requests is one multinomial draw weighted by the FI counts
+        (:meth:`CategoricalDistribution.sample_counts`); a single-category
+        group is deterministic and consumes no randomness.  Both
+        ``poll_batch`` paths call this identically, keeping the RNG
+        stream layout fixed.
+        """
+        new_c = new_fi_counts.get(cpu_key, 0)
+        reused_c = (reused_fi_counts.get(cpu_key, 0)
+                    if reused_fi_counts else 0)
+        if not new_c:
+            return 0
+        if not reused_c:
+            return served_c
+        split = CategoricalDistribution(
+            {"cold": new_c, "warm": reused_c}).sample_counts(rng, served_c)
+        return split.get("cold", 0)
+
+    @staticmethod
     def _find_fi(zone, deployment, instance_id):
-        for fi in zone._fi_index.get(deployment.deployment_id, []):
-            if fi.instance_id == instance_id:
-                return fi
-        return None
+        # O(1) id lookup in the zone's live-instance dict (pruned on
+        # release by the expiry heap's callback).
+        return zone.find_instance(instance_id)
 
     def __repr__(self):
         return "Cloud(regions={}, accounts={})".format(

@@ -9,6 +9,8 @@ fast while preserving the per-CPU sensitivity that routing exploits.
 
 import math
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 
 
@@ -18,6 +20,20 @@ class Handler(object):
     def duration_on(self, cpu_key, rng, payload=None):
         """Billed runtime (seconds) of one request on ``cpu_key``."""
         raise NotImplementedError
+
+    def durations_on(self, cpu_key, rng, count, payload=None):
+        """Runtimes of ``count`` requests on ``cpu_key`` as a float64 array.
+
+        The base implementation is the executable spec: ``count``
+        sequential :meth:`duration_on` draws.  Vectorized overrides must
+        consume the *same RNG stream* — for numpy Generators a single
+        ``rng.normal(mu, sigma, size=n)`` call advances the stream exactly
+        like ``n`` scalar ``rng.normal(mu, sigma)`` calls, which is what
+        makes the batch poll path (:meth:`repro.cloudsim.Cloud.poll_batch`)
+        seed-compatible between its vectorized and looped forms.
+        """
+        return np.asarray([self.duration_on(cpu_key, rng, payload)
+                           for _ in range(count)], dtype=np.float64)
 
     def respond(self, cpu_key, payload=None):
         """Response body returned to the client (may be None)."""
@@ -39,6 +55,10 @@ class SleepHandler(Handler):
 
     def duration_on(self, cpu_key, rng, payload=None):
         return self.sleep_s + self.overhead_s
+
+    def durations_on(self, cpu_key, rng, count, payload=None):
+        # Constant duration, no RNG consumed — exactly like the scalar path.
+        return np.full(count, self.sleep_s + self.overhead_s)
 
     def respond(self, cpu_key, payload=None):
         return {"slept": self.sleep_s, "cpu": cpu_key}
@@ -86,6 +106,19 @@ class ModeledWorkloadHandler(Handler):
             return mean * float(math.exp(rng.normal(0.0, self.noise_sigma)))
         return mean
 
+    def durations_on(self, cpu_key, rng, count, payload=None):
+        """Vectorized draw: one ``rng.normal(size=count)`` call consumes the
+        stream exactly like ``count`` scalar draws (numpy Generator
+        contract), so batch and per-request polls stay seed-compatible.
+        ``np.exp`` and ``math.exp`` may differ in the last ulp, which is
+        why the batch API is defined on *this* method in both of its
+        forms rather than mixing it with :meth:`duration_on`."""
+        mean = self.base_seconds * self.factor_for(cpu_key)
+        if rng is not None and self.noise_sigma > 0 and count > 0:
+            return mean * np.exp(rng.normal(0.0, self.noise_sigma,
+                                            size=count))
+        return np.full(count, mean)
+
     def respond(self, cpu_key, payload=None):
         return {"workload": self.name, "cpu": cpu_key}
 
@@ -116,6 +149,10 @@ class ScaledWorkloadHandler(Handler):
 
     def duration_on(self, cpu_key, rng, payload=None):
         return self.inner.duration_on(cpu_key, rng, payload) * self.scale
+
+    def durations_on(self, cpu_key, rng, count, payload=None):
+        return self.inner.durations_on(cpu_key, rng, count,
+                                       payload) * self.scale
 
     def respond(self, cpu_key, payload=None):
         return self.inner.respond(cpu_key, payload)

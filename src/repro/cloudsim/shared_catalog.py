@@ -1,0 +1,185 @@
+"""Build the region catalog's plan once and share it across sweep workers.
+
+:meth:`~repro.engine.spec.CloudSpec.build` used to re-derive every zone's
+build parameters from the catalog spec tables for every grid cell — in a
+42-worker sweep that is tens of thousands of redundant table scans and
+affinity/scaling resolutions.  This module splits catalog installation
+into two phases:
+
+1. **Plan** (:func:`catalog_plan`) — a pure-data description of every
+   region: provider name, geo coordinates, and each zone's build recipe
+   (:func:`repro.cloudsim.catalog.zone_recipe`).  Computed once per
+   process and memoized; plans are picklable and never mutated.
+2. **Install** (:func:`install_plan`) — materialize live zones from the
+   plan into a :class:`~repro.cloudsim.cloud.Cloud`, honouring the same
+   ``aws_only`` / ``regions`` filters and the same region/zone ordering
+   as :func:`~repro.cloudsim.catalog.install_catalog` (which remains the
+   executable reference; an equivalence test pins the two together).
+
+For process-pool sweeps, :class:`CatalogShare` exports the pickled plan
+into :mod:`multiprocessing.shared_memory`; the pool's initializer
+(:func:`attach_worker`) maps it read-only, unpickles once per worker,
+and every subsequent :meth:`CloudSpec.build` in that worker reuses the
+attached plan — zero per-cell table work and one catalog build per
+process tree instead of one per worker spawn.  Everything degrades
+gracefully: no shared memory → each worker memoizes its own plan.
+"""
+
+import pickle
+
+from repro.cloudsim.catalog import (
+    AWS_REGION_SPECS,
+    DO_REGION_SPECS,
+    IBM_REGION_SPECS,
+    zone_from_recipe,
+    zone_recipe,
+)
+from repro.cloudsim.network import GeoPoint
+from repro.cloudsim.provider import provider_by_name
+from repro.cloudsim.region import Region
+
+try:  # gated: absent on platforms without POSIX/Windows shared memory
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised via the None path
+    _shared_memory = None
+
+#: Memoized full-catalog plan for this process.
+_PLAN = None
+
+#: Plan attached from another process's shared-memory export (workers).
+_ATTACHED_PLAN = None
+
+
+def catalog_plan():
+    """The full catalog as pure data, memoized per process.
+
+    A tuple of region entries ``{"name", "provider", "lat", "lon",
+    "zones": (recipe, ...)}`` in exactly the order
+    :func:`install_catalog` installs them: AWS regions sorted by name,
+    then IBM, then Digital Ocean.  Filtering (``aws_only``/``regions``)
+    happens at install time so one plan serves every restriction.
+    """
+    global _PLAN
+    if _PLAN is None:
+        entries = []
+        aws = provider_by_name("aws")
+        for name in sorted(AWS_REGION_SPECS):
+            lat, lon, zones = AWS_REGION_SPECS[name]
+            entries.append({
+                "name": name, "provider": "aws", "lat": lat, "lon": lon,
+                "zones": tuple(
+                    zone_recipe(name + suffix, zones[suffix], aws)
+                    for suffix in sorted(zones)),
+            })
+        for provider_name, specs in (("ibm", IBM_REGION_SPECS),
+                                     ("do", DO_REGION_SPECS)):
+            provider = provider_by_name(provider_name)
+            for name in sorted(specs):
+                lat, lon, spec = specs[name]
+                entries.append({
+                    "name": name, "provider": provider_name,
+                    "lat": lat, "lon": lon,
+                    "zones": (zone_recipe(name, spec, provider),),
+                })
+        _PLAN = tuple(entries)
+    return _PLAN
+
+
+def active_plan():
+    """The plan builds should use: the attached share, else the local memo."""
+    if _ATTACHED_PLAN is not None:
+        return _ATTACHED_PLAN
+    return catalog_plan()
+
+
+def install_plan(cloud, plan, aws_only=False, regions=None):
+    """Install ``plan``'s regions into ``cloud``.
+
+    Mirrors :func:`~repro.cloudsim.catalog.install_catalog` exactly —
+    same filters, same ordering, same zone construction (both funnel
+    through :func:`zone_from_recipe`) — so a plan-based build is
+    indistinguishable from a table-based one.
+    """
+    for entry in plan:
+        if aws_only and entry["provider"] != "aws":
+            continue
+        if regions is not None and entry["name"] not in regions:
+            continue
+        provider = provider_by_name(entry["provider"])
+        region = Region(entry["name"], provider,
+                        GeoPoint(entry["lat"], entry["lon"]))
+        for recipe in entry["zones"]:
+            region.add_zone(zone_from_recipe(recipe, cloud.clock,
+                                             cloud.seed))
+        cloud.add_region(region)
+    return cloud
+
+
+class CatalogShare(object):
+    """A pickled catalog plan living in OS shared memory.
+
+    The parent exports once before spawning the pool, passes
+    ``(share.name, share.size)`` to the pool initializer, and disposes
+    after the pool shuts down.  Workers attach by name, unpickle once,
+    and close their mapping immediately — the plan itself lives on as
+    ordinary objects in the worker.
+    """
+
+    __slots__ = ("_shm", "size")
+
+    def __init__(self, shm, size):
+        self._shm = shm
+        self.size = size
+
+    @property
+    def name(self):
+        return self._shm.name
+
+    @classmethod
+    def export(cls):
+        """Export the memoized plan; None when shared memory is unusable."""
+        if _shared_memory is None:
+            return None
+        payload = pickle.dumps(catalog_plan(),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            shm = _shared_memory.SharedMemory(create=True,
+                                              size=len(payload))
+        except (OSError, ValueError):
+            return None
+        shm.buf[:len(payload)] = payload
+        return cls(shm, len(payload))
+
+    def dispose(self):
+        """Close the mapping and unlink the segment (parent side)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+def attach_worker(name, size):
+    """Pool-initializer: attach the parent's exported plan in this worker.
+
+    Never raises — a worker that cannot attach (segment gone, platform
+    quirk) silently falls back to memoizing its own plan, which is
+    slower but identical.
+    """
+    global _ATTACHED_PLAN
+    if _shared_memory is None:
+        return
+    try:
+        shm = _shared_memory.SharedMemory(name=name)
+        try:
+            _ATTACHED_PLAN = pickle.loads(bytes(shm.buf[:size]))
+        finally:
+            shm.close()
+    except Exception:  # noqa: BLE001 — degrade, never kill the worker
+        _ATTACHED_PLAN = None
+
+
+def detach_worker():
+    """Drop an attached plan (tests; no-op when nothing is attached)."""
+    global _ATTACHED_PLAN
+    _ATTACHED_PLAN = None

@@ -125,6 +125,28 @@ class CategoricalDistribution(object):
         probs = probs / probs.sum()
         return rng.choice(labels, size=size, p=probs)
 
+    def sample_counts(self, rng, n):
+        """Draw ``n`` observations at once; returns category -> count.
+
+        One vectorized ``rng.multinomial`` replaces ``n`` label draws, so
+        classifying a 100k-request batch costs one RNG call.  A
+        single-category distribution is deterministic and consumes no
+        randomness — callers relying on a fixed stream layout (the batch
+        poll's cold/warm split) can depend on that.
+        """
+        if self._total == 0:
+            raise CharacterizationError("cannot sample empty distribution")
+        if n < 0:
+            raise CharacterizationError("sample size must be non-negative")
+        labels = self.categories
+        if len(labels) == 1:
+            return {labels[0]: int(n)}
+        probs = np.array([self.share(c) for c in labels])
+        probs = probs / probs.sum()
+        counts = rng.multinomial(int(n), probs).tolist()
+        return {label: count for label, count in zip(labels, counts)
+                if count}
+
     # -- comparisons -----------------------------------------------------------
     def __eq__(self, other):
         if not isinstance(other, CategoricalDistribution):

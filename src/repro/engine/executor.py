@@ -182,6 +182,7 @@ class SweepEngine(object):
         self.last_mode = None
         self._merge = None
         self._journal = None
+        self._catalog_share = None
 
     # -- observability helpers ------------------------------------------------
     def _emit(self, name, started, **fields):
@@ -269,6 +270,9 @@ class SweepEngine(object):
             journal, self._journal = self._journal, None
             if journal is not None:
                 journal.close()
+            share, self._catalog_share = self._catalog_share, None
+            if share is not None:
+                share.dispose()
 
     # -- journal / resume -----------------------------------------------------
     def _open_journal(self, tasks, lanes, grid_hash, started):
@@ -280,6 +284,14 @@ class SweepEngine(object):
         the *full* task list with the journal's chunk size, so a resumed
         run dispatches the missing chunks under their original ids — a
         worker that spooled chunk 7 across the crash still matches.
+
+        Replay streams the journal (:meth:`ChunkJournal.stream`): each
+        chunk's records are decoded, absorbed, and dropped before the
+        next line is read, so resuming never materializes the whole
+        journal — memory stays bounded by one chunk regardless of how
+        many cells the crashed run completed.  A chunk id appearing
+        twice replays only its first occurrence (records are
+        deterministic, so any duplicate is identical).
         """
         from repro.engine.journal import ChunkJournal, guard_hash_for_tasks
 
@@ -287,12 +299,25 @@ class SweepEngine(object):
         journal = ChunkJournal(directory)
         guard = grid_hash or guard_hash_for_tasks(tasks)
         pairs = list(enumerate(tasks))
+        state = {"results": [None] * len(tasks), "failures": [],
+                 "busy_ms": 0.0}
+        done = set()
+        replayed_cells = 0
         if self.resume:
             if not journal.exists():
                 raise ConfigurationError(
                     "cannot resume: no chunk journal at "
                     "{}".format(journal.path))
-            journal.load(guard=guard, cells=len(tasks))
+            for chunk_id, _, records in journal.stream(guard=guard,
+                                                       cells=len(tasks)):
+                if chunk_id in done:
+                    continue
+                done.add(chunk_id)
+                for record in records:
+                    state["busy_ms"] += self._absorb(
+                        record, state["results"], state["failures"],
+                        started, replayed=True)
+                replayed_cells += len(records)
             chunk_size = journal.header["chunk_size"]
             journal.reopen_for_append()
         else:
@@ -301,21 +326,10 @@ class SweepEngine(object):
             journal.begin(guard, len(tasks), chunk_size, len(chunks))
         all_chunks = list(enumerate(_chunk(pairs, chunk_size)))
         plan = [(chunk_id, chunk) for chunk_id, chunk in all_chunks
-                if chunk_id not in journal.replayed]
-        state = {"results": [None] * len(tasks), "failures": [],
-                 "busy_ms": 0.0}
+                if chunk_id not in done]
         self._journal = journal
-        if journal.replayed:
-            replayed_cells = 0
-            for chunk_id in sorted(journal.replayed):
-                _, records = journal.replayed[chunk_id]
-                for record in records:
-                    state["busy_ms"] += self._absorb(
-                        record, state["results"], state["failures"],
-                        started, replayed=True)
-                replayed_cells += len(records)
-            self._emit("sweep.resumed", started,
-                       chunks=len(journal.replayed),
+        if done:
+            self._emit("sweep.resumed", started, chunks=len(done),
                        cells=replayed_cells, remaining=len(plan))
         return plan, state
 
@@ -375,11 +389,27 @@ class SweepEngine(object):
             import concurrent.futures
             import multiprocessing
 
+            from repro.cloudsim.shared_catalog import (
+                CatalogShare,
+                attach_worker,
+            )
+
             method = self._resolve_start_method()
             context = (multiprocessing.get_context(method)
                        if method is not None else None)
+            # Export the catalog plan once; workers attach it in their
+            # initializer so CloudSpec.build never re-derives the spec
+            # tables.  export() returning None (no shared memory on this
+            # platform) simply skips the initializer — workers then
+            # memoize their own plan, slower but identical.
+            share = CatalogShare.export()
+            self._catalog_share = share
+            initializer, initargs = ((attach_worker, (share.name,
+                                                      share.size))
+                                     if share is not None else (None, ()))
             return concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers, mp_context=context)
+                max_workers=workers, mp_context=context,
+                initializer=initializer, initargs=initargs)
         except (ImportError, NotImplementedError, OSError, ValueError):
             return None
 

@@ -111,8 +111,50 @@ class ChunkJournal(object):
     def exists(self):
         return os.path.exists(self.path)
 
+    def stream(self, guard=None, cells=None):
+        """Lazily yield ``(chunk_id, indexes, records)`` per journal line.
+
+        The streaming core under :meth:`load`: the header is validated
+        (``guard`` / ``cells`` semantics as documented there, with
+        :attr:`header` populated as a side effect), then each chunk line
+        is read, decoded, and yielded **one at a time** — nothing is
+        retained, so resuming a journal with millions of spooled records
+        holds one chunk's records in memory, not the whole file.  A
+        truncated or corrupt tail (crash mid-append) ends the stream;
+        the rest of the sweep reruns.
+        """
+        try:
+            handle = open(self.path)
+        except OSError as error:
+            raise ConfigurationError(
+                "cannot read chunk journal {}: {}".format(self.path,
+                                                          error)) from error
+        with handle:
+            first = handle.readline()
+            if not first.strip():
+                raise ConfigurationError(
+                    "chunk journal {} is empty".format(self.path))
+            header = self._decode_header(first)
+            if guard is not None and header["guard"] != str(guard):
+                raise ConfigurationError(
+                    "refusing to resume {}: journal guard {!r} does not "
+                    "match this sweep's spec {!r} (different grid, seed, "
+                    "or parameters)".format(self.path, header["guard"],
+                                            str(guard)))
+            if cells is not None and header["cells"] != int(cells):
+                raise ConfigurationError(
+                    "refusing to resume {}: journal covers {} cells, this "
+                    "sweep has {}".format(self.path, header["cells"],
+                                          cells))
+            self.header = header
+            for line in handle:
+                entry = self._decode_chunk(line, header)
+                if entry is None:
+                    return  # truncated/corrupt tail: rerun from here
+                yield entry
+
     def load(self, guard=None, cells=None):
-        """Read the journal back; populates :attr:`replayed`.
+        """Read the whole journal back; populates :attr:`replayed`.
 
         ``guard`` / ``cells`` (when given) must match the header — a
         mismatch means the directory holds a *different* sweep's
@@ -120,35 +162,13 @@ class ChunkJournal(object):
         :class:`~repro.common.errors.ConfigurationError` is raised
         instead.  A truncated or corrupt tail (crash mid-append) is
         tolerated: reading stops there and the rest of the sweep reruns.
+
+        Materializes every chunk — callers that only need one pass (the
+        engine's resume replay) should iterate :meth:`stream` instead.
         """
-        try:
-            with open(self.path) as handle:
-                lines = handle.read().splitlines()
-        except OSError as error:
-            raise ConfigurationError(
-                "cannot read chunk journal {}: {}".format(self.path,
-                                                          error)) from error
-        if not lines:
-            raise ConfigurationError(
-                "chunk journal {} is empty".format(self.path))
-        header = self._decode_header(lines[0])
-        if guard is not None and header["guard"] != str(guard):
-            raise ConfigurationError(
-                "refusing to resume {}: journal guard {!r} does not match "
-                "this sweep's spec {!r} (different grid, seed, or "
-                "parameters)".format(self.path, header["guard"],
-                                     str(guard)))
-        if cells is not None and header["cells"] != int(cells):
-            raise ConfigurationError(
-                "refusing to resume {}: journal covers {} cells, this "
-                "sweep has {}".format(self.path, header["cells"], cells))
-        self.header = header
         self.replayed = {}
-        for line in lines[1:]:
-            entry = self._decode_chunk(line, header)
-            if entry is None:
-                break  # truncated/corrupt tail: rerun from here
-            chunk_id, indexes, records = entry
+        for chunk_id, indexes, records in self.stream(guard=guard,
+                                                      cells=cells):
             self.replayed[chunk_id] = (indexes, records)
         return self
 

@@ -13,11 +13,11 @@ milliseconds even though the full catalog spans 41 regions.
 
 from repro.common.errors import ConfigurationError
 from repro.cloudsim.catalog import (
-    install_catalog,
     provider_name_of_zone,
     region_name_of_zone,
 )
 from repro.cloudsim.cloud import Cloud
+from repro.cloudsim.shared_catalog import active_plan, install_plan
 from repro.obs.ship import current_capture
 
 
@@ -69,9 +69,17 @@ class CloudSpec(object):
         active on this thread (a sweep worker running a shipped chunk),
         the capture bus is attached so the cell's events are buffered for
         shipping — task code needs no telemetry-aware parameters.
+
+        Zones come from the shared/memoized catalog *plan*
+        (:mod:`repro.cloudsim.shared_catalog`): in a pool worker this is
+        the parent's shared-memory export, elsewhere a once-per-process
+        memo — either way the spec tables are resolved once, not per
+        cell, and the result is identical to
+        :func:`~repro.cloudsim.catalog.install_catalog`.
         """
         cloud = Cloud(seed=self.seed)
-        install_catalog(cloud, aws_only=self.aws_only, regions=self.regions)
+        install_plan(cloud, active_plan(), aws_only=self.aws_only,
+                     regions=self.regions)
         capture = current_capture()
         if capture is not None:
             capture.install(cloud)

@@ -28,6 +28,11 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import Span, Trace, Tracer, format_trace
 from repro.obs import export
+from repro.obs.async_export import (
+    AsyncCsvExporter,
+    AsyncJsonlExporter,
+    AsyncPrometheusExporter,
+)
 from repro.obs.ship import TelemetryCapture, TelemetryMerge, current_capture
 from repro.obs.manifest import DEFAULT_REGISTRY, RunManifest, RunRegistry
 from repro.obs.serve import ObsServer, render_tail, scrape
@@ -54,6 +59,10 @@ class Observability(object):
         self.registry = MetricsRegistry()
         self.tracer = Tracer(max_traces=max_traces)
         self.recorder = EventRecorder(self.bus, capacity=event_capacity)
+        # Pre-bound metric handles for the batch-poll bridge arm: one
+        # zone-keyed lookup replaces seven registry label resolutions per
+        # event, keeping the live-bus cost of a 100k-request batch O(1).
+        self._poll_batch_handles = {}
         if bridge:
             self.bus.subscribe(self._bridge)
 
@@ -90,6 +99,32 @@ class Observability(object):
                 fields["cost_usd"])
             if not fields["reused"]:
                 registry.counter("cold_starts_total", **labels).inc()
+        elif name == "cloud.poll_batch":
+            zone = fields["zone"]
+            handles = self._poll_batch_handles.get(zone)
+            if handles is None:
+                handles = self._poll_batch_handles[zone] = (
+                    registry.counter("poll_batches_total", zone=zone),
+                    registry.counter("poll_batch_requests_total",
+                                     zone=zone),
+                    registry.counter("poll_batch_served_total", zone=zone),
+                    registry.counter("poll_batch_failed_total", zone=zone),
+                    registry.counter("poll_batch_cold_starts_total",
+                                     zone=zone),
+                    registry.counter("poll_batch_cost_usd_total",
+                                     zone=zone),
+                    registry.counter("poll_batch_runtime_seconds_total",
+                                     zone=zone),
+                )
+            (batches, requested, served, failed, cold, cost,
+             runtime) = handles
+            batches.inc()
+            requested.inc(fields["requested"])
+            served.inc(fields["served"])
+            failed.inc(fields["failed"])
+            cold.inc(fields["cold_starts"])
+            cost.inc(fields["cost_usd"])
+            runtime.inc(fields["runtime_total_s"])
         elif name == "az.placement":
             zone = fields["zone"]
             registry.counter("placements_total", zone=zone).inc()
@@ -259,6 +294,9 @@ __all__ = [
     "Tracer",
     "format_trace",
     "export",
+    "AsyncJsonlExporter",
+    "AsyncPrometheusExporter",
+    "AsyncCsvExporter",
     "TelemetryCapture",
     "TelemetryMerge",
     "current_capture",

@@ -1,0 +1,228 @@
+"""Off-thread exporters: bounded queues, batched writes, flush-on-close.
+
+The file exporters in :mod:`repro.obs.export` are synchronous snapshot
+functions — fine for end-of-run dumps, wrong for a live sweep where a
+JSONL line per event would put file I/O on the simulation thread.  This
+module moves exporting onto daemon writer threads:
+
+* :class:`AsyncJsonlExporter` — subscribe to an
+  :class:`~repro.obs.hooks.EventBus`; events are handed to a bounded
+  queue (O(1), no serialization on the emitting thread) and a writer
+  thread drains them in batches, serializing and flushing **after every
+  drained batch**.  A crash therefore loses at most the queued-but-not-
+  yet-drained tail — every line already written is complete and parses
+  (the CI smoke kills a producer mid-run and checks exactly that).
+  When the queue is full the event is *dropped and counted*, never
+  blocking the simulation.
+* :class:`AsyncPrometheusExporter` / :class:`AsyncCsvExporter` — render
+  a :class:`~repro.obs.metrics.MetricsRegistry` snapshot to a file at a
+  fixed cadence, via atomic replace so scrapers never read a torn file.
+  The registry's own lock (see :meth:`MetricsRegistry.collect`) makes
+  the off-thread snapshot safe against concurrent series creation.
+
+All exporters are context managers; ``close()`` drains what is queued,
+writes a final snapshot, flushes, and joins the writer thread.
+"""
+
+import csv
+import io
+import json
+import os
+import queue
+import threading
+
+from repro.common.errors import ConfigurationError
+from repro.obs.export import _json_default, metrics_to_rows, \
+    prometheus_text
+
+#: Queue sentinel asking the writer thread to finish and exit.
+_CLOSE = object()
+
+
+class AsyncJsonlExporter(object):
+    """Stream bus events to a JSONL file from a writer thread.
+
+    ``capacity`` bounds the hand-off queue; a full queue drops the event
+    (counted in :attr:`dropped`) instead of stalling the emitter.  Use
+    :meth:`attach` to subscribe to a bus, or call :meth:`on_event` /
+    :meth:`submit` directly.
+    """
+
+    def __init__(self, path, capacity=10000):
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.path = str(path)
+        # Opened on the caller's thread so path errors raise here, not
+        # in the writer.
+        self._handle = open(self.path, "a")
+        self._queue = queue.Queue(maxsize=int(capacity))
+        self._dropped = 0
+        self._written = 0
+        self._closed = False
+        self._unsubscribe = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="jsonl-exporter", daemon=True)
+        self._thread.start()
+
+    # -- producer side -------------------------------------------------------
+    def attach(self, bus, name=None):
+        """Subscribe to ``bus`` (optionally one event name); returns self."""
+        self._unsubscribe = bus.subscribe(self.on_event, name=name)
+        return self
+
+    def on_event(self, event):
+        self.submit(event.to_dict())
+
+    def submit(self, payload):
+        """Queue one JSON-safe dict; False (and counted) when full."""
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(payload)
+            return True
+        except queue.Full:
+            self._dropped += 1
+            return False
+
+    @property
+    def dropped(self):
+        """Events rejected because the queue was full."""
+        return self._dropped
+
+    @property
+    def written(self):
+        """Lines the writer thread has written *and flushed* so far."""
+        return self._written
+
+    # -- writer side ---------------------------------------------------------
+    def _run(self):
+        q = self._queue
+        handle = self._handle
+        while True:
+            item = q.get()
+            closing = item is _CLOSE
+            batch = [] if closing else [item]
+            # Drain whatever queued up behind it, one write per batch.
+            while True:
+                try:
+                    extra = q.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _CLOSE:
+                    closing = True
+                else:
+                    batch.append(extra)
+            if batch:
+                lines = [json.dumps(payload, sort_keys=True,
+                                    default=_json_default)
+                         for payload in batch]
+                handle.write("\n".join(lines) + "\n")
+                # Flush per drained batch: everything reported in
+                # ``written`` is durable against a producer crash.
+                handle.flush()
+                self._written += len(batch)
+            if closing:
+                return
+
+    def close(self, timeout=5.0):
+        """Detach, drain the queue, flush, and join the writer."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._queue.put(_CLOSE)
+        self._thread.join(timeout=timeout)
+        self._handle.flush()
+        self._handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "AsyncJsonlExporter({!r}, written={}, dropped={})".format(
+            self.path, self._written, self._dropped)
+
+
+class _SnapshotExporter(object):
+    """Base: render a registry to a file every ``interval_s`` seconds.
+
+    Writes go to ``path + '.tmp'`` then :func:`os.replace` — readers
+    (Prometheus textfile collectors, CSV consumers) always see a
+    complete snapshot.  ``close()`` writes one final snapshot so the
+    file reflects the end-of-run registry even for short runs.
+    """
+
+    def __init__(self, registry, path, interval_s=1.0):
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        self.registry = registry
+        self.path = str(path)
+        self.interval_s = float(interval_s)
+        self.snapshots = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name=type(self).__name__,
+                                        daemon=True)
+        self._thread.start()
+
+    def _render(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _write_snapshot(self):
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(self._render())
+            handle.flush()
+        os.replace(tmp, self.path)
+        self.snapshots += 1
+
+    def _run(self):
+        while not self._stop.wait(self.interval_s):
+            self._write_snapshot()
+
+    def close(self, timeout=5.0):
+        """Stop the cadence and write the final snapshot."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        self._write_snapshot()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "{}({!r}, snapshots={})".format(type(self).__name__,
+                                               self.path, self.snapshots)
+
+
+class AsyncPrometheusExporter(_SnapshotExporter):
+    """Periodic Prometheus text exposition snapshots of a registry."""
+
+    def _render(self):
+        return prometheus_text(self.registry)
+
+
+class AsyncCsvExporter(_SnapshotExporter):
+    """Periodic CSV snapshots (one row per child metric)."""
+
+    FIELDS = ("metric", "kind", "labels", "value", "count", "mean",
+              "p50", "p95", "p99")
+
+    def _render(self):
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.FIELDS)
+        writer.writeheader()
+        for row in metrics_to_rows(self.registry):
+            writer.writerow(row)
+        return buffer.getvalue()

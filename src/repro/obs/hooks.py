@@ -50,6 +50,11 @@ class NullBus(object):
     def emit(self, name, timestamp, **fields):
         return None
 
+    def emit_many(self, events):
+        """Batch emission no-op: the iterable is never even iterated,
+        so hot paths can hand over a generator at zero cost."""
+        return 0
+
     def subscribe(self, callback, name=None):
         raise ConfigurationError(
             "cannot subscribe to the null bus; attach an EventBus first")
@@ -115,6 +120,32 @@ class EventBus(object):
         for callback in self._named.get(name, ()):
             callback(event)
         return event
+
+    def emit_many(self, events):
+        """Deliver a batch of ``(name, timestamp, fields_dict)`` tuples.
+
+        The batch counterpart of :meth:`emit` for producers that already
+        hold their facts columnarly (the vectorized poll path, exporters
+        replaying a drained queue).  Returns the number of events
+        delivered; a disabled bus returns 0 without touching the
+        iterable, mirroring :meth:`NullBus.emit_many` — emission sites
+        can build ``events`` lazily and pay nothing when observability
+        is off.
+        """
+        if not self.enabled:
+            return 0
+        delivered = 0
+        all_subs = self._all
+        named = self._named
+        for name, timestamp, fields in events:
+            event = Event(name, timestamp, fields)
+            delivered += 1
+            for callback in all_subs:
+                callback(event)
+            for callback in named.get(name, ()):
+                callback(event)
+        self._emitted += delivered
+        return delivered
 
     def pause(self):
         self.enabled = False

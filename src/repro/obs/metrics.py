@@ -13,6 +13,7 @@ no I/O — so the layer sits at the bottom of the stack next to ``common``.
 import bisect
 import math
 import random
+import threading
 
 from repro.common.errors import ConfigurationError
 
@@ -234,6 +235,14 @@ HISTOGRAM = "histogram"
 class MetricsRegistry(object):
     """Families of labeled metrics, created on first touch.
 
+    Family/child creation and structural reads (:meth:`collect`,
+    :meth:`names`, ...) are guarded by a lock so off-thread exporters and
+    the ``/metrics`` endpoint can snapshot the registry while the
+    simulation thread keeps creating series — scrapes never see a
+    mid-mutation dict.  Updates on an already-obtained metric handle
+    (``.inc()``, ``.observe()``) are plain attribute writes and stay
+    lock-free; holding a pre-bound handle is the zero-overhead hot path.
+
     >>> registry = MetricsRegistry()
     >>> registry.counter("requests_total", zone="us-west-1a").inc()
     1.0
@@ -242,6 +251,7 @@ class MetricsRegistry(object):
 
     def __init__(self):
         self._families = {}
+        self._lock = threading.Lock()
 
     # -- access ------------------------------------------------------------
     def counter(self, name, **labels):
@@ -255,57 +265,77 @@ class MetricsRegistry(object):
                            lambda: Histogram(buckets=buckets), labels)
 
     def _child(self, name, kind, factory, labels):
-        family = self._families.get(name)
-        if family is None:
-            family = self._families[name] = {"kind": kind, "children": {}}
-        elif family["kind"] != kind:
-            raise ConfigurationError(
-                "metric {!r} is a {}, not a {}".format(name, family["kind"],
-                                                       kind))
-        key = tuple(sorted(labels.items()))
-        child = family["children"].get(key)
-        if child is None:
-            child = family["children"][key] = factory()
-        return child
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = {"kind": kind,
+                                                 "children": {}}
+            elif family["kind"] != kind:
+                raise ConfigurationError(
+                    "metric {!r} is a {}, not a {}".format(
+                        name, family["kind"], kind))
+            key = tuple(sorted(labels.items()))
+            child = family["children"].get(key)
+            if child is None:
+                child = family["children"][key] = factory()
+            return child
 
     # -- introspection ------------------------------------------------------
     def names(self):
-        return sorted(self._families)
+        with self._lock:
+            return sorted(self._families)
 
     def kind(self, name):
-        try:
-            return self._families[name]["kind"]
-        except KeyError:
-            raise ConfigurationError("unknown metric {!r}".format(name))
+        with self._lock:
+            try:
+                return self._families[name]["kind"]
+            except KeyError:
+                raise ConfigurationError(
+                    "unknown metric {!r}".format(name))
 
     def collect(self):
         """Yield ``(name, kind, labels_dict, metric)`` sorted by name and
-        label set — the exporters' single input."""
-        for name in self.names():
-            family = self._families[name]
-            for key in sorted(family["children"]):
-                yield name, family["kind"], dict(key), \
-                    family["children"][key]
+        label set — the exporters' single input.
+
+        The family/child structure is snapshotted under the registry lock
+        before anything is yielded, so concurrent series creation (a
+        simulation thread racing an exporter or ``/metrics`` scrape)
+        can never raise ``RuntimeError: dictionary changed size`` or
+        surface a half-registered family.
+        """
+        with self._lock:
+            snapshot = [
+                (name, family["kind"], key, family["children"][key])
+                for name, family in sorted(self._families.items())
+                for key in sorted(family["children"])
+            ]
+        for name, kind, key, metric in snapshot:
+            yield name, kind, dict(key), metric
 
     def get(self, name, **labels):
         """The existing child, or None (never creates)."""
-        family = self._families.get(name)
-        if family is None:
-            return None
-        return family["children"].get(tuple(sorted(labels.items())))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family["children"].get(tuple(sorted(labels.items())))
 
     def labels_of(self, name):
         """Every label set recorded under ``name``."""
-        family = self._families.get(name)
-        if family is None:
-            return []
-        return [dict(key) for key in sorted(family["children"])]
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            return [dict(key) for key in sorted(family["children"])]
 
     def clear(self):
-        self._families.clear()
+        with self._lock:
+            self._families.clear()
 
     def __len__(self):
-        return sum(len(f["children"]) for f in self._families.values())
+        with self._lock:
+            return sum(len(f["children"])
+                       for f in self._families.values())
 
     def __repr__(self):
         return "MetricsRegistry(families={}, children={})".format(

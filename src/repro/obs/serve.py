@@ -11,8 +11,8 @@ facade on three routes, scrape-compatible and dependency-free:
 
 The server runs on a daemon thread beside the sweep, so ``/metrics`` is
 scrapeable *mid-run*; the sweep thread writes the registry while scrapes
-read it, and rather than locking the engine's hot path the renderer
-simply retries the rare iteration race.
+read it, and the registry's collect() snapshots its structure under the
+registry lock, so a scrape can never observe a mid-mutation dict.
 
 The module also powers ``python -m repro obs tail``: :func:`scrape` +
 :func:`render_tail` turn one ``/metrics`` snapshot into a human sweep
@@ -113,14 +113,14 @@ class ObsServer(object):
 
     # -- payloads ------------------------------------------------------------
     def metrics_text(self):
-        """The registry as Prometheus text; retries mid-run mutation races."""
-        for _ in range(4):
-            try:
-                return prometheus_text(self.obs.registry)
-            except RuntimeError:
-                # The sweep thread added a metric while we iterated;
-                # snapshot again rather than lock the engine's hot path.
-                time.sleep(0.005)
+        """The registry as Prometheus text.
+
+        Safe against concurrent registry mutation by construction:
+        :meth:`~repro.obs.metrics.MetricsRegistry.collect` snapshots the
+        family/child structure under the registry lock before rendering,
+        so a sweep thread creating series mid-scrape can never tear the
+        iteration (the old retry-on-RuntimeError loop is gone).
+        """
         return prometheus_text(self.obs.registry)
 
     def healthz(self):

@@ -1,0 +1,293 @@
+"""Off-thread exporters and the zero-allocation event fast path.
+
+Covers :mod:`repro.obs.async_export` (bounded-queue JSONL streaming,
+atomic registry snapshots, flush-on-close), ``emit_many`` on both bus
+flavours, and the registry-lock guarantee that makes concurrent scrapes
+safe against series creation.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs import (
+    AsyncCsvExporter,
+    AsyncJsonlExporter,
+    AsyncPrometheusExporter,
+    EventBus,
+    MetricsRegistry,
+    NULL_BUS,
+    Observability,
+    ObsServer,
+    scrape,
+)
+from repro.obs.export import parse_prometheus_text
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestEmitMany(object):
+    def test_null_bus_returns_zero_without_iterating(self):
+        def exploding():
+            raise AssertionError("NULL_BUS must not touch the iterable")
+            yield  # pragma: no cover
+
+        assert NULL_BUS.emit_many(exploding()) == 0
+
+    def test_disabled_bus_skips_the_iterable_too(self):
+        bus = EventBus()
+        bus.pause()
+
+        def exploding():
+            raise AssertionError("paused bus must not touch the iterable")
+            yield  # pragma: no cover
+
+        assert bus.emit_many(exploding()) == 0
+
+    def test_delivers_batch_and_counts(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event))
+        delivered = bus.emit_many([
+            ("batch.a", 1.0, {"n": 1}),
+            ("batch.b", 2.0, {"n": 2}),
+        ])
+        assert delivered == 2
+        assert [event.name for event in seen] == ["batch.a", "batch.b"]
+        assert seen[1].fields == {"n": 2}
+        assert seen[1].timestamp == 2.0
+
+
+class TestAsyncJsonlExporter(object):
+    def test_streams_bus_events_to_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with AsyncJsonlExporter(path).attach(bus) as exporter:
+            for index in range(200):
+                bus.emit("test.event", float(index), index=index)
+            assert _wait_until(lambda: exporter.written == 200)
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines()]
+        assert len(lines) == 200
+        assert [line["index"] for line in lines] == list(range(200))
+        assert all(line["event"] == "test.event" for line in lines)
+
+    def test_close_drains_the_queue(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        exporter = AsyncJsonlExporter(path)
+        for index in range(500):
+            exporter.submit({"index": index})
+        exporter.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 500
+        assert exporter.written == 500
+        # Closed exporter refuses further submissions quietly.
+        assert exporter.submit({"late": True}) is False
+
+    def test_full_queue_drops_and_counts(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        exporter = AsyncJsonlExporter(path, capacity=1)
+        # Stall the writer by flooding faster than it can drain is racy;
+        # instead pause it deterministically: monopolize the handle lock
+        # is not possible, so just submit with the thread asleep at
+        # startup — capacity=1 plus a burst guarantees at least one drop.
+        dropped_before = exporter.dropped
+        results = [exporter.submit({"index": index})
+                   for index in range(2000)]
+        exporter.close()
+        assert exporter.dropped >= dropped_before
+        assert exporter.dropped == results.count(False)
+        assert exporter.written == results.count(True)
+        assert len(path.read_text().splitlines()) == exporter.written
+
+    def test_every_written_line_parses(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with AsyncJsonlExporter(path) as exporter:
+            for index in range(300):
+                exporter.submit({"index": index, "nest": {"a": [1, 2]}})
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_bad_capacity_and_path_raise_on_caller(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            AsyncJsonlExporter(tmp_path / "x.jsonl", capacity=0)
+        with pytest.raises(OSError):
+            AsyncJsonlExporter(tmp_path / "no" / "such" / "dir" / "x.jsonl")
+
+
+_KILL_PRODUCER = """\
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.obs import AsyncJsonlExporter
+
+exporter = AsyncJsonlExporter({path!r})
+index = 0
+while True:
+    exporter.submit({{"index": index}})
+    index += 1
+    if index % 50 == 0:
+        time.sleep(0.001)
+"""
+
+
+class TestCrashDurability(object):
+    def test_sigterm_mid_run_leaves_only_complete_lines(self, tmp_path):
+        """The CI smoke in script form: kill a producer, file still parses.
+
+        The writer flushes after every drained batch, so whatever made it
+        to disk before SIGTERM is complete JSONL — a torn line would mean
+        the flush contract broke.
+        """
+        path = str(tmp_path / "crash.jsonl")
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        process = subprocess.Popen(
+            [sys.executable, "-c",
+             _KILL_PRODUCER.format(src=src, path=path)])
+        try:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if os.path.exists(path) and os.path.getsize(path) > 4096:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("producer never wrote enough output")
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=10.0)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) > 0
+        indexes = [json.loads(line)["index"] for line in lines]
+        # Lines are written in submission order with no gaps.
+        assert indexes == list(range(len(indexes)))
+
+
+class TestSnapshotExporters(object):
+    def test_prometheus_snapshots_and_final_close(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", zone="a").inc(3)
+        path = tmp_path / "metrics.prom"
+        with AsyncPrometheusExporter(registry, path,
+                                     interval_s=0.02) as exporter:
+            assert _wait_until(lambda: exporter.snapshots >= 2)
+            registry.counter("jobs_total", zone="a").inc(2)
+        samples = parse_prometheus_text(path.read_text())
+        assert samples[("jobs_total", ("zone", "a"))] == 5.0
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_csv_snapshot_has_all_rows(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.gauge("b", zone="z").set(2.5)
+        registry.histogram("c_s").observe(0.1)
+        path = tmp_path / "metrics.csv"
+        exporter = AsyncCsvExporter(registry, path, interval_s=60.0)
+        exporter.close()  # short run: only the final snapshot exists
+        lines = path.read_text().splitlines()
+        assert lines[0] == ",".join(AsyncCsvExporter.FIELDS)
+        assert len(lines) == 4
+        assert exporter.snapshots == 1
+
+    def test_bad_interval_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            AsyncPrometheusExporter(MetricsRegistry(),
+                                    tmp_path / "m.prom", interval_s=0)
+
+
+class TestConcurrentRegistryMutation(object):
+    def test_collect_never_tears_while_series_are_created(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def mutate():
+            index = 0
+            while not stop.is_set():
+                registry.counter("churn_total",
+                                 shard=str(index % 4096)).inc()
+                index += 1
+
+        def collect():
+            try:
+                while not stop.is_set():
+                    for _name, _kind, _labels, _metric in \
+                            registry.collect():
+                        pass
+            except RuntimeError as error:  # dict-changed-size tear
+                errors.append(error)
+
+        threads = [threading.Thread(target=mutate),
+                   threading.Thread(target=collect),
+                   threading.Thread(target=collect)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert errors == []
+
+    def test_live_scrape_during_mutation(self):
+        obs = Observability()
+        stop = threading.Event()
+
+        def mutate():
+            index = 0
+            while not stop.is_set():
+                # Bounded label space: constant churn on series creation
+                # paths without growing the scrape body unboundedly.
+                obs.registry.counter("scrape_churn_total",
+                                     shard=str(index % 512)).inc()
+                index += 1
+
+        thread = threading.Thread(target=mutate)
+        thread.start()
+        try:
+            with ObsServer(obs) as server:
+                for _ in range(10):
+                    body = scrape(server.url("/metrics"), timeout=30.0)
+                    parse_prometheus_text(body)
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+    def test_snapshot_exporter_during_mutation(self, tmp_path):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def mutate():
+            index = 0
+            while not stop.is_set():
+                registry.counter("file_churn_total",
+                                 shard=str(index % 1024)).inc()
+                index += 1
+
+        thread = threading.Thread(target=mutate)
+        thread.start()
+        path = tmp_path / "m.prom"
+        try:
+            with AsyncPrometheusExporter(registry, path,
+                                         interval_s=0.01) as exporter:
+                assert _wait_until(lambda: exporter.snapshots >= 5)
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        parse_prometheus_text(path.read_text())

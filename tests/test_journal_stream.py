@@ -1,0 +1,172 @@
+"""Lazy chunk-journal streaming (``ChunkJournal.stream``).
+
+``load()`` materializes every chunk; the engine's resume path streams
+instead, holding one chunk's unpickled records at a time.  These tests
+pin the laziness (live-record count stays bounded while iterating a
+large spool), the torn-tail stop, header side effects, and the
+duplicate-chunk first-wins dedup on engine resume.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.engine import ChunkJournal
+from repro.engine.journal import CHUNKS_FILE
+
+
+class Tracked(object):
+    """A picklable payload that counts live instances across unpickles."""
+
+    live = 0
+
+    def __init__(self, value):
+        self.value = value
+        Tracked.live += 1
+
+    def __reduce__(self):
+        return (Tracked, (self.value,))
+
+    def __del__(self):
+        Tracked.live -= 1
+
+
+def _write_spool(directory, chunks=40, records_per_chunk=25):
+    journal = ChunkJournal(str(directory))
+    cells = chunks * records_per_chunk
+    journal.begin("guard-spool", cells=cells,
+                  chunk_size=records_per_chunk, chunks=chunks)
+    index = 0
+    for chunk_id in range(chunks):
+        records = []
+        for _ in range(records_per_chunk):
+            records.append((index, True, Tracked(index), 1.0, 7))
+            index += 1
+        journal.append(chunk_id, [r[0] for r in records], records)
+    journal.close()
+    return journal
+
+
+class TestStream(object):
+    def test_yields_every_chunk_in_order(self, tmp_path):
+        _write_spool(tmp_path, chunks=10, records_per_chunk=5)
+        journal = ChunkJournal(str(tmp_path))
+        seen = []
+        for chunk_id, indexes, records in journal.stream(
+                guard="guard-spool", cells=50):
+            seen.append(chunk_id)
+            assert [r[0] for r in records] == indexes
+        assert seen == list(range(10))
+
+    def test_streaming_keeps_live_records_bounded(self, tmp_path):
+        """The point of stream(): one chunk's records resident, not all.
+
+        40 chunks × 25 Tracked payloads = 1000 objects on disk; while
+        iterating (nothing retained by the caller), the live count never
+        exceeds two chunks' worth — the current yield plus at most one
+        being decoded.
+        """
+        import gc
+
+        _write_spool(tmp_path, chunks=40, records_per_chunk=25)
+        gc.collect()
+        assert Tracked.live == 0
+        peak = 0
+        journal = ChunkJournal(str(tmp_path))
+        for _chunk_id, _indexes, _records in journal.stream():
+            peak = max(peak, Tracked.live)
+        del _records
+        gc.collect()
+        assert peak <= 2 * 25
+        assert Tracked.live == 0
+        # The materializing load() really does hold everything at once.
+        loaded = ChunkJournal(str(tmp_path)).load()
+        assert Tracked.live == 40 * 25
+        del loaded
+        gc.collect()
+        assert Tracked.live == 0
+
+    def test_sets_header_as_side_effect(self, tmp_path):
+        _write_spool(tmp_path, chunks=3, records_per_chunk=2)
+        journal = ChunkJournal(str(tmp_path))
+        assert journal.header is None
+        iterator = journal.stream()
+        next(iterator)
+        assert journal.header["chunk_size"] == 2
+        assert journal.header["guard"] == "guard-spool"
+        iterator.close()
+
+    def test_guard_and_cells_validated_before_first_yield(self, tmp_path):
+        _write_spool(tmp_path, chunks=3, records_per_chunk=2)
+        with pytest.raises(ConfigurationError, match="does not match"):
+            next(ChunkJournal(str(tmp_path)).stream(guard="other"))
+        with pytest.raises(ConfigurationError, match="cells"):
+            next(ChunkJournal(str(tmp_path)).stream(cells=1))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            next(ChunkJournal(str(tmp_path)).stream())
+
+    def test_torn_tail_ends_stream(self, tmp_path):
+        _write_spool(tmp_path, chunks=5, records_per_chunk=2)
+        path = os.path.join(str(tmp_path), CHUNKS_FILE)
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        # Simulate a crash mid-append: final chunk line is truncated.
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n" + lines[-1][:50])
+        chunk_ids = [chunk_id for chunk_id, _, _ in
+                     ChunkJournal(str(tmp_path)).stream()]
+        assert chunk_ids == [0, 1, 2, 3]
+
+    def test_load_is_stream_materialized(self, tmp_path):
+        _write_spool(tmp_path, chunks=4, records_per_chunk=3)
+        streamed = {chunk_id: (indexes, records) for chunk_id, indexes,
+                    records in ChunkJournal(str(tmp_path)).stream()}
+        loaded = ChunkJournal(str(tmp_path)).load()
+        assert {k: (v[0], [(r[0], r[1]) for r in v[1]])
+                for k, v in loaded.replayed.items()} == \
+            {k: (v[0], [(r[0], r[1]) for r in v[1]])
+             for k, v in streamed.items()}
+
+
+class TestDuplicateChunks(object):
+    def test_duplicate_chunk_id_first_wins_on_stream(self, tmp_path):
+        """A worker re-sending a chunk after coordinator restart leaves
+        two journal lines with the same id; records are deterministic so
+        either copy is correct — the engine dedups first-wins while
+        streaming, and load() keeps its historical last-wins dict."""
+        journal = ChunkJournal(str(tmp_path))
+        journal.begin("guard-dup", cells=2, chunk_size=2, chunks=1)
+        journal.append(0, [0, 1], [(0, True, "first", 1.0, 1),
+                                   (1, True, "first", 1.0, 1)])
+        journal.append(0, [0, 1], [(0, True, "second", 1.0, 1),
+                                   (1, True, "second", 1.0, 1)])
+        journal.close()
+        entries = list(ChunkJournal(str(tmp_path)).stream())
+        assert [e[0] for e in entries] == [0, 0]
+        # The engine-style dedup keeps the first copy...
+        done = {}
+        for chunk_id, indexes, records in entries:
+            done.setdefault(chunk_id, records)
+        assert done[0][0][2] == "first"
+        # ...while load()'s dict semantics keep the last.
+        loaded = ChunkJournal(str(tmp_path)).load()
+        assert loaded.replayed[0][1][0][2] == "second"
+
+    def test_out_of_range_chunk_id_ends_stream(self, tmp_path):
+        journal = ChunkJournal(str(tmp_path))
+        journal.begin("guard-x", cells=2, chunk_size=2, chunks=1)
+        journal.append(0, [0, 1], [(0, True, "a", 1.0, 1),
+                                   (1, True, "b", 1.0, 1)])
+        journal.close()
+        path = os.path.join(str(tmp_path), CHUNKS_FILE)
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        forged = json.loads(lines[1])
+        forged["chunk"] = 99  # beyond header["chunks"]
+        with open(path, "a") as handle:
+            handle.write(json.dumps(forged, sort_keys=True) + "\n")
+        assert [e[0] for e in ChunkJournal(str(tmp_path)).stream()] == [0]
