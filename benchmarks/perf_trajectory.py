@@ -54,8 +54,24 @@ BATCH_REPEATS = 3
 #: The vectorized path must beat the looped executable spec by at least
 #: this factor at n=100k, or recording aborts (the fast path rotted).
 MIN_BATCH_SPEEDUP = 5.0
+#: Offered load for the serving-gateway benchmark; the coalescing
+#: dispatcher must sustain at least MIN_SERVE_SPEEDUP x the per-request
+#: scalar path at this rate, or recording aborts.
+SERVE_RPS = 10000.0
+SERVE_SIM_S = 5.0
+SERVE_SCALAR_SIM_S = 0.5
+SERVE_REPEATS = 3
+MIN_SERVE_SPEEDUP = 5.0
 METRICS = ("poll_1000_us", "invoke_one_us", "sweep_grid24_ms",
-           "poll_100k_ms", "batch_invoke_10k_us", "cloud_build_ms")
+           "poll_100k_ms", "batch_invoke_10k_us", "cloud_build_ms",
+           "serve_sustained_rps", "serve_p99_ms")
+#: Throughput metrics: bigger is better, and the normalized cost is
+#: value * calibration (a slow machine lowers the rate, so multiplying
+#: by its per-op cost cancels the machine out).
+HIGHER_IS_BETTER = frozenset({"serve_sustained_rps"})
+#: Sim-domain metrics: deterministic given the seed, independent of the
+#: host machine — gated raw, any drift is a behavior change.
+SIM_METRICS = frozenset({"serve_p99_ms"})
 
 
 def best_of(fn, repeats=REPEATS):
@@ -171,6 +187,86 @@ def measure_batch():
         aws.concurrency_quota = saved_quota
 
 
+def _serve_gateway(batch_floor, seed=311):
+    """A capacity-lifted serving rig: the gateway benchmark measures
+    dispatch throughput, so the zones must not saturate at 10k rps."""
+    from repro import Observability, SkyController
+    from repro.sampling import CharacterizationBuilder
+    from repro.serve import GatewayConfig, PoissonArrivals, ServeGateway
+
+    cloud = build_sky(seed=seed, aws_only=True)
+    account = cloud.create_account("bench-serve", "aws")
+    zones = ["us-west-1a", "us-west-1b"]
+    for zone_id in zones:
+        for pool in cloud.zone(zone_id).pools.values():
+            # ~20k slots per pool: 10k rps x 2.5s runtimes need ~25k
+            # concurrent slots across the zones.
+            if pool.slots_per_host > 0:
+                pool.add_hosts(-(-20000 // pool.slots_per_host))
+    controller = SkyController(cloud, account, zones,
+                               obs=Observability(), sampling_count=2)
+    for zone_id in zones:
+        builder = CharacterizationBuilder(zone_id)
+        builder.add_poll({key: pool.capacity
+                          for key, pool in cloud.zone(zone_id).pools.items()
+                          if pool.capacity > 0})
+        profile = builder.snapshot()
+        controller.store.put(profile)
+        controller.tracker.observe(profile)
+    workload = workload_by_name("sha1_hash")
+    config = GatewayConfig(batch_floor=batch_floor)
+    arrivals = PoissonArrivals(SERVE_RPS, seed=seed)
+    return ServeGateway(controller, workload, arrivals, config=config)
+
+
+def measure_serve():
+    """serve_sustained_rps / serve_p99_ms, plus the coalescing gate.
+
+    Two runs at the same 10k rps offered load: the default coalescing
+    dispatcher, and the scalar per-request path (batch floor set above
+    any batch size, so every flush falls back).  Sustained rate is
+    requests resolved per *wall* second; the scalar leg runs a shorter
+    sim window because it is the slow path being bounded, not measured
+    at length.  Aborts if coalescing fell below ``MIN_SERVE_SPEEDUP`` x
+    scalar — the tentpole's documented guarantee.
+    """
+    aws = provider_by_name("aws")
+    saved_quota = aws.concurrency_quota
+    aws.concurrency_quota = BATCH_QUOTA
+    try:
+        def time_run(batch_floor, sim_s, repeats):
+            # Best-of over fresh gateways (a gateway can't re-run), same
+            # min-over-repeats discipline as every cost metric above —
+            # background load can only lower a rate, never raise it.
+            best_rps, best_report = 0.0, None
+            for _ in range(repeats):
+                gateway = _serve_gateway(batch_floor)
+                start = time.perf_counter()
+                report = gateway.run_sync(sim_s)
+                elapsed = time.perf_counter() - start
+                rps = (report.served + report.failed) / elapsed
+                if rps > best_rps:
+                    best_rps, best_report = rps, report
+            return best_rps, best_report
+
+        coalesced_rps, report = time_run(16, SERVE_SIM_S,
+                                         SERVE_REPEATS)
+        scalar_rps, _ = time_run(10 ** 9, SERVE_SCALAR_SIM_S, 2)
+        speedup = coalesced_rps / scalar_rps
+        assert speedup >= MIN_SERVE_SPEEDUP, \
+            "coalesced dispatch only {:.1f}x the per-request path at " \
+            "{:.0f} rps offered (need >= {}x)".format(
+                speedup, SERVE_RPS, MIN_SERVE_SPEEDUP)
+        assert report.served > 0, "serve bench served nothing"
+        return {
+            "serve_sustained_rps": coalesced_rps,
+            "serve_scalar_rps": scalar_rps,
+            "serve_p99_ms": report.quantile_ms(0.99),
+        }
+    finally:
+        aws.concurrency_quota = saved_quota
+
+
 def measure_build():
     """Full-catalog CloudSpec.build, exercising the shared plan memo."""
     def build():
@@ -210,6 +306,7 @@ def measure():
         "calibration_us": calibration_us(),
     }
     numbers.update(measure_batch())
+    numbers.update(measure_serve())
     numbers.update(measure_build())
     return numbers
 
@@ -231,7 +328,7 @@ def load_trajectory():
         return json.load(fh)
 
 
-def append_entry(label, numbers, baseline=False):
+def append_entry(label, numbers, baseline=False, note=None):
     data = load_trajectory()
     entry = {
         "label": label,
@@ -240,6 +337,8 @@ def append_entry(label, numbers, baseline=False):
         "python": "{}.{}.{}".format(*sys.version_info[:3]),
         "baseline": bool(baseline),
     }
+    if note:
+        entry["note"] = note
     entry.update({k: round(v, 3) for k, v in numbers.items()})
     data["entries"].append(entry)
     with open(TRAJECTORY, "w") as fh:
@@ -257,12 +356,14 @@ def latest_baseline(data):
 
 def cmd_record(args):
     numbers = measure()
-    entry = append_entry(args.label, numbers, baseline=args.baseline)
+    entry = append_entry(args.label, numbers, baseline=args.baseline,
+                         note=args.note)
     print("recorded {label} @ {commit}: poll_1000={poll:.2f}us "
           "invoke_one={invoke:.2f}us sweep_grid24={sweep:.1f}ms "
           "poll_100k={batch:.2f}ms (loop {loop:.1f}ms, {speed:.1f}x) "
           "batch_10k={b10k:.1f}us build={build:.2f}ms "
-          "(calibration {cal:.4f}us)".format(
+          "serve={srv:.0f}rps (scalar {scalar:.0f}rps, {srvx:.1f}x) "
+          "serve_p99={p99:.1f}ms (calibration {cal:.4f}us)".format(
               label=entry["label"], commit=entry["commit"],
               poll=numbers["poll_1000_us"],
               invoke=numbers["invoke_one_us"],
@@ -273,8 +374,31 @@ def cmd_record(args):
               / numbers["poll_100k_ms"],
               b10k=numbers["batch_invoke_10k_us"],
               build=numbers["cloud_build_ms"],
+              srv=numbers["serve_sustained_rps"],
+              scalar=numbers["serve_scalar_rps"],
+              srvx=numbers["serve_sustained_rps"]
+              / numbers["serve_scalar_rps"],
+              p99=numbers["serve_p99_ms"],
               cal=numbers["calibration_us"]))
     return 0
+
+
+def gate_ratio(metric, numbers, baseline):
+    """Regression ratio for one metric (>1 means current is worse)."""
+    if metric in SIM_METRICS:
+        # Deterministic sim-domain number: no machine to cancel out,
+        # gate the raw values directly.
+        return numbers[metric] / baseline[metric]
+    if metric in HIGHER_IS_BETTER:
+        # Rate metric: per-op cost is 1/rate, so normalized cost is
+        # calibration / rate — inverting the ratio keeps the
+        # "ratio > 1 + slack means regression" convention.
+        base_norm = baseline[metric] * baseline["calibration_us"]
+        curr_norm = numbers[metric] * numbers["calibration_us"]
+        return base_norm / curr_norm
+    base_norm = baseline[metric] / baseline["calibration_us"]
+    curr_norm = numbers[metric] / numbers["calibration_us"]
+    return curr_norm / base_norm
 
 
 def cmd_check(args):
@@ -287,7 +411,8 @@ def cmd_check(args):
         print("no baseline entry in {}; recording only".format(
             os.path.basename(TRAJECTORY)))
         return 0
-    failed = False
+    limit = 1.0 + args.max_regression
+    suspects = []
     for metric in METRICS:
         if metric not in baseline:
             # The metric postdates the baseline entry (e.g. sweep_grid24_ms
@@ -295,21 +420,41 @@ def cmd_check(args):
             print("{}: {:.2f} (no baseline value; skipped)".format(
                 metric, numbers[metric]))
             continue
-        base_norm = baseline[metric] / baseline["calibration_us"]
-        curr_norm = numbers[metric] / numbers["calibration_us"]
-        ratio = curr_norm / base_norm
+        ratio = gate_ratio(metric, numbers, baseline)
         verdict = "ok"
-        if ratio > 1.0 + args.max_regression:
-            verdict = "REGRESSION"
-            failed = True
+        if ratio > limit:
+            verdict = "SUSPECT"
+            suspects.append(metric)
         print("{metric}: {curr:.2f} vs baseline {base:.2f} "
               "(normalized ratio {ratio:.3f}) {verdict}".format(
                   metric=metric, curr=numbers[metric],
                   base=baseline[metric], ratio=ratio, verdict=verdict))
+    # A single timing draw on a busy or thermally-throttling machine
+    # produces false regressions (that is exactly how a prior baseline
+    # misread bench noise as a real slowdown).  A metric only counts as
+    # regressed if it stays over the limit on independent re-measurement.
+    for attempt in range(args.retries):
+        if not suspects:
+            break
+        remeasured = measure()
+        still = []
+        for metric in suspects:
+            ratio = gate_ratio(metric, remeasured, baseline)
+            verdict = "ok" if ratio <= limit else "REGRESSION" \
+                if attempt + 1 == args.retries else "SUSPECT"
+            print("retry {n} {metric}: {curr:.2f} "
+                  "(normalized ratio {ratio:.3f}) {verdict}".format(
+                      n=attempt + 1, metric=metric,
+                      curr=remeasured[metric], ratio=ratio,
+                      verdict=verdict))
+            if ratio > limit:
+                still.append(metric)
+        suspects = still
+    failed = suspects
     if failed:
         print("perf gate failed: >{:.0%} regression vs baseline {} "
-              "@ {}".format(args.max_regression, baseline["label"],
-                            baseline["commit"]))
+              "@ {} ({})".format(args.max_regression, baseline["label"],
+                                 baseline["commit"], ", ".join(failed)))
         return 1
     return 0
 
@@ -322,11 +467,17 @@ def main(argv=None):
     record.add_argument("--label", default="dev")
     record.add_argument("--baseline", action="store_true",
                         help="mark this entry as the gate's baseline")
+    record.add_argument("--note", default=None,
+                        help="free-form annotation stored on the entry "
+                        "(e.g. why a baseline was re-recorded)")
     record.set_defaults(func=cmd_record)
 
     check = sub.add_parser("check", help="measure and gate vs baseline")
     check.add_argument("--label", default="ci-check")
     check.add_argument("--max-regression", type=float, default=0.20)
+    check.add_argument("--retries", type=int, default=2,
+                       help="re-measure suspect metrics this many times; "
+                       "a regression must reproduce on every attempt")
     check.add_argument("--no-record", action="store_true")
     check.set_defaults(func=cmd_check)
 

@@ -20,6 +20,11 @@ Subcommands mirror the library's main flows::
                                    # /metrics + flight recorder
     python -m repro obs serve --port 9100 --rounds 3
     python -m repro obs tail --connect 127.0.0.1:9100
+    python -m repro serve --workload sha1_hash --profile diurnal \
+        --rps 500 --duration 120 --serve 9100 --record runs/serve
+                                   # always-on gateway: coalesced
+                                   # dispatch + admission + live
+                                   # re-characterization
 
 Everything runs against the simulated sky; ``--seed`` makes runs
 reproducible.  Grid-shaped experiments (``sweep``, multi-zone
@@ -183,6 +188,10 @@ def build_parser():
                             "(default 30)")
     sweep.add_argument("--progress", action="store_true",
                        help="print per-cell progress to stderr")
+    sweep.add_argument("--lazy", action="store_true",
+                       help="keep worker results pickled until each cell "
+                            "is reported (bounded coordinator memory on "
+                            "observation-heavy grids)")
     sweep.add_argument("--telemetry", action="store_true",
                        help="ship worker-side events/metrics/spans back "
                             "to the coordinator (merged trace + "
@@ -273,6 +282,68 @@ def build_parser():
                      help="write the raw event log as JSONL")
     obs.add_argument("--csv", dest="csv_path",
                      help="write the metrics snapshot as CSV")
+
+    serve = commands.add_parser(
+        "serve", help="run the always-on serving gateway: open-loop "
+                      "arrivals, coalesced dispatch, admission control, "
+                      "live re-characterization")
+    serve.add_argument("--workload", default="sha1_hash")
+    serve.add_argument("--zones", default="us-west-1a,us-west-1b")
+    serve.add_argument("--profile", default="poisson",
+                       choices=("poisson", "diurnal"),
+                       help="arrival process shape (default poisson)")
+    serve.add_argument("--rps", type=float, default=500.0,
+                       help="offered rate (poisson) or diurnal trough "
+                            "(default 500)")
+    serve.add_argument("--peak-rps", type=float, default=None,
+                       help="diurnal: peak rate (default 4x --rps)")
+    serve.add_argument("--period", type=float, default=86400.0,
+                       help="diurnal: cycle length in sim seconds "
+                            "(default one day)")
+    serve.add_argument("--duration", type=float, default=60.0,
+                       help="sim seconds to serve (default 60)")
+    serve.add_argument("--batch-size", type=int, default=256,
+                       help="coalescing flush size (default 256)")
+    serve.add_argument("--flush-ms", type=float, default=2.0,
+                       help="coalescing flush deadline in sim ms "
+                            "(default 2)")
+    serve.add_argument("--batch-floor", type=int, default=16,
+                       help="below this many buffered requests a flush "
+                            "takes the scalar path (default 16)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="token-bucket admitted RPS cap (default: "
+                            "unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst (default: one second of "
+                            "--rate-limit)")
+    serve.add_argument("--max-queue", type=int, default=100000,
+                       help="queue depth before 503-shedding "
+                            "(default 100000)")
+    serve.add_argument("--slo-ms", type=float, default=None,
+                       help="latency SLO in ms (default: 3x the "
+                            "workload's baseline runtime)")
+    serve.add_argument("--report-every", type=float, default=1.0,
+                       help="sim seconds between serve.report emissions "
+                            "(default 1)")
+    serve.add_argument("--pace", type=float, default=0.0,
+                       help="wall seconds per sim second (0 = flat out; "
+                            "1.0 = real time); sim results are identical "
+                            "at any pace")
+    serve.add_argument("--characterize", action="store_true",
+                       help="run real sampling campaigns before serving "
+                            "instead of bootstrapping profiles from "
+                            "catalog capacity")
+    serve.add_argument("--polls", type=int, default=2,
+                       help="profiling polls per zone refresh (default 2)")
+    serve.add_argument("--serve", type=int, default=None, metavar="PORT",
+                       dest="serve_port",
+                       help="expose live /metrics, /healthz, /runs on "
+                            "this port while serving (0 = any free port)")
+    serve.add_argument("--record", metavar="DIR",
+                       help="write a run manifest + events/metrics/trace "
+                            "artifacts (flight recorder) to DIR")
+    serve.add_argument("--json", dest="json_path",
+                       help="write the final gateway report as JSON")
 
     chaos = commands.add_parser(
         "chaos", help="run a routed workload under a scripted fault "
@@ -686,6 +757,119 @@ def _obs_demo(args, out):
     return 0
 
 
+def cmd_serve(args, out):
+    import signal
+
+    from repro.sampling.characterization import CharacterizationBuilder
+    from repro.serve import GatewayConfig, ServeGateway, build_arrivals
+
+    zones = [z.strip() for z in args.zones.split(",") if z.strip()]
+    for zone_id in zones:
+        zone_spec(zone_id)  # fail fast on unknown zones
+    workload = workload_by_name(args.workload)
+    cloud = build_sky(seed=args.seed, aws_only=True)
+    observability = Observability()
+    account = cloud.create_account("serve", "aws")
+    controller = SkyController(
+        cloud, account, zones, obs=observability,
+        polls_per_refresh=max(args.polls, 1),
+        sampling_count=max(args.polls, 2))
+    if args.characterize:
+        controller.refresh_due_zones(force=True)
+    else:
+        # Bootstrap characterizations from catalog capacity so serving
+        # starts immediately; the live re-characterization loop replaces
+        # these with sampled profiles as staleness/error signals fire.
+        for zone_id in zones:
+            builder = CharacterizationBuilder(zone_id)
+            builder.add_poll(
+                {key: pool.capacity
+                 for key, pool in cloud.zone(zone_id).pools.items()
+                 if pool.capacity > 0})
+            controller.store.put(builder.snapshot())
+    arrivals = build_arrivals(args.profile, args.rps, seed=args.seed,
+                              peak_rps=args.peak_rps,
+                              period_s=args.period)
+    config = GatewayConfig(
+        batch_size=args.batch_size,
+        flush_deadline_s=args.flush_ms / 1000.0,
+        batch_floor=args.batch_floor,
+        rate_limit_rps=args.rate_limit,
+        burst=args.burst,
+        max_queue_depth=args.max_queue,
+        slo_s=args.slo_ms / 1000.0 if args.slo_ms else None,
+        report_every_s=args.report_every,
+        wall_pace=args.pace)
+    gateway = ServeGateway(controller, workload, arrivals, config,
+                           obs=observability)
+
+    # SIGTERM/SIGINT = graceful drain: buffered batches flush, the report
+    # and manifest finalize, exit 0 — the sweep-worker lifecycle contract
+    # applied to the serving plane.
+    def _drain_handler(signum, frame):
+        gateway.request_drain()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _drain_handler)
+        except (ValueError, OSError):
+            pass  # not the main thread; drain stays manual
+
+    record = None
+    if args.record:
+        from repro.obs.manifest import RunManifest
+        record = RunManifest.begin(
+            args.record, "serve", seed=args.seed,
+            config={"workload": args.workload, "zones": args.zones,
+                    "profile": args.profile, "rps": args.rps,
+                    "duration": args.duration,
+                    "batch_size": args.batch_size})
+    server = None
+    if args.serve_port is not None:
+        from repro.obs.serve import ObsServer
+        server = ObsServer(observability, port=args.serve_port).start()
+        out.write("serve: metrics on {} (/metrics /healthz /runs)\n"
+                  .format(server.url("/")))
+        out.flush()
+    out.write("serve: {} on {} ({} arrivals at {:g} rps, {} sim-s)\n"
+              .format(workload.name, ",".join(zones), args.profile,
+                      args.rps, args.duration))
+    out.flush()
+    try:
+        report = gateway.run_sync(args.duration)
+    except BaseException:
+        if record is not None:
+            record.finalize(obs=observability, status="failed")
+        raise
+    finally:
+        if server is not None:
+            server.close()
+
+    summary = report.to_dict()
+    out.write("served {} of {} offered ({} shed, {} failed) over "
+              "{:.1f} sim-s\n".format(
+                  report.served, report.offered, report.shed,
+                  report.failed, report.sim_seconds))
+    out.write("goodput {:.1f} rps, shed rate {:.2%}, SLO attainment "
+              "{:.2%} (SLO {:.0f} ms)\n".format(
+                  report.goodput_rps, report.shed_rate,
+                  report.slo_attainment, report.slo_s * 1000.0))
+    out.write("latency p50 {:.1f} ms  p95 {:.1f} ms  p99 {:.1f} ms\n"
+              .format(summary["p50_ms"], summary["p95_ms"],
+                      summary["p99_ms"]))
+    out.write("batches: {} coalesced, {} scalar; {} re-characterizations; "
+              "drained {}\n".format(
+                  report.batches_coalesced, report.batches_scalar,
+                  report.recharacterizations, report.drained))
+    out.write("serving cost: ${:.6f}\n".format(report.cost_usd))
+    if args.json_path:
+        reporting.write_json(args.json_path, summary)
+        out.write("wrote {}\n".format(args.json_path))
+    if record is not None:
+        record.finalize(obs=observability, summary=summary)
+        out.write("recorded {}\n".format(record.directory))
+    return 0
+
+
 def cmd_chaos(args, out):
     import json as json_module
 
@@ -798,7 +982,8 @@ def _sweep_engine(args):
                        journal=getattr(args, "record", None),
                        resume=getattr(args, "resume", None),
                        worker_log_dir=getattr(args, "worker_log_dir",
-                                              None))
+                                              None),
+                       lazy=getattr(args, "lazy", False))
 
 
 def _sweep_token(args):
@@ -884,6 +1069,19 @@ def cmd_sweep(args, out):
     return 0
 
 
+def _lazy_decode(args, results):
+    """With ``--lazy``, decode sweep results one cell at a time.
+
+    The engine returned :class:`~repro.engine.lazy.LazyPayload`
+    envelopes; reporting consumes them through a generator so only one
+    materialized result is alive at any moment.
+    """
+    if not getattr(args, "lazy", False):
+        return results
+    from repro.engine import load_payload
+    return (load_payload(result) for result in results)
+
+
 def _run_sweep(args, out, engine):
     """Dispatch one sweep kind; returns ``(grid, json_cells)``."""
     from repro.engine import (
@@ -913,6 +1111,7 @@ def _run_sweep(args, out, engine):
                 key["zone"], endpoints=args.endpoints,
                 n_requests=args.requests, max_polls=max_polls))
         results = engine.run(tasks, grid_hash=grid.content_hash())
+        results = _lazy_decode(args, results)
         out.write("{} sweep: {} cells ({} zones x {} seeds)\n".format(
             args.kind, len(grid), len(zones), len(seeds)))
         json_cells = []
@@ -981,6 +1180,7 @@ def _run_sweep(args, out, engine):
                 polls_per_period=max(args.polls, 1),
                 endpoints=args.endpoints, n_requests=args.requests))
         results = engine.run(tasks, grid_hash=grid.content_hash())
+        results = _lazy_decode(args, results)
         out.write("temporal sweep ({}): {} cells ({} zones x {} seeds), "
                   "{} periods\n".format(args.temporal_mode, len(grid),
                                         len(zones), len(seeds),
@@ -1030,6 +1230,7 @@ def _run_sweep(args, out, engine):
             burst_size=args.burst)
             for cell in grid.cells()]
         results = engine.run(tasks, grid_hash=grid.content_hash())
+        results = _lazy_decode(args, results)
         out.write("study sweep: {} cells ({} workloads x {} seeds), "
                   "{} days, burst {}\n".format(
                       len(grid), len(workloads), len(seeds), args.days,
@@ -1071,6 +1272,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "sweep-worker": cmd_sweep_worker,
     "obs": cmd_obs,
+    "serve": cmd_serve,
     "chaos": cmd_chaos,
 }
 

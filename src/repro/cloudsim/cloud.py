@@ -154,12 +154,13 @@ class BatchPollResult(object):
                  "failed", "cold_starts", "request_cpu_counts",
                  "cold_cpu_counts", "billed_ticks", "runtime_total_s",
                  "latency_total_s", "bill", "duration", "timestamp",
-                 "placement", "records")
+                 "placement", "records", "latencies")
 
     def __init__(self, deployment_id, zone_id, requested, served, failed,
                  cold_starts, request_cpu_counts, cold_cpu_counts,
                  billed_ticks, runtime_total_s, latency_total_s, bill,
-                 duration, timestamp, placement, records=None):
+                 duration, timestamp, placement, records=None,
+                 latencies=None):
         self.deployment_id = deployment_id
         self.zone_id = zone_id
         self.requested = requested
@@ -176,6 +177,10 @@ class BatchPollResult(object):
         self.timestamp = timestamp
         self.placement = placement
         self.records = records
+        #: Optional float64 array of per-request latencies in request
+        #: order (``keep_latencies=True``); the serving gateway feeds it
+        #: into p50/p95/p99 accounting without per-request objects.
+        self.latencies = latencies
 
     @property
     def failure_rate(self):
@@ -463,8 +468,8 @@ class Cloud(object):
         admitted = deployment.account.admit_batch(n_requests)
         if window is None:
             window = deployment.arrival_window_s
-        result = zone.place_batch(deployment.deployment_id, admitted,
-                                  duration, window, now=now)
+        result = zone.invoke_batch(deployment.deployment_id, admitted,
+                                   duration, window, now=now)
         bill = deployment.billing.bill(
             deployment.memory_mb, duration, deployment.arch,
             requests=result.served)
@@ -481,7 +486,8 @@ class Cloud(object):
                                 now=now, bill_category=bill_category)
 
     def poll_batch(self, deployment, n_requests=1000, now=None,
-                   bill_category="poll", vectorize=True):
+                   bill_category="poll", vectorize=True, payload=None,
+                   keep_latencies=False):
         """Resolve an ``n_requests`` burst columnarly: one
         :class:`BatchPollResult`, one aggregated bill, no per-request
         objects.
@@ -503,6 +509,14 @@ class Cloud(object):
         seed (``BatchPollResult.aggregate_key()`` compares equal), which
         the property tests and the benchmark's byte-equality check
         enforce.
+
+        ``payload`` is threaded into both handler draw calls so dynamic
+        mesh deployments (whose runtime model is payload-selected) can be
+        batch-polled; it occupies the same argument position on both
+        paths, preserving the contract above.  ``keep_latencies=True``
+        additionally returns the per-request latency array (request
+        order) on the result for quantile accounting — one
+        ``np.concatenate``, still no per-request objects.
         """
         now = self.clock.now if now is None else float(now)
         zone = self.zone(deployment.zone_id)
@@ -510,7 +524,7 @@ class Cloud(object):
         if self.faults.enabled:
             self.faults.before_batch(deployment.zone_id, now)
         # Draw order step 1: the occupancy duration, exactly like poll().
-        duration = handler.duration_on(None, self.rng)
+        duration = handler.duration_on(None, self.rng, payload)
         admitted = deployment.account.admit_batch(n_requests)
         # Draw order step 2: the zone's placement multinomial.
         placement = zone.invoke_batch(
@@ -538,7 +552,7 @@ class Cloud(object):
                                       placement.reused_fi_counts, rng)
             if cold_c:
                 cold_cpu_counts[cpu_key] = cold_c
-            runtimes = handler.durations_on(cpu_key, rng, served_c)
+            runtimes = handler.durations_on(cpu_key, rng, served_c, payload)
             if vectorize:
                 ticks_total += int(duration_ticks(
                     runtimes, granularity, min_billed).sum())
@@ -572,6 +586,11 @@ class Cloud(object):
         # both paths, so numpy's pairwise summation yields the same bits.
         runtime_total = _request_order_total(runtime_chunks)
         latency_total = _request_order_total(latency_chunks)
+        if keep_latencies:
+            latencies = (np.concatenate(latency_chunks) if latency_chunks
+                         else np.zeros(0, dtype=np.float64))
+        else:
+            latencies = None
         served = placement.served
         bill = billing.bill_ticks(deployment.memory_mb, ticks_total,
                                   deployment.arch, requests=served)
@@ -604,6 +623,7 @@ class Cloud(object):
             timestamp=now,
             placement=placement,
             records=records,
+            latencies=latencies,
         )
 
     # -- internals ------------------------------------------------------------------------

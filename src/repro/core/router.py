@@ -436,6 +436,45 @@ class SmartRouter(object):
         decision = self.decide() if decide_once else None
         return [self.route(decision) for _ in range(n_requests)]
 
+    def dispatch_batch(self, n_requests, decision=None, keep_latencies=False,
+                       bill_category="serve"):
+        """Resolve ``n_requests`` coalesced requests in one columnar poll.
+
+        The batch counterpart of :meth:`route_burst`: one routing decision
+        (or the caller's pre-made one), one deployment lookup, one
+        :meth:`~repro.cloudsim.Cloud.poll_batch` with the workload payload
+        threaded through — no per-request objects.  Returns
+        ``(decision, BatchPollResult)``; zone health and passive
+        observations are updated from the aggregate outcome so the serving
+        gateway's steady-state traffic feeds the same routing view as the
+        scalar path.
+        """
+        if n_requests <= 0:
+            raise ConfigurationError("n_requests must be positive")
+        if decision is None:
+            decision = self.decide()
+        deployment = self._deployment_for(decision.zone_id)
+        result = self.cloud.poll_batch(
+            deployment, n_requests, bill_category=bill_category,
+            payload=self._payload, keep_latencies=keep_latencies)
+        now = self.cloud.clock.now
+        health = self.health
+        if health is not None:
+            if result.served:
+                health.record_success(decision.zone_id, now,
+                                      latency_s=result.mean_latency_s)
+            for _ in range(result.failed):
+                health.record_failure(decision.zone_id, now,
+                                      reason="saturated")
+        if self.passive and result.served:
+            # One aggregate timestamp per CPU group, mirroring what the
+            # scalar path would have recorded request by request (the
+            # store caps observations per CPU anyway).
+            for cpu_key in result.request_cpu_counts:
+                self.store.record_observation(decision.zone_id, cpu_key,
+                                              timestamp=now)
+        return decision, result
+
     def __repr__(self):
         return "SmartRouter(policy={}, workload={!r})".format(
             self.policy.name, self.workload.name)

@@ -19,6 +19,20 @@ from repro.core.retry import RetryPolicy
 from repro.dynfunc.handler import CPU_CHECK_SECONDS
 
 
+def default_slo_s(workload, multiplier=3.0, floor_s=0.25):
+    """A serving-plane default latency SLO for ``workload``.
+
+    A request is "within SLO" when it finishes inside a small multiple of
+    the workload's calibrated baseline runtime; the floor keeps very short
+    functions from declaring every cold start a violation.  The serving
+    gateway uses this when the operator does not pass an explicit bound.
+    """
+    if multiplier <= 0:
+        raise ConfigurationError("multiplier must be positive")
+    return max(float(multiplier) * float(workload.base_seconds),
+               float(floor_s))
+
+
 class StrategyForecast(object):
     """Predicted cost and latency for one (zone, retry) strategy."""
 

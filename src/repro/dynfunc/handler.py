@@ -21,8 +21,10 @@ Two flavours:
   resolver).
 """
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError, PayloadError
-from repro.cloudsim.handlers import Handler
+from repro.cloudsim.handlers import Handler, ScaledWorkloadHandler
 from repro.dynfunc.payload import DynamicPayload, payload_decode_seconds
 
 # Cost of reading /proc/cpuinfo and comparing against the banned list.
@@ -64,7 +66,48 @@ class _DynamicOverheadBase(Handler):
                 # CPU-based decision logic: refuse to run the workload.
                 return overhead + CPU_CHECK_SECONDS
         model = self._model_for(payload)
+        if cpu_key is None:
+            # Occupancy estimate (batch polls pass cpu_key=None before
+            # placement picks real CPUs).  Models keyed strictly by CPU
+            # have no factor for None; fall back to the reference-CPU
+            # mean, consuming no RNG — both batch-poll paths make this
+            # call identically, so the stream contract holds.
+            try:
+                return overhead + model.duration_on(None, rng)
+            except ConfigurationError:
+                return overhead + self._reference_duration(model)
         return overhead + model.duration_on(cpu_key, rng)
+
+    @staticmethod
+    def _reference_duration(model):
+        scale = 1.0
+        while isinstance(model, ScaledWorkloadHandler):
+            scale *= model.scale
+            model = model.inner
+        return scale * model.base_seconds
+
+    def durations_on(self, cpu_key, rng, count, payload=None):
+        """Vectorized batch draw, loop-equivalent to ``duration_on``.
+
+        Only the first request of a batch can pay the full decode
+        overhead (it marks the hash seen for the rest); every later one
+        is a cache hit.  A banned CPU short-circuits before the model,
+        consuming no RNG — exactly like ``count`` scalar calls — so the
+        batch-poll RNG stream contract holds for dynamic deployments.
+        """
+        payload = self._payload_of(payload)
+        overheads = None
+        if payload is not None:
+            overheads = np.full(count, CACHE_HIT_SECONDS, dtype=np.float64)
+            if count:
+                overheads[0] = self._decode_overhead(payload)
+            if cpu_key is not None and cpu_key in payload.banned_cpus:
+                return overheads + CPU_CHECK_SECONDS
+        model = self._model_for(payload)
+        runtimes = model.durations_on(cpu_key, rng, count)
+        if overheads is not None:
+            runtimes = overheads + runtimes
+        return runtimes
 
     def respond(self, cpu_key, payload=None):
         payload = self._payload_of(payload)

@@ -31,6 +31,7 @@ See ``python -m repro sweep --help`` for the CLI front end.
 from repro.engine.executor import BACKENDS, SweepEngine, run_sweep
 from repro.engine.grid import Cell, Grid
 from repro.engine.journal import ChunkJournal, guard_hash_for_tasks
+from repro.engine.lazy import LazyPayload, load_payload
 from repro.engine.progress import SweepProgress
 from repro.engine.protocol import (
     FaultyTransport,
@@ -65,6 +66,7 @@ __all__ = [
     "CloudSpec",
     "FaultyTransport",
     "Grid",
+    "LazyPayload",
     "SweepCoordinator",
     "SweepEngine",
     "SweepProgress",
@@ -81,6 +83,7 @@ __all__ = [
     "client_auth",
     "connect",
     "guard_hash_for_tasks",
+    "load_payload",
     "run_task",
     "run_sweep",
     "run_worker",

@@ -1,0 +1,62 @@
+"""Lazy result payloads: keep spooled sweep results pickled until read.
+
+Observation-heavy campaign grids (``CampaignTask(summary=False)``) can be
+hundreds of kilobytes per cell; with thousands of cells the coordinator
+used to materialize every one just to hold the merged result list.  A
+:class:`LazyPayload` keeps each result as the pickle bytes it already
+travelled as — the worker wraps its payload once, and every later hop
+(pool IPC, journal append, spool file, coordinator merge) moves the same
+bytes without decoding them.  ``__reduce__`` makes re-pickling a byte
+passthrough, so a wrapped record costs one small envelope, not a second
+serialization.
+
+The caller decodes on demand::
+
+    engine = SweepEngine(workers=8, lazy=True)
+    for payload in engine.run(tasks):
+        result = payload.load()   # or load_payload(payload)
+
+Only *successful* payloads are wrapped.  Failure tuples
+(``(error_type, message)`` and the infrastructure-loss triple) stay raw —
+the engine's failure reporting and the journal's infra-loss check read
+them positionally.
+"""
+
+import pickle
+
+__all__ = ["LazyPayload", "load_payload"]
+
+
+class LazyPayload(object):
+    """A task result held as its pickle bytes until ``load()``."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data
+
+    @classmethod
+    def wrap(cls, obj):
+        """Wrap ``obj``; already-wrapped payloads pass through untouched."""
+        if isinstance(obj, cls):
+            return obj
+        return cls(pickle.dumps(obj, pickle.HIGHEST_PROTOCOL))
+
+    def load(self):
+        """Decode and return the wrapped result (a fresh copy each call)."""
+        return pickle.loads(self.data)
+
+    def __reduce__(self):
+        # Re-pickling is byte passthrough: the journal, the worker spool,
+        # and pool IPC all move ``data`` without a decode/encode cycle.
+        return (self.__class__, (self.data,))
+
+    def __repr__(self):
+        return "LazyPayload({} bytes)".format(len(self.data))
+
+
+def load_payload(payload):
+    """``payload.load()`` if lazy, the payload itself otherwise."""
+    if isinstance(payload, LazyPayload):
+        return payload.load()
+    return payload

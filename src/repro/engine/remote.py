@@ -101,7 +101,7 @@ class SweepCoordinator(object):
     def __init__(self, host="127.0.0.1", port=0, heartbeat_s=1.0,
                  chunk_deadline_s=None, join_timeout_s=10.0,
                  max_requeues=1, emit=None, telemetry=False,
-                 telemetry_sink=None, auth_token=None):
+                 telemetry_sink=None, auth_token=None, lazy=False):
         if heartbeat_s <= 0:
             raise ConfigurationError("heartbeat_s must be positive")
         if max_requeues < 0:
@@ -125,6 +125,12 @@ class SweepCoordinator(object):
         #: — requeue losers and duplicate finishers are discarded, so
         #: merged telemetry matches the accepted results exactly.
         self.telemetry = bool(telemetry)
+        #: When true, task frames ask workers to return successful
+        #: payloads as :class:`~repro.engine.lazy.LazyPayload` envelopes
+        #: (pickle bytes, decoded only when the caller loads them).  Old
+        #: workers that ignore the flag still interoperate — the engine's
+        #: ``_absorb`` wraps coordinator-side as a fallback.
+        self.lazy = bool(lazy)
         self._telemetry_sink = telemetry_sink
         self._telemetry = {}
         self.address = None
@@ -292,7 +298,10 @@ class SweepCoordinator(object):
                     continue
                 chunk_id, chunk = assignment
                 dispatched_at = time.monotonic()
-                if self.telemetry:
+                if self.lazy:
+                    transport.send(("task", chunk_id, chunk,
+                                    self.telemetry, True))
+                elif self.telemetry:
                     transport.send(("task", chunk_id, chunk, True))
                 else:
                     transport.send(("task", chunk_id, chunk))
@@ -696,11 +705,20 @@ class SweepWorker(object):
     def _serve_task(self, transport, message, outbox):
         chunk_id, chunk = message[1], message[2]
         want_telemetry = len(message) > 3 and bool(message[3])
+        # Lazy wrapping is worker-side so the frame (and any spool file)
+        # already holds pickle-byte envelopes; like telemetry capture it
+        # only applies to the stock runner — a custom run_chunk keeps its
+        # exact behavior and the coordinator wraps as a fallback.
+        want_lazy = (len(message) > 4 and bool(message[4])
+                     and self._default_runner)
         if want_telemetry and self._default_runner:
             from repro.engine.executor import _run_chunk_captured
             records, _ = _run_chunk_captured(
                 chunk, worker_id=self.worker_id,
                 flush=lambda payload: outbox.put(chunk_id, payload))
+            if want_lazy:
+                from repro.engine.executor import _wrap_lazy
+                records = _wrap_lazy(records)
             try:
                 outbox.flush(transport,
                              result=("result", chunk_id, records))
@@ -709,6 +727,9 @@ class SweepWorker(object):
                 raise
         else:
             records = self._run_chunk(chunk)
+            if want_lazy:
+                from repro.engine.executor import _wrap_lazy
+                records = _wrap_lazy(records)
             try:
                 transport.send(("result", chunk_id, records))
             except TransportError:

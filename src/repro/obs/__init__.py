@@ -234,6 +234,41 @@ class Observability(object):
             registry.counter("sweep_telemetry_dropped_total",
                              worker=fields.get("worker", "unknown")).inc(
                 fields.get("dropped", 0))
+        elif name == "serve.batch":
+            mode = fields["mode"]
+            registry.counter("serve_batches_total", mode=mode).inc()
+            registry.histogram("serve_batch_size", mode=mode).observe(
+                fields["size"])
+            registry.counter("serve_requests_total",
+                             outcome="served").inc(fields["served"])
+            if fields["failed"]:
+                registry.counter("serve_requests_total",
+                                 outcome="failed").inc(fields["failed"])
+            registry.counter("serve_cold_starts_total").inc(
+                fields["cold_starts"])
+            registry.counter("serve_cost_usd_total").inc(fields["cost_usd"])
+        elif name == "serve.shed":
+            registry.counter("serve_shed_total",
+                             reason=fields["reason"]).inc(fields["count"])
+            registry.counter("serve_requests_total",
+                             outcome="shed").inc(fields["count"])
+        elif name == "serve.report":
+            registry.counter("serve_offered_total").inc(fields["offered"])
+            registry.counter("serve_admitted_total").inc(fields["admitted"])
+            registry.gauge("serve_offered_rps").set(fields["offered_rps"])
+            registry.gauge("serve_goodput_rps").set(fields["goodput_rps"])
+            registry.gauge("serve_shed_rate").set(fields["shed_rate"])
+            registry.gauge("serve_slo_attainment").set(
+                fields["slo_attainment"])
+            registry.gauge("serve_p50_ms").set(fields["p50_ms"])
+            registry.gauge("serve_p95_ms").set(fields["p95_ms"])
+            registry.gauge("serve_p99_ms").set(fields["p99_ms"])
+        elif name == "serve.recharacterize":
+            registry.counter("serve_recharacterizations_total",
+                             zone=fields["zone"]).inc()
+        elif name == "serve.drain":
+            registry.counter("serve_drains_total").inc()
+            registry.gauge("serve_drained_requests").set(fields["drained"])
 
     # -- summaries ----------------------------------------------------------
     def zone_latency_summary(self):

@@ -132,6 +132,55 @@ class Histogram(object):
             if slot < self._reservoir_size:
                 self._reservoir[slot] = value
 
+    def observe_many(self, values):
+        """Record an array of observations in one vectorized pass.
+
+        Semantically identical to calling :meth:`observe` per element in
+        order — same bucket counts, same reservoir contents (algorithm R
+        consumes the per-histogram RNG element by element) — but the
+        count/sum/min/max and bucket accounting run through numpy, which
+        is what lets the serving gateway fold a coalesced batch's latency
+        array into quantile accounting without a Python-level loop.
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        n = int(arr.size)
+        if not n:
+            return
+        self.sum += float(arr.sum())
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
+        idx = np.searchsorted(self.buckets, arr, side="left")
+        counts = np.bincount(idx, minlength=len(self.buckets) + 1)
+        for i, c in enumerate(counts.tolist()):
+            if c:
+                self.bucket_counts[i] += c
+        # Reservoir: algorithm R is inherently sequential (each slot draw
+        # depends on the running count), so replay it exactly.
+        reservoir = self._reservoir
+        size = self._reservoir_size
+        count = self.count
+        vals = arr.tolist()
+        fill = 0
+        if len(reservoir) < size:
+            fill = min(size - len(reservoir), n)
+            reservoir.extend(vals[:fill])
+            count += fill
+        rng = self._rng
+        for value in vals[fill:]:
+            count += 1
+            slot = rng.randrange(count)
+            if slot < size:
+                reservoir[slot] = value
+        self.count = count
+
     @property
     def mean(self):
         if self.count == 0:

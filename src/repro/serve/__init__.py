@@ -1,0 +1,31 @@
+"""The serving plane: an always-on gateway over the smart router.
+
+Batch studies answer "which strategy wins"; this package keeps the
+winning strategies *running* — open-loop seeded arrivals, token-bucket +
+queue-depth admission, a coalescing dispatcher over the vectorized batch
+core, and live re-characterization so routing adapts mid-serve.  See
+``docs/architecture.md`` ("Serving plane") for the data flow.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    PoissonArrivals,
+    PROFILE_NAMES,
+    build_arrivals,
+)
+from repro.serve.gateway import GatewayConfig, GatewayReport, ServeGateway
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "PROFILE_NAMES",
+    "build_arrivals",
+    "GatewayConfig",
+    "GatewayReport",
+    "ServeGateway",
+]

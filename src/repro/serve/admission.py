@@ -1,0 +1,76 @@
+"""Admission control for the serving gateway: shed early, degrade gracefully.
+
+Two independent guards, applied in order:
+
+1. a **token bucket** caps the sustained admitted rate (with a burst
+   allowance), the classic front-door rate limit;
+2. a **queue-depth bound** sheds whatever the bucket admitted but the
+   dispatcher could not absorb — the signal that the backend, not the
+   front door, is the bottleneck.
+
+Requests rejected here get a ``503``-style outcome (counted, reported,
+never dispatched), so overload shows up as a rising shed rate instead of
+an unbounded queue and collapsing latency.
+"""
+
+from repro.common.errors import ConfigurationError
+
+
+class TokenBucket(object):
+    """Deterministic token bucket refilled per gateway tick.
+
+    ``rate_rps=None`` disables the bucket (every request granted).
+    ``burst`` defaults to one second's worth of tokens.
+    """
+
+    def __init__(self, rate_rps=None, burst=None):
+        if rate_rps is not None and rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive (or None)")
+        self.rate_rps = None if rate_rps is None else float(rate_rps)
+        if burst is None:
+            burst = self.rate_rps if self.rate_rps is not None else 0.0
+        self.burst = float(burst)
+        self.tokens = self.burst
+
+    def grant(self, n, dt):
+        """Refill for ``dt`` sim-seconds, then grant up to ``n`` tokens."""
+        if self.rate_rps is None:
+            return n
+        self.tokens = min(self.burst, self.tokens + self.rate_rps * dt)
+        granted = min(n, int(self.tokens))
+        self.tokens -= granted
+        return granted
+
+
+class AdmissionController(object):
+    """Token bucket + queue-depth shedding, in that order.
+
+    Tokens consumed by requests later shed on queue depth are *not*
+    refunded — the work of deciding was done, and refunds would let a
+    saturated backend silently raise the effective rate limit.
+    """
+
+    def __init__(self, rate_limit_rps=None, burst=None,
+                 max_queue_depth=100000):
+        if max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+        self.bucket = TokenBucket(rate_limit_rps, burst)
+        self.max_queue_depth = int(max_queue_depth)
+
+    def admit(self, n, queue_depth, dt):
+        """Admit up to ``n`` arrivals given ``queue_depth`` already buffered.
+
+        Returns ``(granted, shed_tokens, shed_queue)`` with
+        ``granted + shed_tokens + shed_queue == n``.
+        """
+        if n <= 0:
+            return 0, 0, 0
+        granted = self.bucket.grant(n, dt)
+        shed_tokens = n - granted
+        headroom = self.max_queue_depth - queue_depth
+        if headroom < granted:
+            shed_queue = granted - max(headroom, 0)
+            granted -= shed_queue
+        else:
+            shed_queue = 0
+        return granted, shed_tokens, shed_queue

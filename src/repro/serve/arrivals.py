@@ -1,0 +1,106 @@
+"""Open-loop arrival processes for the serving gateway.
+
+The gateway is *open-loop*: simulated users fire requests at a rate that
+does not depend on how fast the system answers (the standard serving
+methodology — closed-loop clients hide overload by slowing down with the
+server).  Each process draws the number of arrivals per sim-clock tick
+from a Poisson distribution whose rate may vary with sim time, from a
+seeded generator, so a run is reproducible arrival-for-arrival.
+
+Scale note: the tick draw is one ``rng.poisson(rate * dt)`` regardless of
+rate, so "millions of simulated users" costs the same as ten — arrivals
+stay aggregate counts until the coalescing dispatcher resolves them
+columnarly.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng
+
+PROFILE_NAMES = ("poisson", "diurnal")
+
+
+class ArrivalProcess(object):
+    """Base: seeded Poisson arrivals with a time-varying rate."""
+
+    def __init__(self, seed=0, *tokens):
+        self._rng = derive_rng(seed, "serve", "arrivals", *tokens)
+
+    def rate_at(self, t):
+        """Instantaneous offered rate (requests/sim-second) at time ``t``."""
+        raise NotImplementedError
+
+    def draw(self, t, dt):
+        """Number of arrivals in ``[t, t + dt)``; one Poisson draw."""
+        mean = self.rate_at(t) * dt
+        if mean <= 0.0:
+            return 0
+        return int(self._rng.poisson(mean))
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Constant-rate Poisson arrivals."""
+
+    def __init__(self, rate_rps, seed=0):
+        if rate_rps < 0:
+            raise ConfigurationError("rate_rps must be >= 0")
+        super(PoissonArrivals, self).__init__(seed, "poisson")
+        self.rate_rps = float(rate_rps)
+
+    def rate_at(self, t):
+        return self.rate_rps
+
+    def __repr__(self):
+        return "PoissonArrivals(rate_rps={})".format(self.rate_rps)
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """A day-shaped rate: raised-cosine between ``base_rps`` and
+    ``peak_rps`` over ``period_s`` (default one sim day).
+
+    ``phase_s`` shifts where in the cycle the run starts; ``phase_s=0``
+    starts at the trough, ``period_s / 2`` at the peak.
+    """
+
+    def __init__(self, base_rps, peak_rps, period_s=86400.0, phase_s=0.0,
+                 seed=0):
+        if base_rps < 0 or peak_rps < base_rps:
+            raise ConfigurationError(
+                "need 0 <= base_rps <= peak_rps")
+        if period_s <= 0:
+            raise ConfigurationError("period_s must be positive")
+        super(DiurnalArrivals, self).__init__(seed, "diurnal")
+        self.base_rps = float(base_rps)
+        self.peak_rps = float(peak_rps)
+        self.period_s = float(period_s)
+        self.phase_s = float(phase_s)
+
+    def rate_at(self, t):
+        swing = (self.peak_rps - self.base_rps) * 0.5
+        angle = 2.0 * math.pi * (t + self.phase_s) / self.period_s
+        return self.base_rps + swing * (1.0 - math.cos(angle))
+
+    def __repr__(self):
+        return ("DiurnalArrivals(base_rps={}, peak_rps={}, "
+                "period_s={})".format(self.base_rps, self.peak_rps,
+                                      self.period_s))
+
+
+def build_arrivals(profile, rate_rps, seed=0, peak_rps=None,
+                   period_s=86400.0, phase_s=0.0):
+    """CLI-facing factory: ``profile`` is one of :data:`PROFILE_NAMES`.
+
+    For ``diurnal``, ``rate_rps`` is the trough and ``peak_rps`` defaults
+    to 4x the trough — a typical day/night swing.
+    """
+    if profile == "poisson":
+        return PoissonArrivals(rate_rps, seed=seed)
+    if profile == "diurnal":
+        if peak_rps is None:
+            peak_rps = 4.0 * rate_rps
+        return DiurnalArrivals(rate_rps, peak_rps, period_s=period_s,
+                               phase_s=phase_s, seed=seed)
+    raise ConfigurationError(
+        "unknown arrival profile {!r}; expected one of {}".format(
+            profile, ", ".join(PROFILE_NAMES)))
