@@ -54,7 +54,12 @@ from repro import (
 )
 from repro import reporting
 from repro.common.errors import CharacterizationError
-from repro.cloudsim.catalog import catalog_region_names, zone_spec
+from repro.cloudsim.catalog import (
+    catalog_region_names,
+    provider_name_of_zone,
+    zone_spec,
+)
+from repro.cloudsim.provider import CORE_PROVIDERS
 from repro.faults.schedule import PRESET_NAMES
 from repro.workloads import all_workloads, resolve_runtime_model
 
@@ -69,8 +74,11 @@ def build_parser():
     commands = parser.add_subparsers(dest="command", required=True)
 
     catalog = commands.add_parser("catalog",
-                                  help="list the 41-region catalog")
-    catalog.add_argument("--provider", choices=("aws", "ibm", "do"))
+                                  help="list the 41-region catalog "
+                                       "(plus opt-in scenario packs)")
+    catalog.add_argument("--provider",
+                         choices=("aws", "ibm", "do", "gcp", "azure",
+                                  "openwhisk", "ce-caas", "spot"))
 
     workloads = commands.add_parser(
         "workloads", help="list (or actually execute) the 12 Table-1 "
@@ -429,7 +437,12 @@ def cmd_characterize(args, out):
             config={"zones": args.zone, "polls": args.polls,
                     "workers": args.workers})
     if len(zones) == 1:
-        cloud = build_sky(seed=args.seed)
+        if provider_name_of_zone(zones[0]) in CORE_PROVIDERS:
+            cloud = build_sky(seed=args.seed)
+        else:
+            # Scenario-pack zones are opt-in: build just their region.
+            from repro.engine import CloudSpec
+            cloud = CloudSpec.for_zones(zones, seed=args.seed).build()
         if observability is not None:
             observability.install(cloud)
         region = cloud.region_of_zone(zones[0])
@@ -766,10 +779,22 @@ def cmd_serve(args, out):
     zones = [z.strip() for z in args.zones.split(",") if z.strip()]
     for zone_id in zones:
         zone_spec(zone_id)  # fail fast on unknown zones
+    providers = {provider_name_of_zone(z) for z in zones}
+    if len(providers) != 1:
+        out.write("serve: all zones must share one provider "
+                  "(got {})\n".format(", ".join(sorted(providers))))
+        return 2
+    (provider_name,) = providers
     workload = workload_by_name(args.workload)
-    cloud = build_sky(seed=args.seed, aws_only=True)
+    if provider_name == "aws":
+        cloud = build_sky(seed=args.seed, aws_only=True)
+    else:
+        # Non-AWS (including scenario packs): build just the zones'
+        # regions; pack regions never join the default sky.
+        from repro.engine import CloudSpec
+        cloud = CloudSpec.for_zones(zones, seed=args.seed).build()
     observability = Observability()
-    account = cloud.create_account("serve", "aws")
+    account = cloud.create_account("serve", provider_name)
     controller = SkyController(
         cloud, account, zones, obs=observability,
         polls_per_refresh=max(args.polls, 1),

@@ -20,18 +20,26 @@ class CloudAccount(object):
         self._ledger = []
         self._throttled = 0
         self._deployments = {}
+        # Admission is delegated to the provider adapter's quota model;
+        # the default hard cap is stateless and reproduces the historical
+        # ``min(n, quota)`` exactly.
+        self._quota_model = provider.adapter.quota
+        self._quota_state = self._quota_model.new_state()
 
     # -- quota ------------------------------------------------------------------
     @property
     def concurrency_quota(self):
         return self.provider.concurrency_quota
 
-    def admit_batch(self, n_requests):
+    def admit_batch(self, n_requests, now=0.0):
         """How many of ``n_requests`` simultaneous requests the quota admits.
 
-        The excess is throttled client-side and recorded.
+        The excess is throttled client-side and recorded.  ``now`` feeds
+        time-windowed quota models (burst-then-throttle, token refill);
+        the default hard cap ignores it.
         """
-        admitted = min(n_requests, self.concurrency_quota)
+        admitted = self._quota_model.admit(self._quota_state, n_requests,
+                                           now)
         self._throttled += n_requests - admitted
         return admitted
 

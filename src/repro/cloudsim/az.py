@@ -34,6 +34,7 @@ from repro.common.distributions import CategoricalDistribution
 from repro.common.ids import make_id_factory
 from repro.common.rng import derive_rng
 from repro.common.units import MINUTES
+from repro.cloudsim.instance import FIBucket
 from repro.faults.injector import NULL_INJECTOR
 from repro.obs.hooks import NULL_BUS
 
@@ -101,7 +102,7 @@ class AvailabilityZone(object):
     """A FaaS deployment zone backed by a finite heterogeneous host pool."""
 
     def __init__(self, zone_id, pools, clock, keepalive=DEFAULT_KEEPALIVE,
-                 scaling=None, rng=None):
+                 scaling=None, rng=None, keepalive_policy=None):
         if not pools:
             raise ConfigurationError("zone needs at least one host pool")
         keys = [p.cpu_key for p in pools]
@@ -125,8 +126,21 @@ class AvailabilityZone(object):
         self._base_shares = self.cpu_slot_shares()
         self._drift = None
         self._background = None
+        self._preempt = None
         self._bus = NULL_BUS
         self._faults = NULL_INJECTOR
+        # Keep-alive policy hook (provider adapters).  The default
+        # sliding window needs no per-allocation work, so the hot paths
+        # only branch on ``_ka_dynamic`` — one cached bool.
+        self.keepalive_policy = keepalive_policy
+        kind = keepalive_policy.kind if keepalive_policy is not None \
+            else "sliding"
+        self._ka_lease = (keepalive_policy.lease_s if kind == "lease"
+                          else None)
+        self._ka_pin = keepalive_policy if kind == "container-reuse" \
+            else None
+        self._ka_dynamic = (self._ka_lease is not None
+                            or self._ka_pin is not None)
 
     def attach_bus(self, bus):
         """Opt in to observability: placements, saturation, scaling, and
@@ -154,11 +168,20 @@ class AvailabilityZone(object):
         self._background = background_load
         background_load.apply_if_due(self, self.clock.now)
 
+    def attach_preemption(self, process):
+        """Attach a :class:`~repro.cloudsim.adapters.PreemptionProcess`;
+        seeded capacity reclaims fire lazily as the clock crosses the
+        process's interval boundaries (spot-style packs)."""
+        self._preempt = process
+        process.apply_if_due(self, self.clock.now)
+
     def _apply_processes(self, now):
         if self._drift is not None:
             self._drift.apply_if_due(self, now)
         if self._background is not None:
             self._background.apply_if_due(self, now)
+        if self._preempt is not None:
+            self._preempt.apply_if_due(self, now)
 
     # -- capacity views --------------------------------------------------------
     @property
@@ -198,8 +221,14 @@ class AvailabilityZone(object):
 
     # -- batched placement (sampling hot path) -----------------------------------
     def invoke_batch(self, deployment, n_requests, duration, window,
-                     now=None):
+                     now=None, force_new=False):
         """Place ``n_requests`` parallel requests arriving over ``window`` s.
+
+        ``force_new=True`` skips warm reuse entirely — the batch-path
+        analogue of :meth:`invoke_one`'s escape hatch, driven by
+        cold-start-storm fault injection.  Skipping the warm-claim loop
+        consumes no randomness, so the placement draw sequence is
+        unchanged.
 
         The batch invocation core: demand is resolved *columnarly* — one
         warm claim per pool (in affinity order) and a single host-granular
@@ -232,16 +261,17 @@ class AvailabilityZone(object):
         # Warm FIs of this deployment absorb demand first.
         reused_counts = {}
         remaining = unique_needed
-        for pool in self._pools_by_affinity():
-            if remaining <= 0:
-                break
-            if not pool._warm.get(deployment):
-                continue  # no (live or stale) buckets for this deployment
-            claimed = pool.claim_warm(deployment, remaining, now, duration,
-                                      self.keepalive)
-            if claimed:
-                reused_counts[pool.cpu_key] = claimed
-                remaining -= claimed
+        if not force_new:
+            for pool in self._pools_by_affinity():
+                if remaining <= 0:
+                    break
+                if not pool._warm.get(deployment):
+                    continue  # no (live or stale) buckets for deployment
+                claimed = pool.claim_warm(deployment, remaining, now,
+                                          duration, self.keepalive)
+                if claimed:
+                    reused_counts[pool.cpu_key] = claimed
+                    remaining -= claimed
 
         new_counts = self._place_new_fis(deployment, remaining, now, duration)
         new_total = sum(new_counts.values())
@@ -277,10 +307,10 @@ class AvailabilityZone(object):
                                request_cpu_counts, duration, now)
 
     def place_batch(self, deployment, n_requests, duration, window,
-                    now=None):
+                    now=None, force_new=False):
         """Historic name for :meth:`invoke_batch` (identical semantics)."""
         return self.invoke_batch(deployment, n_requests, duration, window,
-                                 now=now)
+                                 now=now, force_new=force_new)
 
     # -- per-request invocation (router path) -------------------------------------
     def invoke_one(self, deployment, duration_fn, now=None, force_new=False):
@@ -303,7 +333,13 @@ class AvailabilityZone(object):
         if not force_new:
             warm = self._find_warm_instance(deployment, now)
             if warm is not None:
-                warm.touch(now, duration_fn(warm.cpu_key), self.keepalive)
+                if warm._pinned:
+                    # Pinned floors never expire; refresh busyness only.
+                    warm.busy_until = now + duration_fn(warm.cpu_key)
+                    warm.invocations += 1
+                else:
+                    warm.touch(now, duration_fn(warm.cpu_key),
+                               self.keepalive)
                 return warm, True
 
         new_counts = self._place_new_fis(deployment, 1, now, duration=0.0,
@@ -324,6 +360,8 @@ class AvailabilityZone(object):
         fi = pool.allocate_instance(self._new_instance_id(), host_id,
                                     deployment, now, duration, self.keepalive)
         fi.invocations = 1
+        if self._ka_dynamic:
+            self._apply_keepalive_policy(fi, pool, deployment, now)
         index = self._fi_index.get(deployment)
         if index is None:
             self._fi_index[deployment] = [fi]
@@ -522,14 +560,57 @@ class AvailabilityZone(object):
         take = min(count, total_free)
         split = self._noisy_split(take, free, weights, sph)
         keepalive = self.keepalive
+        ka_dynamic = self._ka_dynamic
         for pool, allocated in zip(pools, split):
             if allocated <= 0:
                 continue
             if materialize:
-                pool.allocate(deployment, allocated, now, duration,
-                              keepalive)
+                bucket = pool.allocate(deployment, allocated, now, duration,
+                                       keepalive)
+                if ka_dynamic:
+                    self._apply_keepalive_policy(bucket, pool, deployment,
+                                                 now)
             counts[pool.cpu_key] = allocated  # cpu keys are unique per zone
         return counts
+
+    #: Expiry horizon for pinned (CaaS min-instance) buckets: they never
+    #: expire, so the heap entry sorts after every real deadline.
+    PINNED_HORIZON = float("inf")
+
+    def _apply_keepalive_policy(self, bucket, pool, deployment, now):
+        """Apply the zone's non-default keep-alive policy to a freshly
+        allocated bucket (or identified FI)."""
+        lease = self._ka_lease
+        if lease is not None:
+            bucket._lease_until = lease_until = now + lease
+            if bucket._expire_at > lease_until:
+                bucket.expire_at = lease_until  # shorter: eager re-key
+            return
+        policy = self._ka_pin
+        deficit = policy.min_instances - self._pinned_live(deployment)
+        if deficit <= 0:
+            return
+        if bucket._count <= deficit:
+            bucket._pinned = True
+            bucket.expire_at = self.PINNED_HORIZON  # extension: lazy re-key
+        else:
+            # Pin exactly the deficit; the remainder keeps the normal TTL.
+            bucket.count -= deficit
+            pinned = FIBucket(deployment, pool.cpu_key, deficit,
+                              busy_until=bucket.busy_until,
+                              expire_at=self.PINNED_HORIZON)
+            pinned._pinned = True
+            pool._admit(pinned)
+
+    def _pinned_live(self, deployment):
+        """Live pinned instances of ``deployment`` across the zone."""
+        total = 0
+        for pool in self.pools.values():
+            warm = pool._warm.get(deployment)
+            if warm:
+                total += sum(b._count for b in warm
+                             if b._pinned and not b._released)
+        return total
 
     # Fraction of a host a single placement wave typically fills before the
     # scheduler spills to another host.  Sets the effective sample

@@ -23,6 +23,10 @@ exploitable heterogeneity outside AWS.
 """
 
 from repro.common.errors import UnknownZoneError
+from repro.cloudsim.adapters import (
+    PreemptionProcess,
+    keepalive_policy_from_spec,
+)
 from repro.cloudsim.az import AvailabilityZone, ScalingPolicy
 from repro.cloudsim.cloud import Cloud
 from repro.cloudsim.drift import DriftProfile, DriftProcess
@@ -188,6 +192,48 @@ DO_REGION_SPECS = {
     "lon1": (51.5, -0.1, ZoneSpec({DO27: 0.88, DO26: 0.12}, 1440)),
 }
 
+# -- Scenario-pack regions ------------------------------------------------------
+# One synthetic region per pack provider (see ``repro.cloudsim.packs``).
+# These are *opt-in*: they install only when explicitly named via the
+# ``regions=`` filter, so the default 41-region catalog (and every seeded
+# transcript derived from it) is untouched.  CPU keys reuse the Xeon/EPYC
+# models the workload tables already know.
+PACK_REGION_SPECS = {
+    # provider name: {region name: (lat, lon, {zone_suffix: ZoneSpec})}
+    "gcp": {
+        "gcp-us-central1": (41.3, -93.6, {
+            "a": ZoneSpec({X25: 0.55, X30: 0.35, X29: 0.10}, 12288),
+            "b": ZoneSpec({X25: 0.60, X30: 0.40}, 10240),
+        }),
+    },
+    "azure": {
+        "azure-eastus": (37.4, -79.2, {
+            "a": ZoneSpec({X25: 0.58, X29: 0.42}, 9216),
+            "b": ZoneSpec({X25: 0.66, X29: 0.34}, 7680),
+        }),
+    },
+    "openwhisk": {
+        "ow-onprem-1": (45.0, -93.3, {
+            "a": ZoneSpec({X29: 1.0}, 2048),
+            "b": ZoneSpec({X29: 0.85, X25: 0.15}, 1536),
+        }),
+    },
+    "ce-caas": {
+        "ce-caas-1": (32.8, -96.8, {
+            "a": ZoneSpec({X30: 0.70, X25: 0.30}, 4608),
+            "b": ZoneSpec({X30: 1.0}, 3840),
+        }),
+    },
+    "spot": {
+        "spot-us-1": (39.0, -77.5, {
+            "a": ZoneSpec({X25: 0.44, X30: 0.30, X29: 0.16, EPYC: 0.10},
+                          20480, drift="volatile"),
+            "b": ZoneSpec({X25: 0.40, X30: 0.28, X29: 0.20, EPYC: 0.12},
+                          18432, drift="volatile"),
+        }),
+    },
+}
+
 # The eleven AZs of the EX-3 progressive-sampling study.
 EX3_ZONES = (
     "ca-central-1a", "eu-north-1a", "ap-northeast-1a", "sa-east-1a",
@@ -233,13 +279,24 @@ def zone_recipe(zone_id, spec, provider):
         hosts = max(1, int(round(spec.slots * share / slots_per_host)))
         affinity = _default_affinity(cpu_key, share, spec.affinity)
         pools.append((cpu_key, hosts, slots_per_host, affinity))
-    return {
+    adapter = provider.adapter
+    recipe = {
         "zone_id": zone_id,
         "pools": tuple(pools),
         "keepalive": provider.keepalive,
-        "scaling": (0.85, 8, max(256, spec.slots // 12)),
+        # The default PoolScalingRule reproduces the historical envelope
+        # ``(0.85, 8, max(256, slots // 12))`` exactly.
+        "scaling": adapter.scaling.recipe(spec.slots),
         "drift": spec.drift,
     }
+    # Non-default adapter axes appear as *extra* keys only, so default
+    # recipes stay byte-identical to what earlier plans pickled.
+    policy = adapter.keepalive
+    if policy.kind != "sliding":
+        recipe["keepalive_policy"] = policy.spec()
+    if adapter.preemption is not None:
+        recipe["preemption"] = adapter.preemption
+    return recipe
 
 
 def zone_from_recipe(recipe, clock, seed):
@@ -253,14 +310,23 @@ def zone_from_recipe(recipe, clock, seed):
         slots_per_minute=per_minute,
         max_surge_slots=max_surge,
     )
+    policy_spec = recipe.get("keepalive_policy")
+    keepalive_policy = (keepalive_policy_from_spec(policy_spec)
+                        if policy_spec is not None else None)
     zone = AvailabilityZone(recipe["zone_id"], pools, clock,
                             keepalive=recipe["keepalive"],
-                            scaling=scaling, rng=seed)
+                            scaling=scaling, rng=seed,
+                            keepalive_policy=keepalive_policy)
     profile = _DRIFT_FACTORIES[recipe["drift"]]()
     total_hosts = sum(p.hosts for p in pools)
     drift = DriftProcess(recipe["zone_id"], zone.cpu_slot_shares(),
                          total_hosts, profile, seed=seed)
     zone.attach_drift(drift)
+    preemption = recipe.get("preemption")
+    if preemption is not None:
+        interval_s, fraction = preemption
+        zone.attach_preemption(PreemptionProcess(
+            recipe["zone_id"], interval_s, fraction, seed=seed))
     return zone
 
 
@@ -311,11 +377,34 @@ def install_catalog(cloud, aws_only=False, regions=None):
             region.add_zone(_build_zone(name, spec, provider, cloud.clock,
                                         cloud.seed))
             cloud.add_region(region)
+    # Scenario-pack regions install only when named explicitly — never as
+    # part of the default 41-region sky.
+    if regions is not None:
+        for provider_name in sorted(PACK_REGION_SPECS):
+            specs = PACK_REGION_SPECS[provider_name]
+            wanted = sorted(n for n in specs if n in regions)
+            if not wanted:
+                continue
+            provider = provider_by_name(provider_name)
+            for name in wanted:
+                lat, lon, zones = specs[name]
+                region = Region(name, provider, GeoPoint(lat, lon))
+                for suffix in sorted(zones):
+                    zone_id = name + suffix
+                    region.add_zone(_build_zone(zone_id, zones[suffix],
+                                                provider, cloud.clock,
+                                                cloud.seed))
+                cloud.add_region(region)
     return cloud
 
 
 def catalog_region_names(provider=None):
-    """All catalog region names, optionally filtered by provider."""
+    """All catalog region names, optionally filtered by provider.
+
+    Scenario-pack regions are listed only when their pack is named
+    explicitly (``provider="ce-caas"`` etc.) — the unfiltered listing
+    remains the default 41-region sky.
+    """
     names = []
     if provider in (None, "aws"):
         names.extend(sorted(AWS_REGION_SPECS))
@@ -323,6 +412,8 @@ def catalog_region_names(provider=None):
         names.extend(sorted(IBM_REGION_SPECS))
     if provider in (None, "do"):
         names.extend(sorted(DO_REGION_SPECS))
+    if provider is not None and provider in PACK_REGION_SPECS:
+        names.extend(sorted(PACK_REGION_SPECS[provider]))
     return names
 
 
@@ -343,6 +434,10 @@ def _zone_table():
                                      ("do", DO_REGION_SPECS)):
             for name, (_, _, spec) in specs.items():
                 table[name] = (name, provider_name, spec)
+        for provider_name, pack_specs in PACK_REGION_SPECS.items():
+            for name, (_, _, zones) in pack_specs.items():
+                for suffix, spec in zones.items():
+                    table[name + suffix] = (name, provider_name, spec)
         _ZONE_TABLE = table
     return _ZONE_TABLE
 

@@ -44,7 +44,8 @@ class Deployment(object):
 
     __slots__ = ("deployment_id", "account", "provider", "region_name",
                  "zone_id", "function_name", "memory_mb", "arch", "handler",
-                 "billing", "arrival_window_s")
+                 "billing", "arrival_window_s", "cold_start",
+                 "function_timeout")
 
     def __init__(self, deployment_id, account, provider, region_name,
                  zone_id, function_name, memory_mb, arch, handler):
@@ -59,6 +60,12 @@ class Deployment(object):
         self.handler = handler
         self.billing = provider.billing
         self.arrival_window_s = provider.arrival_window(memory_mb)
+        # Adapter-resolved invariants, cached off the provider so the
+        # per-request and per-poll hot paths never re-dereference the
+        # adapter: the cold-start distribution and the enforced runtime
+        # ceiling.
+        self.cold_start = provider.adapter.cold_start
+        self.function_timeout = provider.function_timeout
 
     def __repr__(self):
         return ("Deployment({!r}: {!r} @ {} {}MB {})".format(
@@ -71,11 +78,12 @@ class Invocation(object):
 
     __slots__ = ("request_id", "deployment_id", "zone_id", "cpu_key",
                  "instance_id", "host_id", "reused", "cold_start_s",
-                 "runtime_s", "latency_s", "bill", "timestamp", "response")
+                 "runtime_s", "latency_s", "bill", "timestamp", "response",
+                 "timed_out")
 
     def __init__(self, request_id, deployment_id, zone_id, cpu_key,
                  instance_id, host_id, reused, cold_start_s, runtime_s,
-                 latency_s, bill, timestamp, response):
+                 latency_s, bill, timestamp, response, timed_out=False):
         self.request_id = request_id
         self.deployment_id = deployment_id
         self.zone_id = zone_id
@@ -89,6 +97,10 @@ class Invocation(object):
         self.bill = bill
         self.timestamp = timestamp
         self.response = response
+        #: True when the runtime hit the provider's ``function_timeout``:
+        #: the platform killed the request at the ceiling and billed the
+        #: full timeout.
+        self.timed_out = timed_out
 
     @property
     def is_cold(self):
@@ -154,13 +166,13 @@ class BatchPollResult(object):
                  "failed", "cold_starts", "request_cpu_counts",
                  "cold_cpu_counts", "billed_ticks", "runtime_total_s",
                  "latency_total_s", "bill", "duration", "timestamp",
-                 "placement", "records", "latencies")
+                 "placement", "records", "latencies", "timeouts")
 
     def __init__(self, deployment_id, zone_id, requested, served, failed,
                  cold_starts, request_cpu_counts, cold_cpu_counts,
                  billed_ticks, runtime_total_s, latency_total_s, bill,
                  duration, timestamp, placement, records=None,
-                 latencies=None):
+                 latencies=None, timeouts=0):
         self.deployment_id = deployment_id
         self.zone_id = zone_id
         self.requested = requested
@@ -181,6 +193,10 @@ class BatchPollResult(object):
         #: order (``keep_latencies=True``); the serving gateway feeds it
         #: into p50/p95/p99 accounting without per-request objects.
         self.latencies = latencies
+        #: Requests whose drawn runtime exceeded the provider's
+        #: ``function_timeout`` — they still count as served (and billed,
+        #: at the capped timeout), so this is a subset of ``served``.
+        self.timeouts = timeouts
 
     @property
     def failure_rate(self):
@@ -218,6 +234,7 @@ class BatchPollResult(object):
             float(self.bill.compute).hex(),
             float(self.bill.total).hex(),
             self.bill.requests,
+            self.timeouts,
         )
 
     def __repr__(self):
@@ -376,14 +393,23 @@ class Cloud(object):
             faults.before_invoke(deployment.zone_id, now)
             force_new = force_new or faults.forces_cold(deployment.zone_id,
                                                         now)
+        timeout = deployment.function_timeout
+        timed_out = []
 
         def duration_fn(cpu_key):
-            return handler.duration_on(cpu_key, self.rng, payload)
+            drawn = handler.duration_on(cpu_key, self.rng, payload)
+            if drawn > timeout:
+                # The platform kills the request at the ceiling: it runs
+                # (and is billed) for exactly ``function_timeout``.
+                timed_out.append(drawn)
+                return timeout
+            return drawn
 
         fi, reused = zone.invoke_one(deployment.deployment_id, duration_fn,
                                      now=now, force_new=force_new)
         runtime = fi.busy_until - now
-        cold_start = 0.0 if reused else deployment.provider.cold_start_s
+        cold_start = (0.0 if reused
+                      else deployment.cold_start.sample(self.rng))
         if faults.enabled and cold_start:
             cold_start *= faults.cold_start_multiplier(deployment.zone_id,
                                                        now)
@@ -421,6 +447,7 @@ class Cloud(object):
             bill=bill,
             timestamp=now,
             response=handler.respond(fi.cpu_key, payload),
+            timed_out=bool(timed_out),
         )
 
     def hold(self, deployment, invocation_or_fi, hold_seconds, now=None,
@@ -463,13 +490,19 @@ class Cloud(object):
         """
         now = self.clock.now if now is None else float(now)
         zone = self.zone(deployment.zone_id)
+        force_new = False
         if self.faults.enabled:
             self.faults.before_batch(deployment.zone_id, now)
-        admitted = deployment.account.admit_batch(n_requests)
+            force_new = self.faults.forces_cold(deployment.zone_id, now)
+        timeout = deployment.function_timeout
+        if duration > timeout:
+            duration = timeout
+        admitted = deployment.account.admit_batch(n_requests, now)
         if window is None:
             window = deployment.arrival_window_s
         result = zone.invoke_batch(deployment.deployment_id, admitted,
-                                   duration, window, now=now)
+                                   duration, window, now=now,
+                                   force_new=force_new)
         bill = deployment.billing.bill(
             deployment.memory_mb, duration, deployment.arch,
             requests=result.served)
@@ -504,7 +537,10 @@ class Cloud(object):
         executable spec — per-request records, scalar tick quantization —
         but consumes the cloud RNG identically: (1) one scalar occupancy
         draw, (2) the zone's placement draw, (3) per CPU group in sorted
-        order, one cold/warm split then one ``durations_on`` call.  Both
+        order, one cold/warm split then one ``durations_on`` call, then
+        (4) one batched cold-start draw when the provider's cold-start
+        distribution is stochastic (the default fixed distribution draws
+        nothing).  Both
         paths therefore produce **bit-identical** aggregates for the same
         seed (``BatchPollResult.aggregate_key()`` compares equal), which
         the property tests and the benchmark's byte-equality check
@@ -521,25 +557,44 @@ class Cloud(object):
         now = self.clock.now if now is None else float(now)
         zone = self.zone(deployment.zone_id)
         handler = deployment.handler
+        force_new = False
+        fault_mult = 1.0
+        fault_spike = 0.0
         if self.faults.enabled:
+            # Fault-hook parity with the per-request path: all three
+            # hooks fire once per batch, on both the vectorized and the
+            # looped spec path.  ``forces_cold``/``cold_start_multiplier``
+            # draw no RNG; ``extra_latency`` draws from the injector's own
+            # stream, never the cloud stream.
             self.faults.before_batch(deployment.zone_id, now)
+            force_new = self.faults.forces_cold(deployment.zone_id, now)
+            fault_mult = self.faults.cold_start_multiplier(
+                deployment.zone_id, now)
+            fault_spike = self.faults.extra_latency(deployment.zone_id, now)
         # Draw order step 1: the occupancy duration, exactly like poll().
         duration = handler.duration_on(None, self.rng, payload)
-        admitted = deployment.account.admit_batch(n_requests)
+        timeout = deployment.function_timeout
+        if duration > timeout:
+            duration = timeout
+        admitted = deployment.account.admit_batch(n_requests, now)
         # Draw order step 2: the zone's placement multinomial.
         placement = zone.invoke_batch(
             deployment.deployment_id, admitted, duration,
-            deployment.arrival_window_s, now=now)
+            deployment.arrival_window_s, now=now, force_new=force_new)
 
         billing = deployment.billing
         granularity = billing.granularity
         min_billed = billing.min_billed_duration
-        cold_start_s = deployment.provider.cold_start_s
+        cold_dist = deployment.cold_start
+        cold_start_s = cold_dist.cold_start_s if cold_dist.is_fixed else None
+        if cold_start_s is not None and fault_mult != 1.0:
+            cold_start_s = cold_start_s * fault_mult
         cpu_counts = placement.request_cpu_counts
         rng = self.rng
 
         cold_cpu_counts = {}
         ticks_total = 0
+        timeouts_total = 0
         records = None if vectorize else []
         runtime_chunks = []
         latency_chunks = []
@@ -553,12 +608,29 @@ class Cloud(object):
             if cold_c:
                 cold_cpu_counts[cpu_key] = cold_c
             runtimes = handler.durations_on(cpu_key, rng, served_c, payload)
+            # Draw order step 4: one batched cold-start draw per group
+            # when the distribution is stochastic — shared by both paths,
+            # so the RNG layout stays identical.  Fixed distributions
+            # (the default adapter) consume nothing here.
+            cold_samples = None
+            if cold_c and cold_start_s is None:
+                cold_samples = cold_dist.sample_n(rng, cold_c)
+                if fault_mult != 1.0:
+                    cold_samples = cold_samples * fault_mult
             if vectorize:
+                if float(runtimes.max()) > timeout:
+                    over = runtimes > timeout
+                    timeouts_total += int(np.count_nonzero(over))
+                    runtimes = np.where(over, timeout, runtimes)
                 ticks_total += int(duration_ticks(
                     runtimes, granularity, min_billed).sum())
                 latencies = runtimes.copy()
-                if cold_c and cold_start_s:
+                if cold_samples is not None:
+                    latencies[:cold_c] += cold_samples
+                elif cold_c and cold_start_s:
                     latencies[:cold_c] += cold_start_s
+                if fault_spike:
+                    latencies += fault_spike
                 runtime_chunks.append(runtimes)
                 latency_chunks.append(latencies)
             else:
@@ -567,9 +639,19 @@ class Cloud(object):
                 group_runtimes = []
                 group_latencies = []
                 for i, runtime in enumerate(runtimes.tolist()):
+                    if runtime > timeout:
+                        runtime = timeout
+                        timeouts_total += 1
                     reused = i >= cold_c
-                    cold = 0.0 if reused else cold_start_s
+                    if reused:
+                        cold = 0.0
+                    elif cold_samples is not None:
+                        cold = float(cold_samples[i])
+                    else:
+                        cold = cold_start_s
                     latency = runtime + cold
+                    if fault_spike:
+                        latency += fault_spike
                     ticks = int(duration_ticks(runtime, granularity,
                                                min_billed))
                     ticks_total += ticks
@@ -602,6 +684,7 @@ class Cloud(object):
                      zone=deployment.zone_id,
                      requested=placement.requested, served=served,
                      failed=placement.failed, cold_starts=cold_total,
+                     timeouts=timeouts_total,
                      runtime_total_s=runtime_total,
                      cost_usd=float(bill.total),
                      deployment=deployment.deployment_id,
@@ -624,6 +707,7 @@ class Cloud(object):
             placement=placement,
             records=records,
             latencies=latencies,
+            timeouts=timeouts_total,
         )
 
     # -- internals ------------------------------------------------------------------------

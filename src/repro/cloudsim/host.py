@@ -212,12 +212,27 @@ class HostPool(object):
             if remaining > 0 and bucket.is_idle(now):
                 take = min(bucket._count, remaining)
                 if take == bucket._count:
-                    bucket.touch(now, duration, keepalive)
+                    if bucket._pinned:
+                        # Pinned floors never expire: refresh busyness
+                        # only, leave the pin horizon untouched.
+                        bucket.busy_until = now + duration
+                    else:
+                        bucket.touch(now, duration, keepalive)
                 else:
                     bucket.count -= take
                     reused = FIBucket(deployment, self.cpu_key, take,
                                       busy_until=now + duration,
                                       expire_at=now + duration + keepalive)
+                    if bucket._pinned:
+                        # Splitting a pinned bucket conserves the pinned
+                        # count: both halves keep the pin horizon.
+                        reused._pinned = True
+                        reused._expire_at = bucket._expire_at
+                    elif bucket._lease_until is not None:
+                        # Split-off instances inherit the parent's lease.
+                        reused._lease_until = bucket._lease_until
+                        if reused._expire_at > bucket._lease_until:
+                            reused._expire_at = bucket._lease_until
                     new_buckets.append(reused)
                 remaining -= take
                 claimed += take

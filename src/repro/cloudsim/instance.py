@@ -36,7 +36,8 @@ class FIBucket(object):
     """``count`` FIs sharing a deployment, CPU, and lifecycle window."""
 
     __slots__ = ("deployment", "cpu_key", "busy_until",
-                 "_count", "_expire_at", "_pool", "_heap_key", "_released")
+                 "_count", "_expire_at", "_pool", "_heap_key", "_released",
+                 "_lease_until", "_pinned")
 
     # Identity defaults: anonymous buckets answer ``instance_id is None``
     # with a plain attribute read, so release-path type checks never pay
@@ -51,6 +52,12 @@ class FIBucket(object):
         self._pool = None
         self._heap_key = None
         self._released = False
+        # Keep-alive-policy state (set by the zone's policy hook, never
+        # on the default sliding-window path): ``_lease_until`` caps the
+        # total lifetime; ``_pinned`` marks CaaS min-instance floors that
+        # never expire.
+        self._lease_until = None
+        self._pinned = False
         self._count = int(count)
         self.busy_until = float(busy_until)
         self._expire_at = float(expire_at)
@@ -94,9 +101,17 @@ class FIBucket(object):
         return self.busy_until <= now < self._expire_at
 
     def touch(self, now, duration, keepalive):
-        """Serve another request: busy for ``duration``, then fresh keep-alive."""
+        """Serve another request: busy for ``duration``, then fresh keep-alive.
+
+        A fixed-lease policy caps the refresh: the keep-alive never
+        extends past ``_lease_until`` (None on the default path).
+        """
         self.busy_until = now + duration
-        self.expire_at = self.busy_until + keepalive
+        expire = self.busy_until + keepalive
+        lease = self._lease_until
+        if lease is not None and expire > lease:
+            expire = lease
+        self.expire_at = expire
 
     def __repr__(self):
         return ("FIBucket({}x {} for {!r}, busy_until={:.2f}, "

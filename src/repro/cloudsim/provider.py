@@ -9,6 +9,7 @@ model used by the unique-FI analysis (Figure 3).
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import MILLIS, MINUTES
+from repro.cloudsim.adapters import default_adapter
 from repro.cloudsim.billing import (
     AWS_LAMBDA_BILLING,
     DIGITAL_OCEAN_BILLING,
@@ -17,18 +18,25 @@ from repro.cloudsim.billing import (
 
 
 class ProviderConfig(object):
-    """Static description of one FaaS platform."""
+    """Static description of one FaaS platform.
+
+    ``adapter`` bundles the platform's pluggable behavior — cold-start
+    distribution, keep-alive policy, quota model, pool scaling,
+    preemption (:mod:`repro.cloudsim.adapters`).  When omitted, the
+    default adapter reproduces the legacy scalar semantics
+    bit-identically.
+    """
 
     __slots__ = ("name", "memory_options_mb", "archs", "concurrency_quota",
                  "billing", "keepalive", "cold_start_s", "slots_per_host",
                  "base_arrival_window", "reference_memory_mb",
-                 "window_exponent", "function_timeout")
+                 "window_exponent", "function_timeout", "adapter")
 
     def __init__(self, name, memory_options_mb, archs, concurrency_quota,
                  billing, keepalive=5 * MINUTES, cold_start_s=0.18,
                  slots_per_host=64, base_arrival_window=0.25,
                  reference_memory_mb=2048, window_exponent=0.5,
-                 function_timeout=900.0):
+                 function_timeout=900.0, adapter=None):
         if not memory_options_mb:
             raise ConfigurationError("provider needs memory options")
         self.name = name
@@ -43,16 +51,24 @@ class ProviderConfig(object):
         self.reference_memory_mb = int(reference_memory_mb)
         self.window_exponent = float(window_exponent)
         self.function_timeout = float(function_timeout)
+        self.adapter = adapter if adapter is not None else \
+            default_adapter(self)
 
     def validate_memory(self, memory_mb):
         """Memory settings need not be on the ladder (AWS allows any MB in
-        range) but must lie within the provider's envelope."""
+        range) but must lie within the provider's envelope and be an
+        integral MB count — 512.7 MB is a caller bug, not 512 MB."""
         low, high = self.memory_options_mb[0], self.memory_options_mb[-1]
         if not low <= memory_mb <= high:
             raise ConfigurationError(
                 "{}: memory {} MB outside [{}, {}]".format(
                     self.name, memory_mb, low, high))
-        return int(memory_mb)
+        value = int(memory_mb)
+        if value != memory_mb:
+            raise ConfigurationError(
+                "{}: memory {!r} MB is not an integral MB count".format(
+                    self.name, memory_mb))
+        return value
 
     def validate_arch(self, arch):
         if arch not in self.archs:
@@ -118,8 +134,30 @@ PROVIDERS = {
     "do": DIGITAL_OCEAN,
 }
 
+#: The providers the paper's sky mesh measures directly; scenario packs
+#: register additional named providers on top of these.
+CORE_PROVIDERS = ("aws", "ibm", "do")
+
+
+def register_provider(config, replace=False):
+    """Register ``config`` so it resolves by name everywhere a provider
+    name is accepted (catalog install, ``CloudSpec``, CLI ``--provider``).
+    """
+    if not replace and config.name in PROVIDERS:
+        raise ConfigurationError(
+            "provider {!r} already registered".format(config.name))
+    PROVIDERS[config.name] = config
+    return config
+
 
 def provider_by_name(name):
+    try:
+        return PROVIDERS[name]
+    except KeyError:
+        pass
+    # Scenario packs register lazily on first lookup, so merely importing
+    # the simulator never drags the pack tables in.
+    from repro.cloudsim import packs  # noqa: F401 (import registers packs)
     try:
         return PROVIDERS[name]
     except KeyError:

@@ -31,6 +31,7 @@ from repro.cloudsim.catalog import (
     AWS_REGION_SPECS,
     DO_REGION_SPECS,
     IBM_REGION_SPECS,
+    PACK_REGION_SPECS,
     zone_from_recipe,
     zone_recipe,
 )
@@ -81,6 +82,22 @@ def catalog_plan():
                     "lat": lat, "lon": lon,
                     "zones": (zone_recipe(name, spec, provider),),
                 })
+        # Scenario-pack regions ride the same plan (adapters survive the
+        # pickle round-trip with it), flagged so install_plan only
+        # materializes them when explicitly named — mirroring
+        # install_catalog's opt-in behaviour.
+        for provider_name in sorted(PACK_REGION_SPECS):
+            pack_specs = PACK_REGION_SPECS[provider_name]
+            provider = provider_by_name(provider_name)
+            for name in sorted(pack_specs):
+                lat, lon, zones = pack_specs[name]
+                entries.append({
+                    "name": name, "provider": provider_name,
+                    "lat": lat, "lon": lon, "pack": True,
+                    "zones": tuple(
+                        zone_recipe(name + suffix, zones[suffix], provider)
+                        for suffix in sorted(zones)),
+                })
         _PLAN = tuple(entries)
     return _PLAN
 
@@ -104,6 +121,9 @@ def install_plan(cloud, plan, aws_only=False, regions=None):
         if aws_only and entry["provider"] != "aws":
             continue
         if regions is not None and entry["name"] not in regions:
+            continue
+        if entry.get("pack") and regions is None:
+            # Pack regions are opt-in: installed only when named.
             continue
         provider = provider_by_name(entry["provider"])
         region = Region(entry["name"], provider,

@@ -28,6 +28,8 @@ from repro.cloudsim.handlers import (
 from repro.common.distributions import CategoricalDistribution
 from repro.common.errors import CharacterizationError
 from repro.common.rng import derive_rng
+from repro.faults.injector import FaultInjector
+from repro.faults.models import ColdStartStorm, LatencySpike
 from repro.obs import Observability
 from tests.helpers import make_cloud
 
@@ -48,10 +50,25 @@ def _scaled():
 HANDLERS = {"sleep": _sleeper, "modeled": _modeled, "scaled": _scaled}
 
 
+def _fault_injector(seed):
+    """A storm + spike schedule active over the whole poll window.
+
+    ``jitter_sigma`` > 0 makes the latency spike draw from the injector's
+    own per-zone stream, proving fault randomness never leaks into (or
+    reorders) the cloud RNG consumed by the two poll paths.
+    """
+    return FaultInjector([
+        ColdStartStorm(multiplier=6.0),
+        LatencySpike(extra_s=0.35, jitter_sigma=0.2),
+    ], seed=seed)
+
+
 def _poll_keys(vectorize, seed, handler_key, bursts, advance_s,
-               memory_mb=1024):
+               memory_mb=1024, faulted=False):
     """Aggregate keys from a fresh seeded cloud polled ``bursts`` times."""
     cloud = make_cloud(seed=seed)
+    if faulted:
+        _fault_injector(seed).install(cloud)
     account = cloud.create_account("acct", "aws")
     deployment = cloud.deploy(account, "test-1a", "fn", memory_mb,
                               handler=HANDLERS[handler_key]())
@@ -78,6 +95,42 @@ class TestBatchLoopEquivalence(object):
         vectorized = _poll_keys(True, seed, handler_key, bursts, advance_s)
         looped = _poll_keys(False, seed, handler_key, bursts, advance_s)
         assert vectorized == looped
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        handler_key=st.sampled_from(sorted(HANDLERS)),
+        bursts=st.lists(st.integers(min_value=1, max_value=700),
+                        min_size=1, max_size=4),
+        advance_s=st.sampled_from([5.0, 120.0, 400.0]),
+    )
+    def test_aggregates_bit_identical_under_faults(self, seed, handler_key,
+                                                   bursts, advance_s):
+        # Cold-start storm + jittered latency spike active on every poll:
+        # both paths must consult the hooks identically (once per batch)
+        # and still agree to the last bit.
+        vectorized = _poll_keys(True, seed, handler_key, bursts, advance_s,
+                                faulted=True)
+        looped = _poll_keys(False, seed, handler_key, bursts, advance_s,
+                            faulted=True)
+        assert vectorized == looped
+
+    def test_faults_actually_engage_both_paths(self):
+        # Two polls 30s apart: without faults the second poll reuses warm
+        # FIs; the storm's forces_cold must defeat that in BOTH paths, and
+        # the spike must lift latency totals above the clean run's.
+        for vectorize in (True, False):
+            clean = _poll_keys(vectorize, 42, "modeled", [400, 400], 30.0)
+            faulted = _poll_keys(vectorize, 42, "modeled", [400, 400], 30.0,
+                                 faulted=True)
+            # aggregate_key: (requested, served, failed, cold, ...) with
+            # latency_total_s at index 8 as a float hex string.
+            for key in faulted:
+                assert key[3] == key[1]  # every served request cold-started
+            assert clean[1][3] < clean[1][1]  # sanity: clean run mixed
+            for clean_key, fault_key in zip(clean, faulted):
+                assert float.fromhex(fault_key[8]) > \
+                    float.fromhex(clean_key[8])
 
     def test_warm_cold_mix_stays_identical(self):
         # Two polls 30s apart: the second reuses warm FIs and places new

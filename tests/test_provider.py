@@ -5,23 +5,47 @@ import pytest
 from repro.common.errors import ConfigurationError
 from repro.cloudsim.provider import (
     AWS_LAMBDA,
+    CORE_PROVIDERS,
     DIGITAL_OCEAN,
     IBM_CODE_ENGINE,
     PROVIDERS,
+    ProviderConfig,
     provider_by_name,
+    register_provider,
 )
 
 
 class TestRegistry(object):
-    def test_three_providers(self):
-        assert set(PROVIDERS) == {"aws", "ibm", "do"}
+    def test_core_providers_registered(self):
+        # Scenario packs may add more, but the paper's three are always
+        # present and first-class.
+        assert set(CORE_PROVIDERS) == {"aws", "ibm", "do"}
+        assert set(CORE_PROVIDERS) <= set(PROVIDERS)
 
     def test_lookup(self):
         assert provider_by_name("aws") is AWS_LAMBDA
 
     def test_unknown_provider(self):
         with pytest.raises(ConfigurationError):
-            provider_by_name("azure")
+            provider_by_name("nimbus")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            register_provider(AWS_LAMBDA)
+
+    def test_register_and_resolve(self):
+        config = ProviderConfig(
+            name="test-faas",
+            memory_options_mb=(256, 512),
+            archs=("x86_64",),
+            concurrency_quota=10,
+            billing=AWS_LAMBDA.billing,
+        )
+        try:
+            register_provider(config)
+            assert provider_by_name("test-faas") is config
+        finally:
+            PROVIDERS.pop("test-faas", None)
 
 
 class TestAwsLambda(object):
@@ -50,6 +74,14 @@ class TestAwsLambda(object):
             AWS_LAMBDA.validate_memory(64)
         with pytest.raises(ConfigurationError):
             AWS_LAMBDA.validate_memory(20480)
+
+    def test_memory_validation_rejects_non_integral(self):
+        # 512.7 MB is a caller bug: it must raise, not truncate to 512.
+        with pytest.raises(ConfigurationError):
+            AWS_LAMBDA.validate_memory(512.7)
+
+    def test_memory_validation_accepts_integral_float(self):
+        assert AWS_LAMBDA.validate_memory(512.0) == 512
 
     def test_arch_validation(self):
         assert AWS_LAMBDA.validate_arch("arm64") == "arm64"
